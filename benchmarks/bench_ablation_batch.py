@@ -1,0 +1,73 @@
+"""Ablation: token batch size B (paper uses B = 1000).
+
+Small batches multiply remote FAA traffic (more atomics per claimed
+token); very large batches hoard pool tokens at one client (unspent
+batch remainders are dead capacity until the period ends).  The sweep
+reports pool-claim efficiency and FAA counts across B.
+"""
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+
+from conftest import SWEEP_SCALE, TOTAL_CAPACITY
+
+RESERVED = 0.9 * TOTAL_CAPACITY
+POOL = TOTAL_CAPACITY - RESERVED
+# B in *paper* tokens; divided by the time-scale like the default config
+BATCHES_PAPER = (100, 1000, 10_000, 50_000)
+PERIODS = 6
+
+
+def run_batch(batch_paper):
+    reservations = reservation_set("zipf", RESERVED)
+    batch = max(1, round(batch_paper / SWEEP_SCALE.factor))
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=paper_demands(reservations, POOL),
+        scale=SWEEP_SCALE,
+        config=SWEEP_SCALE.config(batch_size=batch),
+    )
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=PERIODS)
+    faa_total = sum(c.engine.faa_issued for c in cluster.clients)
+    granted = sum(c.engine.faa_granted_tokens for c in cluster.clients)
+    stranded = sum(c.engine.tokens.local_global for c in cluster.clients)
+    met = all(
+        result.client_kiops(f"C{i+1}") * 1000 >= r * 0.99
+        for i, r in enumerate(reservations)
+    )
+    return {
+        "batch": batch,
+        "total": result.total_kiops(),
+        "faa_per_period": faa_total / (2 + PERIODS),
+        "granted": granted,
+        "stranded": stranded,
+        "met": met,
+    }
+
+
+def test_ablation_token_batch_size(benchmark, report):
+    def run():
+        return [run_batch(b) for b in BATCHES_PAPER]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Token batch size B ablation (Zipf, 90% reserved)")
+    report.table(
+        ["B (paper)", "B (scaled)", "KIOPS", "FAAs/period", "reservations met"],
+        [
+            [BATCHES_PAPER[i], r["batch"], f"{r['total']:.0f}",
+             f"{r['faa_per_period']:.0f}", "yes" if r["met"] else "NO"]
+            for i, r in enumerate(rows)
+        ],
+    )
+
+    # throughput is insensitive to B in this range (the paper's rationale
+    # for batching: amortize FAAs without hurting allocation)
+    for r in rows:
+        assert r["total"] == pytest.approx(1570, rel=0.05)
+        assert r["met"]
+    # smaller batches require strictly more FAA round trips
+    faas = [r["faa_per_period"] for r in rows]
+    assert faas[0] > faas[1] > faas[2]

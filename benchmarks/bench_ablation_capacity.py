@@ -1,0 +1,113 @@
+"""Ablation: Algorithm-1 parameters (eta, history window M, and the
+Omega_prof - 3*sigma floor).
+
+Runs the estimator against a synthetic capacity trace (drop by 13% at
+period 30, recover at period 60) and measures adaptation behaviour:
+
+- eta trades recovery speed against steady-state overshoot;
+- the window M trades smoothing against adaptation lag;
+- removing the floor lets an idle period crater the estimate — the
+  failure mode the paper's lower bound exists to prevent.
+"""
+
+import pytest
+
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+
+
+def synthetic_trace(est, idle_periods=()):
+    """Drive the estimator closed-loop against a shifting true capacity."""
+    history = []
+    for period in range(90):
+        if period in idle_periods:
+            completed = 100  # an almost-idle, low-demand period
+        else:
+            true_capacity = 10_000 if not 30 <= period < 60 else 8_700
+            completed = min(est.current, true_capacity)
+        est.update(completed)
+        history.append(est.current)
+    return history
+
+
+def recovery_time(history, target, start):
+    for i, value in enumerate(history[start:], start):
+        if value >= target:
+            return i - start
+    return len(history) - start
+
+
+def test_ablation_capacity_estimation(benchmark, report):
+    def run():
+        out = {}
+        for eta in (50, 100, 400):
+            est = AdaptiveCapacityEstimator(
+                ProfiledCapacity(10_000, 500), eta=eta, history_window=10
+            )
+            history = synthetic_trace(est)
+            out[("eta", eta)] = history
+        for window in (2, 10, 30):
+            est = AdaptiveCapacityEstimator(
+                ProfiledCapacity(10_000, 500), eta=100, history_window=window
+            )
+            out[("M", window)] = synthetic_trace(est)
+        # floor on vs off under idle periods
+        est_floor = AdaptiveCapacityEstimator(
+            ProfiledCapacity(10_000, 500), eta=100, history_window=10
+        )
+        out[("floor", "on")] = synthetic_trace(est_floor,
+                                               idle_periods=range(10, 15))
+        est_nofloor = AdaptiveCapacityEstimator(
+            ProfiledCapacity(10_000, 3_333), eta=100, history_window=10
+        )  # 3*sigma ~= the whole capacity: effectively no floor
+        out[("floor", "off")] = synthetic_trace(est_nofloor,
+                                                idle_periods=range(10, 15))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Algorithm-1 ablations on a synthetic 13% capacity dip")
+    rows = []
+    for eta in (50, 100, 400):
+        history = out[("eta", eta)]
+        rows.append([
+            f"eta={eta}",
+            f"{min(history[30:60])}",
+            recovery_time(history, 9_800, 60),
+            f"{max(history) - 10_000:+d}",
+        ])
+    report.table(
+        ["config", "est. during dip", "periods to recover", "peak overshoot"],
+        rows,
+    )
+    report.line()
+    rows = []
+    for window in (2, 10, 30):
+        history = out[("M", window)]
+        settle = recovery_time([-h for h in history], -9_000, 30)
+        rows.append([f"M={window}", settle, f"{history[59]}"])
+    report.table(
+        ["config", "periods to adapt down", "estimate at end of dip"], rows
+    )
+    report.line()
+    floor_on = out[("floor", "on")]
+    floor_off = out[("floor", "off")]
+    report.line(
+        f"floor on:  min estimate during idle periods = {min(floor_on[10:20])}"
+    )
+    report.line(
+        f"floor off: min estimate during idle periods = {min(floor_off[10:20])}"
+    )
+
+    # larger eta recovers faster
+    assert (recovery_time(out[("eta", 400)], 9_800, 60)
+            <= recovery_time(out[("eta", 100)], 9_800, 60)
+            <= recovery_time(out[("eta", 50)], 9_800, 60))
+    # a larger window adapts down more slowly
+    fast = out[("M", 2)]
+    slow = out[("M", 30)]
+    assert fast[35] <= slow[35]
+    # the floor protects against idle periods; without it the estimate craters
+    assert min(floor_on[10:20]) > 9_000
+    assert min(floor_off[10:20]) < 5_000
+    # and both tracks still find the dip level eventually
+    assert min(out[("eta", 100)][40:60]) == pytest.approx(8_700, rel=0.05)

@@ -1,0 +1,91 @@
+"""Baseline comparison: server-centric QoS (two-sided) vs Haechi
+(one-sided).
+
+Quantifies the paper's motivation (Secs. I/IV): a traditional scheduler
+at the data node can enforce the same reservations — but only on the
+two-sided path, whose server saturates at 427 KIOPS.  Haechi enforces
+the (proportionally scaled) contract on the one-sided path at 1570
+KIOPS: differentiated QoS without giving up the 3.7x throughput of
+silent I/O.
+"""
+
+import pytest
+
+from repro.baselines import ServerQoSScheduler
+from repro.common.types import AccessMode, QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.experiment import attach_app, run_experiment
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+from repro.workloads.patterns import RequestPattern
+
+from conftest import SWEEP_SCALE
+
+ONE_SIDED_CAPACITY = 1_570_000
+TWO_SIDED_CAPACITY = 427_000
+PERIODS = 6
+
+
+def run_server_side():
+    """Zipf reservations over 90% of the *two-sided* capacity."""
+    reservations = reservation_set("zipf", 0.9 * TWO_SIDED_CAPACITY)
+    cluster = build_cluster(
+        10, QoSMode.BARE, scale=SWEEP_SCALE, access=AccessMode.TWO_SIDED
+    )
+    scheduler = ServerQoSScheduler(cluster.data_node, cluster.config.period)
+    for i, reservation in enumerate(reservations):
+        scheduler.add_client(
+            f"C{i+1}", cluster.config.tokens_per_period(reservation)
+        )
+    for client in cluster.clients:
+        attach_app(cluster, client, RequestPattern.BURST,
+                   demand_ops=500_000, access=AccessMode.TWO_SIDED)
+    scheduler.start()
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=PERIODS)
+    return reservations, result
+
+
+def run_haechi():
+    """The same Zipf contract, proportionally scaled to one-sided capacity."""
+    reservations = reservation_set("zipf", 0.9 * ONE_SIDED_CAPACITY)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=paper_demands(reservations, 0.1 * ONE_SIDED_CAPACITY),
+        scale=SWEEP_SCALE,
+    )
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=PERIODS)
+    return reservations, result
+
+
+def test_baseline_server_qos_vs_haechi(benchmark, report):
+    def run():
+        return run_server_side(), run_haechi()
+
+    (two_res, two), (one_res, one) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    report.line("Server-centric QoS (two-sided) vs Haechi (one-sided), KIOPS")
+    report.table(
+        ["client", "2s reservation", "2s served", "1s reservation",
+         "1s served"],
+        [
+            [f"C{i+1}", f"{two_res[i]/1000:.0f}",
+             f"{two.client_kiops(f'C{i+1}'):.0f}",
+             f"{one_res[i]/1000:.0f}",
+             f"{one.client_kiops(f'C{i+1}'):.0f}"]
+            for i in range(10)
+        ],
+    )
+    speedup = one.total_kiops() / two.total_kiops()
+    report.line(f"totals: server-side {two.total_kiops():.0f}, "
+                f"Haechi {one.total_kiops():.0f}  ({speedup:.1f}x)")
+
+    # both mechanisms enforce their contracts...
+    for i in range(10):
+        name = f"C{i+1}"
+        assert two.client_kiops(name) * 1000 >= two_res[i] * 0.97
+        assert one.client_kiops(name) * 1000 >= one_res[i] * 0.99
+    # ...but Haechi does it at the one-sided rate
+    assert two.total_kiops() == pytest.approx(427, rel=0.04)
+    assert one.total_kiops() == pytest.approx(1570, rel=0.03)
+    assert speedup > 3.4

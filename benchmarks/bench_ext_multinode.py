@@ -1,0 +1,56 @@
+"""Extension (paper future work): Haechi across multiple data nodes.
+
+Two data nodes, ten striped clients: aggregate capacity grows past a
+single node's 1570 KIOPS while every client's *aggregate* reservation
+(enforced as per-node halves) is still met.
+"""
+
+import pytest
+
+from repro.cluster.multinode import build_multinode_cluster
+from repro.cluster.scale import SimScale
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+RESERVATIONS = [280_000] * 4 + [160_000] * 6  # aggregate, ops/s
+DEMANDS = [360_000] * 4 + [220_000] * 6
+PERIODS = 6
+
+
+def run():
+    cluster = build_multinode_cluster(
+        2, 10, reservations_ops=RESERVATIONS, scale=SCALE
+    )
+    for i, client in enumerate(cluster.clients):
+        cluster.attach_burst_app(client, demand_ops=DEMANDS[i])
+    cluster.start()
+    period = cluster.config.period
+    cluster.sim.run(until=2 * period)
+    cluster.metrics.reset_window()
+    cluster.sim.run(until=cluster.sim.now + PERIODS * period)
+    shares = {
+        name: sum(m.period_counts) / len(m.period_counts) / period / 1000.0
+        for name, m in cluster.metrics.clients.items()
+    }
+    return shares
+
+
+def test_ext_multinode_scaling(benchmark, report):
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    total = sum(shares.values())
+    report.line("Haechi across 2 data nodes, 10 striped clients (KIOPS)")
+    report.table(
+        ["client", "aggregate reservation", "served"],
+        [
+            [f"C{i+1}", f"{RESERVATIONS[i]/1000:.0f}",
+             f"{shares[f'C{i+1}']:.0f}"]
+            for i in range(10)
+        ],
+    )
+    report.line(f"aggregate: {total:.0f} KIOPS "
+                "(single-node saturation: 1570)")
+
+    for i, reservation in enumerate(RESERVATIONS):
+        assert shares[f"C{i+1}"] * 1000 >= reservation * 0.98
+    # the deployment scales beyond one data node's capacity
+    assert total > 1700

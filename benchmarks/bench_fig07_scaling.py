@@ -1,0 +1,52 @@
+"""Fig. 7: data-node throughput versus number of active clients.
+
+One-sided throughput climbs linearly to ~4 clients then saturates at
+~1570 KIOPS; two-sided flattens almost immediately at ~427 KIOPS.
+"""
+
+import pytest
+
+from repro.common.types import AccessMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import SATURATING_OPS, bare_cluster
+
+from conftest import SWEEP_SCALE
+
+
+def system_kiops(num_clients: int, access: AccessMode) -> float:
+    cluster = bare_cluster(
+        demands=[SATURATING_OPS] * num_clients,
+        scale=SWEEP_SCALE,
+        access=access,
+    )
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+    return result.total_kiops()
+
+
+def test_fig07_throughput_vs_active_clients(benchmark, report):
+    def run():
+        one = [system_kiops(n, AccessMode.ONE_SIDED) for n in range(1, 11)]
+        two = [system_kiops(n, AccessMode.TWO_SIDED) for n in range(1, 11)]
+        return one, two
+
+    one, two = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("System throughput vs number of active clients (KIOPS)")
+    report.table(
+        ["clients", "1-sided", "2-sided"],
+        [[n + 1, f"{one[n]:.0f}", f"{two[n]:.0f}"] for n in range(10)],
+    )
+
+    # linear region: first four one-sided points scale with n
+    for n in range(4):
+        assert one[n] == pytest.approx(400 * (n + 1), rel=0.05)
+    # saturation at ~1570 from 4 clients on
+    for n in range(3, 10):
+        assert one[n] == pytest.approx(1570, rel=0.03)
+    # two-sided: one client almost saturates, two clients do
+    assert two[0] == pytest.approx(327, rel=0.03)
+    for n in range(1, 10):
+        assert two[n] == pytest.approx(427, rel=0.03)
+    # the knee the paper highlights: 4 clients needed one-sided, ~1 two-sided
+    assert one[3] / one[0] > 3.5
+    assert two[1] / two[0] < 1.5

@@ -1,0 +1,73 @@
+"""Fig. 8: bare-system completions under demand distributions and
+request patterns (Experiment 1C).
+
+(a) uniform demand + burst: everyone completes ~157 K, total ~1570 K.
+(b) spike demand + burst: total drops to ~1380 K and the three
+    340 K-demand clients complete only ~278 K.
+(c) spike demand + constant-rate: recovery to ~1564 K with the heavy
+    clients near their 340 K targets.
+"""
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import bare_cluster
+from repro.workloads.patterns import RequestPattern
+
+from conftest import SHAPE_SCALE
+
+UNIFORM = [158_000] * 10
+SPIKE = [340_000] * 3 + [80_000] * 7  # total 1580 K, the paper's setup
+
+
+def run_case(demands, pattern):
+    cluster = bare_cluster(demands=demands, pattern=pattern, scale=SHAPE_SCALE)
+    return run_experiment(cluster, warmup_periods=2, measure_periods=8)
+
+
+def test_fig08_demand_and_pattern_matrix(benchmark, report):
+    def run():
+        a = run_case(UNIFORM, RequestPattern.BURST)
+        b = run_case(SPIKE, RequestPattern.BURST)
+        c = run_case(SPIKE, RequestPattern.CONSTANT_RATE)
+        return a, b, c
+
+    a, b, c = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for label, demands, result, paper_total in (
+        ("(a) uniform + burst", UNIFORM, a, 1570),
+        ("(b) spike + burst", SPIKE, b, 1380),
+        ("(c) spike + constant-rate", SPIKE, c, 1564),
+    ):
+        report.line(f"Fig. 8{label}: total {result.total_kiops():.0f} KIOPS "
+                    f"(paper ~{paper_total} K)")
+        report.table(
+            ["client", "demand KIOPS", "completed KIOPS"],
+            [
+                [f"C{i+1}", f"{demands[i]/1000:.0f}",
+                 f"{result.client_kiops(f'C{i+1}'):.0f}"]
+                for i in range(10)
+            ],
+        )
+        report.line()
+
+    # (a): equal completion at saturation
+    assert a.total_kiops() == pytest.approx(1570, rel=0.03)
+    for i in range(10):
+        assert a.client_kiops(f"C{i+1}") == pytest.approx(157, rel=0.05)
+
+    # (b): throughput collapse and heavy-client starvation
+    assert b.total_kiops() < 1480
+    for i in range(3):
+        assert b.client_kiops(f"C{i+1}") < 320
+    for i in range(3, 10):
+        assert b.client_kiops(f"C{i+1}") == pytest.approx(80, rel=0.05)
+
+    # (c): constant rate restores both totals and heavy clients
+    assert c.total_kiops() == pytest.approx(1564, rel=0.03)
+    for i in range(3):
+        assert c.client_kiops(f"C{i+1}") == pytest.approx(340, rel=0.05)
+
+    # orderings the paper calls out
+    assert c.total_kiops() > b.total_kiops()
+    assert c.client_kiops("C1") > b.client_kiops("C1") + 30

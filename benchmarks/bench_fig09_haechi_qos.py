@@ -1,0 +1,90 @@
+"""Fig. 9: Haechi vs the bare system with sufficient demand
+(Experiment 2A).
+
+90% of the 1570 KIOPS capacity is reserved (Uniform / Zipf across 10
+clients); every client's demand is its reservation plus the initial
+global pool.  Under Haechi every client must meet its reservation; on
+the bare system clients get equal shares regardless of reservation, so
+Zipf's high-reservation clients fall short.  The paper also reports a
+throughput drop below 0.1% with Haechi enabled.
+"""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import (
+    bare_cluster,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+
+from conftest import SHAPE_SCALE, TOTAL_CAPACITY
+
+RESERVED = 0.9 * TOTAL_CAPACITY
+POOL = TOTAL_CAPACITY - RESERVED
+PERIODS = 10
+
+
+def run_pair(distribution):
+    reservations = reservation_set(distribution, RESERVED)
+    demands = paper_demands(reservations, POOL)
+    haechi = qos_cluster(
+        reservations=reservations, demands=demands, scale=SHAPE_SCALE
+    )
+    haechi_result = run_experiment(haechi, warmup_periods=3,
+                                   measure_periods=PERIODS)
+    bare = bare_cluster(demands=demands, scale=SHAPE_SCALE)
+    bare_result = run_experiment(bare, warmup_periods=3,
+                                 measure_periods=PERIODS)
+    return reservations, haechi_result, bare_result, haechi
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_fig09_haechi_vs_bare(benchmark, report, distribution):
+    reservations, haechi, bare, cluster = benchmark.pedantic(
+        lambda: run_pair(distribution), rounds=1, iterations=1
+    )
+
+    report.line(f"Fig. 9 ({distribution} reservations), KIOPS")
+    rows = []
+    for i in range(10):
+        name = f"C{i+1}"
+        rows.append([
+            name,
+            f"{reservations[i]/1000:.0f}",
+            f"{haechi.client_kiops(name):.0f}",
+            f"{bare.client_kiops(name):.0f}",
+            "yes" if haechi.client_kiops(name) * 1000 >= reservations[i] * 0.99
+            else "NO",
+        ])
+    report.table(
+        ["client", "reservation", "Haechi", "bare", "res. met (Haechi)"],
+        rows,
+    )
+    drop = (bare.total_kiops() - haechi.total_kiops()) / bare.total_kiops()
+    report.line(f"totals: Haechi {haechi.total_kiops():.0f}, "
+                f"bare {bare.total_kiops():.0f}  (drop {drop*100:.2f}%)")
+    overhead = cluster.server_host.nic.control_overhead_fraction(
+        periods=3 + PERIODS
+    )
+    report.line(
+        "paper-scale control overhead at the data-node NIC: "
+        f"{overhead['target']*100:.3f}% (paper: negligible, <0.1% throughput)"
+    )
+
+    # every reservation met under Haechi
+    for i in range(10):
+        assert haechi.client_kiops(f"C{i+1}") * 1000 >= reservations[i] * 0.99
+    # negligible throughput loss (paper: <0.1%; allow 1% at this dilation)
+    assert drop < 0.01
+    if distribution == "zipf":
+        # bare gives equal shares: high-reservation clients starve
+        assert bare.client_kiops("C1") == pytest.approx(157, rel=0.05)
+        assert bare.client_kiops("C1") * 1000 < reservations[0]
+        # Haechi redistributes from low- to high-reservation clients
+        assert haechi.client_kiops("C1") > bare.client_kiops("C1") + 50
+        assert haechi.client_kiops("C10") < bare.client_kiops("C10")
+    # the analytic control overhead supports the "negligible" claim
+    assert overhead["target"] < 0.005

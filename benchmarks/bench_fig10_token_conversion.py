@@ -1,0 +1,75 @@
+"""Fig. 10: per-client completions when C1, C2 lack demand
+(Experiment 2B) — Haechi's token conversion vs Basic Haechi.
+
+C1 and C2 stop issuing at half their reservation each period.  Basic
+Haechi (no conversion) wastes the unused tokens; full Haechi converts
+them into global tokens, letting C3-C10 exceed their reservations.
+"""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+
+from conftest import SHAPE_SCALE, TOTAL_CAPACITY
+
+RESERVED = 0.9 * TOTAL_CAPACITY
+POOL = TOTAL_CAPACITY - RESERVED
+UNDERDEMAND_FRACTION = 0.5
+PERIODS = 10
+
+
+def build_demands(reservations):
+    demands = paper_demands(reservations, POOL)
+    demands[0] = reservations[0] * UNDERDEMAND_FRACTION
+    demands[1] = reservations[1] * UNDERDEMAND_FRACTION
+    return demands
+
+
+def run_mode(distribution, qos_mode):
+    reservations = reservation_set(distribution, RESERVED)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=build_demands(reservations),
+        qos_mode=qos_mode,
+        scale=SHAPE_SCALE,
+    )
+    result = run_experiment(cluster, warmup_periods=3, measure_periods=PERIODS)
+    return reservations, result
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_fig10_conversion_vs_basic(benchmark, report, distribution):
+    def run():
+        reservations, full = run_mode(distribution, QoSMode.HAECHI)
+        _, basic = run_mode(distribution, QoSMode.BASIC_HAECHI)
+        return reservations, full, basic
+
+    reservations, full, basic = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line(f"Fig. 10 ({distribution} reservations), KIOPS; C1, C2 demand "
+                f"only {UNDERDEMAND_FRACTION:.0%} of their reservation")
+    report.table(
+        ["client", "reservation", "Haechi", "Basic Haechi"],
+        [
+            [f"C{i+1}", f"{reservations[i]/1000:.0f}",
+             f"{full.client_kiops(f'C{i+1}'):.0f}",
+             f"{basic.client_kiops(f'C{i+1}'):.0f}"]
+            for i in range(10)
+        ],
+    )
+    report.line(f"totals: Haechi {full.total_kiops():.0f}, "
+                f"Basic {basic.total_kiops():.0f}")
+
+    for i in (0, 1):
+        name = f"C{i+1}"
+        # the under-demanders complete their (reduced) demand in both modes
+        demanded = reservations[i] * UNDERDEMAND_FRACTION / 1000
+        assert full.client_kiops(name) == pytest.approx(demanded, rel=0.06)
+        assert basic.client_kiops(name) == pytest.approx(demanded, rel=0.06)
+    for i in range(2, 10):
+        name = f"C{i+1}"
+        # conversion pushes C3-C10 beyond their reservation and beyond Basic
+        assert full.client_kiops(name) * 1000 > reservations[i]
+        assert full.client_kiops(name) > basic.client_kiops(name) * 1.05

@@ -1,0 +1,72 @@
+"""Fig. 11: total throughput of Basic Haechi / Haechi / bare when C1,
+C2 have insufficient demand (Experiment 2B).
+
+The paper's ordering: Haechi ~= bare >> Basic Haechi — conversion makes
+the QoS mechanism work-conserving.
+"""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import (
+    bare_cluster,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+
+from conftest import SHAPE_SCALE, TOTAL_CAPACITY
+
+RESERVED = 0.9 * TOTAL_CAPACITY
+POOL = TOTAL_CAPACITY - RESERVED
+PERIODS = 10
+
+
+def build_demands(reservations):
+    demands = paper_demands(reservations, POOL)
+    demands[0] = reservations[0] * 0.5
+    demands[1] = reservations[1] * 0.5
+    return demands
+
+
+def test_fig11_total_throughput_ordering(benchmark, report):
+    def run():
+        totals = {}
+        for distribution in ("uniform", "zipf"):
+            reservations = reservation_set(distribution, RESERVED)
+            demands = build_demands(reservations)
+            row = {}
+            for mode in (QoSMode.HAECHI, QoSMode.BASIC_HAECHI):
+                cluster = qos_cluster(
+                    reservations=reservations, demands=demands,
+                    qos_mode=mode, scale=SHAPE_SCALE,
+                )
+                row[mode.value] = run_experiment(
+                    cluster, warmup_periods=3, measure_periods=PERIODS
+                ).total_kiops()
+            bare = bare_cluster(demands=demands, scale=SHAPE_SCALE)
+            row["bare"] = run_experiment(
+                bare, warmup_periods=3, measure_periods=PERIODS
+            ).total_kiops()
+            totals[distribution] = row
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Fig. 11: total throughput with C1, C2 under-demanding (KIOPS)")
+    report.table(
+        ["distribution", "Basic Haechi", "Haechi", "bare"],
+        [
+            [dist, f"{row['basic_haechi']:.0f}", f"{row['haechi']:.0f}",
+             f"{row['bare']:.0f}"]
+            for dist, row in totals.items()
+        ],
+    )
+
+    for dist, row in totals.items():
+        # work conservation: Haechi within a few % of bare
+        assert row["haechi"] >= row["bare"] * 0.95
+        # Basic Haechi wastes the unused reservations
+        assert row["haechi"] > row["basic_haechi"] * 1.08
+        assert row["bare"] > row["basic_haechi"]

@@ -1,0 +1,71 @@
+"""Fig. 12: system throughput vs reserved-capacity percentage
+(Experiment 2C).
+
+Uniform reservations keep the system at C_G for every reserved
+fraction; Zipf throughput approaches Uniform at low fractions (global
+tokens dominate, fair competition splits them equally) and falls as the
+reserved share grows (low-reservation clients idle once the small pool
+drains, leaving fewer than the 4 active clients needed to saturate).
+"""
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import qos_cluster, reservation_set
+
+from conftest import SWEEP_SCALE, TOTAL_CAPACITY
+
+FRACTIONS = (0.5, 0.6, 0.7, 0.8, 0.9)
+PERIODS = 6
+
+
+def run_point(distribution, fraction):
+    reservations = reservation_set(distribution, fraction * TOTAL_CAPACITY)
+    pool = (1 - fraction) * TOTAL_CAPACITY
+    # Experiment 2A demand rule, scaled to the varying pool: each client
+    # wants its reservation plus the whole initial pool.
+    demands = [r + pool for r in reservations]
+    cluster = qos_cluster(
+        reservations=reservations, demands=demands, scale=SWEEP_SCALE
+    )
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=PERIODS)
+    for i, r in enumerate(reservations):
+        assert result.client_kiops(f"C{i+1}") * 1000 >= r * 0.98, (
+            f"{distribution}@{fraction}: C{i+1} missed its reservation"
+        )
+    return result.total_kiops()
+
+
+def test_fig12_reserved_fraction_sweep(benchmark, report):
+    def run():
+        return {
+            dist: [run_point(dist, f) for f in FRACTIONS]
+            for dist in ("uniform", "zipf")
+        }
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Fig. 12: throughput vs reserved capacity (KIOPS)")
+    report.table(
+        ["reserved %", "uniform", "zipf"],
+        [
+            [f"{int(f*100)}%", f"{totals['uniform'][i]:.0f}",
+             f"{totals['zipf'][i]:.0f}"]
+            for i, f in enumerate(FRACTIONS)
+        ],
+    )
+
+    # uniform stays at C_G across the sweep
+    for value in totals["uniform"]:
+        assert value == pytest.approx(1570, rel=0.03)
+    # zipf approaches uniform at 50% reserved...
+    assert totals["zipf"][0] >= totals["uniform"][0] * 0.97
+    # ...and never rises above it as the reserved share grows.  NOTE:
+    # the paper shows a *pronounced* Zipf drop at 90% reserved; with
+    # this reproduction's obligation-based token conversion the low-
+    # reservation clients keep receiving converted tokens and the
+    # system stays saturated, so only the direction (zipf <= uniform,
+    # mild monotone decline) reproduces — see EXPERIMENTS.md.
+    for uniform_value, zipf_value in zip(totals["uniform"], totals["zipf"]):
+        assert zipf_value <= uniform_value + 5
+    assert totals["zipf"][-1] <= totals["zipf"][0] + 2

@@ -1,0 +1,64 @@
+"""Fig. 13: completions under Haechi with the Spike reservation
+distribution, burst vs constant-rate requests (Set 3).
+
+C1-C3 reserve 285 KIOPS, C4-C10 reserve 80 KIOPS; 90% of capacity is
+reserved.  With completion-gated burst requests the high-reservation
+clients *miss* their reservations (the Experiment-1C local-capacity
+effect); with constant-rate requests they meet and surpass them.
+"""
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import qos_cluster
+from repro.workloads.patterns import BURST_WINDOW, RequestPattern
+from repro.workloads.reservations import spike_distribution
+
+from conftest import SHAPE_SCALE
+
+RESERVATIONS = spike_distribution(10, 285_000, 80_000)
+# demand: reservation plus a proportional slice of the unreserved 10%
+DEMANDS = [r / 0.9 for r in RESERVATIONS]
+PERIODS = 10
+
+
+def run_pattern(pattern):
+    window = BURST_WINDOW if pattern is RequestPattern.BURST else None
+    cluster = qos_cluster(
+        reservations=RESERVATIONS,
+        demands=DEMANDS,
+        pattern=pattern,
+        window=window,
+        scale=SHAPE_SCALE,
+    )
+    return run_experiment(cluster, warmup_periods=3, measure_periods=PERIODS)
+
+
+def test_fig13_burst_vs_constant_rate(benchmark, report):
+    def run():
+        return (run_pattern(RequestPattern.BURST),
+                run_pattern(RequestPattern.CONSTANT_RATE))
+
+    burst, rate = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Fig. 13: Spike reservations (3 x 285 K + 7 x 80 K), KIOPS")
+    report.table(
+        ["client", "reservation", "burst", "constant-rate"],
+        [
+            [f"C{i+1}", f"{RESERVATIONS[i]/1000:.0f}",
+             f"{burst.client_kiops(f'C{i+1}'):.0f}",
+             f"{rate.client_kiops(f'C{i+1}'):.0f}"]
+            for i in range(10)
+        ],
+    )
+
+    for i in range(3):
+        name = f"C{i+1}"
+        # burst: the high-reservation clients fall short
+        assert burst.client_kiops(name) * 1000 < RESERVATIONS[i] * 0.99
+        # constant-rate: they meet and surpass
+        assert rate.client_kiops(name) * 1000 >= RESERVATIONS[i]
+    for i in range(3, 10):
+        # the low-reservation clients meet theirs under both patterns
+        assert burst.client_kiops(f"C{i+1}") * 1000 >= RESERVATIONS[i] * 0.99
+        assert rate.client_kiops(f"C{i+1}") * 1000 >= RESERVATIONS[i] * 0.99

@@ -1,0 +1,69 @@
+"""Fig. 15: average / p99 / p99.9 read latency for burst vs
+constant-rate requests (Set 3).
+
+The burst pattern builds deep client queues (high queueing delay);
+constant-rate requests see almost no queue, so both the average and the
+tails are significantly lower.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scenarios import qos_cluster
+from repro.workloads.patterns import BURST_WINDOW, RequestPattern
+from repro.workloads.reservations import spike_distribution
+
+from conftest import SHAPE_SCALE
+
+RESERVATIONS = spike_distribution(10, 285_000, 80_000)
+DEMANDS = [r / 0.9 for r in RESERVATIONS]
+PERIODS = 10
+
+
+def run_pattern(pattern):
+    window = BURST_WINDOW if pattern is RequestPattern.BURST else None
+    cluster = qos_cluster(
+        reservations=RESERVATIONS, demands=DEMANDS, pattern=pattern,
+        window=window, scale=SHAPE_SCALE,
+    )
+    result = run_experiment(cluster, warmup_periods=3, measure_periods=PERIODS)
+    # aggregate the per-client summaries into fleet-level numbers
+    means, p99s, p999s = [], [], []
+    for summary in result.client_latency.values():
+        if summary["count"]:
+            means.append(summary["mean"])
+            p99s.append(summary["p99"])
+            p999s.append(summary["p999"])
+    return {
+        "mean": sum(means) / len(means),
+        "p99": max(p99s),
+        "p999": max(p999s),
+    }
+
+
+def test_fig15_latency_by_pattern(benchmark, report):
+    def run():
+        return (run_pattern(RequestPattern.BURST),
+                run_pattern(RequestPattern.CONSTANT_RATE))
+
+    burst, rate = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report.line("Fig. 15: read latency, Spike reservations")
+    report.table(
+        ["metric", "burst", "constant-rate"],
+        [
+            [name, f"{burst[key]*1e6:.1f} us", f"{rate[key]*1e6:.1f} us"]
+            for name, key in (("average", "mean"), ("p99", "p99"),
+                              ("p99.9", "p999"))
+        ],
+    )
+
+    for key in ("mean", "p99", "p999"):
+        assert not math.isnan(burst[key]) and not math.isnan(rate[key])
+        # constant-rate is significantly lower at every percentile
+        assert rate[key] < burst[key] * 0.8
+    # tails dominate means in both patterns
+    assert burst["p99"] >= burst["mean"]
+    assert rate["p99"] >= rate["mean"]

@@ -1,0 +1,45 @@
+"""Fig. 16: system throughput when network congestion *begins* mid-run
+(Set 4, capacity overestimation).
+
+Unmanaged background traffic starts at period 15; the Haechi clients'
+throughput steps down and the adaptive estimator walks the token budget
+down to the new capacity.
+"""
+
+import pytest
+
+from conftest import SET4_SWITCH
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_fig16_congestion_onset_throughput(benchmark, report, set4_runs,
+                                           distribution):
+    _reservations, result, cluster = benchmark.pedantic(
+        lambda: set4_runs(True, distribution), rounds=1, iterations=1
+    )
+
+    series = result.total_kiops_series()
+    report.line(f"Fig. 16 ({distribution}): per-period system throughput "
+                "(KIOPS); congestion starts at period "
+                f"{SET4_SWITCH + 1}")
+    report.table(
+        ["period", "KIOPS"],
+        [[i + 1, f"{v:.0f}"] for i, v in enumerate(series)],
+    )
+    estimates = [
+        cluster.scale.kiops(v) for v in cluster.monitor.estimator.history
+    ]
+    report.line("estimator (KIOPS/period): "
+                + " ".join(f"{v:.0f}" for v in estimates))
+
+    before = series[: SET4_SWITCH - 1]
+    after = series[-8:]
+    mean_before = sum(before) / len(before)
+    mean_after = sum(after) / len(after)
+    # saturated before the hit, visibly lower after
+    assert mean_before == pytest.approx(1570, rel=0.03)
+    assert mean_after < mean_before - 120
+    # throughput never collapses below the reserved share
+    assert min(after) > 1100
+    # the estimator converged downwards
+    assert estimates[-1] < estimates[0] * 0.95

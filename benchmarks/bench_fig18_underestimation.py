@@ -1,0 +1,43 @@
+"""Fig. 18: system throughput when network congestion *stops* mid-run
+(Set 4, capacity underestimation).
+
+Background traffic occupies the fabric for the first 15 periods; when
+it stops, the estimator climbs back by eta-sized increments and system
+throughput gradually recovers to the saturated level.
+"""
+
+import pytest
+
+from conftest import SET4_SWITCH
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "zipf"])
+def test_fig18_congestion_relief_throughput(benchmark, report, set4_runs,
+                                            distribution):
+    _reservations, result, cluster = benchmark.pedantic(
+        lambda: set4_runs(False, distribution), rounds=1, iterations=1
+    )
+
+    series = result.total_kiops_series()
+    report.line(f"Fig. 18 ({distribution}): per-period system throughput "
+                f"(KIOPS); congestion stops at period {SET4_SWITCH + 1}")
+    report.table(
+        ["period", "KIOPS"],
+        [[i + 1, f"{v:.0f}"] for i, v in enumerate(series)],
+    )
+    estimates = [
+        cluster.scale.kiops(v) for v in cluster.monitor.estimator.history
+    ]
+    report.line("estimator (KIOPS/period): "
+                + " ".join(f"{v:.0f}" for v in estimates))
+
+    before = series[: SET4_SWITCH - 1]
+    after = series[-5:]
+    mean_before = sum(before) / len(before)
+    mean_after = sum(after) / len(after)
+    # depressed during congestion, recovered at the end
+    assert mean_before < 1480
+    assert mean_after > mean_before + 100
+    # the estimator ends higher than its congested level
+    congested_estimate = min(estimates)
+    assert estimates[-1] > congested_estimate + 50

@@ -1,0 +1,56 @@
+"""Table I: hardware configuration (simulated substitutes).
+
+Prints the paper's testbed table next to the simulator's calibrated
+equivalents, and verifies the calibration constants are wired through.
+"""
+
+from repro.cluster.calibration import CHAMELEON
+from repro.rdma.cpu import CPUProfile
+from repro.rdma.fabric import DEFAULT_PROP_DELAY
+from repro.rdma.nic import NICProfile
+
+
+def test_table1_configuration(benchmark, report):
+    def collect():
+        nic = NICProfile.chameleon()
+        cpu = CPUProfile()
+        return nic, cpu
+
+    nic, cpu = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    report.line("Paper Table I vs simulated substitutes")
+    report.table(
+        ["component", "paper (Chameleon)", "this reproduction"],
+        [
+            ["CPU", "Intel Xeon E5-2670 v3, 48 cores",
+             f"serial RPC pipeline, {cpu.rpc_cost(4096)*1e6:.3f} us / 4KB RPC"],
+            ["Memory", "128 GB", "page-sparse simulated address space"],
+            ["NIC", "Mellanox ConnectX-3 (MT27500)",
+             "calibrated RNIC pipelines (see below)"],
+            ["Network", "InfiniBand",
+             f"flat fabric, {DEFAULT_PROP_DELAY*1e6:.1f} us propagation"],
+        ],
+    )
+    report.line()
+    report.line("Calibration (paper Sec. III-B measured knees):")
+    report.table(
+        ["quantity", "paper", "simulated profile"],
+        [
+            ["1-sided client saturation C_L", "400 KIOPS",
+             f"{1e-3/2.5e-6:.0f} KIOPS (2.5 us issue cost)"],
+            ["1-sided system saturation C_G", "1570 KIOPS",
+             f"{CHAMELEON.one_sided_system/1000:.0f} KIOPS"],
+            ["2-sided client saturation", "327 KIOPS",
+             f"{CHAMELEON.two_sided_client/1000:.0f} KIOPS"],
+            ["2-sided system saturation", "427 KIOPS",
+             f"{CHAMELEON.two_sided_system/1000:.0f} KIOPS"],
+        ],
+    )
+
+    # the calibrated profile must encode the paper's constants exactly
+    from repro.common.types import OpType
+    from repro.rdma.verbs import WorkRequest
+
+    read4k = WorkRequest(opcode=OpType.READ, size=4096)
+    assert abs(1.0 / nic.issue_cost(read4k) - CHAMELEON.one_sided_client) < 1e3
+    assert abs(1.0 / nic.target_cost(read4k) - CHAMELEON.one_sided_system) < 2e3

@@ -1,0 +1,119 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+scenario on the simulated testbed, prints the same rows/series the
+paper reports (in KIOPS, directly comparable), asserts the paper's
+*shape* criteria, and appends the output to ``benchmarks/results/``.
+
+Scales: shape-critical figures run at time dilation K=200 (10 ms QoS
+periods, 200 protocol ticks per period); broad sweeps use K=500 to
+keep the suite's wall time reasonable.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.cluster.scale import SimScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Shape-critical figures (patterns, conversion, adaptation).
+SHAPE_SCALE = SimScale(factor=200, interval_divisor=200)
+# Parameter sweeps (many runs, coarser dilation).
+SWEEP_SCALE = SimScale(factor=500, interval_divisor=100)
+
+# Paper constants (Sec. III).
+TOTAL_CAPACITY = 1_570_000  # C_G, one-sided, ops/s
+CLIENT_CAPACITY = 400_000  # C_L, one-sided, ops/s
+NUM_CLIENTS = 10
+
+
+class Report:
+    """Collects lines for one figure, echoes them, persists them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, header, rows) -> None:
+        from repro.analysis import format_table
+
+        for line in format_table(header, rows):
+            self.line(line)
+
+    def flush(self) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join([f"== {self.name} ==", *self.lines, ""])
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture
+def report(request):
+    """A per-test report named after the test module."""
+    name = request.node.name.replace("test_", "").replace("[", "_").rstrip("]")
+    rep = Report(name)
+    yield rep
+    rep.flush()
+
+
+# ---------------------------------------------------------------------------
+# Set 4 (Figs. 16-19): shared scenario runner with a session-wide cache,
+# since all four figures are projections of the same two timeline runs.
+# ---------------------------------------------------------------------------
+
+SET4_RESERVED_FRACTION = 0.8  # the paper reserves 80% in Set 4
+SET4_BG_RATE = 200_000  # ops/s of unmanaged traffic (~13% of capacity)
+SET4_PERIODS = 30  # measured periods, like the paper's 30 s display
+SET4_SWITCH = 15  # congestion starts/stops at period 15
+
+
+def run_set4_scenario(onset: bool, distribution: str):
+    """One Set-4 timeline run; returns (reservations, result, cluster)."""
+    from repro.cluster.experiment import run_experiment
+    from repro.cluster.scenarios import (
+        congestion_schedule,
+        paper_demands,
+        qos_cluster,
+        reservation_set,
+    )
+
+    reserved = SET4_RESERVED_FRACTION * TOTAL_CAPACITY
+    pool = TOTAL_CAPACITY - reserved
+    reservations = reservation_set(distribution, reserved)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=paper_demands(reservations, pool),
+        scale=SHAPE_SCALE,
+    )
+    warmup = 2
+    schedule = congestion_schedule(
+        onset, SET4_SWITCH + warmup, SET4_PERIODS + warmup + 2,
+        cluster.config.period,
+    )
+    cluster.add_background_job(schedule=schedule, rate_ops=SET4_BG_RATE)
+    result = run_experiment(cluster, warmup_periods=warmup,
+                            measure_periods=SET4_PERIODS)
+    return reservations, result, cluster
+
+
+@pytest.fixture(scope="session")
+def set4_runs():
+    """Lazy cache keyed by (onset, distribution)."""
+    cache = {}
+
+    def get(onset: bool, distribution: str):
+        key = (onset, distribution)
+        if key not in cache:
+            cache[key] = run_set4_scenario(onset, distribution)
+        return cache[key]
+
+    return get

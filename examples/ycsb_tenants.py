@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Realistic multi-tenant serving: YCSB workloads under Haechi.
+
+Three tenant classes share one data node, each replaying a different
+YCSB key distribution over its own slice of the keyspace:
+
+- ``search-index`` — zipfian reads (hot head), big reservation;
+- ``session-cache`` — "latest" reads (recency-skewed), medium;
+- ``batch-export``  — uniform scans, small reservation but greedy.
+
+Key skew changes *which* slots are read, not what a 4 KB one-sided READ
+costs, so Haechi's guarantees must be insensitive to it — this example
+checks exactly that, while also verifying data integrity end-to-end
+(the store is materialized and every payload is validated).
+
+Run:  python examples/ycsb_tenants.py
+"""
+
+from repro import (
+    QoSMode,
+    RequestPattern,
+    SimScale,
+    attach_app,
+    build_cluster,
+    run_experiment,
+)
+from repro.workloads.ycsb import (
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+SLOTS = 600  # materialized store: 3 tenants x 200 keys
+TENANTS = [
+    ("search-index", 250_000, ZipfianGenerator(200, seed=11), 0),
+    ("session-cache", 150_000, LatestGenerator(200, seed=22), 200),
+    ("batch-export", 80_000, UniformGenerator(200, seed=33), 400),
+]
+DEMAND = 390_000  # everyone greedy, below the 400 K client NIC limit
+
+
+def main() -> None:
+    cluster = build_cluster(
+        num_clients=len(TENANTS),
+        qos_mode=QoSMode.HAECHI,
+        reservations_ops=[r for _, r, _, _ in TENANTS],
+        scale=SCALE,
+        num_slots=SLOTS,
+        materialize=True,
+        touch_memory=True,  # real bytes move; payloads are verified
+    )
+
+    bad_payloads = []
+
+    def make_key_fn(generator, base):
+        return lambda: base + generator.next()
+
+    for i, (name, _res, generator, base) in enumerate(TENANTS):
+        attach_app(
+            cluster,
+            cluster.clients[i],
+            RequestPattern.BURST,
+            demand_ops=DEMAND,
+            window=None,
+            key_fn=make_key_fn(generator, base),
+        )
+
+        # wrap the engine's completion path to verify record contents
+        engine = cluster.clients[i].engine
+        original_submit = engine.submit
+
+        def submit(key, cb, _orig=original_submit):
+            def checked(ok, value, latency):
+                if ok and value is not None:
+                    version, payload = value
+                    if not payload.startswith(b"value-"):
+                        bad_payloads.append(payload[:16])
+                cb(ok, value, latency)
+            _orig(key, checked)
+
+        cluster.clients[i].engine = engine
+        cluster.clients[i].app.submit = submit
+
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=6)
+
+    print("tenant          distribution  reserved   served   met?")
+    for i, (name, reservation, generator, _base) in enumerate(TENANTS):
+        kiops = result.client_kiops(f"C{i+1}")
+        met = "yes" if kiops * 1000 >= reservation * 0.99 else "NO"
+        dist = type(generator).__name__.replace("Generator", "").lower()
+        print(f"{name:<15} {dist:>12} {reservation/1000:>8.0f}K "
+              f"{kiops:>7.0f}K {met:>6}")
+    print(f"\ntotal: {result.total_kiops():.0f} KIOPS; "
+          f"corrupted payloads: {len(bad_payloads)}")
+    print("guarantees hold regardless of each tenant's key-access skew —")
+    print("a one-sided 4 KB READ costs the same wherever it lands.")
+
+
+if __name__ == "__main__":
+    main()

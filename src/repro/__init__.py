@@ -1,0 +1,76 @@
+"""Haechi reproduction: token-based QoS for one-sided RDMA storage.
+
+A full, from-scratch reproduction of *"Haechi: A Token-based QoS
+Mechanism for One-sided I/Os in RDMA based Storage System"* (Liu &
+Varman, ICDCS 2021) on a discrete-event-simulated RDMA cluster.
+
+Quick start::
+
+    from repro import (
+        QoSMode, RequestPattern, SimScale, build_cluster, attach_app,
+        run_experiment, uniform_distribution,
+    )
+
+    scale = SimScale(factor=200)
+    reservations = uniform_distribution(total=1_413_000, num_clients=10)
+    cluster = build_cluster(10, QoSMode.HAECHI, reservations, scale=scale)
+    for client in cluster.clients:
+        attach_app(cluster, client, RequestPattern.BURST, demand_ops=500_000)
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=10)
+    print(result.total_kiops(), "KIOPS")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.common.types import AccessMode, QoSMode
+from repro.core import (
+    AdaptiveCapacityEstimator,
+    AdmissionController,
+    HaechiConfig,
+    ProfiledCapacity,
+    QoSEngine,
+    QoSMonitor,
+)
+from repro.cluster import (
+    CHAMELEON,
+    Cluster,
+    ExperimentResult,
+    SimScale,
+    build_cluster,
+    run_experiment,
+    run_profiling,
+)
+from repro.cluster.experiment import attach_app
+from repro.workloads import (
+    RequestPattern,
+    spike_distribution,
+    uniform_distribution,
+    zipf_group_distribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AdaptiveCapacityEstimator",
+    "AdmissionController",
+    "CHAMELEON",
+    "Cluster",
+    "ExperimentResult",
+    "HaechiConfig",
+    "ProfiledCapacity",
+    "QoSEngine",
+    "QoSMode",
+    "QoSMonitor",
+    "RequestPattern",
+    "SimScale",
+    "attach_app",
+    "build_cluster",
+    "run_experiment",
+    "run_profiling",
+    "spike_distribution",
+    "uniform_distribution",
+    "zipf_group_distribution",
+    "__version__",
+]

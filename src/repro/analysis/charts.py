@@ -1,0 +1,101 @@
+"""Terminal-friendly charts for examples and bench reports.
+
+Pure-text rendering (no plotting dependencies): horizontal bar charts
+for per-client comparisons and compact sparklines for per-period
+timelines.  Both are deterministic, so tests can assert on the output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    max_value: Optional[float] = None,
+    unit: str = "",
+) -> List[str]:
+    """Horizontal bars, one per (label, value) pair.
+
+    Bars share a scale: ``max_value`` (or the data maximum) spans
+    ``width`` characters.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not items:
+        return []
+    values = [v for _, v in items]
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart requires non-negative values")
+    scale_max = max_value if max_value is not None else max(values)
+    if scale_max <= 0:
+        scale_max = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        filled = int(round(min(value, scale_max) / scale_max * width))
+        bar = "#" * filled
+        lines.append(
+            f"{label:>{label_width}} |{bar:<{width}}| {value:g}{unit}"
+        )
+    return lines
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """A one-line intensity strip for a timeline.
+
+    Values map onto ten glyph levels between ``lo`` and ``hi``
+    (defaulting to the data range).
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _SPARK_LEVELS[-1] * len(values)
+    span = hi - lo
+    out = []
+    top = len(_SPARK_LEVELS) - 1
+    for v in values:
+        norm = (min(max(v, lo), hi) - lo) / span
+        out.append(_SPARK_LEVELS[int(round(norm * top))])
+    return "".join(out)
+
+
+def timeline_chart(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 8,
+    unit: str = "",
+) -> List[str]:
+    """A small scatter/step chart of a timeline, newest at the right.
+
+    Rows run from the maximum down to the minimum; each column is one
+    sample (downsampled evenly when there are more samples than
+    ``width``).
+    """
+    if width < 2 or height < 2:
+        raise ValueError("timeline_chart needs width >= 2 and height >= 2")
+    if not values:
+        return []
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    rows = []
+    for row in range(height, -1, -1):
+        threshold = lo + span * row / height
+        line = "".join(
+            "*" if v >= threshold else " " for v in values
+        )
+        label = f"{threshold:g}{unit}"
+        rows.append(f"{label:>12} |{line}")
+    return rows

@@ -1,0 +1,55 @@
+"""Paper-shape comparisons: reservation checks and system orderings."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def meets_reservation(
+    result,
+    reservations_ops: Sequence[float],
+    tolerance: float = 0.01,
+) -> Dict[str, bool]:
+    """Per-client reservation check against an ExperimentResult.
+
+    ``reservations_ops`` follow the builder's client order (C1..Cn);
+    a client passes when its measured KIOPS is within ``tolerance`` of
+    its reserved rate or above.
+    """
+    out = {}
+    for i, reservation in enumerate(reservations_ops):
+        name = f"C{i + 1}"
+        measured_ops = result.client_kiops(name) * 1000.0
+        out[name] = measured_ops >= reservation * (1.0 - tolerance)
+    return out
+
+
+def who_wins(totals: Mapping[str, float], margin: float = 0.01) -> str:
+    """The label with the highest total, or "tie" within ``margin``.
+
+    Used to assert orderings like "Haechi ~= bare >> Basic Haechi".
+    """
+    if not totals:
+        raise ValueError("no contestants")
+    ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+    if len(ranked) > 1 and ranked[0][1] - ranked[1][1] <= margin * ranked[0][1]:
+        return "tie"
+    return ranked[0][0]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly equal, 1/n = one hog.
+
+    The standard metric for share-equality claims like the bare
+    system's equal split in Fig. 9.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("no values")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)

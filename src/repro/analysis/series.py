@@ -1,0 +1,49 @@
+"""Time-series shape metrics for the adaptation experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def mean_of(series: Sequence[float], start: int = 0,
+            end: Optional[int] = None) -> float:
+    """Mean of ``series[start:end]``."""
+    window = list(series[start:end])
+    if not window:
+        raise ValueError(f"empty window [{start}:{end}]")
+    return sum(window) / len(window)
+
+
+def step_change(series: Sequence[float], switch: int,
+                guard: int = 1) -> float:
+    """Level change across a known switch point.
+
+    Compares the means before ``switch - guard`` and after
+    ``switch + guard`` (the guard drops the transient periods around
+    the change).  Positive = the series went up.
+    """
+    if not 0 < switch < len(series):
+        raise ValueError(f"switch {switch} outside series of {len(series)}")
+    before = mean_of(series, 0, max(1, switch - guard))
+    after = mean_of(series, min(len(series) - 1, switch + guard), None)
+    return after - before
+
+
+def recovery_time(series: Sequence[float], target: float,
+                  start: int = 0) -> int:
+    """Periods from ``start`` until the series first reaches ``target``.
+
+    Returns ``len(series) - start`` when it never does (so callers can
+    compare recovery speeds without special-casing non-recovery).
+    """
+    for i in range(start, len(series)):
+        if series[i] >= target:
+            return i - start
+    return len(series) - start
+
+
+def relative_drop(baseline: float, measured: float) -> float:
+    """Fractional drop of ``measured`` below ``baseline`` (>= 0)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return max(0.0, (baseline - measured) / baseline)

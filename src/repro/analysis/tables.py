@@ -1,0 +1,26 @@
+"""Plain-text table rendering for bench reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(header: Sequence, rows: Iterable[Sequence]) -> List[str]:
+    """Render a right-aligned text table; returns the lines.
+
+    Column widths adapt to the longest cell (header included).  All
+    cells are stringified, so callers can pass numbers directly.
+    """
+    rows = [list(map(str, row)) for row in rows]
+    header = list(map(str, header))
+    for row in rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(header)}"
+            )
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    return [fmt.format(*header)] + [fmt.format(*row) for row in rows]

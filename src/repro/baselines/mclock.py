@@ -1,0 +1,174 @@
+"""mClock-style tag-based scheduling on the two-sided path.
+
+The second classic server-centric family from the paper's Sec. IV:
+instead of per-period token buckets (bQueue/pShift style,
+:mod:`~repro.baselines.server_qos`), mClock [Gulati et al., OSDI'10]
+assigns each request three virtual-time tags —
+
+- **R-tag** (reservation): spaced ``1/r_i`` apart; a request whose
+  R-tag is due is served first, guaranteeing the minimum rate;
+- **L-tag** (limit): spaced ``1/l_i`` apart; a client whose next L-tag
+  lies in the future is ineligible, capping the maximum rate;
+- **P-tag** (proportional): spaced ``1/w_i`` apart; among eligible
+  clients past their reservation, the smallest P-tag wins, sharing the
+  surplus by weight.
+
+Tag update rule (the max with ``now`` forgets idle history, so a
+returning client cannot burst from banked credit)::
+
+    tag_i = max(now, tag_i + 1/rate_i)
+
+This scheduler interposes on the data node exactly like
+:class:`ServerQoSScheduler` — possible only because two-sided requests
+pass through the server CPU, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError, QoSError
+from repro.baselines.server_qos import ServerQoSScheduler
+
+
+class _TaggedClient:
+    """Per-client tag state and request FIFO."""
+
+    __slots__ = ("reservation", "limit", "weight", "r_tag", "l_tag",
+                 "p_tag", "queue", "served")
+
+    def __init__(self, reservation: float, weight: float,
+                 limit: Optional[float]):
+        self.reservation = reservation  # ops/s (0 = none)
+        self.limit = limit  # ops/s or None
+        self.weight = weight
+        self.r_tag = 0.0
+        self.l_tag = 0.0
+        self.p_tag = 0.0
+        self.queue: Deque[Tuple[object, object]] = deque()
+        self.served = 0
+
+
+class MClockScheduler(ServerQoSScheduler):
+    """Tag-based reservation/limit/weight scheduling at the data node.
+
+    Reuses the request interposition and CPU dispatch plumbing of
+    :class:`ServerQoSScheduler`, replacing its token accounting with
+    mClock's tag algebra.  Clients are registered with
+    :meth:`add_tagged_client` (rates in ops/second).
+    """
+
+    def __init__(self, data_node, period: float):
+        super().__init__(data_node, period)
+        self._tagged: Dict[str, _TaggedClient] = {}
+
+    # -- registration ----------------------------------------------------
+    def add_tagged_client(
+        self,
+        host_name: str,
+        reservation_ops: float = 0.0,
+        weight: float = 1.0,
+        limit_ops: Optional[float] = None,
+    ) -> None:
+        """Register a client with mClock parameters (ops/second)."""
+        if host_name in self._tagged:
+            raise QoSError(f"client {host_name!r} already registered")
+        if reservation_ops < 0:
+            raise QoSError(f"reservation must be >= 0, got {reservation_ops}")
+        if weight <= 0:
+            raise QoSError(f"weight must be positive, got {weight}")
+        if limit_ops is not None and limit_ops < reservation_ops:
+            raise QoSError(
+                f"limit {limit_ops} below reservation {reservation_ops}"
+            )
+        self._tagged[host_name] = _TaggedClient(
+            reservation_ops, weight, limit_ops
+        )
+
+    def add_client(self, host_name: str, reservation_tokens: int) -> None:
+        """Token-style registration is disabled on the tag scheduler."""
+        raise QoSError("use add_tagged_client on MClockScheduler")
+
+    def start(self) -> None:
+        """Tag scheduling needs no period timer; mark started only."""
+        if self._started:
+            raise QoSError("scheduler already started")
+        self._started = True
+        self._dispatch()
+
+    # -- request path -----------------------------------------------------
+    def _enqueue(self, msg, reply_qp) -> None:
+        name = reply_qp.dst.name
+        state = self._tagged.get(name)
+        if state is None:
+            state = _TaggedClient(0.0, 1.0, None)  # best-effort by weight
+            self._tagged[name] = state
+        now = self.sim.now
+        # Tag the request at arrival (mClock tags each request); the
+        # per-client cursors advance by the tag spacing, and the request
+        # carries its own copies — eligibility is judged by the *head*
+        # request's tags, not the latest arrival's.
+        if state.reservation > 0:
+            state.r_tag = max(now, state.r_tag + 1.0 / state.reservation)
+            r_tag = state.r_tag
+        else:
+            r_tag = math.inf
+        if state.limit is not None:
+            state.l_tag = max(now, state.l_tag + 1.0 / state.limit)
+            l_tag = state.l_tag
+        else:
+            l_tag = 0.0
+        state.p_tag = max(now, state.p_tag + 1.0 / state.weight)
+        state.queue.append((msg, reply_qp, r_tag, l_tag, state.p_tag))
+        self._dispatch()
+
+    def _pick(self) -> Optional[str]:
+        now = self.sim.now
+        heads = [
+            (name, state.queue[0])
+            for name, state in self._tagged.items() if state.queue
+        ]
+        if not heads:
+            return None
+        # constraint phase: any due head R-tag wins (earliest first)
+        due = [(head[2], name) for name, head in heads if head[2] <= now]
+        if due:
+            return min(due)[1]
+        # weight phase: limit-eligible head with the smallest P-tag
+        eligible = [
+            (head[4], name) for name, head in heads if head[3] <= now
+        ]
+        if eligible:
+            return min(eligible)[1]
+        return None  # every head is limit-gated: idle deliberately
+
+    def _dispatch(self) -> None:
+        if self._dispatching or not self._started:
+            return
+        name = self._pick()
+        if name is None:
+            self._schedule_limit_wakeup()
+            return
+        state = self._tagged[name]
+        msg, reply_qp, _r, _l, _p = state.queue.popleft()
+        state.served += 1
+        self.total_served += 1
+        self._dispatching = True
+        response, size = self._serve(msg)
+        done = self.data_node.host.cpu.submit_rpc(size)
+        self.sim.schedule_at(done, self._complete, response, size, reply_qp)
+
+    def _schedule_limit_wakeup(self) -> None:
+        """Every backlogged head is limit-gated: wake at the earliest
+        head L-tag so throttled work resumes without a new arrival."""
+        pending = [
+            state.queue[0][3] for state in self._tagged.values()
+            if state.queue
+        ]
+        if not pending:
+            return
+        wake_at = min(pending)
+        if wake_at > self.sim.now:
+            self.sim.schedule_at(wake_at, self._dispatch)

@@ -1,0 +1,232 @@
+"""Command-line interface: run canned Haechi experiments from a shell.
+
+Subcommands::
+
+    python -m repro profile   [--clients 10] [--periods 20] [--scale 500]
+    python -m repro run       [--mode haechi|basic|bare] [--distribution ...]
+                              [--reserved-fraction 0.9] [--pattern ...]
+    python -m repro figures
+
+``run`` prints the per-client reservation-vs-served table for the
+chosen configuration, the bread-and-butter view of the paper's
+evaluation.  ``figures`` lists the benchmark that regenerates each of
+the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, meets_reservation
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.profiling import run_profiling
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import (
+    bare_cluster,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+from repro.workloads.patterns import BURST_WINDOW, RequestPattern
+
+_MODES = {
+    "haechi": QoSMode.HAECHI,
+    "basic": QoSMode.BASIC_HAECHI,
+    "bare": QoSMode.BARE,
+}
+
+_CAPACITY = 1_570_000
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Haechi reproduction: token-based QoS for one-sided "
+                    "RDMA storage (ICDCS 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+
+    profile = sub.add_parser("profile", help="profile saturated capacity")
+    profile.add_argument("--clients", type=int, default=10)
+    profile.add_argument("--periods", type=int, default=20)
+    profile.add_argument("--scale", type=float, default=500)
+
+    run = sub.add_parser("run", help="run a QoS scenario")
+    run.add_argument("--mode", choices=sorted(_MODES), default="haechi")
+    run.add_argument("--distribution", choices=["uniform", "zipf", "spike"],
+                     default="zipf")
+    run.add_argument("--reserved-fraction", type=float, default=0.9)
+    run.add_argument("--pattern", choices=["burst", "constant-rate"],
+                     default="burst")
+    run.add_argument("--clients", type=int, default=10)
+    run.add_argument("--periods", type=int, default=8)
+    run.add_argument("--warmup", type=int, default=3)
+    run.add_argument("--scale", type=float, default=200)
+    run.add_argument("--window", type=int, default=None,
+                     help="completion-gated window for burst apps "
+                          "(default: token-paced)")
+
+    sub.add_parser("figures", help="list the paper-figure benchmarks")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one paper figure from a preset"
+    )
+    figure.add_argument("name", help="preset name (see `figure --list`)")
+    figure.add_argument("--quick", action="store_true",
+                        help="coarser dilation, fewer periods")
+    return parser
+
+
+def _cmd_profile(args) -> int:
+    scale = SimScale(factor=args.scale, interval_divisor=100)
+    profiled = run_profiling(
+        num_clients=args.clients, periods=args.periods, scale=scale
+    )
+    kiops = scale.kiops(profiled.mean)
+    sigma = scale.kiops(profiled.stddev)
+    print(f"profiled capacity: {kiops:.1f} KIOPS "
+          f"(sigma {sigma:.2f}, {args.periods} periods, "
+          f"{args.clients} clients)")
+    print(f"Algorithm-1 floor (mean - 3*sigma): "
+          f"{kiops - 3 * sigma:.1f} KIOPS")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if not 0 < args.reserved_fraction <= 1:
+        print("--reserved-fraction must be in (0, 1]", file=sys.stderr)
+        return 2
+    scale = SimScale(factor=args.scale, interval_divisor=200)
+    reservations = reservation_set(
+        args.distribution, args.reserved_fraction * _CAPACITY, args.clients
+    )
+    pool = (1 - args.reserved_fraction) * _CAPACITY
+    demands = paper_demands(reservations, pool)
+    pattern = (RequestPattern.BURST if args.pattern == "burst"
+               else RequestPattern.CONSTANT_RATE)
+    mode = _MODES[args.mode]
+
+    if mode is QoSMode.BARE:
+        cluster = bare_cluster(
+            demands=demands, pattern=pattern, scale=scale,
+            window=args.window or BURST_WINDOW,
+        )
+    else:
+        cluster = qos_cluster(
+            reservations=reservations, demands=demands, qos_mode=mode,
+            pattern=pattern, scale=scale, window=args.window,
+        )
+    result = run_experiment(cluster, warmup_periods=args.warmup,
+                            measure_periods=args.periods)
+
+    verdicts = None
+    if mode is not QoSMode.BARE:
+        verdicts = meets_reservation(result, reservations)
+    rows = []
+    for i, reservation in enumerate(reservations):
+        name = f"C{i+1}"
+        row = [name, f"{reservation/1000:.0f}",
+               f"{result.client_kiops(name):.0f}"]
+        if verdicts is not None:
+            row.append("yes" if verdicts[name] else "NO")
+        rows.append(row)
+    header = ["client", "reservation (KIOPS)", "served (KIOPS)"]
+    if verdicts is not None:
+        header.append("met")
+    for line in format_table(header, rows):
+        print(line)
+    print(f"total: {result.total_kiops():.0f} KIOPS  "
+          f"(mode={args.mode}, {args.distribution}, "
+          f"{args.reserved_fraction:.0%} reserved, {args.pattern})")
+    if verdicts is not None and not all(verdicts.values()):
+        return 1
+    return 0
+
+
+_FIGURES = [
+    ("Table I", "bench_table1_config.py", "testbed configuration"),
+    ("Fig. 6", "bench_fig06_client_throughput.py", "per-client saturation"),
+    ("Fig. 7", "bench_fig07_scaling.py", "throughput vs active clients"),
+    ("Fig. 8", "bench_fig08_demand_patterns.py", "demand x pattern matrix"),
+    ("Fig. 9", "bench_fig09_haechi_qos.py", "Haechi vs bare (Exp 2A)"),
+    ("Fig. 10", "bench_fig10_token_conversion.py", "conversion vs Basic"),
+    ("Fig. 11", "bench_fig11_conversion_throughput.py", "totals ordering"),
+    ("Fig. 12", "bench_fig12_reserved_capacity.py", "reserved-fraction sweep"),
+    ("Fig. 13", "bench_fig13_request_patterns.py", "burst vs constant-rate"),
+    ("Fig. 14", "bench_fig14_pattern_throughput.py", "pattern throughput"),
+    ("Fig. 15", "bench_fig15_latency.py", "latency distributions"),
+    ("Fig. 16", "bench_fig16_overestimation.py", "congestion onset"),
+    ("Fig. 17", "bench_fig17_overestimation_client.py", "C1 under onset"),
+    ("Fig. 18", "bench_fig18_underestimation.py", "congestion relief"),
+    ("Fig. 19", "bench_fig19_underestimation_client.py", "C1 under relief"),
+    ("ablation", "bench_ablation_batch.py", "token batch size B"),
+    ("ablation", "bench_ablation_intervals.py", "tick granularity"),
+    ("ablation", "bench_ablation_capacity.py", "Algorithm-1 parameters"),
+    ("ablation", "bench_ablation_pacing.py", "completion-gated vs token-paced"),
+    ("baseline", "bench_baseline_twosided_qos.py", "server-side QoS vs Haechi"),
+    ("extension", "bench_ext_multinode.py", "multi-data-node Haechi"),
+    ("extension", "bench_ext_limits.py", "limit (L_i) enforcement"),
+    ("extension", "bench_ext_poisson.py", "QoS under Poisson arrivals"),
+]
+
+
+def _cmd_figure(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.cluster.presets import REGISTRY, get_preset
+
+    if args.name == "--list" or args.name == "list":
+        for line in format_table(
+            ["preset", "regenerates"],
+            [[name, REGISTRY[name].description] for name in sorted(REGISTRY)],
+        ):
+            print(line)
+        return 0
+    try:
+        preset = get_preset(args.name)
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+    summary = preset.run(quick=args.quick)
+    print(summary["title"])
+    for line in format_table(summary["header"], summary["rows"]):
+        print(line)
+    totals = summary.get("totals")
+    if totals:
+        print("totals: " + "  ".join(f"{k}={v}" for k, v in totals.items()))
+    series = summary.get("series")
+    if series:
+        from repro.analysis import sparkline
+
+        for label, values in series.items():
+            print(f"{label:>8}: {sparkline(values)}")
+    return 0
+
+
+def _cmd_figures(_args) -> int:
+    for line in format_table(["artifact", "benchmark", "regenerates"],
+                             _FIGURES):
+        print(line)
+    print("\nrun them all:  pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster assembly and experiment harness.
+
+Builds the paper's testbed shape — one data node, N client nodes, an
+optional Haechi monitor/engine deployment — on the simulated RDMA
+fabric, runs warm-up + measurement windows, and collects per-period,
+per-client completions plus latency distributions.
+"""
+
+from repro.cluster.builder import Cluster, ClientContext, build_cluster
+from repro.cluster.calibration import CHAMELEON
+from repro.cluster.experiment import ExperimentResult, run_experiment
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.profiling import run_profiling
+from repro.cluster.scale import SimScale
+
+__all__ = [
+    "CHAMELEON",
+    "ClientContext",
+    "Cluster",
+    "ExperimentResult",
+    "MetricsCollector",
+    "SimScale",
+    "build_cluster",
+    "run_experiment",
+    "run_profiling",
+]

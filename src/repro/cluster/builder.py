@@ -1,0 +1,258 @@
+"""Cluster assembly: the paper's 1-data-node / N-client testbed shape.
+
+``build_cluster`` wires the full simulated deployment: fabric, data
+node (KV store + two-sided RPC service), client hosts with KV clients,
+and — for the QoS modes — the Haechi monitor with admission control
+plus one QoS engine per client.  Apps and background jobs are attached
+afterwards by the scenario code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessMode, QoSMode
+from repro.core.admission import AdmissionController
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+from repro.core.config import HaechiConfig
+from repro.core.engine import QoSEngine
+from repro.core.monitor import QoSMonitor
+from repro.cluster.calibration import CHAMELEON, DEFAULT_PROFILE_RSD, TestbedCalibration
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.scale import SimScale
+from repro.kvstore.client import KVClient
+from repro.kvstore.server import DataNode
+from repro.rdma.cpu import CPUProfile
+from repro.rdma.dispatch import TypeDispatcher
+from repro.rdma.fabric import Fabric
+from repro.rdma.nic import NICProfile
+from repro.rdma.node import Host
+from repro.sim.core import Simulator
+from repro.sim.trace import NULL_TRACER
+from repro.workloads.background import BackgroundJob
+
+
+@dataclasses.dataclass
+class ClientContext:
+    """Everything belonging to one client node."""
+
+    index: int
+    name: str
+    host: Host
+    kv: KVClient
+    dispatcher: TypeDispatcher
+    engine: Optional[QoSEngine] = None
+    app: Optional[object] = None
+
+    def submitter(self, access: AccessMode = AccessMode.ONE_SIDED,
+                  touch_memory: bool = False):
+        """The submit(key, cb) callable apps should drive.
+
+        Routes through the QoS engine when one is deployed, otherwise
+        straight to the KV client in the requested access mode.
+        """
+        if self.engine is not None:
+            return self.engine.submit
+        if access is AccessMode.ONE_SIDED:
+            return lambda key, cb: self.kv.get_onesided(
+                key, cb, touch_memory=touch_memory
+            )
+        return self.kv.get_twosided
+
+
+class Cluster:
+    """A built deployment, ready for apps and :func:`run_experiment`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        scale: SimScale,
+        config: HaechiConfig,
+        server_host: Host,
+        data_node: DataNode,
+        clients: List[ClientContext],
+        monitor: Optional[QoSMonitor],
+        admission: Optional[AdmissionController],
+        touch_memory: bool,
+    ):
+        self.sim = sim
+        self.fabric = fabric
+        self.scale = scale
+        self.config = config
+        self.server_host = server_host
+        self.data_node = data_node
+        self.clients = clients
+        self.monitor = monitor
+        self.admission = admission
+        self.touch_memory = touch_memory
+        self.metrics = MetricsCollector(sim, config.period)
+        self.background_jobs: List[BackgroundJob] = []
+        self._background_count = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Begin QoS periods (no-op for bare clusters)."""
+        if self._started:
+            raise ConfigError("cluster already started")
+        self._started = True
+        if self.monitor is not None:
+            self.monitor.start()
+
+    def add_background_job(
+        self, schedule, window: int = 64, rate_ops: float = None
+    ) -> BackgroundJob:
+        """Attach an unmanaged congestion source (its own host + QP)."""
+        self._background_count += 1
+        name = f"bg{self._background_count}"
+        host = self.fabric.add_host(
+            Host(self.sim, name, self.server_host.nic.profile, CPUProfile())
+        )
+        qp, _ = self.fabric.connect(host, self.server_host)
+        dispatcher = TypeDispatcher()
+        host.set_rpc_handler(dispatcher)
+        kv = KVClient(
+            name,
+            qp,
+            dispatcher,
+            layout=self.data_node.store.layout,
+            data_rkey=self.data_node.store.region.rkey,
+        )
+        job = BackgroundJob(
+            self.sim, kv, schedule=schedule, window=window, rate_ops=rate_ops
+        )
+        self.background_jobs.append(job)
+        return job
+
+
+def build_cluster(
+    num_clients: int,
+    qos_mode: QoSMode = QoSMode.HAECHI,
+    reservations_ops: Optional[List[float]] = None,
+    limits_ops: Optional[List[float]] = None,
+    scale: Optional[SimScale] = None,
+    access: AccessMode = AccessMode.ONE_SIDED,
+    profiled: Optional[ProfiledCapacity] = None,
+    calibration: TestbedCalibration = CHAMELEON,
+    num_slots: int = 4096,
+    materialize: bool = False,
+    touch_memory: bool = False,
+    admission_enabled: bool = True,
+    config: Optional[HaechiConfig] = None,
+    tracer=NULL_TRACER,
+) -> Cluster:
+    """Build the testbed.
+
+    ``reservations_ops`` are per-client reservations in *unscaled*
+    ops/second (paper units); they are converted to tokens per dilated
+    period internally.  ``profiled`` seeds the capacity estimator
+    (tokens per dilated period); when omitted it defaults to the
+    calibrated system capacity with a small assumed standard deviation.
+    """
+    if num_clients < 1:
+        raise ConfigError(f"num_clients must be >= 1, got {num_clients}")
+    scale = scale or SimScale()
+    config = config or scale.config(
+        token_conversion=(qos_mode is not QoSMode.BASIC_HAECHI)
+    )
+    if qos_mode is QoSMode.BASIC_HAECHI and config.token_conversion:
+        raise ConfigError("Basic Haechi requires token_conversion=False")
+
+    qos = qos_mode in (QoSMode.HAECHI, QoSMode.BASIC_HAECHI)
+    if qos:
+        if access is not AccessMode.ONE_SIDED:
+            raise ConfigError("Haechi manages one-sided I/O only")
+        if reservations_ops is None or len(reservations_ops) != num_clients:
+            raise ConfigError(
+                "QoS modes need one reservation per client "
+                f"(got {reservations_ops!r} for {num_clients} clients)"
+            )
+        if limits_ops is not None and len(limits_ops) != num_clients:
+            raise ConfigError("limits_ops must match num_clients")
+
+    sim = Simulator()
+    fabric = Fabric(sim)
+    nic_profile = NICProfile.chameleon()
+    cpu_profile = CPUProfile()
+    server_host = fabric.add_host(Host(sim, "server", nic_profile, cpu_profile))
+    data_node = DataNode(server_host, num_slots=num_slots, materialize=materialize)
+
+    monitor = None
+    admission = None
+    if qos:
+        one_sided = access is AccessMode.ONE_SIDED
+        if profiled is None:
+            mean = calibration.system_limit(one_sided) * config.period
+            profiled = ProfiledCapacity(
+                mean=mean, stddev=mean * DEFAULT_PROFILE_RSD
+            )
+        estimator = AdaptiveCapacityEstimator(
+            profiled=profiled,
+            eta=config.eta,
+            history_window=config.history_window,
+            saturation_tolerance=config.saturation_tolerance,
+        )
+        if admission_enabled:
+            admission = AdmissionController(
+                global_tokens_per_period=int(
+                    calibration.system_limit(one_sided) * config.period
+                ),
+                local_tokens_per_period=int(
+                    calibration.client_limit(one_sided) * config.period
+                ),
+            )
+        monitor = QoSMonitor(
+            server_host, config, estimator, admission=admission,
+            max_clients=max(64, num_clients), tracer=tracer,
+        )
+
+    clients: List[ClientContext] = []
+    for i in range(num_clients):
+        name = f"C{i + 1}"  # paper numbering
+        host = fabric.add_host(Host(sim, name, nic_profile, cpu_profile))
+        qp_cs, qp_sc = fabric.connect(host, server_host)
+        dispatcher = TypeDispatcher()
+        host.set_rpc_handler(dispatcher)
+        kv = KVClient(
+            name,
+            qp_cs,
+            dispatcher,
+            layout=data_node.store.layout,
+            data_rkey=data_node.store.region.rkey,
+        )
+        context = ClientContext(
+            index=i, name=name, host=host, kv=kv, dispatcher=dispatcher
+        )
+        if qos:
+            tokens = config.tokens_per_period(reservations_ops[i])
+            layout = monitor.add_client(i, tokens, qp_sc)
+            limit = None
+            if limits_ops is not None and limits_ops[i] is not None:
+                limit = config.tokens_per_period(limits_ops[i])
+            context.engine = QoSEngine(
+                client_id=i,
+                kv=kv,
+                layout=layout,
+                config=config,
+                reservation=tokens,
+                limit=limit,
+                dispatcher=dispatcher,
+                touch_memory=touch_memory,
+                tracer=tracer,
+            )
+        clients.append(context)
+
+    return Cluster(
+        sim=sim,
+        fabric=fabric,
+        scale=scale,
+        config=config,
+        server_host=server_host,
+        data_node=data_node,
+        clients=clients,
+        monitor=monitor,
+        admission=admission,
+        touch_memory=touch_memory,
+    )

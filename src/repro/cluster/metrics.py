@@ -1,0 +1,93 @@
+"""Per-client measurement: period-aligned completions and latencies."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.sim.stats import Counter, LatencyReservoir
+
+
+class ClientMetrics:
+    """One client's counters: completions, failures, latency samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.completed = Counter()
+        self.failed = Counter()
+        self.latency = LatencyReservoir()
+        self.period_counts: List[int] = []
+        self._last_total = 0
+
+    def record(self, ok: bool, latency: float) -> None:
+        """Record one finished I/O."""
+        if ok:
+            self.completed.add()
+        else:
+            self.failed.add()
+        self.latency.record(latency)
+
+    def sample_period(self) -> int:
+        """Close one period: append and return completions since last."""
+        delta = self.completed.total - self._last_total
+        self._last_total = self.completed.total
+        self.period_counts.append(delta)
+        return delta
+
+    def reset_window(self) -> None:
+        """Drop warm-up data; subsequent periods count from here."""
+        self.period_counts.clear()
+        self.latency.reset()
+        self._last_total = self.completed.total
+        self.completed.mark_window()
+        self.failed.mark_window()
+
+
+class MetricsCollector:
+    """Samples every client at QoS-period boundaries.
+
+    Sampling starts at the first boundary after construction and stays
+    aligned with the monitor/app period grid (everything starts at time
+    zero in the harness).
+    """
+
+    def __init__(self, sim, period: float):
+        if period <= 0:
+            raise ConfigError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.clients: Dict[str, ClientMetrics] = {}
+        self.period_totals: List[int] = []
+        # absolute-time scheduling: repeated `now + period` accumulates
+        # float error and can drift a boundary past the experiment's end
+        self._origin = sim.now
+        self._boundary_index = 0
+        sim.schedule_at(self._origin + period, self._boundary)
+
+    def register(self, name: str) -> ClientMetrics:
+        """Create (or fetch) the metrics slot for ``name``."""
+        if name not in self.clients:
+            self.clients[name] = ClientMetrics(name)
+        return self.clients[name]
+
+    def hook(self, name: str):
+        """A completion hook suitable for the app drivers."""
+        metrics = self.register(name)
+        return metrics.record
+
+    def _boundary(self) -> None:
+        total = 0
+        for metrics in self.clients.values():
+            total += metrics.sample_period()
+        self.period_totals.append(total)
+        self._boundary_index += 1
+        self.sim.schedule_at(
+            self._origin + (self._boundary_index + 1) * self.period,
+            self._boundary,
+        )
+
+    def reset_window(self) -> None:
+        """Discard warm-up samples for every client."""
+        for metrics in self.clients.values():
+            metrics.reset_window()
+        self.period_totals.clear()

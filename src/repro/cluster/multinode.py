@@ -1,0 +1,244 @@
+"""Multi-data-node Haechi (the paper's future-work extension).
+
+Scales the deployment to several data nodes: each node runs its own KV
+store, QoS monitor and admission controller; each client connects to
+every node and runs one QoS engine *per node*, with its reservation
+split evenly across nodes.  Keys are striped across nodes (``node =
+key % num_nodes``) so a client's aggregate throughput combines its
+per-node guarantees — mirroring how single-server token schemes were
+extended to clusters in the pTrans/pShift line of work the paper cites.
+
+The client host keeps a single NIC, so the per-client local capacity
+``C_L`` remains a *global* constraint across nodes, exactly as it would
+on real hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.types import QoSMode
+from repro.core.admission import AdmissionController
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+from repro.core.engine import QoSEngine
+from repro.core.monitor import QoSMonitor
+from repro.cluster.calibration import CHAMELEON, DEFAULT_PROFILE_RSD
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.scale import SimScale
+from repro.kvstore.client import KVClient
+from repro.kvstore.server import DataNode
+from repro.rdma.cpu import CPUProfile
+from repro.rdma.dispatch import ConnectionDispatcher
+from repro.rdma.fabric import Fabric
+from repro.rdma.nic import NICProfile
+from repro.rdma.node import Host
+from repro.sim.core import Simulator
+from repro.workloads.app import BurstApp, constant_demand
+
+
+@dataclasses.dataclass
+class NodeDeployment:
+    """One data node with its QoS machinery."""
+
+    index: int
+    host: Host
+    data_node: DataNode
+    monitor: Optional[QoSMonitor]
+
+
+class StripedClient:
+    """A client striped across all data nodes (one engine per node)."""
+
+    def __init__(self, index: int, name: str, host: Host):
+        self.index = index
+        self.name = name
+        self.host = host
+        self.kv_clients: List[KVClient] = []
+        self.engines: List[QoSEngine] = []
+        self.app = None
+
+    def submit(self, key: int, on_complete: Callable) -> None:
+        """Route one I/O to the node owning ``key`` (modulo striping)."""
+        num_nodes = len(self.kv_clients)
+        node = key % num_nodes
+        node_key = key // num_nodes
+        if self.engines:
+            self.engines[node].submit(node_key, on_complete)
+        else:
+            self.kv_clients[node].get_onesided(
+                node_key, on_complete, touch_memory=False
+            )
+
+    @property
+    def total_completed(self) -> int:
+        """Completions across all per-node engines."""
+        return sum(engine.total_completed for engine in self.engines)
+
+
+class MultiNodeCluster:
+    """N data nodes x M striped clients under Haechi."""
+
+    def __init__(self, sim: Simulator, scale: SimScale, config,
+                 fabric: Fabric, nodes: List[NodeDeployment],
+                 clients: List[StripedClient]):
+        self.sim = sim
+        self.scale = scale
+        self.config = config
+        self.fabric = fabric
+        self.nodes = nodes
+        self.clients = clients
+        self.metrics = MetricsCollector(sim, config.period)
+        self.background_jobs = []
+        self._started = False
+
+    def add_background_job(self, node_index: int, schedule,
+                           rate_ops: float = None, window: int = 64):
+        """Attach an unmanaged congestion source against one data node."""
+        from repro.rdma.dispatch import TypeDispatcher
+        from repro.workloads.background import BackgroundJob
+
+        node = self.nodes[node_index]
+        name = f"bg{len(self.background_jobs) + 1}"
+        host = self.fabric.add_host(
+            Host(self.sim, name, node.host.nic.profile, CPUProfile())
+        )
+        qp, _ = self.fabric.connect(host, node.host)
+        dispatcher = TypeDispatcher()
+        host.set_rpc_handler(dispatcher)
+        kv = KVClient(
+            name, qp, dispatcher,
+            layout=node.data_node.store.layout,
+            data_rkey=node.data_node.store.region.rkey,
+        )
+        job = BackgroundJob(self.sim, kv, schedule=schedule,
+                            window=window, rate_ops=rate_ops)
+        self.background_jobs.append(job)
+        return job
+
+    def start(self) -> None:
+        """Start every node's QoS periods."""
+        if self._started:
+            raise ConfigError("cluster already started")
+        self._started = True
+        for node in self.nodes:
+            if node.monitor is not None:
+                node.monitor.start()
+
+    def attach_burst_app(self, client: StripedClient, demand_ops: float,
+                         window: Optional[int] = None) -> BurstApp:
+        """A burst app driving the striped submitter."""
+        keyspace = len(self.nodes) * min(
+            node.data_node.store.layout.num_slots for node in self.nodes
+        )
+        state = {"next": client.index % keyspace}
+
+        def key_fn() -> int:
+            key = state["next"]
+            state["next"] = (key + 1) % keyspace
+            return key
+
+        hook = self.metrics.hook(client.name)
+        client.app = BurstApp(
+            sim=self.sim,
+            name=client.name,
+            submit=client.submit,
+            key_fn=key_fn,
+            demand_fn=constant_demand(
+                self.config.tokens_per_period(demand_ops)
+            ),
+            period=self.config.period,
+            window=window,
+            on_complete=hook,
+        )
+        return client.app
+
+
+def build_multinode_cluster(
+    num_nodes: int,
+    num_clients: int,
+    reservations_ops: List[float],
+    scale: Optional[SimScale] = None,
+    qos_mode: QoSMode = QoSMode.HAECHI,
+    num_slots: int = 4096,
+) -> MultiNodeCluster:
+    """Build N data nodes with M clients striped across them.
+
+    ``reservations_ops`` are *aggregate* per-client reservations; each
+    node enforces an even ``1/num_nodes`` share of them.
+    """
+    if num_nodes < 1:
+        raise ConfigError(f"num_nodes must be >= 1, got {num_nodes}")
+    if len(reservations_ops) != num_clients:
+        raise ConfigError("one reservation per client required")
+    if qos_mode is QoSMode.BASIC_HAECHI:
+        raise ConfigError("multi-node supports HAECHI or BARE")
+
+    scale = scale or SimScale()
+    config = scale.config()
+    sim = Simulator()
+    fabric = Fabric(sim)
+    nic_profile = NICProfile.chameleon()
+    cpu_profile = CPUProfile()
+
+    nodes: List[NodeDeployment] = []
+    for n in range(num_nodes):
+        host = fabric.add_host(
+            Host(sim, f"server{n + 1}", nic_profile, cpu_profile)
+        )
+        data_node = DataNode(host, num_slots=num_slots)
+        monitor = None
+        if qos_mode is QoSMode.HAECHI:
+            mean = CHAMELEON.one_sided_system * config.period
+            estimator = AdaptiveCapacityEstimator(
+                ProfiledCapacity(mean=mean, stddev=mean * DEFAULT_PROFILE_RSD),
+                eta=config.eta,
+                history_window=config.history_window,
+                saturation_tolerance=config.saturation_tolerance,
+            )
+            admission = AdmissionController(
+                global_tokens_per_period=int(mean),
+                local_tokens_per_period=int(
+                    CHAMELEON.one_sided_client * config.period
+                ),
+            )
+            monitor = QoSMonitor(host, config, estimator, admission=admission,
+                                 max_clients=max(64, num_clients))
+        nodes.append(NodeDeployment(n, host, data_node, monitor))
+
+    clients: List[StripedClient] = []
+    for i in range(num_clients):
+        name = f"C{i + 1}"
+        host = fabric.add_host(Host(sim, name, nic_profile, cpu_profile))
+        router = ConnectionDispatcher()
+        host.set_rpc_handler(router)
+        striped = StripedClient(i, name, host)
+        per_node_tokens = config.tokens_per_period(
+            reservations_ops[i] / num_nodes
+        )
+        for node in nodes:
+            qp_cs, qp_sc = fabric.connect(host, node.host)
+            dispatcher = router.register_connection(qp_cs)
+            kv = KVClient(
+                f"{name}->server{node.index + 1}",
+                qp_cs,
+                dispatcher,
+                layout=node.data_node.store.layout,
+                data_rkey=node.data_node.store.region.rkey,
+            )
+            striped.kv_clients.append(kv)
+            if node.monitor is not None:
+                layout = node.monitor.add_client(i, per_node_tokens, qp_sc)
+                striped.engines.append(QoSEngine(
+                    client_id=i,
+                    kv=kv,
+                    layout=layout,
+                    config=config,
+                    reservation=per_node_tokens,
+                    dispatcher=dispatcher,
+                    touch_memory=False,
+                ))
+        clients.append(striped)
+
+    return MultiNodeCluster(sim, scale, config, fabric, nodes, clients)

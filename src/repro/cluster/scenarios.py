@@ -1,0 +1,147 @@
+"""Canned experiment scenarios for the paper's evaluation.
+
+Each helper builds a fully wired cluster for one family of experiments;
+the bench files under ``benchmarks/`` call these with per-figure
+parameters so the configuration logic is shared with the examples and
+the integration tests.
+
+Conventions follow Sec. III: 10 clients, demand equal to reservation
+plus the initial global pool (Experiment 2A), burst clients in QoS mode
+run token-paced (``window=None``) and bare clients run with the 64-deep
+completion-gated window of Experiment 1A — see EXPERIMENTS.md for the
+discussion of this distinction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessMode, QoSMode
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.calibration import CHAMELEON
+from repro.cluster.experiment import attach_app
+from repro.cluster.scale import SimScale
+from repro.workloads.patterns import BURST_WINDOW, RequestPattern
+from repro.workloads.reservations import (
+    spike_distribution,
+    uniform_distribution,
+    zipf_group_distribution,
+)
+
+NUM_CLIENTS = 10  # the paper's testbed: 1 data node + 10 client nodes
+
+
+def reservation_set(
+    name: str,
+    total_ops: float,
+    num_clients: int = NUM_CLIENTS,
+) -> List[int]:
+    """The paper's named reservation distributions.
+
+    ``uniform`` and ``zipf`` split ``total_ops``; ``spike`` uses the
+    Set-3 shape (3 clients at 285 K, 7 at 80 K) scaled so its sum is
+    ``total_ops``.
+    """
+    if name == "uniform":
+        return uniform_distribution(total_ops, num_clients)
+    if name == "zipf":
+        return zipf_group_distribution(total_ops, num_clients)
+    if name == "spike":
+        base = spike_distribution(num_clients, 285_000, 80_000)
+        factor = total_ops / sum(base)
+        return [int(round(r * factor)) for r in base]
+    raise ConfigError(f"unknown reservation distribution {name!r}")
+
+
+def paper_demands(
+    reservations: Sequence[int],
+    pool_ops: float,
+) -> List[float]:
+    """Experiment 2A's demand rule: reservation + initial global pool."""
+    return [r + pool_ops for r in reservations]
+
+
+def qos_cluster(
+    reservations: Sequence[int],
+    demands: Sequence[float],
+    qos_mode: QoSMode = QoSMode.HAECHI,
+    pattern: RequestPattern = RequestPattern.BURST,
+    scale: Optional[SimScale] = None,
+    window: Optional[int] = None,
+    demand_fns: Optional[Sequence] = None,
+    **build_kwargs,
+) -> Cluster:
+    """A QoS-managed cluster with one app per client.
+
+    ``window=None`` (default) makes burst apps token-paced; pass an
+    integer for completion-gated behaviour.  ``demand_fns`` overrides
+    ``demands`` with per-period demand functions (already in tokens).
+    """
+    cluster = build_cluster(
+        num_clients=len(reservations),
+        qos_mode=qos_mode,
+        reservations_ops=list(reservations),
+        scale=scale,
+        **build_kwargs,
+    )
+    for i, client in enumerate(cluster.clients):
+        kwargs = {}
+        if demand_fns is not None:
+            kwargs["demand_fn"] = demand_fns[i]
+        else:
+            kwargs["demand_ops"] = demands[i]
+        if pattern is RequestPattern.BURST:
+            kwargs["window"] = window
+        attach_app(cluster, client, pattern, **kwargs)
+    return cluster
+
+
+def bare_cluster(
+    demands: Sequence[float],
+    pattern: RequestPattern = RequestPattern.BURST,
+    scale: Optional[SimScale] = None,
+    window: Optional[int] = BURST_WINDOW,
+    access: AccessMode = AccessMode.ONE_SIDED,
+    **build_kwargs,
+) -> Cluster:
+    """A bare (no-QoS) cluster with one app per client."""
+    cluster = build_cluster(
+        num_clients=len(demands),
+        qos_mode=QoSMode.BARE,
+        scale=scale,
+        access=access,
+        **build_kwargs,
+    )
+    for i, client in enumerate(cluster.clients):
+        kwargs = dict(demand_ops=demands[i], access=access)
+        if pattern is RequestPattern.BURST:
+            kwargs["window"] = window
+        attach_app(cluster, client, pattern, **kwargs)
+    return cluster
+
+
+def congestion_schedule(
+    onset: bool,
+    switch_period: int,
+    total_periods: int,
+    period: float,
+) -> List[Tuple[float, float]]:
+    """Set-4 schedules: congestion starting or stopping mid-run."""
+    if not 0 < switch_period < total_periods:
+        raise ConfigError(
+            f"switch_period {switch_period} outside (0, {total_periods})"
+        )
+    if onset:
+        return [(switch_period * period, (total_periods + 2) * period)]
+    return [(0.0, switch_period * period)]
+
+
+# Saturating demand for profiling/characterization runs: far above C_L.
+SATURATING_OPS = 2_000_000
+
+# Default bench scale: 10 ms periods, 200 protocol ticks per period.
+BENCH_SCALE = SimScale(factor=200, interval_divisor=200)
+
+# Faster scale for unit/integration tests.
+TEST_SCALE = SimScale(factor=1000, interval_divisor=50)

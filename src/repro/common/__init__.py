@@ -1,0 +1,33 @@
+"""Cross-cutting utilities: typed identifiers, units, errors, seeded RNG."""
+
+from repro.common.errors import (
+    AdmissionError,
+    ConfigError,
+    ProtocolError,
+    QoSError,
+    RDMAError,
+    ReproError,
+    StoreError,
+)
+from repro.common.rng import derive_seed, make_rng
+from repro.common.types import ClientId, NodeId, OpType
+from repro.common.units import KIOPS, kiops, per_second, to_kiops
+
+__all__ = [
+    "AdmissionError",
+    "ClientId",
+    "ConfigError",
+    "KIOPS",
+    "NodeId",
+    "OpType",
+    "ProtocolError",
+    "QoSError",
+    "RDMAError",
+    "ReproError",
+    "StoreError",
+    "derive_seed",
+    "kiops",
+    "make_rng",
+    "per_second",
+    "to_kiops",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the Haechi reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class RDMAError(ReproError):
+    """An RDMA verbs operation failed (bad rkey, bounds, QP state...)."""
+
+
+class MemoryAccessError(RDMAError):
+    """A one-sided access violated region bounds or permissions."""
+
+
+class QPError(RDMAError):
+    """A queue-pair state or capacity violation."""
+
+
+class StoreError(ReproError):
+    """Key-value store errors (unknown key, bad slot...)."""
+
+
+class QoSError(ReproError):
+    """Haechi protocol errors."""
+
+
+class AdmissionError(QoSError):
+    """A client was denied admission (capacity constraint violated)."""
+
+
+class ProtocolError(QoSError):
+    """A malformed or out-of-order QoS protocol interaction."""

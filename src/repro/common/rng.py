@@ -1,0 +1,24 @@
+"""Deterministic random-number management.
+
+Every stochastic component derives its own :class:`random.Random` stream
+from a master seed plus a string path (e.g. ``("client", 3, "arrivals")``)
+so that adding a component never perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+
+def derive_seed(master_seed: int, *path: Any) -> int:
+    """A stable 64-bit seed derived from ``master_seed`` and a key path."""
+    text = f"{master_seed}:" + "/".join(str(p) for p in path)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def make_rng(master_seed: int, *path: Any) -> random.Random:
+    """A private :class:`random.Random` for the component at ``path``."""
+    return random.Random(derive_seed(master_seed, *path))

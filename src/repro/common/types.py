@@ -1,0 +1,52 @@
+"""Typed identifiers and shared enums."""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+# Node identifiers index hosts in a cluster; client identifiers index the
+# QoS-managed clients (1-based in the paper: C1..C10, 0-based here).
+NodeId = NewType("NodeId", int)
+ClientId = NewType("ClientId", int)
+
+
+class OpType(enum.Enum):
+    """RDMA work-request opcodes supported by the simulated RNIC."""
+
+    READ = "read"  # one-sided RDMA READ
+    WRITE = "write"  # one-sided RDMA WRITE
+    SEND = "send"  # two-sided SEND (matches a posted RECV)
+    RECV = "recv"  # two-sided receive buffer post
+    FETCH_ADD = "fetch_add"  # one-sided atomic fetch-and-add
+    COMPARE_SWAP = "compare_swap"  # one-sided atomic compare-and-swap
+
+    @property
+    def one_sided(self) -> bool:
+        """True when the op completes without the target CPU."""
+        return self in _ONE_SIDED
+
+    @property
+    def atomic(self) -> bool:
+        """True for the RNIC-linearized atomic opcodes."""
+        return self in (OpType.FETCH_ADD, OpType.COMPARE_SWAP)
+
+
+_ONE_SIDED = frozenset(
+    {OpType.READ, OpType.WRITE, OpType.FETCH_ADD, OpType.COMPARE_SWAP}
+)
+
+
+class AccessMode(enum.Enum):
+    """How a storage client reaches the data node."""
+
+    ONE_SIDED = "one_sided"
+    TWO_SIDED = "two_sided"
+
+
+class QoSMode(enum.Enum):
+    """QoS deployment variants compared in the paper's evaluation."""
+
+    BARE = "bare"  # no QoS support
+    BASIC_HAECHI = "basic_haechi"  # Haechi without token conversion
+    HAECHI = "haechi"  # full Haechi

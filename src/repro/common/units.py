@@ -1,0 +1,42 @@
+"""Unit helpers.
+
+Internally every rate is ops/second and every time a float of seconds.
+The paper reports throughput in KIOPS (thousands of I/Os per second);
+these helpers keep the conversions explicit at API boundaries.
+"""
+
+from __future__ import annotations
+
+KIOPS = 1_000.0  # ops/second per KIOPS
+
+# Sizes used by the evaluation workload.
+KB = 1024
+IO_SIZE_BYTES = 4 * KB  # the paper's 4 KB read I/Os
+CONTROL_SIZE_BYTES = 8  # 64-bit token/report words
+
+
+def kiops(value: float) -> float:
+    """Convert a KIOPS figure to ops/second."""
+    return value * KIOPS
+
+
+def to_kiops(ops_per_second: float) -> float:
+    """Convert ops/second to KIOPS for reporting."""
+    return ops_per_second / KIOPS
+
+
+def per_second(count: float, duration: float) -> float:
+    """A rate from a count over ``duration`` seconds."""
+    if duration <= 0:
+        raise ValueError(f"non-positive duration: {duration}")
+    return count / duration
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3

@@ -1,0 +1,40 @@
+"""Haechi: the paper's token-based QoS mechanism.
+
+The protocol splits QoS enforcement between a
+:class:`~repro.core.engine.QoSEngine` at each client and a
+:class:`~repro.core.monitor.QoSMonitor` at the data node:
+
+- At the start of each QoS period the monitor pushes ``R_i`` reservation
+  tokens to client *i* (two-sided SEND) and initializes a global token
+  pool — a 64-bit word in data-node memory — to ``C - sum(R_i)``.
+- A client I/O consumes a reservation token, or, once those are gone, a
+  token claimed from the global pool with a batched remote
+  fetch-and-add.  I/Os without a token are blocked at the engine.
+- A client-side management thread decays the entitlement bound
+  ``X = R_i - rho_i(t)`` and yields reservation tokens the client is not
+  backing with demand.
+- When the monitor observes the pool shrinking it asks clients to begin
+  silent reporting (one 64-bit one-sided WRITE per interval), then
+  repeatedly *converts* unused reservations:
+  ``xi_global = max(C*(T-t)/T - L, 0)`` where L is the sum of reported
+  residual reservations — this is what makes Haechi work-conserving.
+- An adaptive capacity estimator (Algorithm 1) retunes ``C`` every
+  period from reported completions.
+"""
+
+from repro.core.admission import AdmissionController
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+from repro.core.config import HaechiConfig
+from repro.core.engine import QoSEngine
+from repro.core.monitor import QoSMonitor
+from repro.core.tokens import ClientTokenState
+
+__all__ = [
+    "AdaptiveCapacityEstimator",
+    "AdmissionController",
+    "ClientTokenState",
+    "HaechiConfig",
+    "ProfiledCapacity",
+    "QoSEngine",
+    "QoSMonitor",
+]

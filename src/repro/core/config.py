@@ -1,0 +1,109 @@
+"""Haechi protocol parameters.
+
+Defaults are the paper's (Sec. II): 1 s QoS period, 1 ms management /
+reporting / check intervals, token batch B = 1000.  ``paper(time_scale=K)``
+produces a *time-dilated* configuration: the period and every interval
+shrink by K while op costs and rates stay physical, so token counts per
+period shrink by K too.  Time dilation preserves every ratio the
+protocol depends on (control ops per period, batch-to-pool ratio,
+relative token-management overhead), which is what makes scaled runs
+faithful in shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class HaechiConfig:
+    """All tunables of the Haechi protocol (times in seconds)."""
+
+    period: float = 1.0  # QoS period T
+    mgmt_interval: float = 1e-3  # delta: token-management thread tick
+    report_interval: float = 1e-3  # client reporting tick
+    check_interval: float = 1e-3  # monitor wake-up tick
+    batch_size: int = 1000  # B: tokens per fetch-and-add
+    faa_retry_interval: float = 1e-3  # wait between FAA retries when pool empty
+    final_report_margin: float = 2e-3  # final stats write happens T - margin
+
+    # Algorithm 1 (adaptive capacity estimation)
+    eta: int = 10_000  # token increment on saturation
+    history_window: int = 10  # M
+    saturation_tolerance: float = 0.01  # U >= (1-tol)*Omega counts as "=="
+    underuse_alert_threshold: int = 3  # consecutive under-reservation periods
+
+    # protocol variant switches
+    token_conversion: bool = True  # False = "Basic Haechi"
+
+    time_scale: float = 1.0  # K used to build this config (bookkeeping)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigError(f"period must be positive, got {self.period}")
+        for name in ("mgmt_interval", "report_interval", "check_interval",
+                     "faa_retry_interval", "final_report_margin"):
+            value = getattr(self, name)
+            if not 0 < value < self.period:
+                raise ConfigError(
+                    f"{name}={value} must be in (0, period={self.period})"
+                )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.eta < 0:
+            raise ConfigError(f"eta must be >= 0, got {self.eta}")
+        if self.history_window < 1:
+            raise ConfigError(
+                f"history_window must be >= 1, got {self.history_window}"
+            )
+        if not 0 <= self.saturation_tolerance < 1:
+            raise ConfigError(
+                f"saturation_tolerance must be in [0, 1), got "
+                f"{self.saturation_tolerance}"
+            )
+
+    @classmethod
+    def paper(
+        cls,
+        time_scale: float = 1.0,
+        interval_divisor: int = 1000,
+        **overrides,
+    ) -> "HaechiConfig":
+        """The paper's configuration, time-dilated by ``time_scale``.
+
+        ``interval_divisor`` sets how many management/report/check ticks
+        fit in one period (the paper uses 1000: 1 ms ticks in a 1 s
+        period).  Benches may lower it to trade control-plane fidelity
+        for host CPU time.
+        """
+        if time_scale <= 0:
+            raise ConfigError(f"time_scale must be positive, got {time_scale}")
+        if interval_divisor < 10:
+            raise ConfigError(
+                f"interval_divisor must be >= 10, got {interval_divisor}"
+            )
+        period = 1.0 / time_scale
+        tick = period / interval_divisor
+        values = dict(
+            period=period,
+            mgmt_interval=tick,
+            report_interval=tick,
+            check_interval=tick,
+            batch_size=max(1, round(1000 / time_scale)),
+            faa_retry_interval=tick,
+            final_report_margin=2 * tick,
+            eta=max(1, round(10_000 / time_scale)),
+            time_scale=time_scale,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    def tokens_per_period(self, rate_ops_per_second: float) -> int:
+        """Convert an ops/s rate into tokens per (dilated) period."""
+        return int(round(rate_ops_per_second * self.period))
+
+    def rate_of(self, tokens: int) -> float:
+        """Convert tokens/period back to ops/s."""
+        return tokens / self.period

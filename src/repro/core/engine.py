@@ -1,0 +1,271 @@
+"""The client-side QoS engine (paper Sec. II-D, Figs. 3 and 4).
+
+The engine sits between the application and the KV client and owns the
+three client-side duties:
+
+- **data access** — every submitted I/O must be backed by a token;
+  requests without one queue inside the engine (this is the isolation
+  mechanism: a runaway client blocks here, not at the server).  Global
+  tokens are claimed with a batched remote fetch-and-add.
+- **token management** — a tick thread decays the entitlement bound X
+  at rate ``r_i`` and yields unbacked reservation tokens.
+- **reporting** — once signalled by the monitor, a tick thread writes
+  the packed (residual, completed) word with a silent one-sided WRITE;
+  a final statistics word is always written just before period end so
+  the monitor can run capacity estimation.
+
+Every remote interaction here is one-sided; the engine never causes
+work on the data-node CPU.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.common.errors import QoSError
+from repro.common.types import OpType
+from repro.core.config import HaechiConfig
+from repro.core.protocol import ControlLayout, PeriodStart, ReportRequest, ReservationAlert
+from repro.core.tokens import ClientTokenState
+from repro.kvstore.client import KVClient
+from repro.rdma.atomics import pack_report, to_signed64
+from repro.rdma.verbs import WorkCompletion, WorkRequest
+from repro.sim.trace import NULL_TRACER
+
+IOCallback = Callable[[bool, object, float], None]
+
+
+class QoSEngine:
+    """QoS enforcement at one client.
+
+    Wire-up: the cluster builder passes the KV client (whose QP carries
+    both data and control traffic), the control-memory layout obtained
+    at connection time, and registers the engine's message handlers on
+    the client host's RPC dispatcher.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        kv: KVClient,
+        layout: ControlLayout,
+        config: HaechiConfig,
+        reservation: int,
+        limit: Optional[int] = None,
+        dispatcher=None,
+        touch_memory: bool = False,
+        tracer=NULL_TRACER,
+    ):
+        if limit is not None and limit < reservation:
+            raise QoSError(
+                f"limit {limit} below reservation {reservation} for "
+                f"client {client_id}"
+            )
+        self.client_id = client_id
+        self.kv = kv
+        self.sim = kv.sim
+        self.layout = layout
+        self.config = config
+        self.limit = limit
+        self.touch_memory = touch_memory
+        self.tracer = tracer
+        self.tokens = ClientTokenState(reservation, config.period)
+
+        self._queue: Deque[Tuple[int, IOCallback]] = deque()
+        self.period_id = 0
+        self._period_end = 0.0
+        self.completed_this_period = 0  # N_i
+        self.issued_this_period = 0
+        self.inflight_tokened = 0  # token-backed I/Os posted, not completed
+        self._faa_inflight = False
+        self._retry_scheduled = False
+        self._reporting_active = False
+        self._throttled_this_period = False
+        self._started = False
+
+        # telemetry
+        self.total_completed = 0
+        self.total_submitted = 0
+        self.limit_throttle_events = 0  # periods in which the limit bound
+        self.faa_issued = 0
+        self.faa_failures = 0
+        self.faa_granted_tokens = 0
+        self.reports_written = 0
+        self.alerts_received = 0
+
+        if dispatcher is not None:
+            dispatcher.register(PeriodStart, self._on_period_start)
+            dispatcher.register(ReportRequest, self._on_report_request)
+            dispatcher.register(ReservationAlert, self._on_alert)
+
+    # ------------------------------------------------------------------
+    # Application-facing API
+    # ------------------------------------------------------------------
+    def submit(self, key: int, on_complete: IOCallback) -> None:
+        """Request one read I/O for ``key``; runs when a token backs it."""
+        self.total_submitted += 1
+        self._queue.append((key, on_complete))
+        self._drain()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting inside the engine for a token."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Control-plane message handlers
+    # ------------------------------------------------------------------
+    def _on_period_start(self, msg: PeriodStart, _reply_qp) -> None:
+        self.period_id = msg.period_id
+        self._period_end = msg.period_end_time
+        self.tracer.emit("engine", "period_start", client=self.client_id,
+                         period=msg.period_id, tokens=msg.tokens)
+        self.tokens.start_period(msg.tokens)
+        self.completed_this_period = 0
+        self.issued_this_period = 0
+        self._throttled_this_period = False
+        self._reporting_active = False
+        if not self._started:
+            self._started = True
+            self.sim.process(self._mgmt_thread())
+        # Final statistics are written shortly before the period ends so
+        # the monitor can run Algorithm 1 at the boundary.
+        final_at = self._period_end - self.config.final_report_margin
+        if final_at > self.sim.now:
+            self.sim.schedule_at(final_at, self._write_final_report, msg.period_id)
+        self._drain()
+
+    def _on_report_request(self, msg: ReportRequest, _reply_qp) -> None:
+        if msg.period_id != self.period_id or self._reporting_active:
+            return
+        self._reporting_active = True
+        self.sim.process(self._reporting_thread(msg.period_id))
+
+    def _on_alert(self, msg: ReservationAlert, _reply_qp) -> None:
+        self.alerts_received += 1
+
+    # ------------------------------------------------------------------
+    # Data access (Fig. 3 flowchart)
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while self._queue:
+            if self.limit is not None and self.issued_this_period >= self.limit:
+                if not self._throttled_this_period:
+                    self._throttled_this_period = True
+                    self.limit_throttle_events += 1
+                return  # throttled until the next period
+            if self.tokens.try_consume():
+                key, on_complete = self._queue.popleft()
+                self._issue(key, on_complete)
+                continue
+            # No token in hand: claim a batch from the global pool.
+            if not self._faa_inflight and not self._retry_scheduled:
+                self._fetch_global_batch()
+            return
+
+    def _issue(self, key: int, on_complete: IOCallback) -> None:
+        self.issued_this_period += 1
+        self.inflight_tokened += 1
+
+        def finish(ok: bool, value: object, latency: float) -> None:
+            self.inflight_tokened -= 1
+            self.completed_this_period += 1
+            self.total_completed += 1
+            on_complete(ok, value, latency)
+
+        self.kv.get_onesided(key, finish, touch_memory=self.touch_memory)
+
+    @property
+    def token_obligations(self) -> int:
+        """Tokens this client holds or has spent without a completion.
+
+        This is what the engine reports as its "residual reservation":
+        unspent reservation tokens (after the management clamp) plus
+        unspent batched global tokens plus token-backed I/Os still in
+        flight.  The monitor subtracts the sum of these from the
+        remaining capacity during token conversion; counting in-flight
+        work prevents the pool from double-booking capacity already
+        owed to queued I/Os.  For the paper's completion-gated clients
+        the in-flight term is negligible and this reduces exactly to
+        the paper's residual-reservation report.
+        """
+        return self.tokens.residual + self.tokens.local_global + self.inflight_tokened
+
+    def _fetch_global_batch(self) -> None:
+        batch = self.config.batch_size
+        wr = WorkRequest(
+            opcode=OpType.FETCH_ADD,
+            remote_addr=self.layout.pool_addr,
+            rkey=self.layout.rkey,
+            add_value=-batch,
+            control=True,
+        )
+        self._faa_inflight = True
+        self.faa_issued += 1
+        wr_id = self.kv.qp.post_send(wr)
+        self.kv.router.expect(wr_id, self._on_faa_complete)
+
+    def _on_faa_complete(self, wc: WorkCompletion) -> None:
+        self._faa_inflight = False
+        if not wc.ok:
+            # A transient fabric/NIC failure must not wedge the data
+            # path: count it and retry after the usual wait interval.
+            self.faa_failures += 1
+            self._retry_scheduled = True
+            self.sim.schedule(self.config.faa_retry_interval, self._retry_fetch)
+            return
+        prior = to_signed64(wc.value)
+        granted = self.tokens.grant_from_pool(prior, self.config.batch_size)
+        self.faa_granted_tokens += granted
+        self.tracer.emit("engine", "faa", client=self.client_id,
+                         prior=prior, granted=granted)
+        if granted > 0:
+            self._drain()
+            return
+        # Pool exhausted: wait for conversion or the next period (step T4).
+        self._retry_scheduled = True
+        self.sim.schedule(self.config.faa_retry_interval, self._retry_fetch)
+
+    def _retry_fetch(self) -> None:
+        self._retry_scheduled = False
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Token-management thread
+    # ------------------------------------------------------------------
+    def _mgmt_thread(self):
+        interval = self.config.mgmt_interval
+        while True:
+            yield self.sim.timeout(interval)
+            self.tokens.decay(interval)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _reporting_thread(self, period_id: int):
+        interval = self.config.report_interval
+        while self._reporting_active and self.period_id == period_id:
+            self._write_report(self.layout.report_live_addr)
+            yield self.sim.timeout(interval)
+
+    def _write_report(self, addr: int) -> None:
+        word = pack_report(self.token_obligations, self.completed_this_period)
+        wr = WorkRequest(
+            opcode=OpType.WRITE,
+            size=8,
+            remote_addr=addr,
+            rkey=self.layout.rkey,
+            payload=word.to_bytes(8, "little"),
+            control=True,
+        )
+        self.kv.qp.post_send(wr)  # fire-and-forget: completion unclaimed
+        self.reports_written += 1
+        self.tracer.emit("engine", "report", client=self.client_id,
+                         residual=self.token_obligations,
+                         completed=self.completed_this_period)
+
+    def _write_final_report(self, period_id: int) -> None:
+        if self.period_id != period_id:
+            return
+        self._write_report(self.layout.report_final_addr)

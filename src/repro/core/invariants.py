@@ -1,0 +1,138 @@
+"""Runtime invariant checking for a deployed Haechi cluster.
+
+Attach an :class:`InvariantChecker` to a built cluster and it verifies,
+at every protocol tick, the safety properties the token design rests
+on:
+
+- **client accounting**: token counts never go negative and the
+  reservation clamp ``xi_res <= ceil(X)`` holds after every management
+  tick;
+- **pool sanity**: the global pool word never exceeds the capacity
+  estimate (it may be transiently negative by at most the number of
+  clients times one batch — concurrent FAAs on an empty pool);
+- **capacity booking**: at any check instant, the pool plus every
+  client's token obligations stay within the remaining-period capacity
+  plus a slack of one batch per client (the amount in flight between a
+  conversion write and the FAAs racing it);
+- **limit ceiling**: a limited client's per-period issuance never
+  exceeds its ``L_i``.
+
+The checker is a *test instrument*: violations are collected (not
+raised) so a test can run a whole scenario and assert the list is
+empty, getting every violation at once instead of the first.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class InvariantChecker:
+    """Periodically validates a cluster's protocol invariants."""
+
+    def __init__(self, cluster, interval: float = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.interval = interval or cluster.config.check_interval
+        self.violations: List[str] = []
+        self.checks_run = 0
+        self.sim.schedule(self.interval, self._tick)
+
+    def _note(self, message: str) -> None:
+        self.violations.append(f"t={self.sim.now:.6f}: {message}")
+
+    def _tick(self) -> None:
+        self.checks_run += 1
+        self._check_clients()
+        self._check_pool()
+        self.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def _check_clients(self) -> None:
+        for client in self.cluster.clients:
+            engine = client.engine
+            if engine is None:
+                continue
+            tokens = engine.tokens
+            if tokens.xi_res < 0:
+                self._note(f"{client.name}: xi_res negative ({tokens.xi_res})")
+            if tokens.local_global < 0:
+                self._note(
+                    f"{client.name}: local_global negative "
+                    f"({tokens.local_global})"
+                )
+            if tokens.x_bound < 0:
+                self._note(f"{client.name}: X negative ({tokens.x_bound})")
+            bound = math.ceil(tokens.x_bound - 1e-9)
+            # one tick of grace: the clamp runs on the management tick
+            slack = math.ceil(tokens.rate * self.cluster.config.mgmt_interval) + 1
+            if tokens.xi_res > bound + slack:
+                self._note(
+                    f"{client.name}: xi_res {tokens.xi_res} above "
+                    f"entitlement bound {bound} (+{slack} slack)"
+                )
+            if engine.inflight_tokened < 0:
+                self._note(
+                    f"{client.name}: negative in-flight count "
+                    f"({engine.inflight_tokened})"
+                )
+            if engine.limit is not None and (
+                engine.issued_this_period > engine.limit
+            ):
+                self._note(
+                    f"{client.name}: issued {engine.issued_this_period} "
+                    f"past limit {engine.limit}"
+                )
+
+    def _check_pool(self) -> None:
+        monitor = self.cluster.monitor
+        if monitor is None or monitor.period_id == 0:
+            return
+        pool = monitor._read_pool()
+        omega = monitor.estimator.current
+        batch = self.cluster.config.batch_size
+        engines = [c.engine for c in self.cluster.clients if c.engine]
+        if pool > omega:
+            self._note(f"pool {pool} exceeds capacity estimate {omega}")
+        # Worst-case negative excursion: every client retries a batched
+        # FAA each retry interval for a whole period against an empty,
+        # never-refreshed pool (Basic Haechi).  Anything below that is a
+        # runaway.
+        config = self.cluster.config
+        retries_per_period = math.ceil(
+            config.period / config.faa_retry_interval
+        ) + 1
+        floor = -batch * max(1, len(engines)) * retries_per_period
+        if pool < floor:
+            self._note(f"pool {pool} below the {floor} retry-storm floor")
+        # The paper's token invariant: *unspent* tokens (global pool plus
+        # tokens held at clients) never exceed the capacity remaining in
+        # the period.  In-flight I/Os are spent tokens and excluded —
+        # under capacity overestimation they legitimately spill into the
+        # next period (the Fig. 17 transient).  Conversion is the
+        # mechanism that enforces this, so the check applies only once
+        # reporting/conversion is active.
+        remaining = max(0.0, monitor._period_end - self.sim.now)
+        capacity_left = omega * remaining / self.cluster.config.period
+        unspent = sum(
+            engine.tokens.residual + engine.tokens.local_global
+            for engine in engines
+        )
+        slack = batch * max(1, len(engines)) + omega * 0.02
+        if monitor.config.token_conversion and monitor._reporting_triggered:
+            if max(pool, 0) + unspent > capacity_left + slack:
+                self._note(
+                    f"unspent tokens overbooked: pool {pool} + held "
+                    f"{unspent} > capacity left {capacity_left:.0f} "
+                    f"(+slack {slack:.0f})"
+                )
+
+    # ------------------------------------------------------------------
+    def assert_clean(self) -> None:
+        """Raise AssertionError listing every recorded violation."""
+        if self.violations:
+            summary = "\n".join(self.violations[:20])
+            raise AssertionError(
+                f"{len(self.violations)} invariant violations:\n{summary}"
+            )

@@ -1,0 +1,319 @@
+"""The data-node QoS monitor (paper Sec. II-E, Fig. 5).
+
+Once per period the monitor dispatches reservation tokens (two-sided
+SEND, step T1) and initializes the global token pool word.  During the
+period it wakes every check interval: when it first observes the pool
+below its initial value — meaning some client exhausted its reservation
+(step S2) — it signals all clients to begin reporting (step S3), and
+from then on converts unused reservations into global tokens every
+check interval (step T2):
+
+    xi_global = max(Omega * (T - t) / T - L, 0)
+
+where ``L`` is the sum of the clients' last-reported residual
+reservations.  ``Omega * (T - t) / T`` is the capacity remaining in the
+period, so the overwrite maintains the paper's invariant that all
+outstanding tokens (global + reservation) never exceed what the server
+can still absorb — and makes the pool self-correcting against the
+negative excursions caused by batched FAAs on an empty pool.
+
+Just before the boundary clients write final statistics; the monitor
+feeds their sum to Algorithm 1 (step T3) to estimate the next period's
+capacity.
+
+*Basic Haechi* (the paper's ablation in Experiment 2B) is this class
+with ``config.token_conversion = False``: reporting and estimation
+still run, but unused reservation tokens are simply wasted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import QoSError
+from repro.core.admission import AdmissionController
+from repro.core.capacity import AdaptiveCapacityEstimator
+from repro.core.config import HaechiConfig
+from repro.core.protocol import (
+    CONTROL_MESSAGE_SIZE,
+    ControlLayout,
+    PeriodStart,
+    ReportRequest,
+    ReservationAlert,
+)
+from repro.common.types import OpType
+from repro.rdma.atomics import to_signed64, to_unsigned64, unpack_report
+from repro.rdma.memory import Permissions
+from repro.rdma.node import Host
+from repro.rdma.verbs import WorkRequest
+from repro.sim.trace import NULL_TRACER
+
+_POOL_OFFSET = 0
+_CLIENT_STRIDE = 16  # live word + final word per client
+
+
+class _ClientSlot:
+    """Monitor-side record for one admitted client."""
+
+    __slots__ = ("client_id", "reservation", "qp", "layout", "underuse_streak")
+
+    def __init__(self, client_id: int, reservation: int, qp, layout: ControlLayout):
+        self.client_id = client_id
+        self.reservation = reservation
+        self.qp = qp
+        self.layout = layout
+        self.underuse_streak = 0
+
+
+class QoSMonitor:
+    """Server-side token management and capacity estimation."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: HaechiConfig,
+        estimator: AdaptiveCapacityEstimator,
+        admission: Optional[AdmissionController] = None,
+        max_clients: int = 64,
+        tracer=NULL_TRACER,
+    ):
+        self.host = host
+        self.sim = host.sim
+        self.config = config
+        self.estimator = estimator
+        self.admission = admission
+        self.max_clients = max_clients
+        self.tracer = tracer
+        self._clients: Dict[int, _ClientSlot] = {}
+
+        region_size = 8 + max_clients * _CLIENT_STRIDE
+        base = host.memory.allocate(region_size, align=8)
+        self.control_region = host.memory.register(
+            base, region_size, Permissions.all()
+        )
+        self.pool_addr = base + _POOL_OFFSET
+
+        self.period_id = 0
+        self._period_end = 0.0
+        self._pool_init = 0
+        self._reporting_triggered = False
+        self._running = False
+        self._next_slot_index = 0  # monotonic: retired slots never reused
+
+        # telemetry for the benches
+        self.pool_history: List[tuple] = []  # (time, pool value at check)
+        self.conversions = 0
+        self.period_records: List[dict] = []
+        # Definition 2's runtime form: clients whose residual reservation
+        # can no longer be completed at the single-client rate C_L.
+        # Detected from live reports (diagnostic only — the paper's
+        # Experiment 1C/Set 3 starvation effect made observable).
+        self.local_violations: List[dict] = []
+        self._violated_this_period: set = set()
+
+    # ------------------------------------------------------------------
+    # Client admission / wiring (step T1 prerequisites)
+    # ------------------------------------------------------------------
+    def add_client(self, client_id: int, reservation: int, qp) -> ControlLayout:
+        """Admit a client and assign its control-memory slots.
+
+        ``qp`` is the monitor's QP *towards* the client, used for the
+        per-period control SENDs.  Returns the layout the client's
+        engine needs for its one-sided control traffic.
+        """
+        if client_id in self._clients:
+            raise QoSError(f"client {client_id} already registered")
+        if self._next_slot_index >= self.max_clients:
+            raise QoSError(f"monitor supports at most {self.max_clients} clients")
+        if self.admission is not None:
+            self.admission.admit(client_id, reservation)
+        index = self._next_slot_index
+        self._next_slot_index += 1
+        base = self.control_region.addr + 8 + index * _CLIENT_STRIDE
+        layout = ControlLayout(
+            rkey=self.control_region.rkey,
+            pool_addr=self.pool_addr,
+            report_live_addr=base,
+            report_final_addr=base + 8,
+        )
+        self._clients[client_id] = _ClientSlot(client_id, reservation, qp, layout)
+        return layout
+
+    def remove_client(self, client_id: int) -> None:
+        """Release a departing client's reservation.
+
+        Effective from the next period start: the freed tokens flow
+        into the global pool (and the admission controller's headroom).
+        The client's control slots are retired, not reused, so a
+        straggling report cannot corrupt another client's accounting.
+        """
+        slot = self._clients.pop(client_id, None)
+        if slot is None:
+            raise QoSError(f"client {client_id} is not registered")
+        if self.admission is not None:
+            self.admission.release(client_id)
+
+    @property
+    def total_reserved(self) -> int:
+        """Sum of admitted reservations (tokens/period)."""
+        return sum(slot.reservation for slot in self._clients.values())
+
+    # ------------------------------------------------------------------
+    # Period machinery
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin driving QoS periods (call once, after wiring clients)."""
+        if self._running:
+            raise QoSError("monitor already started")
+        self._running = True
+        self.sim.process(self._run())
+
+    def _run(self):
+        config = self.config
+        while True:
+            self._begin_period()
+            remaining = self._period_end - self.sim.now
+            while remaining > config.check_interval:
+                yield self.sim.timeout(config.check_interval)
+                self._check_interval()
+                remaining = self._period_end - self.sim.now
+            if remaining > 0:
+                yield self.sim.timeout(remaining)
+            self._end_period()
+
+    def _begin_period(self) -> None:
+        self.period_id += 1
+        self._period_end = self.sim.now + self.config.period
+        self._reporting_triggered = False
+        self._violated_this_period.clear()
+        omega = self.estimator.current
+        self._pool_init = max(0, omega - self.total_reserved)
+        self._write_pool(self._pool_init)
+        self.tracer.emit("monitor", "period_begin", period=self.period_id,
+                         estimate=omega, pool=self._pool_init)
+        memory = self.host.memory.backing
+        for slot in self._clients.values():
+            # Reset the live report to "full residual, nothing done" so a
+            # conversion before the first report stays conservative.
+            memory.write_u64(
+                slot.layout.report_live_addr,
+                (slot.reservation << 32),
+            )
+            memory.write_u64(slot.layout.report_final_addr, slot.reservation << 32)
+            self._send(slot, PeriodStart(
+                period_id=self.period_id,
+                tokens=slot.reservation,
+                period_end_time=self._period_end,
+            ))
+
+    def _check_interval(self) -> None:
+        # Step S1: probe the pool.  The monitor runs on the data node so
+        # this is a local read (the paper uses a loopback CAS).
+        pool = self._read_pool()
+        self.pool_history.append((self.sim.now, pool))
+        if not self._reporting_triggered:
+            if pool < self._pool_init:
+                self._reporting_triggered = True
+                self.tracer.emit("monitor", "reporting_triggered",
+                                 period=self.period_id, pool=pool)
+                for slot in self._clients.values():
+                    self._send(slot, ReportRequest(period_id=self.period_id))
+            return
+        self._check_local_violations()
+        if not self.config.token_conversion:
+            return
+        # Step T2: token conversion from the last reported residuals.
+        residual_sum = 0
+        memory = self.host.memory.backing
+        for slot in self._clients.values():
+            residual, _completed = unpack_report(
+                memory.read_u64(slot.layout.report_live_addr)
+            )
+            residual_sum += residual
+        omega = self.estimator.current
+        remaining = max(0.0, self._period_end - self.sim.now)
+        new_pool = max(
+            int(omega * remaining / self.config.period) - residual_sum, 0
+        )
+        self._write_pool(new_pool)
+        self.conversions += 1
+        self.tracer.emit("monitor", "conversion", period=self.period_id,
+                         residual_sum=residual_sum, pool=new_pool)
+
+    def _end_period(self) -> None:
+        memory = self.host.memory.backing
+        total_completed = 0
+        per_client = {}
+        for slot in self._clients.values():
+            residual, completed = unpack_report(
+                memory.read_u64(slot.layout.report_final_addr)
+            )
+            total_completed += completed
+            per_client[slot.client_id] = completed
+            self._track_underuse(slot, completed)
+        self.period_records.append(
+            {
+                "period": self.period_id,
+                "estimate": self.estimator.current,
+                "completed": total_completed,
+                "per_client": per_client,
+                "reporting_triggered": self._reporting_triggered,
+            }
+        )
+        self.estimator.update(total_completed)
+        self.tracer.emit("monitor", "estimate", period=self.period_id,
+                         completed=total_completed,
+                         next_estimate=self.estimator.current)
+
+    def _check_local_violations(self) -> None:
+        """Definition 2 at runtime: flag clients whose outstanding
+        reservation exceeds what C_L can deliver in the rest of the
+        period (requires admission control for the C_L value)."""
+        if self.admission is None:
+            return
+        local_rate = self.admission.local_capacity / self.config.period
+        remaining = max(0.0, self._period_end - self.sim.now)
+        memory = self.host.memory.backing
+        for slot in self._clients.values():
+            if slot.client_id in self._violated_this_period:
+                continue
+            _residual, completed = unpack_report(
+                memory.read_u64(slot.layout.report_live_addr)
+            )
+            outstanding = max(0, slot.reservation - completed)
+            if outstanding > remaining * local_rate:
+                self._violated_this_period.add(slot.client_id)
+                self.local_violations.append({
+                    "period": self.period_id,
+                    "client": slot.client_id,
+                    "time": self.sim.now,
+                    "outstanding": outstanding,
+                })
+
+    def _track_underuse(self, slot: _ClientSlot, completed: int) -> None:
+        if completed < slot.reservation:
+            slot.underuse_streak += 1
+            if slot.underuse_streak >= self.config.underuse_alert_threshold:
+                self._send(slot, ReservationAlert(
+                    period_id=self.period_id,
+                    consecutive_underuse=slot.underuse_streak,
+                ))
+        else:
+            slot.underuse_streak = 0
+
+    # ------------------------------------------------------------------
+    def _read_pool(self) -> int:
+        return to_signed64(self.host.memory.backing.read_u64(self.pool_addr))
+
+    def _write_pool(self, value: int) -> None:
+        self.host.memory.backing.write_u64(self.pool_addr, to_unsigned64(value))
+
+    def _send(self, slot: _ClientSlot, message) -> None:
+        wr = WorkRequest(
+            opcode=OpType.SEND,
+            payload=message,
+            size=CONTROL_MESSAGE_SIZE,
+            is_response=True,  # offloaded control path, not a client request
+            control=True,
+        )
+        slot.qp.post_send(wr)

@@ -1,0 +1,53 @@
+"""Haechi control-plane messages and the shared control-memory layout.
+
+Everything latency-critical is one-sided: the global token pool is a
+64-bit word clients FAA, and client reports are single 64-bit one-sided
+WRITEs into per-client slots.  Only the once-per-period period-start
+dispatch and the once-per-period report-request signal use two-sided
+SENDs, exactly as in the paper (Figs. 4 and 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# Wire-size accounting for control SENDs.
+CONTROL_MESSAGE_SIZE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlLayout:
+    """Where a client's engine finds the shared control words.
+
+    Handed to the engine at connection time (step T1).  ``pool_addr``
+    is shared by all clients; the two report addresses are per-client.
+    """
+
+    rkey: int
+    pool_addr: int  # the global token pool word (signed, FAA target)
+    report_live_addr: int  # periodic report word (packed residual|completed)
+    report_final_addr: int  # end-of-period statistics word
+
+
+@dataclasses.dataclass(frozen=True)
+class PeriodStart:
+    """Step T1: reservation-token dispatch, also signals the new period."""
+
+    period_id: int
+    tokens: int  # R_i for this client, in (dilated) tokens
+    period_end_time: float  # absolute sim time the period ends
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportRequest:
+    """Step S3: the monitor asks the client to begin periodic reporting."""
+
+    period_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReservationAlert:
+    """Algorithm 1's advisory: the client keeps under-using its reservation."""
+
+    period_id: int
+    consecutive_underuse: int

@@ -1,0 +1,16 @@
+"""A Telepathy-style memory-resident key-value store.
+
+The data node keeps fixed-size 4 KB record slots in a registered memory
+region; clients that know the store layout compute a record's remote
+address locally and fetch it with a single one-sided RDMA READ (or
+update it with a one-sided WRITE) — the data-node CPU never sees these
+I/Os.  A conventional two-sided GET/PUT RPC path is also provided for
+the paper's two-sided comparisons.
+"""
+
+from repro.kvstore.client import KVClient
+from repro.kvstore.records import RecordLayout
+from repro.kvstore.server import DataNode
+from repro.kvstore.store import KVStore
+
+__all__ = ["DataNode", "KVClient", "KVStore", "RecordLayout"]

@@ -1,0 +1,187 @@
+"""The KV client: one-sided and two-sided GET/PUT paths."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import StoreError
+from repro.common.types import OpType
+from repro.kvstore import protocol
+from repro.kvstore.records import HEADER_SIZE, RecordLayout, decode_record, encode_record
+from repro.rdma.dispatch import CompletionRouter, TypeDispatcher
+from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import WorkCompletion, WorkRequest
+
+# Completion callbacks receive (ok, value, latency_seconds).
+IOCallback = Callable[[bool, object, float], None]
+
+
+class KVClient:
+    """Client-side access to a remote :class:`~repro.kvstore.server.DataNode`.
+
+    One-sided operations translate a key to a remote slot address using
+    the locally known :class:`RecordLayout` and issue a single RDMA
+    READ/WRITE — the data node CPU is never involved.  Two-sided
+    operations send an RPC and wait for the server's response message.
+
+    The layout is obtained with :meth:`connect` (a two-sided handshake)
+    or injected directly by the cluster builder.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        qp: QueuePair,
+        dispatcher: TypeDispatcher,
+        layout: Optional[RecordLayout] = None,
+        data_rkey: Optional[int] = None,
+    ):
+        self.name = name
+        self.qp = qp
+        self.sim = qp.sim
+        self.router = CompletionRouter(qp.cq)
+        self.layout = layout
+        self.data_rkey = data_rkey
+        self._req_ids = itertools.count(1)
+        self._pending_rpcs: Dict[int, tuple] = {}  # req_id -> (callback, posted_at)
+        dispatcher.register(protocol.GetResponse, self._on_get_response)
+        dispatcher.register(protocol.PutResponse, self._on_put_response)
+        dispatcher.register(protocol.ConnectResponse, self._on_connect_response)
+        self._connect_callback: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Connection handshake
+    # ------------------------------------------------------------------
+    def connect(self, on_connected: Callable[[], None]) -> None:
+        """Fetch the store layout from the server, then call back."""
+        self._connect_callback = on_connected
+        wr = WorkRequest(
+            opcode=OpType.SEND,
+            payload=protocol.ConnectRequest(client_name=self.name),
+            size=protocol.GET_REQUEST_SIZE,
+        )
+        self.qp.post_send(wr)
+
+    def _on_connect_response(self, msg: protocol.ConnectResponse, _reply_qp) -> None:
+        self.layout = RecordLayout(
+            base_addr=msg.base_addr,
+            num_slots=msg.num_slots,
+            slot_size=msg.slot_size,
+        )
+        self.data_rkey = msg.data_rkey
+        callback, self._connect_callback = self._connect_callback, None
+        if callback is not None:
+            callback()
+
+    def _require_layout(self) -> RecordLayout:
+        if self.layout is None or self.data_rkey is None:
+            raise StoreError(f"client {self.name} is not connected (no layout)")
+        return self.layout
+
+    # ------------------------------------------------------------------
+    # One-sided path
+    # ------------------------------------------------------------------
+    def get_onesided(
+        self, key: int, on_complete: IOCallback, touch_memory: bool = True
+    ) -> int:
+        """Fetch the record for ``key`` with a single RDMA READ."""
+        layout = self._require_layout()
+        wr = WorkRequest(
+            opcode=OpType.READ,
+            size=layout.slot_size,
+            remote_addr=layout.slot_addr(key),
+            rkey=self.data_rkey,
+            touch_memory=touch_memory,
+        )
+        wr_id = self.qp.post_send(wr)
+
+        def finish(wc: WorkCompletion) -> None:
+            if not wc.ok:
+                on_complete(False, wc.error, wc.latency)
+                return
+            value = None
+            if touch_memory:
+                slot_key, version, payload = decode_record(wc.value)
+                value = (version, payload)
+                if slot_key not in (key, 0):  # 0 = unmaterialized store
+                    on_complete(False, f"bad slot key {slot_key}", wc.latency)
+                    return
+            on_complete(True, value, wc.latency)
+
+        self.router.expect(wr_id, finish)
+        return wr_id
+
+    def put_onesided(
+        self,
+        key: int,
+        payload: Optional[bytes],
+        on_complete: IOCallback,
+        touch_memory: bool = True,
+    ) -> int:
+        """Overwrite the record for ``key`` with a single RDMA WRITE.
+
+        With ``touch_memory=False`` the write is timing-only and
+        ``payload`` may be None.
+        """
+        layout = self._require_layout()
+        data = None
+        if touch_memory:
+            if payload is None:
+                raise StoreError("put_onesided with touch_memory requires a payload")
+            data = encode_record(key, version=0, payload=payload)
+        wr = WorkRequest(
+            opcode=OpType.WRITE,
+            size=layout.slot_size,
+            remote_addr=layout.slot_addr(key),
+            rkey=self.data_rkey,
+            payload=data,
+            touch_memory=touch_memory,
+        )
+        wr_id = self.qp.post_send(wr)
+        self.router.expect(
+            wr_id,
+            lambda wc: on_complete(wc.ok, wc.error if not wc.ok else None, wc.latency),
+        )
+        return wr_id
+
+    # ------------------------------------------------------------------
+    # Two-sided path
+    # ------------------------------------------------------------------
+    def get_twosided(self, key: int, on_complete: IOCallback) -> int:
+        """Fetch the record for ``key`` via a server-CPU RPC."""
+        req_id = next(self._req_ids)
+        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+        wr = WorkRequest(
+            opcode=OpType.SEND,
+            payload=protocol.GetRequest(req_id=req_id, key=key),
+            size=protocol.GET_REQUEST_SIZE,
+        )
+        self.qp.post_send(wr)
+        return req_id
+
+    def put_twosided(self, key: int, payload: bytes, on_complete: IOCallback) -> int:
+        """Store ``payload`` under ``key`` via a server-CPU RPC."""
+        req_id = next(self._req_ids)
+        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+        wr = WorkRequest(
+            opcode=OpType.SEND,
+            payload=protocol.PutRequest(req_id=req_id, key=key, payload=payload),
+            size=protocol.PUT_REQUEST_HEADER_SIZE + len(payload),
+        )
+        self.qp.post_send(wr)
+        return req_id
+
+    def _on_get_response(self, msg: protocol.GetResponse, _reply_qp) -> None:
+        entry = self._pending_rpcs.pop(msg.req_id, None)
+        if entry is None:
+            return
+        callback, posted_at = entry
+        callback(True, (msg.version, msg.payload), self.sim.now - posted_at)
+
+    def _on_put_response(self, msg: protocol.PutResponse, _reply_qp) -> None:
+        entry = self._pending_rpcs.pop(msg.req_id, None)
+        if entry is None:
+            return
+        callback, posted_at = entry
+        callback(True, msg.version, self.sim.now - posted_at)

@@ -1,0 +1,230 @@
+"""A hash-indexed store variant: Telepathy-style two-read lookups.
+
+The evaluation path uses direct-indexed slots (key = slot), which is
+what the paper's replay needs.  Real memory-resident KV stores over
+one-sided RDMA (Telepathy, Pilaf, FaRM) keep a *hash index* the client
+reads first, then the record — with a client-side address cache
+collapsing repeat lookups back to one READ.  This module implements
+that design against the same simulated substrate:
+
+- :class:`HashIndexStore` (server): an open-addressing bucket array in
+  a registered region plus a record-slot heap; linear probing.
+- :class:`HashIndexClient`: one-sided GET = READ bucket (16 B) →
+  READ record (4 KB); probes further buckets on collision; caches
+  key → slot so hot keys cost a single READ.
+
+Arbitrary integer keys are supported (not just ``[0, num_slots)``).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import StoreError
+from repro.common.types import OpType
+from repro.kvstore.records import SLOT_SIZE, decode_record, encode_record
+from repro.rdma.dispatch import CompletionRouter
+from repro.rdma.memory import MemoryManager, Permissions
+from repro.rdma.verbs import WorkCompletion, WorkRequest
+
+_ENTRY = struct.Struct("<QQ")  # key + 1 (0 = empty), slot index
+ENTRY_SIZE = _ENTRY.size
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _hash_key(key: int) -> int:
+    value = key & 0xFFFFFFFFFFFFFFFF
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class HashIndexStore:
+    """Server-side state: bucket array + record slots, both registered."""
+
+    def __init__(self, memory: MemoryManager, capacity: int,
+                 load_factor: float = 0.5):
+        if capacity < 1:
+            raise StoreError(f"capacity must be >= 1, got {capacity}")
+        if not 0 < load_factor <= 0.9:
+            raise StoreError(f"load_factor must be in (0, 0.9], got {load_factor}")
+        self.memory = memory
+        self.capacity = capacity
+        self.num_buckets = max(8, int(capacity / load_factor))
+        index_size = self.num_buckets * ENTRY_SIZE
+        self.index_base = memory.allocate(index_size, align=ENTRY_SIZE)
+        self.index_region = memory.register(
+            self.index_base, index_size, Permissions.read_only()
+        )
+        self.slots_base = memory.allocate(capacity * SLOT_SIZE, align=SLOT_SIZE)
+        self.data_region = memory.register(
+            self.slots_base, capacity * SLOT_SIZE,
+            Permissions(remote_read=True, remote_write=True),
+        )
+        self._next_slot = 0
+        self._slots: Dict[int, int] = {}  # key -> slot (server-side map)
+
+    # -- server-side operations ------------------------------------------
+    def bucket_addr(self, bucket: int) -> int:
+        """Remote address of one index bucket."""
+        return self.index_base + (bucket % self.num_buckets) * ENTRY_SIZE
+
+    def slot_addr(self, slot: int) -> int:
+        """Remote address of one record slot."""
+        if not 0 <= slot < self.capacity:
+            raise StoreError(f"slot {slot} outside [0, {self.capacity})")
+        return self.slots_base + slot * SLOT_SIZE
+
+    def insert(self, key: int, payload: bytes) -> int:
+        """Insert or update a record; returns its slot index."""
+        if key in self._slots:
+            slot = self._slots[key]
+            _key, version, _old = decode_record(
+                self.memory.backing.read(self.slot_addr(slot), SLOT_SIZE)
+            )
+            self.memory.backing.write(
+                self.slot_addr(slot), encode_record(key, version + 1, payload)
+            )
+            return slot
+        if self._next_slot >= self.capacity:
+            raise StoreError("store is full")
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[key] = slot
+        self.memory.backing.write(
+            self.slot_addr(slot), encode_record(key, 1, payload)
+        )
+        bucket = _hash_key(key)
+        for probe in range(self.num_buckets):
+            addr = self.bucket_addr(bucket + probe)
+            entry_key, _slot = _ENTRY.unpack(
+                self.memory.backing.read(addr, ENTRY_SIZE)
+            )
+            if entry_key == 0:
+                self.memory.backing.write(addr, _ENTRY.pack(key + 1, slot))
+                return slot
+        raise StoreError("index full (probing wrapped)")  # pragma: no cover
+
+    def probes_for(self, key: int) -> int:
+        """How many buckets a cold lookup of ``key`` must read."""
+        bucket = _hash_key(key)
+        for probe in range(self.num_buckets):
+            addr = self.bucket_addr(bucket + probe)
+            entry_key, _slot = _ENTRY.unpack(
+                self.memory.backing.read(addr, ENTRY_SIZE)
+            )
+            if entry_key == key + 1:
+                return probe + 1
+            if entry_key == 0:
+                break
+        raise StoreError(f"key {key} not present")
+
+
+class HashIndexClient:
+    """One-sided GETs through the hash index, with an address cache."""
+
+    def __init__(self, qp, store_info: dict):
+        """``store_info``: index_rkey, index_base, num_buckets,
+        data_rkey (out-of-band bootstrap, like the direct store's)."""
+        self.qp = qp
+        self.sim = qp.sim
+        self.index_rkey = store_info["index_rkey"]
+        self.index_base = store_info["index_base"]
+        self.num_buckets = store_info["num_buckets"]
+        self.data_rkey = store_info["data_rkey"]
+        self.slots_base = store_info["slots_base"]
+        self.router = CompletionRouter(qp.cq)
+        self.address_cache: Dict[int, int] = {}
+        self.reads_issued = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: int, on_complete: Callable) -> None:
+        """Fetch ``key``'s record; ``on_complete(ok, value, reads_used)``.
+
+        ``value`` is (version, payload) on success; ``reads_used``
+        counts one-sided READs consumed by this lookup (1 when the
+        address cache hits).
+        """
+        slot = self.address_cache.get(key)
+        if slot is not None:
+            self.cache_hits += 1
+            self._read_record(key, slot, 1, on_complete)
+            return
+        self._probe(key, _hash_key(key), 0, on_complete)
+
+    def _post_read(self, addr: int, size: int, rkey: int,
+                   callback: Callable) -> None:
+        self.reads_issued += 1
+        wr = WorkRequest(opcode=OpType.READ, size=size, remote_addr=addr,
+                         rkey=rkey)
+        wr_id = self.qp.post_send(wr)
+        self.router.expect(wr_id, callback)
+
+    def _probe(self, key: int, bucket: int, depth: int,
+               on_complete: Callable) -> None:
+        if depth >= self.num_buckets:
+            on_complete(False, f"key {key} not found", depth)
+            return
+        addr = self.index_base + ((bucket + depth) % self.num_buckets) * ENTRY_SIZE
+
+        def on_entry(wc: WorkCompletion) -> None:
+            if not wc.ok:
+                on_complete(False, wc.error, depth + 1)
+                return
+            entry_key, slot = _ENTRY.unpack(wc.value)
+            if entry_key == key + 1:
+                self.address_cache[key] = slot
+                self._read_record(key, slot, depth + 2, on_complete,
+                                  from_index=True)
+            elif entry_key == 0:
+                on_complete(False, f"key {key} not found", depth + 1)
+            else:
+                self._probe(key, bucket, depth + 1, on_complete)
+
+        self._post_read(addr, ENTRY_SIZE, self.index_rkey, on_entry)
+
+    def _read_record(self, key: int, slot: int, reads_used: int,
+                     on_complete: Callable, from_index: bool = False) -> None:
+        addr = self.slots_base + slot * SLOT_SIZE
+
+        def on_record(wc: WorkCompletion) -> None:
+            if not wc.ok:
+                on_complete(False, wc.error, reads_used)
+                return
+            record_key, version, payload = decode_record(wc.value)
+            if record_key != key:
+                self.address_cache.pop(key, None)
+                if from_index:
+                    # the authoritative index already pointed here: the
+                    # store is inconsistent for this key — fail honestly
+                    # rather than loop
+                    on_complete(
+                        False,
+                        f"slot {slot} holds key {record_key}, not {key}",
+                        reads_used,
+                    )
+                    return
+                # a stale *cached* address: retry through the index once
+                self._probe(key, _hash_key(key), 0, on_complete)
+                return
+            on_complete(True, (version, payload), reads_used)
+
+        self._post_read(addr, SLOT_SIZE, self.data_rkey, on_record)
+
+
+def store_info(store: HashIndexStore) -> dict:
+    """The bootstrap dict a client needs (layout handshake stand-in)."""
+    return {
+        "index_rkey": store.index_region.rkey,
+        "index_base": store.index_base,
+        "num_buckets": store.num_buckets,
+        "data_rkey": store.data_region.rkey,
+        "slots_base": store.slots_base,
+    }

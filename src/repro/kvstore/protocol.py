@@ -1,0 +1,63 @@
+"""Wire messages for the two-sided KV RPC path."""
+
+from __future__ import annotations
+
+import dataclasses
+
+# Sizes used for service-cost accounting on the simulated wire.
+GET_REQUEST_SIZE = 64
+PUT_REQUEST_HEADER_SIZE = 64
+RESPONSE_HEADER_SIZE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class GetRequest:
+    """Two-sided GET: the server CPU looks up the slot and replies."""
+
+    req_id: int
+    key: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GetResponse:
+    """Reply to :class:`GetRequest` carrying the record payload."""
+
+    req_id: int
+    key: int
+    version: int
+    payload: bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class PutRequest:
+    """Two-sided PUT: the server CPU writes the slot and acks."""
+
+    req_id: int
+    key: int
+    payload: bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class PutResponse:
+    """Ack for :class:`PutRequest` with the committed version."""
+
+    req_id: int
+    key: int
+    version: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectRequest:
+    """Connection handshake: the client asks for the store layout."""
+
+    client_name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ConnectResponse:
+    """Handshake reply: everything a client needs for one-sided access."""
+
+    data_rkey: int
+    base_addr: int
+    num_slots: int
+    slot_size: int

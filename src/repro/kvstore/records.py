@@ -1,0 +1,67 @@
+"""Record and slot layout for the memory-resident KV store.
+
+Each record occupies one fixed 4 KB slot::
+
+    [ key: u64 | version: u64 | payload: 4080 bytes ]
+
+Clients map a key to its slot *locally* (direct indexing, matching the
+Telepathy protocol's client-computed addressing) and hence can read the
+record with a single one-sided READ.  Keys are integers in
+``[0, num_slots)``; the general hash + probing machinery of a full KV
+store is out of scope of the paper's evaluation, which replays reads
+over a pre-populated store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.common.errors import StoreError
+
+_HEADER = struct.Struct("<QQ")  # key, version
+
+SLOT_SIZE = 4096
+HEADER_SIZE = _HEADER.size
+PAYLOAD_SIZE = SLOT_SIZE - HEADER_SIZE
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordLayout:
+    """The geometry of a slotted store region."""
+
+    base_addr: int
+    num_slots: int
+    slot_size: int = SLOT_SIZE
+
+    def slot_index(self, key: int) -> int:
+        """Map a key to its slot (direct indexing)."""
+        if not 0 <= key < self.num_slots:
+            raise StoreError(f"key {key} outside [0, {self.num_slots})")
+        return key
+
+    def slot_addr(self, key: int) -> int:
+        """Remote address of the slot holding ``key``."""
+        return self.base_addr + self.slot_index(key) * self.slot_size
+
+    @property
+    def region_size(self) -> int:
+        """Total bytes spanned by the slot array."""
+        return self.num_slots * self.slot_size
+
+
+def encode_record(key: int, version: int, payload: bytes) -> bytes:
+    """Serialize one record into its 4 KB slot image."""
+    if len(payload) > PAYLOAD_SIZE:
+        raise StoreError(
+            f"payload of {len(payload)} bytes exceeds slot payload {PAYLOAD_SIZE}"
+        )
+    return _HEADER.pack(key, version) + payload.ljust(PAYLOAD_SIZE, b"\x00")
+
+
+def decode_record(slot: bytes) -> tuple:
+    """Parse a slot image -> (key, version, payload)."""
+    if len(slot) < HEADER_SIZE:
+        raise StoreError(f"slot image of {len(slot)} bytes is too small")
+    key, version = _HEADER.unpack_from(slot)
+    return key, version, slot[HEADER_SIZE:]

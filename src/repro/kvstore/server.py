@@ -1,0 +1,71 @@
+"""The data node: hosts the store and serves the two-sided RPC path."""
+
+from __future__ import annotations
+
+from repro.kvstore import protocol
+from repro.kvstore.records import SLOT_SIZE
+from repro.kvstore.store import KVStore
+from repro.rdma.dispatch import TypeDispatcher
+from repro.rdma.node import Host
+from repro.rdma.verbs import WorkRequest
+from repro.common.types import OpType
+
+
+class DataNode:
+    """The storage server.
+
+    One-sided GET/PUT traffic never reaches this class at runtime —
+    clients hit the registered store region directly.  The class serves
+    the two-sided path (GET/PUT RPCs through the host CPU) and the
+    connection handshake that hands out the store layout.
+    """
+
+    def __init__(self, host: Host, num_slots: int, materialize: bool = False):
+        self.host = host
+        self.sim = host.sim
+        self.store = KVStore(host.memory, num_slots, materialize=materialize)
+        self.dispatcher = TypeDispatcher()
+        self.dispatcher.register(protocol.GetRequest, self._on_get)
+        self.dispatcher.register(protocol.PutRequest, self._on_put)
+        self.dispatcher.register(protocol.ConnectRequest, self._on_connect)
+        host.set_rpc_handler(self.dispatcher)
+
+    # ------------------------------------------------------------------
+    def _on_connect(self, msg: protocol.ConnectRequest, reply_qp) -> None:
+        layout = self.store.layout
+        response = protocol.ConnectResponse(
+            data_rkey=self.store.region.rkey,
+            base_addr=layout.base_addr,
+            num_slots=layout.num_slots,
+            slot_size=layout.slot_size,
+        )
+        self._reply(reply_qp, response, size=protocol.RESPONSE_HEADER_SIZE, cpu=False)
+
+    def _on_get(self, msg: protocol.GetRequest, reply_qp) -> None:
+        if self.store.materialized:
+            version, payload = self.store.get_local(msg.key)
+        else:
+            version, payload = 0, b""
+        response = protocol.GetResponse(
+            req_id=msg.req_id, key=msg.key, version=version, payload=payload
+        )
+        self._reply(reply_qp, response, size=SLOT_SIZE)
+
+    def _on_put(self, msg: protocol.PutRequest, reply_qp) -> None:
+        if self.store.materialized:
+            version = self.store.put_local(msg.key, msg.payload)
+        else:
+            version = 0
+        response = protocol.PutResponse(req_id=msg.req_id, key=msg.key, version=version)
+        self._reply(reply_qp, response, size=protocol.RESPONSE_HEADER_SIZE)
+
+    def _reply(self, reply_qp, response, size: int, cpu: bool = True) -> None:
+        """Serve the request on the CPU, then post the response SEND."""
+        wr = WorkRequest(
+            opcode=OpType.SEND, payload=response, size=size, is_response=True
+        )
+        if cpu:
+            done = self.host.cpu.submit_rpc(size)
+            self.sim.schedule_at(done, reply_qp.post_send, wr)
+        else:
+            reply_qp.post_send(wr)

@@ -1,0 +1,77 @@
+"""Server-side store state: a slot array in a registered region."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import StoreError
+from repro.kvstore.records import (
+    PAYLOAD_SIZE,
+    SLOT_SIZE,
+    RecordLayout,
+    decode_record,
+    encode_record,
+)
+from repro.rdma.memory import MemoryManager, MemoryRegion, Permissions
+
+
+class KVStore:
+    """The data node's slotted record store.
+
+    ``materialize=True`` writes real record images so one-sided reads
+    return verifiable bytes (tests, small stores); with
+    ``materialize=False`` the region is declared but left zeroed, which
+    is what the throughput benchmarks use (timing-only reads).
+    """
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        num_slots: int,
+        materialize: bool = False,
+    ):
+        if num_slots <= 0:
+            raise StoreError(f"num_slots must be positive, got {num_slots}")
+        self.memory = memory
+        self.materialized = materialize
+        base = memory.allocate(num_slots * SLOT_SIZE, align=SLOT_SIZE)
+        self.layout = RecordLayout(base_addr=base, num_slots=num_slots)
+        self.region: MemoryRegion = memory.register(
+            base, num_slots * SLOT_SIZE, Permissions(remote_read=True, remote_write=True)
+        )
+        if materialize:
+            self.populate()
+
+    def populate(self) -> None:
+        """Write an initial record image into every slot (version 1).
+
+        The payload encodes the key so readers can verify integrity.
+        """
+        for key in range(self.layout.num_slots):
+            self.put_local(key, f"value-{key}".encode(), version=1)
+        self.materialized = True
+
+    # -- local (server-side) accessors, used by the two-sided RPC path --
+    def put_local(self, key: int, payload: bytes, version: Optional[int] = None) -> int:
+        """Store ``payload`` under ``key``; returns the new version."""
+        addr = self.layout.slot_addr(key)
+        if version is None:
+            _, old_version, _ = decode_record(self.memory.backing.read(addr, SLOT_SIZE))
+            version = old_version + 1
+        self.memory.backing.write(addr, encode_record(key, version, payload))
+        return version
+
+    def get_local(self, key: int) -> tuple:
+        """Read (version, payload) for ``key`` from server memory."""
+        addr = self.layout.slot_addr(key)
+        slot_key, version, payload = decode_record(
+            self.memory.backing.read(addr, SLOT_SIZE)
+        )
+        if self.materialized and slot_key != key:
+            raise StoreError(f"slot for key {key} holds key {slot_key}")
+        return version, payload
+
+    @property
+    def max_payload(self) -> int:
+        """Largest payload one slot can hold."""
+        return PAYLOAD_SIZE

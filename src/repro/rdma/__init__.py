@@ -1,0 +1,43 @@
+"""Simulated RDMA substrate.
+
+Models the pieces of an InfiniBand RNIC deployment that Haechi's
+behaviour depends on:
+
+- registered memory regions with rkey/bounds/permission checks
+  (:mod:`~repro.rdma.memory`),
+- verbs-style work requests and completion queues
+  (:mod:`~repro.rdma.verbs`),
+- reliable-connection queue pairs (:mod:`~repro.rdma.qp`),
+- RNICs with calibrated issue/processing pipelines
+  (:mod:`~repro.rdma.nic`),
+- RNIC-linearized atomics (:mod:`~repro.rdma.atomics`),
+- a host CPU for two-sided RPC service (:mod:`~repro.rdma.cpu`),
+- a fabric wiring hosts together (:mod:`~repro.rdma.fabric`,
+  :mod:`~repro.rdma.node`).
+
+The defining property of one-sided operations — the target CPU never
+sees them — is preserved: READ/WRITE/FAA/CAS execute entirely inside the
+target NIC model, while SEND/RECV traffic is delivered to the target
+host's RPC queue and consumes target CPU service time.
+"""
+
+from repro.rdma.fabric import Fabric
+from repro.rdma.memory import MemoryManager, MemoryRegion, Permissions
+from repro.rdma.nic import NICProfile, RNIC
+from repro.rdma.node import Host
+from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import CompletionQueue, WorkCompletion, WorkRequest
+
+__all__ = [
+    "CompletionQueue",
+    "Fabric",
+    "Host",
+    "MemoryManager",
+    "MemoryRegion",
+    "NICProfile",
+    "Permissions",
+    "QueuePair",
+    "RNIC",
+    "WorkCompletion",
+    "WorkRequest",
+]

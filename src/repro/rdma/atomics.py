@@ -1,0 +1,44 @@
+"""Helpers for 64-bit atomic words used as shared control state.
+
+RDMA atomics operate on unsigned 64-bit words; Haechi's global token
+pool is logically *signed* (a batched fetch-and-add may drive it below
+zero).  These helpers convert between the wire representation and the
+signed interpretation, mirroring what the real client code does after a
+fetch-and-add returns.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+_SIGN = 1 << 63
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an unsigned 64-bit wire value as two's-complement."""
+    value &= _MASK
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def to_unsigned64(value: int) -> int:
+    """Encode a signed value as an unsigned 64-bit wire word."""
+    return value & _MASK
+
+
+def pack_report(residual: int, completed: int) -> int:
+    """Pack a client report into one 64-bit word (32 bits each).
+
+    The paper reports two statistics with a *single* 64-bit one-sided
+    write; residual reservation and completed-I/O count each fit in 32
+    bits (reservations are bounded by C_L * T << 2**32).
+    """
+    if not 0 <= residual < (1 << 32):
+        raise ValueError(f"residual {residual} does not fit in 32 bits")
+    if not 0 <= completed < (1 << 32):
+        raise ValueError(f"completed {completed} does not fit in 32 bits")
+    return (residual << 32) | completed
+
+
+def unpack_report(word: int) -> tuple:
+    """Inverse of :func:`pack_report` -> (residual, completed)."""
+    word &= _MASK
+    return word >> 32, word & 0xFFFFFFFF

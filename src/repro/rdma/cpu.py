@@ -1,0 +1,61 @@
+"""Host CPU model for two-sided RPC service.
+
+Only two-sided traffic consumes data-node CPU; one-sided operations are
+handled entirely inside the NIC model.  The service cost is calibrated
+so a data node saturates at 427 KIOPS of two-sided 4 KB reads (paper
+Fig. 7): 2.0 us base + 0.342 us for a 4 KB response = 2.3419 us.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.resources import Pipeline
+
+
+@dataclasses.dataclass(frozen=True)
+class CPUProfile:
+    """Per-request CPU service cost: ``base + response_size * per_byte``."""
+
+    rpc_base: float = 2.0e-6
+    rpc_per_byte: float = 0.0835e-9  # 0.342 us at 4096 B
+
+    @classmethod
+    def chameleon(cls, scale: float = 1.0) -> "CPUProfile":
+        """Calibrated profile, optionally slowed by ``scale``."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return cls(rpc_base=cls.rpc_base * scale, rpc_per_byte=cls.rpc_per_byte * scale)
+
+    def rpc_cost(self, response_size: int) -> float:
+        """Service cost of one RPC with a ``response_size``-byte reply."""
+        return self.rpc_base + response_size * self.rpc_per_byte
+
+
+class CPU:
+    """A serial CPU service pipeline for RPC handling."""
+
+    def __init__(self, sim: "Simulator", name: str, profile: CPUProfile):  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.pipeline = Pipeline(sim, f"{name}.cpu")
+        self.requests_served = 0
+
+    def submit_rpc(self, response_size: int) -> float:
+        """Serialize one RPC's service; returns absolute finish time."""
+        self.requests_served += 1
+        return self.pipeline.submit(self.profile.rpc_cost(response_size))
+
+    def submit_work(self, cost: float) -> float:
+        """Serialize arbitrary CPU work of ``cost`` seconds."""
+        return self.pipeline.submit(cost)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Busy fraction of [since, now]."""
+        return self.pipeline.utilization(since)
+
+    def reset_accounting(self) -> None:
+        """Zero utilization and request counters."""
+        self.pipeline.reset_accounting()
+        self.requests_served = 0

@@ -1,0 +1,65 @@
+"""The fabric: wires hosts together with connected QP pairs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rdma.node import Host
+from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import CompletionQueue
+
+# One-way propagation delay of the simulated InfiniBand fabric.  Chosen
+# to match ConnectX-3-era small-message latency (~3 us round trip).
+DEFAULT_PROP_DELAY = 1.5e-6
+
+
+class Fabric:
+    """A flat switched fabric with uniform propagation delay.
+
+    Contention is modelled at the NIC pipelines, not in the switch, which
+    matches the paper's single-data-node bottleneck structure.
+    """
+
+    def __init__(self, sim: "Simulator", prop_delay: float = DEFAULT_PROP_DELAY):  # noqa: F821
+        if prop_delay < 0:
+            raise ValueError(f"negative propagation delay: {prop_delay}")
+        self.sim = sim
+        self.prop_delay = prop_delay
+        self.hosts: Dict[str, Host] = {}
+        self.connections: List[Tuple[QueuePair, QueuePair]] = []
+
+    def add_host(self, host: Host) -> Host:
+        """Attach a host to the fabric."""
+        if host.name in self.hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def connect(
+        self,
+        a: Host,
+        b: Host,
+        cq_a: Optional[CompletionQueue] = None,
+        cq_b: Optional[CompletionQueue] = None,
+        prepost_recvs: int = 1 << 20,
+    ) -> Tuple[QueuePair, QueuePair]:
+        """Create a connected QP pair between hosts ``a`` and ``b``.
+
+        Returns ``(qp_ab, qp_ba)``.  Both sides are pre-posted with a
+        deep receive queue by default (apps that want RNR fidelity can
+        pass ``prepost_recvs=0`` and manage recv credits themselves).
+        """
+        for host in (a, b):
+            if host.name not in self.hosts:
+                raise ValueError(f"host {host.name!r} not attached to fabric")
+        cq_a = cq_a or CompletionQueue(f"{a.name}->{b.name}")
+        cq_b = cq_b or CompletionQueue(f"{b.name}->{a.name}")
+        qp_ab = QueuePair(self.sim, a, b, cq_a, self.prop_delay)
+        qp_ba = QueuePair(self.sim, b, a, cq_b, self.prop_delay)
+        qp_ab.reverse = qp_ba
+        qp_ba.reverse = qp_ab
+        if prepost_recvs:
+            qp_ab.post_recv(prepost_recvs)
+            qp_ba.post_recv(prepost_recvs)
+        self.connections.append((qp_ab, qp_ba))
+        return qp_ab, qp_ba

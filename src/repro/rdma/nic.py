@@ -1,0 +1,189 @@
+"""The RNIC model and its calibrated cost profile.
+
+An RNIC has two serial pipelines:
+
+- the **issue pipeline** serializes locally posted work requests
+  (doorbell + WQE fetch + DMA of outbound data + completion handling),
+- the **target pipeline** serializes inbound one-sided operations and
+  SEND deliveries (the part a ConnectX-class NIC does in hardware
+  without the host CPU).
+
+Haechi's evaluation hinges on two capacity constants measured on
+Chameleon (Sec. III-B): a single client saturates at ``C_L`` = 400
+KIOPS of one-sided 4 KB reads while the data node saturates at ``C_G``
+= 1570 KIOPS (four clients needed), and the two-sided path saturates at
+327 KIOPS per client / 427 KIOPS per server.  :meth:`NICProfile.chameleon`
+is calibrated so the simulated pipelines reproduce exactly those knees:
+
+- one-sided 4 KB READ, initiator issue cost  = 2.500 us  -> 400 KIOPS
+- one-sided 4 KB READ, target processing cost = 0.63694 us -> 1570 KIOPS
+- two-sided request, initiator issue cost     = 3.0581 us -> 327 KIOPS
+- two-sided request, server CPU service cost  = 2.3419 us -> 427 KIOPS
+  (see :mod:`repro.rdma.cpu`)
+
+All costs scale linearly with a :class:`~repro.cluster.scale.SimScale`
+factor so experiments can run at reduced rates with identical shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.types import OpType
+from repro.sim.resources import Pipeline
+from repro.rdma.verbs import WorkRequest
+
+
+@dataclasses.dataclass(frozen=True)
+class NICProfile:
+    """Per-operation service costs (seconds) for an RNIC.
+
+    Data-plane costs are affine in the transfer size: ``base +
+    size * per_byte``.  The *requester* side of a two-sided exchange
+    pays a heavier per-request cost (``send_request_issue``) than the
+    hardware-offloaded responder path (``send_response_issue_base``),
+    matching the asymmetry measured in the paper's Experiment 1A.
+    """
+
+    # one-sided initiator (READ/WRITE)
+    onesided_issue_base: float = 1.0e-6
+    onesided_issue_per_byte: float = 0.36621e-9  # 1.5 us for 4096 B
+
+    # one-sided target (READ/WRITE): 0.2 + 0.437 us at 4 KB = 0.63694 us
+    onesided_target_base: float = 0.2e-6
+    onesided_target_per_byte: float = 0.106674e-9
+
+    # atomics (FAA / CAS): 8-byte, latency-bound
+    atomic_issue_cost: float = 1.0e-6
+    atomic_target_cost: float = 0.25e-6
+
+    # two-sided
+    send_request_issue: float = 3.0581e-6  # requester per-op serialization
+    send_response_issue_base: float = 0.3e-6
+    send_response_issue_per_byte: float = 0.106674e-9
+    send_target_base: float = 0.3e-6
+    send_target_per_byte: float = 0.05e-9
+
+    # signalling scale factor (1.0 = full Chameleon speed)
+    scale: float = 1.0
+
+    @classmethod
+    def chameleon(cls, scale: float = 1.0) -> "NICProfile":
+        """The profile calibrated to the paper's Chameleon measurements,
+        optionally slowed down by ``scale`` (> 1)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        base = cls()
+        if scale == 1.0:
+            return base
+        return cls(
+            **{
+                f.name: (getattr(base, f.name) * scale if f.name != "scale" else scale)
+                for f in dataclasses.fields(cls)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def issue_cost(self, wr: WorkRequest) -> float:
+        """Initiator-side serialization cost of posting ``wr``."""
+        op = wr.opcode
+        if op is OpType.READ or op is OpType.WRITE:
+            return self.onesided_issue_base + wr.size * self.onesided_issue_per_byte
+        if op is OpType.FETCH_ADD or op is OpType.COMPARE_SWAP:
+            return self.atomic_issue_cost
+        if op is OpType.SEND:
+            if wr.is_response:
+                return (
+                    self.send_response_issue_base
+                    + wr.size * self.send_response_issue_per_byte
+                )
+            return self.send_request_issue
+        raise ValueError(f"opcode {op} cannot be issued")
+
+    def target_cost(self, wr: WorkRequest) -> float:
+        """Target-NIC processing cost of an inbound ``wr``."""
+        op = wr.opcode
+        if op is OpType.READ or op is OpType.WRITE:
+            return self.onesided_target_base + wr.size * self.onesided_target_per_byte
+        if op is OpType.FETCH_ADD or op is OpType.COMPARE_SWAP:
+            return self.atomic_target_cost
+        if op is OpType.SEND:
+            return self.send_target_base + wr.size * self.send_target_per_byte
+        raise ValueError(f"opcode {op} has no target cost")
+
+
+class RNIC:
+    """A simulated RNIC: one issue pipeline, one target pipeline.
+
+    The target pipeline is where the data node's one-sided saturation
+    capacity lives; one-sided ops never touch the owning host's CPU,
+    which is the property Haechi is designed around.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, profile: NICProfile):  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.issue = Pipeline(sim, f"{name}.issue")
+        self.target = Pipeline(sim, f"{name}.target")
+        # op accounting, keyed by opcode, for overhead reporting
+        self.issued_ops = {op: 0 for op in OpType}
+        self.handled_ops = {op: 0 for op in OpType}
+        self.control_issue_cost_total = 0.0
+        self.control_target_cost_total = 0.0
+
+    def submit_issue(self, wr: WorkRequest) -> float:
+        """Serialize an outbound WR; returns absolute wire-entry time.
+
+        Control WRs (atomics, report words, QoS signals) are processed
+        on a prioritized lane: they experience their service latency but
+        consume no pipeline capacity in the simulation.  At the paper's
+        scale their capacity share is 0.03-0.2% of the NIC (measured as
+        negligible in the paper); under time dilation the same per-tick
+        op frequency against a K-times shorter period would inflate
+        that share K-fold, so the faithful choice is to model it as
+        zero and report the *paper-scale* overhead analytically from
+        the op counters (see ``control_overhead_fraction``).
+        """
+        self.issued_ops[wr.opcode] += 1
+        cost = self.profile.issue_cost(wr)
+        if wr.control:
+            self.control_issue_cost_total += cost
+            return self.sim.now + cost
+        return self.issue.submit(cost)
+
+    def submit_target(self, wr: WorkRequest) -> float:
+        """Serialize an inbound WR; returns absolute processing-done time."""
+        self.handled_ops[wr.opcode] += 1
+        cost = self.profile.target_cost(wr)
+        if wr.control:
+            self.control_target_cost_total += cost
+            return self.sim.now + cost
+        return self.target.submit(cost)
+
+    def control_overhead_fraction(self, periods: float, paper_period: float = 1.0,
+                                  dilated_period: float = None) -> dict:
+        """Paper-scale capacity share of control ops on this NIC.
+
+        ``periods`` is how many QoS periods the accumulated counters
+        cover.  The per-period control cost is divided by the *paper*
+        period (1 s), because control-op frequency is per-tick (fixed
+        count per period) while their service cost is physical — the
+        quantity a real deployment would observe.
+        """
+        if periods <= 0:
+            raise ValueError(f"periods must be positive, got {periods}")
+        return {
+            "issue": self.control_issue_cost_total / periods / paper_period,
+            "target": self.control_target_cost_total / periods / paper_period,
+        }
+
+    def reset_accounting(self) -> None:
+        """Zero utilization + op counters (measurement-window start)."""
+        self.issue.reset_accounting()
+        self.target.reset_accounting()
+        for op in OpType:
+            self.issued_ops[op] = 0
+            self.handled_ops[op] = 0
+        self.control_issue_cost_total = 0.0
+        self.control_target_cost_total = 0.0

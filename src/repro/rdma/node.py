@@ -1,0 +1,50 @@
+"""A host: NIC + CPU + registered memory + an RPC dispatch point."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.rdma.cpu import CPU, CPUProfile
+from repro.rdma.memory import MemoryManager
+from repro.rdma.nic import NICProfile, RNIC
+
+RPCHandler = Callable[[object, "QueuePair"], None]  # noqa: F821
+
+
+class Host:
+    """A cluster node.
+
+    ``deliver`` is invoked by inbound SENDs; it dispatches the message
+    payload to the registered RPC handler along with the reply QP.
+    One-sided traffic never reaches ``deliver`` — it terminates inside
+    the NIC/memory models, which is the "silent I/O" property.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        name: str,
+        nic_profile: NICProfile,
+        cpu_profile: Optional[CPUProfile] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.nic = RNIC(sim, f"{name}.nic", nic_profile)
+        self.cpu = CPU(sim, name, cpu_profile or CPUProfile())
+        self.memory = MemoryManager()
+        self._rpc_handler: Optional[RPCHandler] = None
+        self.dropped_messages = 0
+
+    def set_rpc_handler(self, handler: RPCHandler) -> None:
+        """Register the callable that receives inbound SEND payloads."""
+        self._rpc_handler = handler
+
+    def deliver(self, payload: object, reply_qp: "QueuePair") -> None:  # noqa: F821
+        """Dispatch an inbound message (called by the QP datapath)."""
+        if self._rpc_handler is None:
+            self.dropped_messages += 1
+            return
+        self._rpc_handler(payload, reply_qp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name})"

@@ -1,0 +1,174 @@
+"""Reliable-connection queue pairs.
+
+A :class:`QueuePair` is one direction of a connection between two
+hosts.  Posting a work request drives the full simulated datapath:
+
+1. serialize on the initiator NIC's issue pipeline,
+2. propagate across the fabric,
+3. serialize on the target NIC's target pipeline, applying the memory
+   effect (one-sided) or consuming a posted RECV and delivering the
+   message to the target host (SEND),
+4. propagate the response/ack back and deliver a work completion.
+
+The datapath is callback-based (no process switches) so the hot path
+costs two heap events per one-sided operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.common.errors import MemoryAccessError, QPError
+from repro.common.types import OpType
+from repro.rdma.verbs import CompletionQueue, WCStatus, WorkCompletion, WorkRequest
+
+_wr_ids = itertools.count(1)
+
+
+class QueuePair:
+    """One direction of an RC connection (see module docstring).
+
+    ``reverse`` points at the opposite-direction QP of the same
+    connection and is used to route RPC replies.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        src: "Host",  # noqa: F821
+        dst: "Host",  # noqa: F821
+        cq: CompletionQueue,
+        prop_delay: float,
+        max_outstanding: int = 1 << 16,
+    ):
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.cq = cq
+        self.prop_delay = prop_delay
+        self.max_outstanding = max_outstanding
+        self.outstanding = 0
+        self.recv_posted = 0
+        self.closed = False
+        self.reverse: Optional["QueuePair"] = None
+
+    def close(self) -> None:
+        """Tear the QP down (client departure, error recovery).
+
+        Subsequent posts are rejected; work requests already in flight
+        complete with FLUSH_ERROR, matching RC flush semantics.  Closing
+        twice is a no-op.
+        """
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    def post_recv(self, count: int = 1) -> None:
+        """Post ``count`` receive buffers for inbound SENDs."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.recv_posted += count
+
+    def post_send(self, wr: WorkRequest) -> int:
+        """Post ``wr``; returns the (possibly auto-assigned) wr_id.
+
+        The matching :class:`WorkCompletion` is delivered to this QP's
+        CQ when the operation completes or fails.
+        """
+        if self.closed:
+            raise QPError(f"QP {self.src.name}->{self.dst.name} is closed")
+        if self.outstanding >= self.max_outstanding:
+            raise QPError(
+                f"QP {self.src.name}->{self.dst.name} exceeded "
+                f"{self.max_outstanding} outstanding WRs"
+            )
+        if wr.wr_id == 0:
+            wr.wr_id = next(_wr_ids)
+        self.outstanding += 1
+        posted_at = self.sim.now
+        wire_time = self.src.nic.submit_issue(wr)
+        self.sim.schedule_at(wire_time + self.prop_delay, self._arrive, wr, posted_at)
+        return wr.wr_id
+
+    # ------------------------------------------------------------------
+    def _arrive(self, wr: WorkRequest, posted_at: float) -> None:
+        op = wr.opcode
+        if op is OpType.SEND:
+            self._arrive_send(wr, posted_at)
+            return
+        # One-sided: apply the memory effect in target-pipeline order.
+        value = None
+        try:
+            memory = self.dst.memory
+            if op is OpType.READ:
+                if wr.touch_memory:
+                    value = memory.remote_read(wr.rkey, wr.remote_addr, wr.size)
+                else:
+                    memory.region(wr.rkey)  # rkey must still be valid
+            elif op is OpType.WRITE:
+                if wr.touch_memory:
+                    if wr.payload is None:
+                        raise QPError("WRITE with touch_memory requires a payload")
+                    memory.remote_write(wr.rkey, wr.remote_addr, wr.payload)
+                else:
+                    memory.region(wr.rkey)
+            elif op is OpType.FETCH_ADD:
+                value = memory.remote_fetch_add(wr.rkey, wr.remote_addr, wr.add_value)
+            elif op is OpType.COMPARE_SWAP:
+                value = memory.remote_compare_swap(
+                    wr.rkey, wr.remote_addr, wr.compare, wr.swap
+                )
+            else:
+                raise QPError(f"cannot post opcode {op}")
+        except (MemoryAccessError, QPError) as err:
+            self._fail(wr, posted_at, WCStatus.REMOTE_ACCESS_ERROR, str(err))
+            return
+        done = self.dst.nic.submit_target(wr)
+        self.sim.schedule_at(
+            done + self.prop_delay, self._complete, wr, posted_at, value
+        )
+
+    def _arrive_send(self, wr: WorkRequest, posted_at: float) -> None:
+        peer = self.reverse
+        if peer is None or peer.recv_posted <= 0:
+            self._fail(wr, posted_at, WCStatus.FLUSH_ERROR, "receiver not ready (RNR)")
+            return
+        peer.recv_posted -= 1
+        done = self.dst.nic.submit_target(wr)
+        # Deliver to the target host once the NIC finished processing;
+        # the sender's ack comes back one propagation later.
+        self.sim.schedule_at(done, self.dst.deliver, wr.payload, peer)
+        self.sim.schedule_at(
+            done + self.prop_delay, self._complete, wr, posted_at, None
+        )
+
+    def _complete(self, wr: WorkRequest, posted_at: float, value) -> None:
+        if self.closed:
+            self._fail(wr, posted_at, WCStatus.FLUSH_ERROR, "QP closed")
+            return
+        self.outstanding -= 1
+        self.cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                status=WCStatus.SUCCESS,
+                value=value,
+                posted_at=posted_at,
+                completed_at=self.sim.now,
+            )
+        )
+
+    def _fail(
+        self, wr: WorkRequest, posted_at: float, status: WCStatus, error: str
+    ) -> None:
+        self.outstanding -= 1
+        self.cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                status=status,
+                posted_at=posted_at,
+                completed_at=self.sim.now,
+                error=error,
+            )
+        )

@@ -1,0 +1,106 @@
+"""Verbs-style work requests and completion queues."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.common.types import OpType
+
+
+class WCStatus(enum.Enum):
+    """Completion status codes (subset of ibv_wc_status)."""
+
+    SUCCESS = "success"
+    REMOTE_ACCESS_ERROR = "remote_access_error"
+    FLUSH_ERROR = "flush_error"
+
+
+@dataclasses.dataclass
+class WorkRequest:
+    """A posted work request.
+
+    One-sided ops carry ``remote_addr``/``rkey``; SENDs carry a
+    ``payload`` (any Python object standing in for a wire message) and a
+    ``size`` used for service-cost accounting.  ``is_response`` marks a
+    SEND as an RPC response, which uses the cheaper hardware-offloaded
+    responder path in the NIC cost model (see :class:`NICProfile`).
+    """
+
+    opcode: OpType
+    wr_id: int = 0
+    size: int = 0
+    remote_addr: int = 0
+    rkey: int = 0
+    payload: Any = None
+    compare: int = 0
+    swap: int = 0
+    add_value: int = 0
+    is_response: bool = False
+    touch_memory: bool = True
+    # Control-plane ops (atomics, report words, QoS signals) take the
+    # NIC's prioritized lane: they consume pipeline capacity but do not
+    # queue behind bulk data (see Pipeline.charge).
+    control: bool = False
+
+
+@dataclasses.dataclass
+class WorkCompletion:
+    """A completion entry delivered to a CQ."""
+
+    wr_id: int
+    opcode: OpType
+    status: WCStatus
+    value: Any = None  # READ data / atomic prior value / SEND payload echo
+    posted_at: float = 0.0
+    completed_at: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful completion."""
+        return self.status is WCStatus.SUCCESS
+
+    @property
+    def latency(self) -> float:
+        """Post-to-completion latency in seconds."""
+        return self.completed_at - self.posted_at
+
+
+class CompletionQueue:
+    """Delivers work completions.
+
+    Two consumption styles are supported: a registered handler invoked
+    synchronously on arrival (the fast path used by drivers), or polling
+    via :meth:`poll` when no handler is set.
+    """
+
+    def __init__(self, name: str = "cq"):
+        self.name = name
+        self._handler: Optional[Callable[[WorkCompletion], None]] = None
+        self._queue: Deque[WorkCompletion] = deque()
+
+    def set_handler(self, handler: Callable[[WorkCompletion], None]) -> None:
+        """Route future completions to ``handler``; drains any backlog."""
+        self._handler = handler
+        while self._queue:
+            handler(self._queue.popleft())
+
+    def push(self, wc: WorkCompletion) -> None:
+        """Deliver one completion (called by the NIC model)."""
+        if self._handler is not None:
+            self._handler(wc)
+        else:
+            self._queue.append(wc)
+
+    def poll(self, max_entries: int = 16) -> list:
+        """Drain up to ``max_entries`` buffered completions."""
+        out = []
+        while self._queue and len(out) < max_entries:
+            out.append(self._queue.popleft())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, from-scratch DES engine in the style of simpy:
+
+- :class:`~repro.sim.core.Simulator` — binary-heap event loop with
+  deterministic FIFO tie-breaking for simultaneous events.
+- :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.Timeout` —
+  one-shot waitables.
+- :class:`~repro.sim.process.Process` — generator-based cooperative
+  processes with interrupt support.
+- :mod:`~repro.sim.resources` — semaphores, FIFO stores, and the O(1)
+  "next-free-time" :class:`~repro.sim.resources.Pipeline` used to model
+  NIC and CPU service stages.
+- :mod:`~repro.sim.stats` — time-series probes, counters, and latency
+  reservoirs.
+
+The I/O hot path of the RDMA model is callback-based (no generator
+resumption per event) so that multi-million-event runs stay tractable in
+pure Python.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Pipeline, Semaphore, Store
+from repro.sim.stats import Counter, LatencyHistogram, LatencyReservoir, TimeSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyHistogram",
+    "LatencyReservoir",
+    "Pipeline",
+    "Process",
+    "Semaphore",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+]

@@ -1,0 +1,124 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns simulated time and a binary heap of scheduled
+callbacks.  Entries are ``(time, seq, fn, args)`` tuples; ``seq`` is a
+monotone counter so simultaneous events run in schedule order, which makes
+every run fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A discrete-event simulator with a callback heap.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second in")
+        sim.process(my_generator(sim))
+        sim.run(until=10.0)
+
+    Time is a float in *seconds*.  ``run(until=t)`` executes every event
+    with timestamp <= t and leaves ``now == t``.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (time={time}, now={self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # Waitable factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        """An event that succeeds when the first of ``events`` does."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events) -> AllOf:
+        """An event that succeeds when every one of ``events`` has."""
+        return AllOf(self, list(events))
+
+    def process(self, gen: Generator) -> Process:
+        """Spawn a cooperative process from generator ``gen``."""
+        return Process(self, gen)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns False when the heap is empty.
+        """
+        if not self._heap:
+            return False
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = time
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the heap drains or ``until`` is reached.
+
+        With ``until`` set, every event with timestamp <= ``until`` runs
+        and ``now`` is advanced to exactly ``until`` afterwards.
+        """
+        heap = self._heap
+        if until is None:
+            while heap:
+                time, _seq, fn, args = heapq.heappop(heap)
+                self._now = time
+                fn(*args)
+            return
+        if until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while heap and heap[0][0] <= until:
+            time, _seq, fn, args = heapq.heappop(heap)
+            self._now = time
+            fn(*args)
+        self._now = until
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next scheduled event, or None if idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

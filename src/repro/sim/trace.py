@@ -1,0 +1,106 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects typed protocol events — period starts, pool
+claims, conversions, estimator updates — with their simulated
+timestamps, for debugging and for the narrative examples.  Tracing is
+opt-in: components default to :data:`NULL_TRACER`, whose ``emit`` is a
+no-op, so the hot path pays a single attribute access when disabled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any]
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time * 1e3:10.4f} ms] {self.category}.{self.event} {details}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered.
+
+    ``categories=None`` records everything; otherwise only the listed
+    categories.  ``max_records`` bounds memory: the oldest half is
+    dropped when the cap is reached (counts stay exact).
+    """
+
+    def __init__(
+        self,
+        sim,
+        categories: Optional[Iterable[str]] = None,
+        max_records: int = 100_000,
+    ):
+        if max_records < 2:
+            raise ValueError(f"max_records must be >= 2, got {max_records}")
+        self.sim = sim
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self.counts: Counter = Counter()
+        self.dropped = 0
+
+    def enabled_for(self, category: str) -> bool:
+        """Whether events of ``category`` are recorded."""
+        return self.categories is None or category in self.categories
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        """Record one event (no-op if the category is filtered out)."""
+        if not self.enabled_for(category):
+            return
+        self.counts[f"{category}.{event}"] += 1
+        if len(self.records) >= self.max_records:
+            drop = len(self.records) // 2
+            self.records = self.records[drop:]
+            self.dropped += drop
+        self.records.append(
+            TraceRecord(time=self.sim.now, category=category, event=event,
+                        fields=fields)
+        )
+
+    def filter(self, category: Optional[str] = None,
+               event: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given category and/or event name."""
+        return [
+            r for r in self.records
+            if (category is None or r.category == category)
+            and (event is None or r.event == event)
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Exact event counts (survives record eviction)."""
+        return dict(self.counts)
+
+
+class _NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    __slots__ = ()
+
+    def enabled_for(self, category: str) -> bool:
+        return False
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        pass
+
+    def filter(self, category=None, event=None):
+        return []
+
+    def summary(self):
+        return {}
+
+
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,36 @@
+"""Workload generation: request patterns, reservation distributions,
+YCSB-style key generators, client application drivers, and background
+(congestion) traffic.
+"""
+
+from repro.workloads.app import BurstApp, ConstantRateApp, PoissonApp
+from repro.workloads.background import BackgroundJob
+from repro.workloads.patterns import RequestPattern
+from repro.workloads.reservations import (
+    spike_distribution,
+    uniform_distribution,
+    zipf_group_distribution,
+)
+from repro.workloads.ycsb import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WorkloadSpec,
+    YCSBWorkload,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "BackgroundJob",
+    "BurstApp",
+    "ConstantRateApp",
+    "PoissonApp",
+    "RequestPattern",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "WorkloadSpec",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "spike_distribution",
+    "uniform_distribution",
+    "zipf_group_distribution",
+]

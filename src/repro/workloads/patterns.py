@@ -1,0 +1,37 @@
+"""Temporal request patterns (paper Sec. III-B, Experiment 1C).
+
+Two patterns drive the whole evaluation:
+
+- **burst**: the client fires an initial burst of 64 requests and keeps
+  64 outstanding until its per-period demand is exhausted, then idles
+  until the next period;
+- **constant-rate**: the per-period demand is issued at equal time
+  spacing across the period.
+
+The enum is consumed by the app drivers in :mod:`repro.workloads.app`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RequestPattern(enum.Enum):
+    """How a client spaces its per-period demand in time.
+
+    BURST and CONSTANT_RATE are the paper's two patterns; POISSON is an
+    extension: an open-loop memoryless arrival process.
+    """
+
+    BURST = "burst"
+    CONSTANT_RATE = "constant_rate"
+    POISSON = "poisson"
+
+    @property
+    def keeps_queue(self) -> bool:
+        """True for patterns that hold a standing outstanding window."""
+        return self is RequestPattern.BURST
+
+
+# The paper's standing window for burst clients (Experiment 1A).
+BURST_WINDOW = 64

@@ -1,0 +1,241 @@
+"""A YCSB-style workload core (key choosers + operation mixes).
+
+Implements the generators the Yahoo! Cloud Serving Benchmark uses to
+pick keys — uniform, zipfian (the Gray et al. rejection-free algorithm
+YCSB ships), and scrambled zipfian (zipfian popularity spread over the
+whole keyspace by hashing) — plus the standard workload mixes A-F as
+:class:`WorkloadSpec` presets.  The paper replays 4 KB *reads*; the
+examples exercise the full mixes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer, as used by YCSB's scrambled zipfian."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value >>= 8
+    return h
+
+
+class UniformGenerator:
+    """Uniform key chooser over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, seed: int = 0):
+        if item_count < 1:
+            raise ConfigError(f"item_count must be >= 1, got {item_count}")
+        self.item_count = item_count
+        self._rng = make_rng(seed, "uniform")
+
+    def next(self) -> int:
+        """The next key."""
+        return self._rng.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """YCSB's zipfian generator (popular keys are the small integers).
+
+    Uses the closed-form quantile approximation from Gray et al.,
+    "Quickly Generating Billion-Record Synthetic Databases": after
+    precomputing the harmonic number ``zeta(n, theta)`` once, each draw
+    is O(1).
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99, seed: int = 0):
+        if item_count < 1:
+            raise ConfigError(f"item_count must be >= 1, got {item_count}")
+        if not 0 < theta < 1:
+            raise ConfigError(f"theta must be in (0, 1), got {theta}")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = make_rng(seed, "zipfian")
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if item_count <= 2:
+            # The closed-form quantile degenerates for tiny keyspaces;
+            # fall back to a direct weighted draw.
+            self._eta = 0.0
+        else:
+            self._eta = (1.0 - (2.0 / item_count) ** (1.0 - theta)) / (
+                1.0 - self._zeta2 / self._zetan
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """The next key (0 is the most popular)."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0 or self.item_count == 1:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta or self.item_count == 2:
+            return 1
+        key = int(
+            self.item_count * (self._eta * u - self._eta + 1.0) ** self._alpha
+        )
+        return min(key, self.item_count - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread uniformly over the keyspace via FNV."""
+
+    def __init__(self, item_count: int, theta: float = 0.99, seed: int = 0):
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, theta=theta, seed=seed)
+
+    def next(self) -> int:
+        """The next key (hot keys scattered across the keyspace)."""
+        return fnv1a_64(self._zipf.next()) % self.item_count
+
+
+class LatestGenerator:
+    """YCSB's "latest" distribution: recency-skewed popularity.
+
+    Zipfian over the *distance from the most recently inserted key*, so
+    fresh records are hottest.  Call :meth:`advance` when an insert
+    lands (YCSBWorkload does this automatically).
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99, seed: int = 0):
+        if item_count < 1:
+            raise ConfigError(f"item_count must be >= 1, got {item_count}")
+        self.item_count = item_count
+        self._zipf = ZipfianGenerator(item_count, theta=theta, seed=seed)
+
+    def advance(self, new_item_count: int) -> None:
+        """Record that the keyspace grew (an insert happened)."""
+        if new_item_count < self.item_count:
+            raise ConfigError("keyspace cannot shrink")
+        self.item_count = new_item_count
+
+    def next(self) -> int:
+        """The next key; the newest keys dominate."""
+        offset = self._zipf.next() % self.item_count
+        return self.item_count - 1 - offset
+
+
+class HotspotGenerator:
+    """A hot set served with high probability (YCSB's hotspot model).
+
+    ``hot_fraction`` of the keyspace receives ``hot_opn_fraction`` of
+    the operations, uniformly within each region.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        hot_fraction: float = 0.2,
+        hot_opn_fraction: float = 0.8,
+        seed: int = 0,
+    ):
+        if item_count < 1:
+            raise ConfigError(f"item_count must be >= 1, got {item_count}")
+        if not 0 < hot_fraction <= 1:
+            raise ConfigError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+        if not 0 <= hot_opn_fraction <= 1:
+            raise ConfigError(
+                f"hot_opn_fraction must be in [0, 1], got {hot_opn_fraction}"
+            )
+        self.item_count = item_count
+        self.hot_count = max(1, int(item_count * hot_fraction))
+        self.hot_opn_fraction = hot_opn_fraction
+        self._rng = make_rng(seed, "hotspot")
+
+    def next(self) -> int:
+        """The next key (hot set = the low key range)."""
+        if self._rng.random() < self.hot_opn_fraction:
+            return self._rng.randrange(self.hot_count)
+        if self.hot_count == self.item_count:
+            return self._rng.randrange(self.item_count)
+        return self._rng.randrange(self.hot_count, self.item_count)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """An operation mix in the style of the YCSB core workloads."""
+
+    name: str
+    read_proportion: float
+    update_proportion: float
+    insert_proportion: float = 0.0
+    # "zipfian" | "uniform" | "scrambled" | "latest" | "hotspot"
+    distribution: str = "zipfian"
+
+    def __post_init__(self) -> None:
+        total = self.read_proportion + self.update_proportion + self.insert_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"workload {self.name} proportions sum to {total}")
+
+
+# The standard presets (YCSB core workloads).
+WORKLOAD_A = WorkloadSpec("A", read_proportion=0.5, update_proportion=0.5)
+WORKLOAD_B = WorkloadSpec("B", read_proportion=0.95, update_proportion=0.05)
+WORKLOAD_C = WorkloadSpec("C", read_proportion=1.0, update_proportion=0.0)
+WORKLOAD_D = WorkloadSpec(
+    "D", read_proportion=0.95, update_proportion=0.0, insert_proportion=0.05,
+    distribution="latest",  # YCSB-D reads the latest records
+)
+WORKLOAD_F = WorkloadSpec("F", read_proportion=0.5, update_proportion=0.5)
+
+# The paper's replay: 100% 4 KB reads over a pre-populated store.
+WORKLOAD_PAPER = WorkloadSpec("paper-read", read_proportion=1.0, update_proportion=0.0)
+
+
+class YCSBWorkload:
+    """Streams (operation, key) pairs for a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, item_count: int, seed: int = 0):
+        self.spec = spec
+        self.item_count = item_count
+        self._op_rng = make_rng(seed, "ops", spec.name)
+        if spec.distribution == "zipfian":
+            self._keys = ZipfianGenerator(item_count, seed=seed)
+        elif spec.distribution == "scrambled":
+            self._keys = ScrambledZipfianGenerator(item_count, seed=seed)
+        elif spec.distribution == "uniform":
+            self._keys = UniformGenerator(item_count, seed=seed)
+        elif spec.distribution == "latest":
+            self._keys = LatestGenerator(item_count, seed=seed)
+        elif spec.distribution == "hotspot":
+            self._keys = HotspotGenerator(item_count, seed=seed)
+        else:
+            raise ConfigError(f"unknown distribution {spec.distribution!r}")
+        self._insert_cursor = item_count
+
+    def next_op(self) -> Tuple[str, int]:
+        """The next (operation, key) pair."""
+        u = self._op_rng.random()
+        spec = self.spec
+        if u < spec.read_proportion:
+            return "read", self._keys.next()
+        if u < spec.read_proportion + spec.update_proportion:
+            return "update", self._keys.next()
+        key = self._insert_cursor
+        self._insert_cursor += 1
+        if isinstance(self._keys, LatestGenerator):
+            self._keys.advance(self._insert_cursor)
+        return "insert", key
+
+    def next_key(self) -> int:
+        """Just a key (the paper's read-only replay path)."""
+        return self._keys.next()
+
+    def stream(self, count: int) -> Iterator[Tuple[str, int]]:
+        """Yield ``count`` operations."""
+        for _ in range(count):
+            yield self.next_op()

@@ -1,0 +1,69 @@
+"""Reservation checks and orderings."""
+
+import pytest
+
+from repro.analysis import meets_reservation, who_wins
+
+
+class FakeResult:
+    def __init__(self, kiops_by_client):
+        self._k = kiops_by_client
+
+    def client_kiops(self, name):
+        return self._k[name]
+
+
+def test_meets_reservation_per_client():
+    result = FakeResult({"C1": 250.0, "C2": 90.0})
+    verdict = meets_reservation(result, [236_000, 100_000])
+    assert verdict == {"C1": True, "C2": False}
+
+
+def test_meets_reservation_tolerance():
+    result = FakeResult({"C1": 99.5})
+    assert meets_reservation(result, [100_000], tolerance=0.01)["C1"]
+    assert not meets_reservation(result, [100_000], tolerance=0.001)["C1"]
+
+
+def test_who_wins_clear_winner():
+    assert who_wins({"haechi": 1554, "basic": 1177}) == "haechi"
+
+
+def test_who_wins_tie_within_margin():
+    assert who_wins({"haechi": 1554, "bare": 1570}, margin=0.02) == "tie"
+
+
+def test_who_wins_requires_contestants():
+    with pytest.raises(ValueError):
+        who_wins({})
+
+
+class TestJainFairness:
+    def test_equal_shares_score_one(self):
+        from repro.analysis import jain_fairness
+
+        assert jain_fairness([10, 10, 10, 10]) == pytest.approx(1.0)
+
+    def test_single_hog_scores_one_over_n(self):
+        from repro.analysis import jain_fairness
+
+        assert jain_fairness([100, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_intermediate_skew(self):
+        from repro.analysis import jain_fairness
+
+        index = jain_fairness([30, 10, 10, 10])
+        assert 0.25 < index < 1.0
+
+    def test_all_zero_is_fair(self):
+        from repro.analysis import jain_fairness
+
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_validation(self):
+        from repro.analysis import jain_fairness
+
+        with pytest.raises(ValueError):
+            jain_fairness([])
+        with pytest.raises(ValueError):
+            jain_fairness([-1, 1])

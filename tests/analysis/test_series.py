@@ -1,0 +1,40 @@
+"""Series shape metrics."""
+
+import pytest
+
+from repro.analysis import mean_of, recovery_time, relative_drop, step_change
+
+
+def test_mean_of_window():
+    assert mean_of([1, 2, 3, 4], 1, 3) == 2.5
+    with pytest.raises(ValueError):
+        mean_of([1, 2], 2, 2)
+
+
+def test_step_change_detects_level_shift():
+    series = [100] * 10 + [80] * 10
+    assert step_change(series, switch=10) == pytest.approx(-20)
+
+
+def test_step_change_guard_skips_transient():
+    series = [100] * 10 + [50] + [80] * 9  # one-period transient dip
+    assert step_change(series, switch=10, guard=1) == pytest.approx(-20)
+
+
+def test_step_change_bounds():
+    with pytest.raises(ValueError):
+        step_change([1, 2, 3], switch=3)
+
+
+def test_recovery_time():
+    series = [50, 60, 70, 80, 90, 100]
+    assert recovery_time(series, target=80, start=0) == 3
+    assert recovery_time(series, target=80, start=3) == 0
+    assert recovery_time(series, target=999) == len(series)
+
+
+def test_relative_drop():
+    assert relative_drop(100, 87) == pytest.approx(0.13)
+    assert relative_drop(100, 120) == 0.0
+    with pytest.raises(ValueError):
+        relative_drop(0, 1)

@@ -1,0 +1,31 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+def test_alignment_and_content():
+    lines = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+    assert lines == [
+        "name  value",
+        "   a      1",
+        "bbbb     22",
+    ]
+
+
+def test_header_wider_than_cells():
+    lines = format_table(["a_long_header"], [["x"]])
+    assert lines[0] == "a_long_header"
+    assert lines[1].endswith("x")
+    assert len(lines[1]) == len(lines[0])
+
+
+def test_empty_rows_renders_header_only():
+    lines = format_table(["a", "b"], [])
+    assert lines == ["a  b"]
+
+
+def test_mismatched_row_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])

@@ -1,0 +1,120 @@
+"""Server-centric QoS baseline on the two-sided path."""
+
+import pytest
+
+from repro.baselines import ServerQoSScheduler
+from repro.common.errors import ConfigError, QoSError
+from repro.common.types import AccessMode, QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.experiment import attach_app, run_experiment
+from repro.cluster.scale import SimScale
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def build_scheduled(reservations_ops, demands_ops, num_clients=None):
+    """A two-sided cluster with the server-side scheduler installed."""
+    num_clients = num_clients or len(demands_ops)
+    cluster = build_cluster(
+        num_clients, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+    )
+    scheduler = ServerQoSScheduler(cluster.data_node, cluster.config.period)
+    for i, reservation in enumerate(reservations_ops):
+        scheduler.add_client(
+            f"C{i+1}", cluster.config.tokens_per_period(reservation)
+        )
+    from repro.workloads.patterns import RequestPattern
+
+    for i, demand in enumerate(demands_ops):
+        attach_app(cluster, cluster.clients[i], RequestPattern.BURST,
+                   demand_ops=demand, access=AccessMode.TWO_SIDED)
+    scheduler.start()
+    return cluster, scheduler
+
+
+class TestReservationEnforcement:
+    def test_reservations_met_under_contention(self):
+        # two-sided capacity is 427 KIOPS; give C1 a 200 K reservation
+        reservations = [200_000, 50_000, 50_000, 50_000]
+        demands = [500_000] * 4  # everyone greedy
+        cluster, _ = build_scheduled(reservations, demands)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        for i, reservation in enumerate(reservations):
+            assert result.client_kiops(f"C{i+1}") * 1000 >= reservation * 0.97
+
+    def test_bare_two_sided_cannot_differentiate(self):
+        """Without the scheduler the same workload splits evenly."""
+        cluster = build_cluster(
+            4, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+        )
+        from repro.workloads.patterns import RequestPattern
+
+        for client in cluster.clients:
+            attach_app(cluster, client, RequestPattern.BURST,
+                       demand_ops=500_000, access=AccessMode.TWO_SIDED)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        shares = [result.client_kiops(f"C{i+1}") for i in range(4)]
+        assert max(shares) - min(shares) < 0.05 * max(shares)
+
+    def test_work_conserving_when_reserved_client_idles(self):
+        reservations = [300_000, 50_000]
+        demands = [20_000, 500_000]  # C1 barely uses its big reservation
+        cluster, _ = build_scheduled(reservations, demands)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        # C2 soaks up the unused capacity far beyond its reservation
+        assert result.client_kiops("C2") * 1000 > 300_000
+        assert result.total_kiops() == pytest.approx(
+            20 + result.client_kiops("C2"), rel=0.05
+        )
+
+    def test_throughput_stays_at_two_sided_saturation(self):
+        reservations = [100_000] * 4
+        demands = [500_000] * 4
+        cluster, scheduler = build_scheduled(reservations, demands)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        assert result.total_kiops() == pytest.approx(427, rel=0.04)
+        assert scheduler.total_served > 0
+
+
+class TestValidation:
+    def test_duplicate_client_rejected(self):
+        cluster = build_cluster(
+            1, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+        )
+        scheduler = ServerQoSScheduler(cluster.data_node, cluster.config.period)
+        scheduler.add_client("C1", 10)
+        with pytest.raises(QoSError):
+            scheduler.add_client("C1", 10)
+
+    def test_negative_reservation_rejected(self):
+        cluster = build_cluster(
+            1, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+        )
+        scheduler = ServerQoSScheduler(cluster.data_node, cluster.config.period)
+        with pytest.raises(QoSError):
+            scheduler.add_client("C1", -1)
+
+    def test_bad_period_rejected(self):
+        cluster = build_cluster(
+            1, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+        )
+        with pytest.raises(ConfigError):
+            ServerQoSScheduler(cluster.data_node, 0.0)
+
+    def test_double_start_rejected(self):
+        cluster = build_cluster(
+            1, QoSMode.BARE, scale=SCALE, access=AccessMode.TWO_SIDED
+        )
+        scheduler = ServerQoSScheduler(cluster.data_node, cluster.config.period)
+        scheduler.start()
+        with pytest.raises(QoSError):
+            scheduler.start()
+
+    def test_unregistered_client_served_best_effort(self):
+        cluster, _ = build_scheduled([100_000], [300_000], num_clients=2)
+        from repro.workloads.patterns import RequestPattern
+
+        attach_app(cluster, cluster.clients[1], RequestPattern.BURST,
+                   demand_ops=300_000, access=AccessMode.TWO_SIDED)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=3)
+        assert result.client_kiops("C2") > 0

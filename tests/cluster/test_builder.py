@@ -1,0 +1,110 @@
+"""Cluster assembly validation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import AccessMode, QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.scale import SimScale
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def test_bare_cluster_has_no_qos_machinery():
+    cluster = build_cluster(3, QoSMode.BARE, scale=SCALE)
+    assert cluster.monitor is None
+    assert cluster.admission is None
+    assert all(c.engine is None for c in cluster.clients)
+    assert len(cluster.clients) == 3
+
+
+def test_haechi_cluster_wires_engines_and_monitor():
+    cluster = build_cluster(
+        2, QoSMode.HAECHI, reservations_ops=[100_000, 50_000], scale=SCALE
+    )
+    assert cluster.monitor is not None
+    assert cluster.admission is not None
+    for c in cluster.clients:
+        assert c.engine is not None
+    assert cluster.monitor.total_reserved == 150  # tokens at 1 ms periods
+
+
+def test_client_names_follow_paper_numbering():
+    cluster = build_cluster(3, QoSMode.BARE, scale=SCALE)
+    assert [c.name for c in cluster.clients] == ["C1", "C2", "C3"]
+
+
+def test_basic_haechi_disables_conversion():
+    cluster = build_cluster(
+        2, QoSMode.BASIC_HAECHI, reservations_ops=[100_000, 50_000], scale=SCALE
+    )
+    assert not cluster.config.token_conversion
+
+
+def test_qos_requires_reservations():
+    with pytest.raises(ConfigError):
+        build_cluster(2, QoSMode.HAECHI, scale=SCALE)
+    with pytest.raises(ConfigError):
+        build_cluster(2, QoSMode.HAECHI, reservations_ops=[100_000], scale=SCALE)
+
+
+def test_qos_requires_one_sided():
+    with pytest.raises(ConfigError):
+        build_cluster(
+            2,
+            QoSMode.HAECHI,
+            reservations_ops=[1000, 1000],
+            scale=SCALE,
+            access=AccessMode.TWO_SIDED,
+        )
+
+
+def test_limits_length_checked():
+    with pytest.raises(ConfigError):
+        build_cluster(
+            2,
+            QoSMode.HAECHI,
+            reservations_ops=[1000, 1000],
+            limits_ops=[2000],
+            scale=SCALE,
+        )
+
+
+def test_submitter_routes_through_engine_when_present():
+    cluster = build_cluster(
+        1, QoSMode.HAECHI, reservations_ops=[100_000], scale=SCALE
+    )
+    client = cluster.clients[0]
+    assert client.submitter() == client.engine.submit
+
+
+def test_start_twice_rejected():
+    cluster = build_cluster(1, QoSMode.BARE, scale=SCALE)
+    cluster.start()
+    with pytest.raises(ConfigError):
+        cluster.start()
+
+
+def test_background_job_gets_own_host():
+    cluster = build_cluster(1, QoSMode.BARE, scale=SCALE)
+    hosts_before = len(cluster.fabric.hosts)
+    job = cluster.add_background_job(schedule=[(0.0, 1.0)], rate_ops=1000)
+    assert len(cluster.fabric.hosts) == hosts_before + 1
+    assert cluster.background_jobs == [job]
+
+
+def test_num_clients_validated():
+    with pytest.raises(ConfigError):
+        build_cluster(0, QoSMode.BARE, scale=SCALE)
+
+
+def test_conflicting_config_rejected():
+    config = SCALE.config(token_conversion=True)
+    with pytest.raises(ConfigError):
+        build_cluster(
+            1,
+            QoSMode.BASIC_HAECHI,
+            reservations_ops=[1000],
+            scale=SCALE,
+            config=config,
+        )

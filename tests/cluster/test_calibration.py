@@ -1,0 +1,33 @@
+"""Calibration constants match the paper's Sec. III-B."""
+
+import pytest
+
+from repro.cluster.calibration import CHAMELEON
+
+
+def test_one_sided_limits():
+    assert CHAMELEON.one_sided_client == 400_000
+    assert CHAMELEON.one_sided_system == 1_570_000
+
+
+def test_two_sided_limits():
+    assert CHAMELEON.two_sided_client == 327_000
+    assert CHAMELEON.two_sided_system == 427_000
+
+
+def test_mode_selectors():
+    assert CHAMELEON.client_limit(one_sided=True) == 400_000
+    assert CHAMELEON.client_limit(one_sided=False) == 327_000
+    assert CHAMELEON.system_limit(one_sided=True) == 1_570_000
+    assert CHAMELEON.system_limit(one_sided=False) == 427_000
+
+
+def test_saturation_needs_about_four_one_sided_clients():
+    """The paper's observation: ~4 clients saturate the one-sided path."""
+    ratio = CHAMELEON.one_sided_system / CHAMELEON.one_sided_client
+    assert 3.9 <= ratio <= 4.0
+
+
+def test_two_sided_saturates_with_two_clients():
+    ratio = CHAMELEON.two_sided_system / CHAMELEON.two_sided_client
+    assert 1.0 < ratio < 2.0

@@ -1,0 +1,126 @@
+"""Experiment runner and result units."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.experiment import attach_app, run_experiment
+from repro.cluster.scale import SimScale
+from repro.workloads.patterns import RequestPattern
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def small_bare_cluster(n=2):
+    return build_cluster(n, QoSMode.BARE, scale=SCALE)
+
+
+def test_run_collects_per_client_period_counts():
+    cluster = small_bare_cluster()
+    for client in cluster.clients:
+        attach_app(cluster, client, RequestPattern.BURST, demand_ops=50_000)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=3)
+    assert set(result.client_period_counts) == {"C1", "C2"}
+    assert len(result.client_period_counts["C1"]) == 3
+    # demand 50 tokens/period, easily completed
+    assert all(c == 50 for c in result.client_period_counts["C1"])
+
+
+def test_kiops_units_match_paper_scale():
+    cluster = small_bare_cluster(1)
+    attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+               demand_ops=100_000)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=2)
+    assert result.client_kiops("C1") == pytest.approx(100.0, rel=0.05)
+    assert result.total_kiops() == pytest.approx(100.0, rel=0.05)
+
+
+def test_timeline_series_lengths():
+    cluster = small_bare_cluster()
+    for client in cluster.clients:
+        attach_app(cluster, client, RequestPattern.BURST, demand_ops=10_000)
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=4)
+    assert len(result.total_kiops_series()) == 4
+    assert len(result.client_kiops_series("C1")) == 4
+
+
+def test_paper_count_rescaling():
+    cluster = small_bare_cluster(1)
+    attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+               demand_ops=100_000)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=2)
+    # 100 tokens per 1 ms period -> 100_000 per paper second
+    assert result.client_paper_count("C1") == pytest.approx(100_000, rel=0.05)
+
+
+def test_monitor_records_surface_in_result():
+    cluster = build_cluster(
+        1, QoSMode.HAECHI, reservations_ops=[100_000], scale=SCALE
+    )
+    attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+               demand_ops=50_000, window=None)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=3)
+    assert result.monitor_records
+    assert all(rec["period"] > 1 for rec in result.monitor_records)
+    assert result.estimator_history
+
+
+def test_latency_summaries_present():
+    cluster = small_bare_cluster(1)
+    attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+               demand_ops=50_000)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=2)
+    summary = result.client_latency["C1"]
+    assert summary["count"] > 0
+    assert summary["mean"] > 0
+
+
+def test_attach_app_demand_exclusivity():
+    cluster = small_bare_cluster(1)
+    with pytest.raises(ConfigError):
+        attach_app(cluster, cluster.clients[0], RequestPattern.BURST)
+    with pytest.raises(ConfigError):
+        attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+                   demand_ops=10, demand_fn=lambda p: 10)
+
+
+def test_attach_app_demand_fn_used():
+    cluster = small_bare_cluster(1)
+    attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+               demand_fn=lambda p: 20 if p % 2 == 0 else 0)
+    result = run_experiment(cluster, warmup_periods=0, measure_periods=4)
+    counts = result.client_period_counts["C1"]
+    assert sorted(counts) == [0, 0, 20, 20]
+
+
+def test_window_validation():
+    with pytest.raises(ConfigError):
+        run_experiment(small_bare_cluster(1), warmup_periods=-1)
+    with pytest.raises(ConfigError):
+        run_experiment(small_bare_cluster(1), measure_periods=0)
+
+
+def test_default_keys_sweep_store():
+    cluster = small_bare_cluster(1)
+    app = attach_app(cluster, cluster.clients[0], RequestPattern.BURST,
+                     demand_ops=10_000)
+    keys = [app.key_fn() for _ in range(5)]
+    assert keys == [0, 1, 2, 3, 4]
+
+
+def test_attach_poisson_pattern():
+    from repro.workloads.app import PoissonApp
+
+    cluster = small_bare_cluster(2)
+    for client in cluster.clients:
+        attach_app(cluster, client, RequestPattern.POISSON,
+                   demand_ops=100_000)
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+    assert isinstance(cluster.clients[0].app, PoissonApp)
+    # open-loop Poisson realizes ~the demand rate over several periods
+    assert result.client_kiops("C1") == pytest.approx(100.0, rel=0.25)
+    # distinct per-client streams
+    counts0 = result.client_period_counts["C1"]
+    counts1 = result.client_period_counts["C2"]
+    assert counts0 != counts1

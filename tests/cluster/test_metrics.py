@@ -1,0 +1,80 @@
+"""Metrics collection at period boundaries."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.metrics import ClientMetrics, MetricsCollector
+
+
+class TestClientMetrics:
+    def test_record_splits_ok_and_failed(self):
+        m = ClientMetrics("c")
+        m.record(True, 1e-6)
+        m.record(False, 2e-6)
+        assert m.completed.total == 1
+        assert m.failed.total == 1
+        assert m.latency.count == 2
+
+    def test_sample_period_returns_delta(self):
+        m = ClientMetrics("c")
+        m.record(True, 1e-6)
+        m.record(True, 1e-6)
+        assert m.sample_period() == 2
+        m.record(True, 1e-6)
+        assert m.sample_period() == 1
+        assert m.period_counts == [2, 1]
+
+    def test_reset_window_keeps_totals(self):
+        m = ClientMetrics("c")
+        m.record(True, 1e-6)
+        m.sample_period()
+        m.reset_window()
+        assert m.period_counts == []
+        assert m.completed.total == 1
+        assert m.latency.count == 0
+
+
+class TestMetricsCollector:
+    def test_samples_every_period(self, sim):
+        collector = MetricsCollector(sim, period=1.0)
+        metrics = collector.register("c1")
+        sim.schedule(0.5, metrics.record, True, 1e-6)
+        sim.schedule(1.5, metrics.record, True, 1e-6)
+        sim.schedule(1.6, metrics.record, True, 1e-6)
+        sim.run(until=3.0)
+        assert metrics.period_counts == [1, 2, 0]
+        assert collector.period_totals == [1, 2, 0]
+
+    def test_totals_sum_over_clients(self, sim):
+        collector = MetricsCollector(sim, period=1.0)
+        a = collector.register("a")
+        b = collector.register("b")
+        sim.schedule(0.1, a.record, True, 1e-6)
+        sim.schedule(0.2, b.record, True, 1e-6)
+        sim.run(until=1.0)
+        assert collector.period_totals == [2]
+
+    def test_register_is_idempotent(self, sim):
+        collector = MetricsCollector(sim, period=1.0)
+        assert collector.register("x") is collector.register("x")
+
+    def test_hook_records(self, sim):
+        collector = MetricsCollector(sim, period=1.0)
+        hook = collector.hook("h")
+        hook(True, 5e-6)
+        assert collector.clients["h"].completed.total == 1
+
+    def test_reset_window_drops_warmup(self, sim):
+        collector = MetricsCollector(sim, period=1.0)
+        metrics = collector.register("c")
+        sim.schedule(0.5, metrics.record, True, 1e-6)
+        sim.run(until=1.0)
+        collector.reset_window()
+        assert collector.period_totals == []
+        sim.schedule(0.5, metrics.record, True, 1e-6)
+        sim.run(until=2.0)
+        assert collector.period_totals == [1]
+
+    def test_bad_period_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            MetricsCollector(sim, period=0.0)

@@ -1,0 +1,143 @@
+"""Multi-data-node extension."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import QoSMode
+from repro.cluster.multinode import build_multinode_cluster
+from repro.cluster.scale import SimScale
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+
+
+def run_cluster(cluster, warmup=2, measure=5):
+    cluster.start()
+    period = cluster.config.period
+    cluster.sim.run(until=cluster.sim.now + warmup * period)
+    cluster.metrics.reset_window()
+    cluster.sim.run(until=cluster.sim.now + measure * period)
+    return {
+        name: sum(m.period_counts) / len(m.period_counts) / period / 1000.0
+        for name, m in cluster.metrics.clients.items()
+    }
+
+
+class TestWiring:
+    def test_builds_n_nodes_m_clients(self):
+        cluster = build_multinode_cluster(
+            2, 3, reservations_ops=[100_000] * 3, scale=SCALE
+        )
+        assert len(cluster.nodes) == 2
+        assert len(cluster.clients) == 3
+        for client in cluster.clients:
+            assert len(client.engines) == 2
+            assert len(client.kv_clients) == 2
+
+    def test_reservation_split_across_nodes(self):
+        cluster = build_multinode_cluster(
+            2, 1, reservations_ops=[200_000], scale=SCALE
+        )
+        for node in cluster.nodes:
+            # 200K ops/s split over 2 nodes at 2 ms periods = 200 tokens
+            assert node.monitor.total_reserved == 200
+
+    def test_striping_routes_by_key(self):
+        cluster = build_multinode_cluster(
+            2, 1, reservations_ops=[100_000], scale=SCALE
+        )
+        client = cluster.clients[0]
+        cluster.start()
+        cluster.sim.run(until=0.1 * cluster.config.period)
+        done = []
+        client.submit(0, lambda ok, v, l: done.append(0))  # node 0
+        client.submit(1, lambda ok, v, l: done.append(1))  # node 1
+        cluster.sim.run(until=0.5 * cluster.config.period)
+        assert sorted(done) == [0, 1]
+        assert client.engines[0].total_completed == 1
+        assert client.engines[1].total_completed == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            build_multinode_cluster(0, 1, [1000], scale=SCALE)
+        with pytest.raises(ConfigError):
+            build_multinode_cluster(2, 2, [1000], scale=SCALE)
+        with pytest.raises(ConfigError):
+            build_multinode_cluster(
+                2, 1, [1000], scale=SCALE, qos_mode=QoSMode.BASIC_HAECHI
+            )
+
+
+class TestAggregateGuarantees:
+    def test_aggregate_capacity_doubles_with_two_nodes(self):
+        # 10 greedy clients can push ~2 x 1570 K across two data nodes,
+        # bounded by 10 x 400 K of client NICs
+        cluster = build_multinode_cluster(
+            2, 10, reservations_ops=[280_000] * 10, scale=SCALE
+        )
+        for client in cluster.clients:
+            cluster.attach_burst_app(client, demand_ops=400_000)
+        shares = run_cluster(cluster)
+        total = sum(shares.values())
+        assert total > 1600  # beyond a single node's 1570 KIOPS
+
+    def test_per_client_aggregate_reservation_met(self):
+        # C1 reserves 350 K in aggregate — more than it could ever be
+        # *guaranteed* by one node alone under contention, but within
+        # its own 400 K NIC limit (which stays a global constraint).
+        reservations = [350_000] + [200_000] * 9
+        cluster = build_multinode_cluster(
+            2, 10, reservations_ops=reservations, scale=SCALE
+        )
+        demands = [380_000] + [240_000] * 9  # greedy but under C_L
+        for i, client in enumerate(cluster.clients):
+            cluster.attach_burst_app(client, demand_ops=demands[i])
+        shares = run_cluster(cluster)
+        for i, reservation in enumerate(reservations):
+            assert shares[f"C{i+1}"] * 1000 >= reservation * 0.98
+
+    def test_single_node_multicluster_matches_flat_cluster(self):
+        cluster = build_multinode_cluster(
+            1, 2, reservations_ops=[300_000, 100_000], scale=SCALE
+        )
+        for client in cluster.clients:
+            cluster.attach_burst_app(client, demand_ops=600_000)
+        shares = run_cluster(cluster)
+        assert shares["C1"] * 1000 >= 300_000 * 0.98
+        assert shares["C2"] * 1000 >= 100_000 * 0.98
+
+    def test_bare_multinode_offers_no_guarantees(self):
+        cluster = build_multinode_cluster(
+            2, 2, reservations_ops=[300_000, 100_000], scale=SCALE,
+            qos_mode=QoSMode.BARE,
+        )
+        assert all(node.monitor is None for node in cluster.nodes)
+        for client in cluster.clients:
+            cluster.attach_burst_app(client, demand_ops=600_000, window=64)
+        shares = run_cluster(cluster)
+        # equal split regardless of the (unenforced) reservations
+        assert shares["C1"] == pytest.approx(shares["C2"], rel=0.05)
+
+
+class TestPerNodeAdaptation:
+    def test_congestion_on_one_node_adapts_only_that_node(self):
+        """Background traffic hits server1 only: its estimator adapts
+        down while server2's stays at the profiled capacity — and the
+        aggregate per-client reservations survive the hit."""
+        cluster = build_multinode_cluster(
+            2, 10, reservations_ops=[240_000] * 10, scale=SCALE
+        )
+        for client in cluster.clients:
+            cluster.attach_burst_app(client, demand_ops=390_000)
+        period = cluster.config.period
+        cluster.add_background_job(
+            node_index=0, schedule=[(0.0, 40 * period)], rate_ops=250_000
+        )
+
+        shares = run_cluster(cluster, warmup=2, measure=20)
+        est0 = cluster.nodes[0].monitor.estimator.current
+        est1 = cluster.nodes[1].monitor.estimator.current
+        # node 0 absorbed ~250K of invisible traffic; node 1 did not
+        assert est0 < est1 * 0.92
+        # aggregate reservations still met (240K/client total)
+        for i in range(10):
+            assert shares[f"C{i+1}"] * 1000 >= 240_000 * 0.97

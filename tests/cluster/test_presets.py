@@ -1,0 +1,50 @@
+"""Experiment presets (the CLI `figure` subcommand's engine)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.presets import REGISTRY, get_preset
+
+
+def test_registry_covers_key_figures():
+    for name in ("fig7", "fig9-uniform", "fig9-zipf", "fig11", "fig13",
+                 "fig16", "fig17-zipf", "fig18"):
+        assert name in REGISTRY
+        assert REGISTRY[name].description
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ConfigError, match="known:"):
+        get_preset("fig99")
+
+
+def test_fig9_preset_runs_quick():
+    summary = get_preset("fig9-uniform").run(quick=True)
+    assert summary["header"] == ["client", "reservation", "haechi", "bare"]
+    assert len(summary["rows"]) == 10
+    assert summary["totals"]["bare"] == pytest.approx(1570, rel=0.03)
+    # every Haechi client meets its uniform reservation
+    for _name, reservation, haechi, _bare in summary["rows"]:
+        assert haechi >= reservation * 0.99
+
+
+def test_fig11_preset_ordering():
+    totals = get_preset("fig11").run(quick=True)["totals"]
+    assert totals["haechi"] > totals["basic"]
+    assert totals["bare"] >= totals["haechi"] * 0.95
+
+
+def test_fig13_preset_shape():
+    summary = get_preset("fig13").run(quick=True)
+    # constant-rate beats burst for the high-reservation clients
+    for row in summary["rows"][:3]:
+        _name, _reservation, burst, rate = row
+        assert rate > burst
+
+
+def test_set4_preset_emits_series():
+    summary = get_preset("fig16").run(quick=True)
+    series = summary["series"]["total"]
+    assert len(series) == 16
+    # level shift across the midpoint switch
+    assert sum(series[:6]) / 6 > sum(series[-4:]) / 4 + 80

@@ -1,0 +1,29 @@
+"""Capacity profiling harness."""
+
+import pytest
+
+from repro.cluster.profiling import run_profiling
+from repro.cluster.scale import SimScale
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def test_profiling_finds_saturated_capacity():
+    prof = run_profiling(num_clients=10, periods=5, scale=SCALE)
+    # 1570 KIOPS at 1 ms periods = 1570 tokens/period
+    assert prof.mean == pytest.approx(1570, rel=0.02)
+
+
+def test_profiling_variance_is_small_in_simulation():
+    prof = run_profiling(num_clients=10, periods=5, scale=SCALE)
+    assert prof.stddev < 0.05 * prof.mean
+
+
+def test_single_client_profiles_at_local_limit():
+    prof = run_profiling(num_clients=1, periods=4, scale=SCALE)
+    assert prof.mean == pytest.approx(400, rel=0.02)
+
+
+def test_lower_bound_definition():
+    prof = run_profiling(num_clients=2, periods=3, scale=SCALE)
+    assert prof.lower_bound == pytest.approx(prof.mean - 3 * prof.stddev)

@@ -1,0 +1,52 @@
+"""Time-dilation arithmetic."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.scale import SimScale
+
+
+def test_default_scale():
+    scale = SimScale()
+    assert scale.factor == 100.0
+    assert scale.period == pytest.approx(0.01)
+
+
+def test_config_is_dilated():
+    scale = SimScale(factor=100)
+    config = scale.config()
+    assert config.period == pytest.approx(0.01)
+    assert config.batch_size == 10
+    assert config.time_scale == 100
+
+
+def test_config_overrides():
+    scale = SimScale(factor=100)
+    assert not scale.config(token_conversion=False).token_conversion
+
+
+def test_tokens_conversion():
+    scale = SimScale(factor=100)
+    assert scale.tokens(400_000) == 4000
+
+
+def test_kiops_is_scale_invariant():
+    # 157 K per 1 s period and 1.57 K per 10 ms period are both 157 KIOPS
+    assert SimScale(factor=1).kiops(157_000) == pytest.approx(157.0)
+    assert SimScale(factor=100).kiops(1_570) == pytest.approx(157.0)
+
+
+def test_paper_count_rescales():
+    scale = SimScale(factor=100)
+    assert scale.paper_count(1_570) == pytest.approx(157_000)
+
+
+def test_identity_scale():
+    scale = SimScale(factor=1)
+    assert scale.period == 1.0
+    assert scale.tokens(1000) == 1000
+
+
+def test_bad_factor_rejected():
+    with pytest.raises(ConfigError):
+        SimScale(factor=0)

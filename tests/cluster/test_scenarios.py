@@ -1,0 +1,79 @@
+"""Canned scenario helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import QoSMode
+from repro.cluster.scenarios import (
+    TEST_SCALE,
+    bare_cluster,
+    congestion_schedule,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+
+
+class TestReservationSets:
+    def test_uniform(self):
+        res = reservation_set("uniform", 1_570_000)
+        assert res == [157_000] * 10
+
+    def test_zipf(self):
+        res = reservation_set("zipf", 1_413_000)
+        assert res[0] > res[-1]
+        assert sum(res) == pytest.approx(1_413_000, rel=0.01)
+
+    def test_spike_rescaled_to_total(self):
+        res = reservation_set("spike", 1_413_000)
+        assert res[0] == res[1] == res[2] > res[3]
+        assert sum(res) == pytest.approx(1_413_000, rel=0.01)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            reservation_set("nope", 1)
+
+
+def test_paper_demands_add_pool():
+    assert paper_demands([100, 200], 50) == [150, 250]
+
+
+def test_qos_cluster_attaches_apps():
+    cluster = qos_cluster(
+        reservations=[100_000, 100_000],
+        demands=[150_000, 150_000],
+        scale=TEST_SCALE,
+    )
+    assert all(c.app is not None for c in cluster.clients)
+    assert cluster.monitor is not None
+
+
+def test_qos_cluster_mode_plumbing():
+    cluster = qos_cluster(
+        reservations=[100_000],
+        demands=[100_000],
+        qos_mode=QoSMode.BASIC_HAECHI,
+        scale=TEST_SCALE,
+    )
+    assert not cluster.config.token_conversion
+
+
+def test_bare_cluster_attaches_apps():
+    cluster = bare_cluster(demands=[100_000] * 3, scale=TEST_SCALE)
+    assert cluster.monitor is None
+    assert all(c.app is not None for c in cluster.clients)
+
+
+class TestCongestionSchedule:
+    def test_onset(self):
+        sched = congestion_schedule(True, 15, 30, period=0.01)
+        assert sched[0][0] == pytest.approx(0.15)
+        assert sched[0][1] > 0.30
+
+    def test_relief(self):
+        sched = congestion_schedule(False, 15, 30, period=0.01)
+        assert sched == [(0.0, pytest.approx(0.15))]
+
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            congestion_schedule(True, 30, 30, period=0.01)

@@ -1,0 +1,28 @@
+"""Seed derivation determinism and independence."""
+
+from repro.common.rng import derive_seed, make_rng
+
+
+def test_same_path_same_seed():
+    assert derive_seed(42, "client", 3) == derive_seed(42, "client", 3)
+
+
+def test_different_paths_differ():
+    assert derive_seed(42, "client", 3) != derive_seed(42, "client", 4)
+    assert derive_seed(42, "a") != derive_seed(43, "a")
+
+
+def test_make_rng_streams_are_reproducible():
+    a = make_rng(7, "x")
+    b = make_rng(7, "x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_make_rng_streams_are_independent():
+    a = make_rng(7, "x")
+    c = make_rng(7, "y")
+    assert [a.random() for _ in range(5)] != [c.random() for _ in range(5)]
+
+
+def test_seed_fits_64_bits():
+    assert 0 <= derive_seed(0) < 2**64

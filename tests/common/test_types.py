@@ -1,0 +1,25 @@
+"""Opcode classification."""
+
+from repro.common.types import AccessMode, OpType, QoSMode
+
+
+def test_one_sided_classification():
+    assert OpType.READ.one_sided
+    assert OpType.WRITE.one_sided
+    assert OpType.FETCH_ADD.one_sided
+    assert OpType.COMPARE_SWAP.one_sided
+    assert not OpType.SEND.one_sided
+    assert not OpType.RECV.one_sided
+
+
+def test_atomic_classification():
+    assert OpType.FETCH_ADD.atomic
+    assert OpType.COMPARE_SWAP.atomic
+    assert not OpType.READ.atomic
+
+
+def test_enum_values_are_stable():
+    assert QoSMode.BARE.value == "bare"
+    assert QoSMode.BASIC_HAECHI.value == "basic_haechi"
+    assert QoSMode.HAECHI.value == "haechi"
+    assert AccessMode.ONE_SIDED.value == "one_sided"

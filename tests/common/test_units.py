@@ -1,0 +1,24 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.common.units import kiops, ms, per_second, to_kiops, us
+
+
+def test_kiops_round_trip():
+    assert kiops(400) == 400_000
+    assert to_kiops(400_000) == 400
+
+
+def test_per_second():
+    assert per_second(100, 2.0) == 50.0
+
+
+def test_per_second_rejects_bad_duration():
+    with pytest.raises(ValueError):
+        per_second(10, 0.0)
+
+
+def test_time_helpers():
+    assert us(2.5) == pytest.approx(2.5e-6)
+    assert ms(3.0) == pytest.approx(3.0e-3)

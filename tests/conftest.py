@@ -1,0 +1,61 @@
+"""Shared fixtures: a fresh simulator and small wired deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore import DataNode, KVClient
+from repro.rdma import Fabric, Host, NICProfile
+from repro.rdma.cpu import CPUProfile
+from repro.rdma.dispatch import TypeDispatcher
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+class MiniCluster:
+    """One server + N bare clients on a fabric (no QoS), for RDMA/KV tests."""
+
+    def __init__(self, sim: Simulator, num_clients: int = 1, num_slots: int = 64,
+                 materialize: bool = True):
+        self.sim = sim
+        self.fabric = Fabric(sim)
+        profile = NICProfile.chameleon()
+        self.server = self.fabric.add_host(
+            Host(sim, "server", profile, CPUProfile())
+        )
+        self.node = DataNode(self.server, num_slots=num_slots, materialize=materialize)
+        self.clients = []
+        self.client_hosts = []
+        self.server_qps = []
+        for i in range(num_clients):
+            host = self.fabric.add_host(Host(sim, f"c{i}", profile, CPUProfile()))
+            qp_cs, qp_sc = self.fabric.connect(host, self.server)
+            dispatcher = TypeDispatcher()
+            host.set_rpc_handler(dispatcher)
+            kv = KVClient(
+                f"c{i}",
+                qp_cs,
+                dispatcher,
+                layout=self.node.store.layout,
+                data_rkey=self.node.store.region.rkey,
+            )
+            self.clients.append(kv)
+            self.client_hosts.append(host)
+            self.server_qps.append(qp_sc)
+
+
+@pytest.fixture
+def mini(sim) -> MiniCluster:
+    """A 1-client mini deployment with a materialized 64-slot store."""
+    return MiniCluster(sim)
+
+
+@pytest.fixture
+def mini4(sim) -> MiniCluster:
+    """A 4-client mini deployment."""
+    return MiniCluster(sim, num_clients=4)

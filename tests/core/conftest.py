@@ -1,0 +1,37 @@
+"""Fixtures for Haechi engine/monitor tests: a small QoS deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.scale import SimScale
+
+# 1 ms periods, 50 protocol ticks per period: fast enough for unit tests.
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def make_qos_cluster(
+    reservations_ops,
+    qos_mode=QoSMode.HAECHI,
+    limits_ops=None,
+    **kwargs,
+):
+    """A QoS cluster at test scale (reservations in ops/s, paper units)."""
+    return build_cluster(
+        num_clients=len(reservations_ops),
+        qos_mode=qos_mode,
+        reservations_ops=list(reservations_ops),
+        limits_ops=limits_ops,
+        scale=SCALE,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def qos2():
+    """Two clients, 300K/100K reservations, started."""
+    cluster = make_qos_cluster([300_000, 100_000])
+    cluster.start()
+    return cluster

@@ -1,0 +1,104 @@
+"""Admission control (Definition 2)."""
+
+import pytest
+
+from repro.common.errors import AdmissionError
+from repro.core.admission import AdmissionController, local_violation
+
+
+def make():
+    # the paper's one-sided numbers, in tokens per 1 s period
+    return AdmissionController(
+        global_tokens_per_period=1_570_000, local_tokens_per_period=400_000
+    )
+
+
+def test_admit_within_both_limits():
+    ac = make()
+    ac.admit(0, 300_000)
+    assert ac.admitted[0] == 300_000
+    assert ac.total_reserved == 300_000
+
+
+def test_local_capacity_violation():
+    """A single client cannot reserve more than C_L * T."""
+    ac = make()
+    with pytest.raises(AdmissionError, match="local capacity"):
+        ac.admit(0, 400_001)
+
+
+def test_aggregate_capacity_violation():
+    ac = make()
+    for i in range(4):
+        ac.admit(i, 390_000)  # 1_560_000 total
+    with pytest.raises(AdmissionError, match="aggregate capacity"):
+        ac.admit(4, 20_000)
+
+
+def test_paper_example_2_is_admitted_but_runtime_violates():
+    """Example 2: admission passes, yet a burst schedule can violate the
+    local constraint at runtime."""
+    ac = AdmissionController(global_tokens_per_period=100, local_tokens_per_period=50)
+    ac.admit(1, 40)
+    for i in range(2, 6):
+        ac.admit(i, 10)
+    # At t = 0.5 s client 1 has completed 10 of its 40 I/Os and the
+    # remaining 30 exceed 0.5 s * C_L = 25.
+    assert local_violation(
+        reservation=40, completed=10, elapsed=0.5, period=1.0, local_rate=50
+    )
+
+
+def test_runtime_check_passes_when_on_schedule():
+    assert not local_violation(
+        reservation=40, completed=20, elapsed=0.5, period=1.0, local_rate=50
+    )
+
+
+def test_runtime_check_validates_elapsed():
+    with pytest.raises(AdmissionError):
+        local_violation(10, 0, elapsed=2.0, period=1.0, local_rate=50)
+
+
+def test_duplicate_admission_rejected():
+    ac = make()
+    ac.admit(0, 1000)
+    with pytest.raises(AdmissionError):
+        ac.admit(0, 1000)
+
+
+def test_release_frees_capacity():
+    ac = make()
+    ac.admit(0, 400_000)
+    ac.release(0)
+    assert ac.total_reserved == 0
+    ac.admit(0, 400_000)  # re-admission succeeds
+
+
+def test_release_unknown_client_rejected():
+    with pytest.raises(AdmissionError):
+        make().release(7)
+
+
+def test_headroom():
+    ac = make()
+    ac.admit(0, 570_000 // 2)
+    assert ac.headroom == 1_570_000 - 285_000
+
+
+def test_negative_reservation_rejected():
+    with pytest.raises(AdmissionError):
+        make().admit(0, -1)
+
+
+def test_zero_reservation_is_admissible():
+    ac = make()
+    ac.admit(0, 0)
+    assert ac.total_reserved == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(AdmissionError):
+        AdmissionController(0, 10)
+    with pytest.raises(AdmissionError):
+        AdmissionController(10, 0)

@@ -1,0 +1,134 @@
+"""Algorithm 1: adaptive capacity estimation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.capacity import (
+    AdaptiveCapacityEstimator,
+    ProfiledCapacity,
+    profile_capacity,
+)
+
+
+def make(mean=10_000, stddev=200, eta=100, window=5, tol=0.01):
+    return AdaptiveCapacityEstimator(
+        ProfiledCapacity(mean=mean, stddev=stddev),
+        eta=eta,
+        history_window=window,
+        saturation_tolerance=tol,
+    )
+
+
+def test_initial_estimate_is_profiled_mean():
+    est = make()
+    assert est.current == 10_000
+
+
+def test_lower_bound_is_three_sigma():
+    est = make(mean=10_000, stddev=200)
+    assert est.lower_bound == pytest.approx(9_400)
+
+
+def test_saturation_increments_by_eta():
+    est = make()
+    assert est.update(10_000) == 10_100
+    assert est.decisions[-1] == "increment"
+
+
+def test_saturation_tolerance_treats_near_full_as_equal():
+    est = make(tol=0.01)
+    est.update(9_950)  # 99.5% of the estimate
+    assert est.decisions[-1] == "increment"
+
+
+def test_midrange_sample_uses_window_mean():
+    est = make()
+    est.update(9_600)
+    assert est.decisions[-1] == "window"
+    assert est.current == 9_600
+    est.update(9_800)
+    assert est.current == 9_700
+
+
+def test_window_is_bounded_and_slides():
+    est = make(window=2)  # floor is 9_400
+    est.update(9_600)
+    est.update(9_450)
+    est.update(9_420)
+    # window holds the last two below-estimate samples
+    assert est.current == pytest.approx((9_450 + 9_420) / 2, abs=1)
+
+
+def test_low_demand_period_ignored():
+    """Below Omega_prof - 3*sigma the sample must not crater the estimate."""
+    est = make()
+    before = est.current
+    est.update(100)
+    assert est.decisions[-1] == "floor"
+    assert est.current == before
+
+
+def test_overestimation_recovers_through_window():
+    """Capacity dropped 15%: repeated real-throughput samples converge
+    (hunting between the window mean and one increment above it)."""
+    est = make(mean=10_000, stddev=500)  # floor 8_500
+    for _ in range(10):
+        est.update(8_700)
+    assert abs(est.current - 8_700) <= est.eta
+
+
+def test_underestimation_climbs_linearly():
+    """Tokens fully consumed every period: eta per period, like Fig. 19."""
+    est = make(eta=100)
+    est._current = 8_000.0
+    for _ in range(5):
+        est.update(est.current)  # clients consume every allocated token
+    assert est.current == 8_500
+
+
+def test_oscillation_settles_at_true_capacity():
+    """Increment overshoots, window mean pulls back — bounded hunting."""
+    est = make(mean=10_000, stddev=200, eta=100, tol=0.01)
+    true_capacity = 10_000
+    for _ in range(50):
+        est.update(min(est.current, true_capacity))
+    assert abs(est.current - true_capacity) <= 2 * est.eta
+
+
+def test_history_records_every_update():
+    est = make()
+    est.update(9_600)
+    est.update(9_700)
+    assert len(est.history) == 3  # initial + 2 updates
+
+
+def test_negative_completions_rejected():
+    with pytest.raises(ConfigError):
+        make().update(-1)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        AdaptiveCapacityEstimator(
+            ProfiledCapacity(mean=0, stddev=0), eta=1, history_window=1
+        )
+    with pytest.raises(ConfigError):
+        make(window=0)
+    with pytest.raises(ConfigError):
+        AdaptiveCapacityEstimator(
+            ProfiledCapacity(mean=10, stddev=1),
+            eta=1,
+            history_window=1,
+            saturation_tolerance=1.5,
+        )
+
+
+def test_profile_capacity_reduces_samples():
+    prof = profile_capacity([100, 102, 98, 100])
+    assert prof.mean == pytest.approx(100)
+    assert prof.stddev == pytest.approx(1.414, rel=0.01)
+
+
+def test_profile_capacity_requires_samples():
+    with pytest.raises(ConfigError):
+        profile_capacity([])

@@ -1,0 +1,67 @@
+"""HaechiConfig validation and time dilation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import HaechiConfig
+
+
+def test_defaults_match_paper():
+    config = HaechiConfig()
+    assert config.period == 1.0
+    assert config.mgmt_interval == pytest.approx(1e-3)
+    assert config.report_interval == pytest.approx(1e-3)
+    assert config.check_interval == pytest.approx(1e-3)
+    assert config.batch_size == 1000
+    assert config.token_conversion
+
+
+def test_paper_dilation_scales_everything():
+    config = HaechiConfig.paper(time_scale=100)
+    assert config.period == pytest.approx(0.01)
+    assert config.mgmt_interval == pytest.approx(0.01 / 1000)
+    assert config.batch_size == 10
+    assert config.eta == 100
+    assert config.time_scale == 100
+
+
+def test_interval_divisor_controls_tick_count():
+    config = HaechiConfig.paper(time_scale=100, interval_divisor=200)
+    assert config.period / config.check_interval == pytest.approx(200)
+
+
+def test_paper_overrides_win():
+    config = HaechiConfig.paper(time_scale=10, token_conversion=False)
+    assert not config.token_conversion
+
+
+def test_tokens_per_period_round_trip():
+    config = HaechiConfig.paper(time_scale=100)
+    tokens = config.tokens_per_period(400_000)
+    assert tokens == 4000
+    assert config.rate_of(tokens) == pytest.approx(400_000)
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigError):
+        HaechiConfig(period=0)
+    with pytest.raises(ConfigError):
+        HaechiConfig(mgmt_interval=2.0)  # > period
+    with pytest.raises(ConfigError):
+        HaechiConfig(batch_size=0)
+    with pytest.raises(ConfigError):
+        HaechiConfig(eta=-1)
+    with pytest.raises(ConfigError):
+        HaechiConfig(history_window=0)
+    with pytest.raises(ConfigError):
+        HaechiConfig(saturation_tolerance=1.0)
+    with pytest.raises(ConfigError):
+        HaechiConfig.paper(time_scale=0)
+    with pytest.raises(ConfigError):
+        HaechiConfig.paper(interval_divisor=5)
+
+
+def test_config_is_immutable():
+    config = HaechiConfig()
+    with pytest.raises(Exception):
+        config.period = 2.0

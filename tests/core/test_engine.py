@@ -1,0 +1,231 @@
+"""Client QoS engine behaviour."""
+
+import pytest
+
+from repro.common.errors import QoSError
+from repro.core.engine import QoSEngine
+from repro.rdma.atomics import to_signed64, unpack_report
+
+from tests.core.conftest import SCALE, make_qos_cluster
+
+
+def drain(cluster, periods=1.0):
+    cluster.sim.run(until=cluster.sim.now + periods * cluster.config.period)
+
+
+def submit_n(engine, n, sink=None):
+    for key in range(n):
+        engine.submit(key % 16, sink or (lambda ok, v, l: None))
+
+
+class TestPeriodStart:
+    def test_tokens_granted_at_period_start(self, qos2):
+        drain(qos2, 0.03)  # PeriodStart delivered, one mgmt tick at most
+        engine = qos2.clients[0].engine
+        assert engine.period_id == 1
+        # 300K ops/s at 1 ms periods = 300 tokens (minus at most one
+        # management-tick decay, since the client has no demand yet)
+        assert 294 <= engine.tokens.xi_res <= 300
+
+    def test_counters_reset_each_period(self, qos2):
+        engine = qos2.clients[0].engine
+        drain(qos2, 0.1)
+        submit_n(engine, 5)
+        drain(qos2, 1.0)
+        assert engine.period_id == 2
+        assert engine.issued_this_period == 0
+        assert engine.completed_this_period == 0
+
+
+class TestDataAccessGate:
+    def test_submit_with_tokens_issues_immediately(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[0].engine
+        before = engine.tokens.xi_res
+        submit_n(engine, 10)
+        assert engine.issued_this_period == 10
+        assert engine.tokens.xi_res == before - 10
+        assert engine.queue_depth == 0
+
+    def test_completions_counted(self, qos2):
+        drain(qos2, 0.1)
+        engine = qos2.clients[0].engine
+        done = []
+        submit_n(engine, 10, lambda ok, v, l: done.append(ok))
+        drain(qos2, 0.3)
+        assert done == [True] * 10
+        assert engine.completed_this_period == 10
+
+    def test_submit_before_first_period_queues(self):
+        cluster = make_qos_cluster([100_000])
+        engine = cluster.clients[0].engine
+        submit_n(engine, 5)
+        assert engine.queue_depth == 5
+        assert engine.issued_this_period == 0
+        cluster.start()
+        drain(cluster, 0.2)
+        assert engine.queue_depth == 0
+
+    def test_exhausted_reservation_falls_back_to_pool(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[0].engine
+        submit_n(engine, 400)  # reservation is only 300
+        drain(qos2, 0.9)
+        assert engine.faa_issued >= 1
+        assert engine.faa_granted_tokens >= 100
+        assert engine.issued_this_period == 400
+
+    def test_runaway_client_blocks_at_engine(self):
+        """Isolation: a client with a tiny reservation and an empty pool
+        cannot push I/Os past its tokens."""
+        cluster = make_qos_cluster([100_000, 100_000])
+        # shrink the estimator so there is no unreserved capacity at all
+        cluster.monitor.estimator._current = float(
+            cluster.config.tokens_per_period(200_000)
+        )
+        cluster.start()
+        drain(cluster, 0.03)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 1000)
+        drain(cluster, 0.5)
+        # bounded by the system's total tokens (its reservation plus
+        # whatever the idle peer yielded), never by its own demand
+        assert engine.issued_this_period <= 220
+        assert engine.queue_depth >= 750
+
+
+class TestLimits:
+    def test_limit_throttles_within_period(self):
+        cluster = make_qos_cluster([100_000, 100_000],
+                                   limits_ops=[150_000, None])
+        cluster.start()
+        drain(cluster, 0.1)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 500)
+        drain(cluster, 0.5)
+        assert engine.issued_this_period == 150  # L_i = 150 tokens
+        assert engine.queue_depth == 350
+
+    def test_limit_resets_next_period(self):
+        cluster = make_qos_cluster([100_000, 100_000],
+                                   limits_ops=[150_000, None])
+        cluster.start()
+        drain(cluster, 0.1)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 400)
+        drain(cluster, 1.0)  # into period 2
+        assert engine.total_submitted == 400
+        assert engine.issued_this_period >= 100
+
+    def test_limit_below_reservation_rejected(self, qos2):
+        client = qos2.clients[0]
+        with pytest.raises(QoSError):
+            QoSEngine(
+                client_id=9,
+                kv=client.kv,
+                layout=client.engine.layout,
+                config=qos2.config,
+                reservation=100,
+                limit=50,
+            )
+
+
+class TestReporting:
+    def test_reporting_inactive_until_signalled(self, qos2):
+        drain(qos2, 0.1)
+        engine = qos2.clients[0].engine
+        submit_n(engine, 10)  # within reservation: no pool touch
+        drain(qos2, 0.5)
+        assert engine.reports_written <= 2  # only final reports
+
+    def test_pool_use_triggers_reporting(self, qos2):
+        drain(qos2, 0.1)
+        engine = qos2.clients[1].engine  # reservation 100
+        submit_n(engine, 300)
+        drain(qos2, 0.6)
+        assert engine.reports_written > 3
+
+    def test_report_word_contains_obligations_and_completions(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[1].engine
+        submit_n(engine, 300)
+        drain(qos2, 0.6)
+        word = qos2.server_host.memory.backing.read_u64(
+            engine.layout.report_live_addr
+        )
+        residual, completed = unpack_report(word)
+        # the live word lags by at most one reporting tick
+        assert 0 <= engine.completed_this_period - completed <= 25
+        assert residual <= 300
+
+    def test_final_report_written_every_period(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[0].engine
+        submit_n(engine, 50)
+        drain(qos2, 0.95)  # after the final write, before the next period
+        word = qos2.server_host.memory.backing.read_u64(
+            engine.layout.report_final_addr
+        )
+        _residual, completed = unpack_report(word)
+        assert completed == 50
+
+
+class TestTokenObligations:
+    def test_obligations_cover_holdings_and_inflight(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[0].engine
+        held = engine.tokens.xi_res
+        submit_n(engine, 20)
+        assert engine.inflight_tokened == 20
+        # unspent tokens plus in-flight I/Os, nothing double counted
+        assert engine.token_obligations == held
+        drain(qos2, 0.4)
+        assert engine.inflight_tokened == 0
+        assert engine.token_obligations == engine.tokens.residual
+
+
+class TestGlobalPool:
+    def test_faa_decrements_pool_word(self, qos2):
+        drain(qos2, 0.03)
+        pool_before = to_signed64(
+            qos2.server_host.memory.backing.read_u64(qos2.monitor.pool_addr)
+        )
+        engine = qos2.clients[1].engine
+        submit_n(engine, 150)  # 100 reservation + 50 from the pool
+        qos2.sim.run(until=qos2.sim.now + 5 * qos2.config.check_interval)
+        pool_after = to_signed64(
+            qos2.server_host.memory.backing.read_u64(qos2.monitor.pool_addr)
+        )
+        assert pool_after < pool_before
+
+    def test_batched_fetch_respects_batch_size(self, qos2):
+        drain(qos2, 0.03)
+        engine = qos2.clients[1].engine
+        submit_n(engine, 101)  # needs just 1 pool token, fetches a batch
+        drain(qos2, 0.2)
+        assert engine.faa_issued >= 1
+        assert engine.faa_granted_tokens >= 1
+        # unspent local tokens never exceed one batch
+        assert engine.tokens.local_global <= qos2.config.batch_size
+
+
+class TestLimitTelemetry:
+    def test_throttle_events_counted_once_per_period(self):
+        cluster = make_qos_cluster([100_000, 100_000],
+                                   limits_ops=[150_000, None])
+        cluster.start()
+        drain(cluster, 0.1)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 500)
+        drain(cluster, 2.0)  # throttles across multiple periods
+        assert engine.limit_throttle_events >= 2
+
+    def test_no_throttle_events_below_limit(self):
+        cluster = make_qos_cluster([100_000, 100_000],
+                                   limits_ops=[150_000, None])
+        cluster.start()
+        drain(cluster, 0.1)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 50)
+        drain(cluster, 1.0)
+        assert engine.limit_throttle_events == 0

@@ -1,0 +1,140 @@
+"""Data-node QoS monitor behaviour."""
+
+import pytest
+
+from repro.common.errors import AdmissionError, QoSError
+from repro.common.types import QoSMode
+from repro.core.protocol import ControlLayout
+from repro.rdma.atomics import to_signed64
+
+from tests.core.conftest import make_qos_cluster
+
+
+def drain(cluster, periods=1.0):
+    cluster.sim.run(until=cluster.sim.now + periods * cluster.config.period)
+
+
+def pool_value(cluster):
+    return to_signed64(
+        cluster.server_host.memory.backing.read_u64(cluster.monitor.pool_addr)
+    )
+
+
+def submit_n(engine, n):
+    for key in range(n):
+        engine.submit(key % 16, lambda ok, v, l: None)
+
+
+class TestWiring:
+    def test_add_client_assigns_disjoint_layouts(self):
+        cluster = make_qos_cluster([100_000, 100_000, 100_000])
+        layouts = [c.engine.layout for c in cluster.clients]
+        addrs = set()
+        for layout in layouts:
+            assert isinstance(layout, ControlLayout)
+            assert layout.pool_addr == cluster.monitor.pool_addr
+            addrs.add(layout.report_live_addr)
+            addrs.add(layout.report_final_addr)
+        assert len(addrs) == 6  # two distinct words per client
+
+    def test_duplicate_client_rejected(self):
+        cluster = make_qos_cluster([100_000])
+        with pytest.raises(QoSError):
+            cluster.monitor.add_client(0, 100, None)
+
+    def test_admission_enforced_through_monitor(self):
+        # 5 x 400K exceeds the 1570K aggregate capacity
+        with pytest.raises(AdmissionError):
+            make_qos_cluster([400_000] * 5)
+
+    def test_local_capacity_enforced(self):
+        with pytest.raises(AdmissionError):
+            make_qos_cluster([500_000])
+
+    def test_max_clients_enforced(self):
+        cluster = make_qos_cluster([10_000])
+        cluster.monitor.max_clients = 1
+        with pytest.raises(QoSError):
+            cluster.monitor.add_client(99, 10, None)
+
+    def test_double_start_rejected(self):
+        cluster = make_qos_cluster([100_000])
+        cluster.start()
+        with pytest.raises(QoSError):
+            cluster.monitor.start()
+
+
+class TestPeriodMachinery:
+    def test_pool_initialized_to_unreserved_capacity(self, qos2):
+        drain(qos2, 0.02)
+        # estimate 1570 tokens, 400 reserved
+        assert pool_value(qos2) == qos2.monitor.estimator.current - 400
+
+    def test_period_id_increments(self, qos2):
+        drain(qos2, 2.5)
+        assert qos2.monitor.period_id == 3
+        assert qos2.clients[0].engine.period_id == 3
+
+    def test_reporting_not_triggered_without_pool_use(self, qos2):
+        drain(qos2, 0.02)
+        submit_n(qos2.clients[0].engine, 100)  # within reservation
+        drain(qos2, 0.8)
+        assert not qos2.monitor._reporting_triggered
+
+    def test_reporting_triggered_by_pool_decrease(self, qos2):
+        drain(qos2, 0.02)
+        submit_n(qos2.clients[1].engine, 200)  # 100 beyond reservation
+        drain(qos2, 0.3)
+        assert qos2.monitor._reporting_triggered
+
+    def test_conversion_updates_pool_from_remaining_capacity(self, qos2):
+        drain(qos2, 0.02)
+        submit_n(qos2.clients[1].engine, 200)
+        drain(qos2, 0.5)
+        # after conversions the pool tracks Omega*(T-t)/T - L, so it must
+        # be below the initial value late in the period
+        assert qos2.monitor.conversions > 0
+        omega = qos2.monitor.estimator.current
+        assert pool_value(qos2) <= omega
+
+    def test_period_records_track_completions(self, qos2):
+        drain(qos2, 0.02)
+        submit_n(qos2.clients[0].engine, 50)
+        submit_n(qos2.clients[1].engine, 30)
+        drain(qos2, 1.1)
+        record = qos2.monitor.period_records[0]
+        assert record["period"] == 1
+        assert record["completed"] == 80
+        assert record["per_client"][0] == 50
+        assert record["per_client"][1] == 30
+
+    def test_estimator_fed_every_period(self, qos2):
+        drain(qos2, 3.2)
+        assert len(qos2.monitor.estimator.history) == 4  # initial + 3
+
+
+class TestBasicHaechi:
+    def test_no_conversion_in_basic_mode(self):
+        cluster = make_qos_cluster(
+            [100_000, 100_000], qos_mode=QoSMode.BASIC_HAECHI
+        )
+        cluster.start()
+        drain(cluster, 0.02)
+        submit_n(cluster.clients[0].engine, 400)
+        drain(cluster, 0.9)
+        assert cluster.monitor._reporting_triggered  # reporting still runs
+        assert cluster.monitor.conversions == 0
+
+
+class TestUnderuseAlerts:
+    def test_alert_after_consecutive_underuse(self):
+        cluster = make_qos_cluster([100_000, 100_000])
+        cluster.start()
+        # client 0 only ever uses half its reservation
+        for period in range(4):
+            drain(cluster, 0.02)
+            submit_n(cluster.clients[0].engine, 50)
+            submit_n(cluster.clients[1].engine, 100)
+            drain(cluster, 0.98)
+        assert cluster.clients[0].engine.alerts_received >= 1
+        assert cluster.clients[1].engine.alerts_received == 0

@@ -1,0 +1,35 @@
+"""Control-plane message shapes."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.protocol import (
+    ControlLayout,
+    PeriodStart,
+    ReportRequest,
+    ReservationAlert,
+)
+
+
+def test_messages_are_frozen():
+    msg = PeriodStart(period_id=1, tokens=100, period_end_time=1.0)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        msg.tokens = 0
+
+
+def test_control_layout_fields():
+    layout = ControlLayout(
+        rkey=0x10, pool_addr=8, report_live_addr=16, report_final_addr=24
+    )
+    assert layout.rkey == 0x10
+    assert layout.report_final_addr - layout.report_live_addr == 8
+
+
+def test_report_request_carries_period():
+    assert ReportRequest(period_id=3).period_id == 3
+
+
+def test_alert_carries_streak():
+    alert = ReservationAlert(period_id=2, consecutive_underuse=4)
+    assert alert.consecutive_underuse == 4

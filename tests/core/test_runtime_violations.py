@@ -1,0 +1,62 @@
+"""Runtime Definition-2 detection at the monitor."""
+
+from tests.core.conftest import make_qos_cluster
+
+
+def drain(cluster, periods=1.0):
+    cluster.sim.run(until=cluster.sim.now + periods * cluster.config.period)
+
+
+def submit_n(engine, n):
+    for key in range(n):
+        engine.submit(key % 16, lambda ok, v, l: None)
+
+
+def test_starved_high_reservation_client_is_flagged():
+    """A 380 K-reservation client stuck at a ~157 K completion share
+    becomes locally infeasible mid-period (the Exp-1C effect)."""
+    cluster = make_qos_cluster([380_000] + [130_000] * 9)
+    cluster.start()
+    drain(cluster, 0.02)
+    # everyone greedy: equal share pins C1 far below its needed rate;
+    # closed-loop window keeps issuance completion-gated
+    for period in range(2):
+        for client in cluster.clients:
+            submit_n(client.engine, 600)
+        drain(cluster, 1.0)
+    violations = cluster.monitor.local_violations
+    assert violations, "expected a local-capacity violation to be flagged"
+    assert any(v["client"] == 0 for v in violations)
+
+
+def test_on_schedule_clients_are_not_flagged():
+    cluster = make_qos_cluster([200_000, 200_000])
+    cluster.start()
+    drain(cluster, 0.02)
+    for period in range(2):
+        for client in cluster.clients:
+            submit_n(client.engine, 300)
+        drain(cluster, 1.0)
+    assert cluster.monitor.local_violations == []
+
+
+def test_flagged_once_per_period():
+    cluster = make_qos_cluster([380_000] + [130_000] * 9)
+    cluster.start()
+    drain(cluster, 0.02)
+    for client in cluster.clients:
+        submit_n(client.engine, 600)
+    drain(cluster, 0.96)
+    flags = [v for v in cluster.monitor.local_violations if v["client"] == 0]
+    assert len(flags) <= 1
+
+
+def test_no_detection_without_admission_controller():
+    cluster = make_qos_cluster([380_000] + [130_000] * 9,
+                               admission_enabled=False)
+    cluster.start()
+    drain(cluster, 0.02)
+    for client in cluster.clients:
+        submit_n(client.engine, 600)
+    drain(cluster, 1.0)
+    assert cluster.monitor.local_violations == []

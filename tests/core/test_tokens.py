@@ -1,0 +1,125 @@
+"""Client token-state invariants (paper Sec. II-D and Example 1)."""
+
+import pytest
+
+from repro.common.errors import QoSError
+from repro.core.tokens import ClientTokenState
+
+
+def make(reservation=50, period=1.0):
+    state = ClientTokenState(reservation, period)
+    state.start_period(reservation)
+    return state
+
+
+def test_start_period_replaces_state():
+    state = make(50)
+    state.local_global = 10
+    state.xi_res = 3
+    state.start_period(40)
+    assert state.xi_res == 40
+    assert state.local_global == 0
+    assert state.x_bound == 40.0
+
+
+def test_consume_prefers_reservation_tokens():
+    state = make(2)
+    state.local_global = 5
+    assert state.try_consume()
+    assert state.xi_res == 1 and state.local_global == 5
+
+
+def test_consume_falls_back_to_global():
+    state = make(1)
+    state.local_global = 2
+    assert state.try_consume() and state.try_consume()
+    assert state.xi_res == 0 and state.local_global == 1
+
+
+def test_consume_fails_when_empty():
+    state = make(0)
+    assert not state.try_consume()
+    assert state.needs_global
+
+
+def test_example_1_insufficient_demand():
+    """Paper Example 1: R=50, T=1s, D(0.6)=20 -> residual clamps to 20."""
+    state = make(50)
+    for _ in range(20):  # client performed 20 I/Os
+        state.try_consume()
+    assert state.xi_res == 30
+    # management thread has decayed X for 0.6 s
+    for _ in range(600):
+        state.decay(1e-3)
+    assert state.xi_res == 20  # clamped to R - rho = 20
+    assert state.yielded_tokens == 10  # returned rho - D = 10 tokens
+
+
+def test_example_1_sufficient_demand():
+    """Paper Example 1: D(0.6)=40 -> no clamp, residual R - D = 10."""
+    state = make(50)
+    for _ in range(40):
+        state.try_consume()
+    for _ in range(600):
+        state.decay(1e-3)
+    assert state.xi_res == 10
+    assert state.yielded_tokens == 0
+
+
+def test_decay_never_negative():
+    state = make(10, period=1.0)
+    state.decay(100.0)  # way past the period
+    assert state.x_bound == 0.0
+    assert state.xi_res == 0
+
+
+def test_decay_rejects_negative_dt():
+    with pytest.raises(QoSError):
+        make(10).decay(-1.0)
+
+
+def test_grant_from_pool_full_batch():
+    state = make(0)
+    assert state.grant_from_pool(prior_pool_value=5000, batch=1000) == 1000
+    assert state.local_global == 1000
+
+
+def test_grant_from_pool_partial():
+    """FAA raced the pool down: only the remaining tokens are granted."""
+    state = make(0)
+    assert state.grant_from_pool(prior_pool_value=300, batch=1000) == 300
+    assert state.local_global == 300
+
+
+def test_grant_from_pool_empty_or_negative():
+    state = make(0)
+    assert state.grant_from_pool(prior_pool_value=0, batch=1000) == 0
+    assert state.grant_from_pool(prior_pool_value=-2500, batch=1000) == 0
+    assert state.local_global == 0
+
+
+def test_grant_requires_positive_batch():
+    with pytest.raises(QoSError):
+        make(0).grant_from_pool(10, 0)
+
+
+def test_residual_reflects_clamped_reservation():
+    state = make(100)
+    for _ in range(30):
+        state.try_consume()
+    assert state.residual == 70
+
+
+def test_validation():
+    with pytest.raises(QoSError):
+        ClientTokenState(-1, 1.0)
+    with pytest.raises(QoSError):
+        ClientTokenState(10, 0.0)
+    state = ClientTokenState(10, 1.0)
+    with pytest.raises(QoSError):
+        state.start_period(-5)
+
+
+def test_rate_is_reservation_over_period():
+    state = ClientTokenState(500, period=0.5)
+    assert state.rate == 1000.0

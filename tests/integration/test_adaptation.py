@@ -1,0 +1,95 @@
+"""Set-4 shapes: adaptive capacity estimation under capacity shifts."""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import (
+    congestion_schedule,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+TOTAL = 1_570_000
+RESERVED = 0.8 * TOTAL  # Set 4 reserves 80%
+POOL = TOTAL - RESERVED
+BG_RATE = 200_000  # ~13% of capacity, inside the paper's <20% envelope
+PERIODS = 24
+SWITCH = 12
+
+
+def run_set4(onset, distribution="uniform"):
+    reservations = reservation_set(distribution, RESERVED)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=paper_demands(reservations, POOL),
+        scale=SCALE,
+    )
+    schedule = congestion_schedule(
+        onset, SWITCH + 2, PERIODS + 4, cluster.config.period
+    )
+    cluster.add_background_job(schedule=schedule, rate_ops=BG_RATE)
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=PERIODS)
+    return result, cluster, reservations
+
+
+class TestCongestionOnset:
+    """Figs. 16/17: capacity overestimated after congestion begins."""
+
+    def test_throughput_steps_down(self):
+        result, _, _ = run_set4(onset=True)
+        series = result.total_kiops_series()
+        before = sum(series[:SWITCH - 2]) / (SWITCH - 2)
+        after = sum(series[-6:]) / 6
+        assert before == pytest.approx(1570, rel=0.03)
+        assert after < before - 150  # congestion absorbed ~200 KIOPS
+
+    def test_estimator_adapts_downwards(self):
+        _, cluster, _ = run_set4(onset=True)
+        history = cluster.monitor.estimator.history
+        assert history[-1] < history[0] * 0.93
+
+    def test_zipf_high_reservation_client_recovers(self):
+        """Fig. 17(b): C1 dips below its reservation right after the
+        change, then recovers once the estimate converges."""
+        result, _, reservations = run_set4(onset=True, distribution="zipf")
+        series = result.client_kiops_series("C1")
+        r1 = reservations[0] / 1000.0
+        tail = series[-4:]
+        assert sum(tail) / len(tail) >= r1 * 0.97
+
+    def test_reservations_still_met_after_adaptation(self):
+        result, _, reservations = run_set4(onset=True)
+        for i, r in enumerate(reservations):
+            tail = result.client_kiops_series(f"C{i+1}")[-4:]
+            assert sum(tail) / len(tail) * 1000 >= r * 0.97
+
+
+class TestCongestionRelief:
+    """Figs. 18/19: capacity underestimated after congestion stops."""
+
+    def test_throughput_climbs_back(self):
+        result, _, _ = run_set4(onset=False)
+        series = result.total_kiops_series()
+        before = sum(series[:SWITCH - 2]) / (SWITCH - 2)
+        after = sum(series[-4:]) / 4
+        assert after > before + 100
+
+    def test_estimator_climbs_by_eta_increments(self):
+        _, cluster, _ = run_set4(onset=False)
+        history = cluster.monitor.estimator.history
+        eta = cluster.monitor.estimator.eta
+        late = history[-6:]
+        climbs = [b - a for a, b in zip(late, late[1:])]
+        # during recovery the increment branch raises the estimate by eta
+        assert any(c == pytest.approx(eta, abs=1) for c in climbs)
+
+    def test_reservations_met_throughout(self):
+        result, _, reservations = run_set4(onset=False)
+        for i, r in enumerate(reservations):
+            counts = result.client_kiops_series(f"C{i+1}")
+            mean = sum(counts) / len(counts)
+            assert mean * 1000 >= r * 0.97

@@ -1,0 +1,98 @@
+"""Experiment-1 shapes: the simulated testbed reproduces Sec. III-B.
+
+These run the *bare* system (no QoS) and check the saturation knees
+that admission control and the estimator are calibrated against.
+"""
+
+import pytest
+
+from repro.common.types import AccessMode
+from repro.cluster.scenarios import SATURATING_OPS, TEST_SCALE, bare_cluster
+from repro.cluster.experiment import run_experiment
+
+
+def saturated_kiops(num_clients, access=AccessMode.ONE_SIDED):
+    cluster = bare_cluster(
+        demands=[SATURATING_OPS] * num_clients,
+        scale=TEST_SCALE,
+        access=access,
+    )
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+    return result
+
+
+class TestOneSidedScaling:
+    def test_single_client_saturates_at_400_kiops(self):
+        result = saturated_kiops(1)
+        assert result.total_kiops() == pytest.approx(400, rel=0.03)
+
+    def test_two_clients_scale_linearly(self):
+        result = saturated_kiops(2)
+        assert result.total_kiops() == pytest.approx(800, rel=0.03)
+
+    def test_four_clients_hit_system_saturation(self):
+        result = saturated_kiops(4)
+        assert result.total_kiops() == pytest.approx(1570, rel=0.03)
+
+    def test_ten_clients_stay_at_saturation(self):
+        result = saturated_kiops(10)
+        assert result.total_kiops() == pytest.approx(1570, rel=0.03)
+
+    def test_saturated_share_is_equal(self):
+        result = saturated_kiops(10)
+        shares = [result.client_kiops(f"C{i+1}") for i in range(10)]
+        assert max(shares) - min(shares) < 0.05 * max(shares)
+
+
+class TestTwoSidedScaling:
+    def test_single_client_saturates_at_327_kiops(self):
+        result = saturated_kiops(1, access=AccessMode.TWO_SIDED)
+        assert result.total_kiops() == pytest.approx(327, rel=0.03)
+
+    def test_two_clients_hit_server_cpu_limit(self):
+        result = saturated_kiops(2, access=AccessMode.TWO_SIDED)
+        assert result.total_kiops() == pytest.approx(427, rel=0.03)
+
+    def test_more_clients_do_not_help(self):
+        result = saturated_kiops(4, access=AccessMode.TWO_SIDED)
+        assert result.total_kiops() == pytest.approx(427, rel=0.03)
+
+
+class TestExperiment1CShapes:
+    """Demand distribution x request pattern (Fig. 8).
+
+    The burst-starvation effect depends on the 64-deep window being
+    small relative to per-period demand, so these run at a finer time
+    dilation than the other unit-level tests.
+    """
+
+    SHAPE_SCALE = __import__("repro.cluster.scale", fromlist=["SimScale"]).SimScale(
+        factor=200, interval_divisor=100
+    )
+
+    def test_uniform_demand_completes_everything(self):
+        cluster = bare_cluster(demands=[158_000] * 10, scale=self.SHAPE_SCALE)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        assert result.total_kiops() == pytest.approx(1570, rel=0.03)
+
+    def test_spike_demand_with_burst_loses_throughput(self):
+        demands = [340_000] * 3 + [80_000] * 7
+        cluster = bare_cluster(demands=demands, scale=self.SHAPE_SCALE)
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        # paper: total drops to ~1380 K, C1-C3 complete ~278 K
+        assert result.total_kiops() < 1480
+        c1 = result.client_kiops("C1")
+        assert c1 < 320  # well below the 340 K demand
+
+    def test_spike_demand_with_constant_rate_recovers(self):
+        from repro.workloads.patterns import RequestPattern
+
+        demands = [340_000] * 3 + [80_000] * 7
+        cluster = bare_cluster(
+            demands=demands,
+            pattern=RequestPattern.CONSTANT_RATE,
+            scale=self.SHAPE_SCALE,
+        )
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=4)
+        assert result.total_kiops() == pytest.approx(1570, rel=0.05)
+        assert result.client_kiops("C1") == pytest.approx(340, rel=0.05)

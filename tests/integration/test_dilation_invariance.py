@@ -1,0 +1,95 @@
+"""Validation of the time-dilation methodology itself.
+
+DESIGN.md §6.1 claims dilated runs are shape-faithful because Haechi's
+dynamics are functions of rates and per-period ratios.  These tests
+check that claim directly: the same scenario at different dilation
+factors must produce the same KIOPS figures (within a small tolerance
+dominated by integer token rounding and boundary effects).
+"""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import (
+    bare_cluster,
+    paper_demands,
+    qos_cluster,
+    reservation_set,
+)
+
+FACTORS = (400, 1000)
+TOTAL = 1_570_000
+
+
+def scale_for(factor):
+    return SimScale(factor=factor, interval_divisor=50)
+
+
+class TestBareInvariance:
+    def test_saturated_throughput_is_dilation_invariant(self):
+        totals = []
+        for factor in FACTORS:
+            cluster = bare_cluster(
+                demands=[2_000_000] * 10, scale=scale_for(factor)
+            )
+            result = run_experiment(cluster, warmup_periods=1,
+                                    measure_periods=4)
+            totals.append(result.total_kiops())
+        assert totals[0] == pytest.approx(totals[1], rel=0.01)
+
+    def test_demand_bound_throughput_is_dilation_invariant(self):
+        for factor in FACTORS:
+            cluster = bare_cluster(
+                demands=[120_000] * 10, scale=scale_for(factor)
+            )
+            result = run_experiment(cluster, warmup_periods=1,
+                                    measure_periods=4)
+            assert result.total_kiops() == pytest.approx(1200, rel=0.02)
+
+
+class TestHaechiInvariance:
+    def run_zipf(self, factor):
+        reservations = reservation_set("zipf", 0.9 * TOTAL)
+        cluster = qos_cluster(
+            reservations=reservations,
+            demands=paper_demands(reservations, 0.1 * TOTAL),
+            scale=scale_for(factor),
+        )
+        result = run_experiment(cluster, warmup_periods=2, measure_periods=5)
+        return reservations, result
+
+    def test_per_client_kiops_match_across_dilations(self):
+        _, coarse = self.run_zipf(FACTORS[1])
+        _, fine = self.run_zipf(FACTORS[0])
+        for i in range(10):
+            name = f"C{i+1}"
+            assert fine.client_kiops(name) == pytest.approx(
+                coarse.client_kiops(name), rel=0.04
+            )
+
+    def test_guarantees_hold_at_every_dilation(self):
+        for factor in FACTORS:
+            reservations, result = self.run_zipf(factor)
+            for i, reservation in enumerate(reservations):
+                assert result.client_kiops(f"C{i+1}") * 1000 >= (
+                    reservation * 0.985
+                )
+
+    def test_work_conservation_is_dilation_invariant(self):
+        totals = {}
+        for factor in FACTORS:
+            reservations = reservation_set("zipf", 0.9 * TOTAL)
+            demands = paper_demands(reservations, 0.1 * TOTAL)
+            demands[0] = reservations[0] * 0.5
+            cluster = qos_cluster(
+                reservations=reservations, demands=demands,
+                scale=scale_for(factor),
+            )
+            result = run_experiment(cluster, warmup_periods=2,
+                                    measure_periods=5)
+            totals[factor] = result.total_kiops()
+        assert totals[FACTORS[0]] == pytest.approx(
+            totals[FACTORS[1]], rel=0.02
+        )

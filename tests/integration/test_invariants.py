@@ -1,0 +1,77 @@
+"""Protocol invariants hold across whole scenarios."""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.core.invariants import InvariantChecker
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+TOTAL = 1_570_000
+
+
+def checked_run(distribution, demand_tweak=None, qos_mode=QoSMode.HAECHI,
+                background=False, periods=6):
+    reservations = reservation_set(distribution, 0.85 * TOTAL)
+    demands = paper_demands(reservations, 0.15 * TOTAL)
+    if demand_tweak:
+        demands = demand_tweak(reservations, demands)
+    cluster = qos_cluster(
+        reservations=reservations, demands=demands, qos_mode=qos_mode,
+        scale=SCALE,
+    )
+    if background:
+        period = cluster.config.period
+        cluster.add_background_job(
+            schedule=[(3 * period, 20 * period)], rate_ops=200_000
+        )
+    checker = InvariantChecker(cluster)
+    run_experiment(cluster, warmup_periods=2, measure_periods=periods)
+    assert checker.checks_run > 100
+    return checker
+
+
+def test_invariants_hold_under_saturation_zipf():
+    checked_run("zipf").assert_clean()
+
+
+def test_invariants_hold_under_saturation_uniform():
+    checked_run("uniform").assert_clean()
+
+
+def test_invariants_hold_with_underdemand():
+    def tweak(reservations, demands):
+        demands = list(demands)
+        demands[0] = reservations[0] * 0.4
+        demands[1] = 0  # a completely idle client
+        return demands
+
+    checked_run("zipf", demand_tweak=tweak).assert_clean()
+
+
+def test_invariants_hold_in_basic_mode():
+    checked_run("uniform", qos_mode=QoSMode.BASIC_HAECHI).assert_clean()
+
+
+def test_invariants_hold_under_congestion():
+    checked_run("zipf", background=True, periods=12).assert_clean()
+
+
+def test_checker_detects_corruption():
+    """Sanity: the instrument itself catches a planted violation."""
+    reservations = reservation_set("uniform", 0.8 * TOTAL)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=paper_demands(reservations, 0.2 * TOTAL),
+        scale=SCALE,
+    )
+    checker = InvariantChecker(cluster)
+    cluster.start()
+    period = cluster.config.period
+    cluster.sim.run(until=0.1 * period)
+    cluster.clients[0].engine.tokens.xi_res = -5  # corrupt it
+    cluster.sim.run(until=0.3 * period)
+    with pytest.raises(AssertionError, match="xi_res negative"):
+        checker.assert_clean()

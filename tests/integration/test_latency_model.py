@@ -1,0 +1,97 @@
+"""The latency model decomposes the way the datapath says it should."""
+
+import pytest
+
+from repro.common.types import OpType
+from repro.rdma.verbs import WorkRequest
+
+
+def one_sided_read_latency(mini, size=4096):
+    out = {}
+    wr = WorkRequest(
+        opcode=OpType.READ, size=size,
+        remote_addr=mini.node.store.layout.slot_addr(0),
+        rkey=mini.node.store.region.rkey, touch_memory=False,
+    )
+    qp = mini.clients[0].qp
+    qp.cq.set_handler(lambda wc: out.update(latency=wc.latency))
+    qp.post_send(wr)
+    mini.sim.run(until=mini.sim.now + 0.01)
+    return out["latency"]
+
+
+class TestUnloadedLatency:
+    def test_one_sided_read_decomposition(self, mini):
+        """issue + prop + target + prop, to the microsecond."""
+        profile = mini.clients[0].qp.src.nic.profile
+        wr = WorkRequest(opcode=OpType.READ, size=4096)
+        expected = (
+            profile.issue_cost(wr)
+            + 2 * mini.fabric.prop_delay
+            + profile.target_cost(wr)
+        )
+        assert one_sided_read_latency(mini) == pytest.approx(expected)
+
+    def test_small_read_is_faster(self, mini):
+        assert one_sided_read_latency(mini, size=64) < one_sided_read_latency(
+            mini, size=4096
+        )
+
+    def test_two_sided_adds_cpu_and_response_hops(self, mini):
+        one = {}
+        mini.clients[0].get_onesided(
+            1, lambda ok, v, lat: one.update(lat=lat), touch_memory=False
+        )
+        mini.sim.run(until=0.005)
+        two = {}
+        mini.clients[0].get_twosided(1, lambda ok, v, lat: two.update(lat=lat))
+        mini.sim.run(until=0.01)
+        cpu_cost = mini.server.cpu.profile.rpc_cost(4096)
+        assert two["lat"] > one["lat"] + cpu_cost * 0.9
+
+
+class TestLoadedLatency:
+    def test_queueing_grows_latency_linearly(self, mini):
+        """The k-th back-to-back read waits behind k-1 at the client NIC."""
+        qp = mini.clients[0].qp
+        latencies = []
+        qp.cq.set_handler(lambda wc: latencies.append(wc.latency))
+        wr = lambda: WorkRequest(
+            opcode=OpType.READ, size=4096,
+            remote_addr=mini.node.store.layout.slot_addr(0),
+            rkey=mini.node.store.region.rkey, touch_memory=False,
+        )
+        for _ in range(20):
+            qp.post_send(wr())
+        mini.sim.run(until=0.01)
+        assert len(latencies) == 20
+        # monotone queueing delay
+        assert latencies == sorted(latencies)
+        profile = qp.src.nic.profile
+        issue = profile.issue_cost(wr())
+        # each successive op waits ~one more issue slot
+        gap = latencies[10] - latencies[9]
+        assert gap == pytest.approx(issue, rel=0.1)
+
+    def test_server_contention_dominates_with_many_clients(self, mini4):
+        """Four saturating clients: latency reflects the shared target
+        pipeline, not just the private issue pipeline."""
+        results = {i: [] for i in range(4)}
+
+        def pump(i, kv):
+            kv.get_onesided(
+                1,
+                lambda ok, v, lat: (results[i].append(lat), pump(i, kv)),
+                touch_memory=False,
+            )
+
+        for i, kv in enumerate(mini4.clients):
+            for _ in range(64):
+                pump(i, kv)
+        mini4.sim.run(until=0.005)
+        # with 4 clients the server is the bottleneck: steady-state
+        # latency approximates window / fair-share-rate
+        steady = results[0][-10:]
+        mean = sum(steady) / len(steady)
+        share = 1_570_000 / 4
+        assert mean == pytest.approx(64 / share, rel=0.25)

@@ -1,0 +1,116 @@
+"""Haechi end-to-end guarantees (Experiment-2 shapes at test scale)."""
+
+import pytest
+
+from repro.common.types import QoSMode
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+
+SCALE = SimScale(factor=500, interval_divisor=100)
+TOTAL = 1_570_000
+RESERVED = 0.9 * TOTAL
+POOL = TOTAL - RESERVED
+
+
+def run_qos(reservations, demands=None, qos_mode=QoSMode.HAECHI, periods=6,
+            **kwargs):
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=demands or paper_demands(reservations, POOL),
+        qos_mode=qos_mode,
+        scale=SCALE,
+        **kwargs,
+    )
+    result = run_experiment(cluster, warmup_periods=2, measure_periods=periods)
+    return result, cluster
+
+
+class TestReservationGuarantee:
+    def test_uniform_reservations_all_met(self):
+        reservations = reservation_set("uniform", RESERVED)
+        result, _ = run_qos(reservations)
+        for i, r in enumerate(reservations):
+            assert result.client_kiops(f"C{i+1}") * 1000 >= r * 0.99
+
+    def test_zipf_reservations_all_met(self):
+        reservations = reservation_set("zipf", RESERVED)
+        result, _ = run_qos(reservations)
+        for i, r in enumerate(reservations):
+            assert result.client_kiops(f"C{i+1}") * 1000 >= r * 0.99
+
+    def test_zipf_differentiation_beats_equal_share(self):
+        """C1's reservation exceeds the bare equal share; Haechi must
+        push it past 157 KIOPS (Fig. 9(b))."""
+        reservations = reservation_set("zipf", RESERVED)
+        result, _ = run_qos(reservations)
+        assert result.client_kiops("C1") > 200
+        assert result.client_kiops("C10") < 157
+
+    def test_throughput_drop_is_negligible(self):
+        reservations = reservation_set("uniform", RESERVED)
+        result, _ = run_qos(reservations)
+        assert result.total_kiops() >= 1570 * 0.99
+
+
+class TestWorkConservation:
+    def test_unused_reservation_is_redistributed(self):
+        """Experiment 2B: C1, C2 under-demand; conversion lets the rest
+        exceed their reservations."""
+        reservations = reservation_set("zipf", RESERVED)
+        demands = paper_demands(reservations, POOL)
+        demands[0] = reservations[0] * 0.5
+        demands[1] = reservations[1] * 0.5
+        result, _ = run_qos(reservations, demands=demands)
+        # the under-demanders complete what they asked for
+        assert result.client_kiops("C1") * 1000 == pytest.approx(
+            demands[0], rel=0.05
+        )
+        # everyone else exceeds their reservation
+        for i in range(2, 10):
+            assert result.client_kiops(f"C{i+1}") * 1000 > reservations[i]
+
+    def test_basic_haechi_wastes_unused_reservation(self):
+        reservations = reservation_set("zipf", RESERVED)
+        demands = paper_demands(reservations, POOL)
+        demands[0] = reservations[0] * 0.5
+        demands[1] = reservations[1] * 0.5
+        full, _ = run_qos(reservations, demands=demands)
+        basic, _ = run_qos(
+            reservations, demands=demands, qos_mode=QoSMode.BASIC_HAECHI
+        )
+        assert full.total_kiops() > basic.total_kiops() * 1.08
+        for i in range(2, 10):
+            name = f"C{i+1}"
+            assert full.client_kiops(name) > basic.client_kiops(name)
+
+
+class TestReservedFractionSweep:
+    def test_uniform_throughput_flat_across_fractions(self):
+        """Fig. 12: Uniform stays at C_G regardless of reserved share."""
+        for fraction in (0.5, 0.9):
+            reservations = reservation_set("uniform", fraction * TOTAL)
+            demands = paper_demands(reservations, (1 - fraction) * TOTAL)
+            result, _ = run_qos(reservations, demands=demands, periods=4)
+            assert result.total_kiops() >= 1570 * 0.98
+
+    def test_zipf_high_reservation_loses_throughput(self):
+        """Fig. 12: Zipf at 90% reserved falls below Zipf at 50%."""
+        totals = {}
+        for fraction in (0.5, 0.9):
+            reservations = reservation_set("zipf", fraction * TOTAL)
+            demands = [r + (1 - fraction) * TOTAL / 4 for r in reservations]
+            result, _ = run_qos(reservations, demands=demands, periods=4)
+            totals[fraction] = result.total_kiops()
+        assert totals[0.9] <= totals[0.5]
+
+
+class TestOverheadAccounting:
+    def test_paper_scale_control_overhead_below_one_percent(self):
+        reservations = reservation_set("uniform", RESERVED)
+        _result, cluster = run_qos(reservations)
+        overhead = cluster.server_host.nic.control_overhead_fraction(
+            periods=8  # warmup + measure
+        )
+        assert overhead["target"] < 0.01
+        assert overhead["issue"] < 0.01

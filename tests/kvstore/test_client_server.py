@@ -1,0 +1,132 @@
+"""End-to-end KV paths: one-sided and two-sided GET/PUT, handshake."""
+
+import pytest
+
+from repro.common.errors import StoreError
+
+
+def run(mini, until=0.01):
+    mini.sim.run(until=mini.sim.now + until)
+
+
+class TestHandshake:
+    def test_connect_fetches_layout(self, sim, mini):
+        kv = mini.clients[0]
+        kv.layout = None
+        kv.data_rkey = None
+        done = []
+        kv.connect(lambda: done.append(True))
+        run(mini)
+        assert done == [True]
+        assert kv.layout.num_slots == 64
+        assert kv.data_rkey == mini.node.store.region.rkey
+
+    def test_unconnected_client_rejects_io(self, sim, mini):
+        kv = mini.clients[0]
+        kv.layout = None
+        with pytest.raises(StoreError):
+            kv.get_onesided(1, lambda *a: None)
+
+
+class TestOneSidedPath:
+    def test_get_returns_record(self, mini):
+        out = {}
+        mini.clients[0].get_onesided(
+            5, lambda ok, val, lat: out.update(ok=ok, val=val, lat=lat)
+        )
+        run(mini)
+        assert out["ok"]
+        version, payload = out["val"]
+        assert version == 1 and payload.startswith(b"value-5")
+        assert out["lat"] > 0
+
+    def test_get_timing_only(self, mini):
+        out = {}
+        mini.clients[0].get_onesided(
+            5, lambda ok, val, lat: out.update(ok=ok, val=val), touch_memory=False
+        )
+        run(mini)
+        assert out["ok"] and out["val"] is None
+
+    def test_put_then_get_round_trip(self, mini):
+        kv = mini.clients[0]
+        done = {}
+        kv.put_onesided(9, b"fresh", lambda ok, val, lat: done.update(ok=ok))
+        run(mini)
+        assert done["ok"]
+        out = {}
+        kv.get_onesided(9, lambda ok, val, lat: out.update(val=val))
+        run(mini)
+        _version, payload = out["val"]
+        assert payload.startswith(b"fresh")
+
+    def test_put_requires_payload_when_touching(self, mini):
+        with pytest.raises(StoreError):
+            mini.clients[0].put_onesided(1, None, lambda *a: None)
+
+    def test_key_out_of_range(self, mini):
+        with pytest.raises(StoreError):
+            mini.clients[0].get_onesided(64, lambda *a: None)
+
+    def test_one_sided_get_never_touches_server_cpu(self, mini):
+        before = mini.server.cpu.requests_served
+        for key in range(10):
+            mini.clients[0].get_onesided(key, lambda *a: None)
+        run(mini)
+        assert mini.server.cpu.requests_served == before
+
+
+class TestTwoSidedPath:
+    def test_get_returns_record(self, mini):
+        out = {}
+        mini.clients[0].get_twosided(
+            7, lambda ok, val, lat: out.update(ok=ok, val=val)
+        )
+        run(mini)
+        assert out["ok"]
+        version, payload = out["val"]
+        assert version == 1 and payload.startswith(b"value-7")
+
+    def test_two_sided_consumes_server_cpu(self, mini):
+        mini.clients[0].get_twosided(1, lambda *a: None)
+        run(mini)
+        assert mini.server.cpu.requests_served == 1
+
+    def test_put_round_trip(self, mini):
+        kv = mini.clients[0]
+        out = {}
+        kv.put_twosided(4, b"two-sided", lambda ok, val, lat: out.update(v=val))
+        run(mini)
+        assert out["v"] == 2  # version bumped from 1
+        check = {}
+        kv.get_twosided(4, lambda ok, val, lat: check.update(val=val))
+        run(mini)
+        assert check["val"][1].startswith(b"two-sided")
+
+    def test_two_sided_slower_than_one_sided(self, mini):
+        lat = {}
+        mini.clients[0].get_onesided(1, lambda ok, v, l: lat.update(one=l))
+        run(mini)
+        mini.clients[0].get_twosided(1, lambda ok, v, l: lat.update(two=l))
+        run(mini)
+        assert lat["two"] > lat["one"]
+
+
+class TestMultiClient:
+    def test_clients_see_each_others_writes(self, mini4):
+        writer, reader = mini4.clients[0], mini4.clients[1]
+        done = {}
+        writer.put_onesided(3, b"shared", lambda ok, v, l: done.update(ok=ok))
+        mini4.sim.run(until=0.01)
+        out = {}
+        reader.get_onesided(3, lambda ok, v, l: out.update(val=v))
+        mini4.sim.run(until=0.02)
+        assert out["val"][1].startswith(b"shared")
+
+    def test_interleaved_rpcs_route_to_right_clients(self, mini4):
+        results = {}
+        for i, kv in enumerate(mini4.clients):
+            kv.get_twosided(i, lambda ok, val, lat, i=i: results.update({i: val}))
+        mini4.sim.run(until=0.01)
+        for i in range(4):
+            assert results[i][1].startswith(f"value-{i}".encode())

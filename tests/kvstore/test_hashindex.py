@@ -1,0 +1,144 @@
+"""Hash-indexed store: two-read lookups, probing, the address cache."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.kvstore.hashindex import (
+    HashIndexClient,
+    HashIndexStore,
+    _hash_key,
+    store_info,
+)
+
+
+@pytest.fixture
+def indexed(mini):
+    """A hash-index store on the mini server + a client for it."""
+    store = HashIndexStore(mini.server.memory, capacity=64)
+    client = HashIndexClient(mini.clients[0].qp, store_info(store))
+    return mini, store, client
+
+
+def run(mini, dt=0.01):
+    mini.sim.run(until=mini.sim.now + dt)
+
+
+class TestServerSide:
+    def test_insert_and_probe_count(self, indexed):
+        _mini, store, _client = indexed
+        store.insert(12345, b"hello")
+        assert store.probes_for(12345) >= 1
+
+    def test_update_keeps_slot_and_bumps_version(self, indexed):
+        mini, store, client = indexed
+        slot = store.insert(7, b"v1")
+        assert store.insert(7, b"v2") == slot
+        out = {}
+        client.get(7, lambda ok, val, reads: out.update(ok=ok, val=val))
+        run(mini)
+        version, payload = out["val"]
+        assert version == 2 and payload.startswith(b"v2")
+
+    def test_capacity_enforced(self, mini):
+        store = HashIndexStore(mini.server.memory, capacity=2)
+        store.insert(1, b"a")
+        store.insert(2, b"b")
+        with pytest.raises(StoreError, match="full"):
+            store.insert(3, b"c")
+
+    def test_arbitrary_keys_supported(self, indexed):
+        _mini, store, _client = indexed
+        for key in (0, 999_999_937, 2**40 + 17):
+            store.insert(key, f"key-{key}".encode())
+            assert store.probes_for(key) >= 1
+
+    def test_validation(self, mini):
+        with pytest.raises(StoreError):
+            HashIndexStore(mini.server.memory, capacity=0)
+        with pytest.raises(StoreError):
+            HashIndexStore(mini.server.memory, capacity=4, load_factor=0.99)
+
+
+class TestClientLookups:
+    def test_cold_get_uses_index_plus_record_reads(self, indexed):
+        mini, store, client = indexed
+        store.insert(42, b"payload-42")
+        out = {}
+        client.get(42, lambda ok, val, reads: out.update(ok=ok, val=val,
+                                                         reads=reads))
+        run(mini)
+        assert out["ok"]
+        assert out["val"][1].startswith(b"payload-42")
+        assert out["reads"] >= 2  # index entry + record
+
+    def test_warm_get_costs_one_read(self, indexed):
+        mini, store, client = indexed
+        store.insert(42, b"payload")
+        client.get(42, lambda *a: None)
+        run(mini)
+        before = client.reads_issued
+        out = {}
+        client.get(42, lambda ok, val, reads: out.update(reads=reads))
+        run(mini)
+        assert out["reads"] == 1
+        assert client.reads_issued == before + 1
+        assert client.cache_hits == 1
+
+    def test_missing_key_fails_cleanly(self, indexed):
+        mini, _store, client = indexed
+        out = {}
+        client.get(999, lambda ok, val, reads: out.update(ok=ok, val=val))
+        run(mini)
+        assert not out["ok"]
+        assert "not found" in out["val"]
+
+    def test_collisions_resolved_by_probing(self, mini):
+        """Force two keys into the same bucket chain and look both up."""
+        store = HashIndexStore(mini.server.memory, capacity=32)
+        client = HashIndexClient(mini.clients[0].qp, store_info(store))
+        base = _hash_key(1) % store.num_buckets
+        colliding = [1]
+        key = 2
+        while len(colliding) < 3:
+            if _hash_key(key) % store.num_buckets == base:
+                colliding.append(key)
+            key += 1
+        for k in colliding:
+            store.insert(k, f"c-{k}".encode())
+        results = {}
+        for k in colliding:
+            client.get(k, lambda ok, val, reads, k=k: results.update(
+                {k: (ok, val, reads)}
+            ))
+        run(mini)
+        for depth, k in enumerate(colliding):
+            ok, val, reads = results[k]
+            assert ok and val[1].startswith(f"c-{k}".encode())
+        # the deepest collider needed extra index reads
+        assert results[colliding[-1]][2] > results[colliding[0]][2]
+
+    def test_stale_cache_entry_self_heals(self, indexed):
+        """If a cached slot no longer holds the key, the client retries
+        through the index instead of returning wrong data."""
+        mini, store, client = indexed
+        slot = store.insert(5, b"five")
+        client.get(5, lambda *a: None)
+        run(mini)
+        assert client.address_cache[5] == slot
+        # overwrite the slot with a different record behind the cache
+        from repro.kvstore.records import encode_record
+
+        store.memory.backing.write(
+            store.slot_addr(slot), encode_record(99, 1, b"stolen")
+        )
+        store._slots.pop(5)
+        store._slots[99] = slot
+        out = {}
+        client.get(5, lambda ok, val, reads: out.update(ok=ok, val=val))
+        run(mini)
+        # key 5's index entry still points at the stolen slot: the
+        # client retries once through the index, sees the inconsistency
+        # and reports it honestly instead of returning the wrong record
+        assert not out["ok"]
+        assert "holds key 99" in out["val"]
+        assert 5 not in client.address_cache

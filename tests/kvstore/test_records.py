@@ -1,0 +1,56 @@
+"""Record layout and slot addressing."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.kvstore.records import (
+    PAYLOAD_SIZE,
+    SLOT_SIZE,
+    RecordLayout,
+    decode_record,
+    encode_record,
+)
+
+
+def test_slot_size_is_4k():
+    assert SLOT_SIZE == 4096
+    assert PAYLOAD_SIZE == SLOT_SIZE - 16
+
+
+def test_encode_decode_round_trip():
+    slot = encode_record(7, 3, b"hello world")
+    key, version, payload = decode_record(slot)
+    assert key == 7 and version == 3
+    assert payload[: len(b"hello world")] == b"hello world"
+    assert len(slot) == SLOT_SIZE
+
+
+def test_payload_is_zero_padded():
+    slot = encode_record(1, 1, b"ab")
+    _, _, payload = decode_record(slot)
+    assert payload[2:10] == b"\x00" * 8
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(StoreError):
+        encode_record(1, 1, b"x" * (PAYLOAD_SIZE + 1))
+
+
+def test_truncated_slot_rejected():
+    with pytest.raises(StoreError):
+        decode_record(b"short")
+
+
+def test_layout_addressing():
+    layout = RecordLayout(base_addr=8192, num_slots=100)
+    assert layout.slot_addr(0) == 8192
+    assert layout.slot_addr(5) == 8192 + 5 * SLOT_SIZE
+    assert layout.region_size == 100 * SLOT_SIZE
+
+
+def test_layout_key_bounds():
+    layout = RecordLayout(base_addr=0, num_slots=10)
+    with pytest.raises(StoreError):
+        layout.slot_addr(10)
+    with pytest.raises(StoreError):
+        layout.slot_addr(-1)

@@ -1,0 +1,60 @@
+"""Server-side store state."""
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.kvstore.store import KVStore
+from repro.rdma.memory import MemoryManager
+
+
+def test_materialized_store_holds_records():
+    store = KVStore(MemoryManager(), num_slots=16, materialize=True)
+    version, payload = store.get_local(3)
+    assert version == 1
+    assert payload.startswith(b"value-3")
+
+
+def test_put_bumps_version():
+    store = KVStore(MemoryManager(), num_slots=16, materialize=True)
+    v = store.put_local(3, b"new data")
+    assert v == 2
+    version, payload = store.get_local(3)
+    assert version == 2 and payload.startswith(b"new data")
+
+
+def test_unmaterialized_store_declares_region_only():
+    store = KVStore(MemoryManager(), num_slots=1000)
+    assert not store.materialized
+    assert store.region.length == 1000 * 4096
+
+
+def test_big_store_is_cheap_to_declare():
+    # 1M slots = 4 GB virtual; must not materialize anything.
+    store = KVStore(MemoryManager(), num_slots=1_000_000)
+    assert store.layout.num_slots == 1_000_000
+
+
+def test_region_registered_for_remote_read_write():
+    store = KVStore(MemoryManager(), num_slots=4)
+    assert store.region.perms.remote_read
+    assert store.region.perms.remote_write
+    assert not store.region.perms.remote_atomic
+
+
+def test_bad_slot_count_rejected():
+    with pytest.raises(StoreError):
+        KVStore(MemoryManager(), num_slots=0)
+
+
+def test_corrupt_slot_detected():
+    store = KVStore(MemoryManager(), num_slots=8, materialize=True)
+    # overwrite slot 2's header with a wrong key
+    addr = store.layout.slot_addr(2)
+    store.memory.backing.write(addr, (99).to_bytes(8, "little"))
+    with pytest.raises(StoreError):
+        store.get_local(2)
+
+
+def test_max_payload():
+    store = KVStore(MemoryManager(), num_slots=4)
+    assert store.max_payload == 4096 - 16

@@ -1,0 +1,69 @@
+"""Property tests: Algorithm 1 stability under arbitrary feed."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+
+
+@given(
+    mean=st.integers(1_000, 100_000),
+    rsd=st.floats(0.001, 0.1),
+    eta=st.integers(1, 1000),
+    window=st.integers(1, 20),
+    feed=st.lists(st.integers(0, 200_000), max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_estimate_never_below_floor(mean, rsd, eta, window, feed):
+    """The lower bound guards the estimate against low-demand periods."""
+    profiled = ProfiledCapacity(mean=float(mean), stddev=mean * rsd)
+    est = AdaptiveCapacityEstimator(profiled, eta=eta, history_window=window)
+    for u in feed:
+        est.update(u)
+        assert est._current >= profiled.lower_bound - 1e-6
+
+
+@given(
+    mean=st.integers(1_000, 100_000),
+    eta=st.integers(1, 1000),
+    feed=st.lists(st.integers(0, 200_000), max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_estimate_growth_bounded_by_eta_per_update(mean, eta, feed):
+    profiled = ProfiledCapacity(mean=float(mean), stddev=mean * 0.01)
+    est = AdaptiveCapacityEstimator(profiled, eta=eta, history_window=5)
+    previous = est._current
+    for u in feed:
+        est.update(u)
+        assert est._current <= previous + eta + 1e-6
+        previous = est._current
+
+
+@given(feed=st.lists(st.integers(0, 200_000), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_history_and_decisions_align(feed):
+    profiled = ProfiledCapacity(mean=10_000.0, stddev=100.0)
+    est = AdaptiveCapacityEstimator(profiled, eta=10, history_window=5)
+    for u in feed:
+        est.update(u)
+    assert len(est.history) == len(feed) + 1
+    assert len(est.decisions) == len(feed)
+    assert set(est.decisions) <= {"increment", "window", "floor"}
+
+
+@given(
+    true_capacity=st.integers(8_000, 12_000),
+    periods=st.integers(45, 80),
+)
+@settings(max_examples=50, deadline=None)
+def test_converges_to_true_capacity(true_capacity, periods):
+    """Feeding min(estimate, true capacity) — the closed-loop shape of a
+    saturated system — converges into the hunting band around the true
+    value: the saturation-tolerance dead zone plus one increment of
+    overshoot on either side."""
+    profiled = ProfiledCapacity(mean=10_000.0, stddev=700.0)
+    est = AdaptiveCapacityEstimator(profiled, eta=100, history_window=5)
+    for _ in range(periods):
+        est.update(min(est.current, true_capacity))
+    band = true_capacity * est.tolerance + 2 * est.eta
+    assert abs(est.current - true_capacity) <= band

@@ -1,0 +1,46 @@
+"""Property tests: sparse memory behaves like a flat byte array."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma.atomics import pack_report, to_signed64, to_unsigned64, unpack_report
+from repro.rdma.memory import SparseMemory
+
+SPACE = 64 * 1024
+
+writes = st.lists(
+    st.tuples(st.integers(0, SPACE - 512), st.binary(min_size=1, max_size=512)),
+    max_size=25,
+)
+
+
+@given(script=writes, probe=st.integers(0, SPACE - 64))
+@settings(max_examples=200, deadline=None)
+def test_matches_reference_bytearray(script, probe):
+    mem = SparseMemory()
+    reference = bytearray(SPACE)
+    for addr, data in script:
+        mem.write(addr, data)
+        reference[addr : addr + len(data)] = data
+    assert mem.read(probe, 64) == bytes(reference[probe : probe + 64])
+
+
+@given(addr=st.integers(0, SPACE - 8),
+       value=st.integers(0, 2**64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_u64_round_trip(addr, value):
+    mem = SparseMemory()
+    mem.write_u64(addr, value)
+    assert mem.read_u64(addr) == value
+
+
+@given(value=st.integers(-(2**63), 2**63 - 1))
+@settings(max_examples=300, deadline=None)
+def test_signed64_round_trip(value):
+    assert to_signed64(to_unsigned64(value)) == value
+
+
+@given(residual=st.integers(0, 2**32 - 1), completed=st.integers(0, 2**32 - 1))
+@settings(max_examples=300, deadline=None)
+def test_report_pack_round_trip(residual, completed):
+    assert unpack_report(pack_report(residual, completed)) == (residual, completed)

@@ -1,0 +1,101 @@
+"""Property tests: client token-state invariants under arbitrary action
+sequences (consume / decay / pool grants)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tokens import ClientTokenState
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("consume"), st.integers(1, 50)),
+        st.tuples(st.just("decay"), st.floats(0.0, 0.2)),
+        st.tuples(st.just("grant"), st.tuples(st.integers(-100, 2000),
+                                              st.integers(1, 100))),
+    ),
+    max_size=60,
+)
+
+
+def apply_actions(state, script):
+    consumed = 0
+    granted_total = 0
+    for kind, arg in script:
+        if kind == "consume":
+            for _ in range(arg):
+                if state.try_consume():
+                    consumed += 1
+        elif kind == "decay":
+            state.decay(arg)
+        else:
+            prior, batch = arg
+            granted_total += state.grant_from_pool(prior, batch)
+    return consumed, granted_total
+
+
+@given(reservation=st.integers(0, 1000), script=actions)
+@settings(max_examples=200, deadline=None)
+def test_counts_never_negative(reservation, script):
+    state = ClientTokenState(reservation, period=1.0)
+    state.start_period(reservation)
+    apply_actions(state, script)
+    assert state.xi_res >= 0
+    assert state.local_global >= 0
+    assert state.x_bound >= 0.0
+    assert state.yielded_tokens >= 0
+
+
+@given(reservation=st.integers(0, 1000), script=actions)
+@settings(max_examples=200, deadline=None)
+def test_reservation_conservation(reservation, script):
+    """Every reservation token is consumed, yielded, or still held."""
+    state = ClientTokenState(reservation, period=1.0)
+    state.start_period(reservation)
+    consumed, granted = apply_actions(state, script)
+    # consumed splits into reservation-backed and global-backed
+    global_spent = granted - state.local_global
+    res_spent = consumed - global_spent
+    assert res_spent + state.yielded_tokens + state.xi_res == reservation
+
+
+@given(reservation=st.integers(0, 1000), script=actions)
+@settings(max_examples=200, deadline=None)
+def test_entitlement_bound_enforced_after_decay(reservation, script):
+    state = ClientTokenState(reservation, period=1.0)
+    state.start_period(reservation)
+    apply_actions(state, script)
+    state.decay(0.0)  # a zero-length tick re-applies the clamp
+    assert state.xi_res <= math.ceil(state.x_bound - 1e-9) or state.xi_res == 0
+
+
+@given(prior=st.integers(-(2**40), 2**40), batch=st.integers(1, 10_000))
+@settings(max_examples=300, deadline=None)
+def test_grant_bounded_by_batch_and_pool(prior, batch):
+    state = ClientTokenState(0, period=1.0)
+    granted = state.grant_from_pool(prior, batch)
+    assert 0 <= granted <= batch
+    assert granted <= max(prior, 0)
+    assert granted == min(batch, max(prior, 0))
+
+
+@given(
+    reservation=st.integers(1, 10_000),
+    ticks=st.integers(1, 2000),
+    dt=st.floats(1e-5, 1e-2),
+)
+@settings(max_examples=100, deadline=None)
+def test_idle_client_yields_everything_by_period_end(reservation, ticks, dt):
+    """With zero demand, X decays to R*(1 - t/T) and all tokens are
+    eventually yielded."""
+    state = ClientTokenState(reservation, period=1.0)
+    state.start_period(reservation)
+    for _ in range(ticks):
+        state.decay(dt)
+    elapsed = min(ticks * dt, 1.0)
+    expected_bound = reservation * (1.0 - elapsed)
+    assert state.xi_res <= math.ceil(expected_bound + 1e-6) + 1
+    if elapsed >= 1.0:
+        assert state.xi_res == 0
+        assert state.yielded_tokens == reservation

@@ -1,0 +1,89 @@
+"""Property tests: key generators and reservation distributions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.reservations import (
+    spike_distribution,
+    uniform_distribution,
+    zipf_group_distribution,
+)
+from repro.workloads.ycsb import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+
+@given(
+    item_count=st.integers(1, 50_000),
+    theta=st.floats(0.1, 0.99),
+    seed=st.integers(0, 2**32),
+)
+@settings(max_examples=60, deadline=None)
+def test_zipfian_keys_always_in_range(item_count, theta, seed):
+    gen = ZipfianGenerator(item_count, theta=theta, seed=seed)
+    for _ in range(200):
+        assert 0 <= gen.next() < item_count
+
+
+@given(item_count=st.integers(1, 50_000), seed=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_scrambled_keys_always_in_range(item_count, seed):
+    gen = ScrambledZipfianGenerator(item_count, seed=seed)
+    for _ in range(200):
+        assert 0 <= gen.next() < item_count
+
+
+@given(item_count=st.integers(1, 10_000), seed=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_uniform_keys_always_in_range(item_count, seed):
+    gen = UniformGenerator(item_count, seed=seed)
+    for _ in range(200):
+        assert 0 <= gen.next() < item_count
+
+
+@given(total=st.integers(0, 10_000_000), n=st.integers(1, 100))
+@settings(max_examples=200, deadline=None)
+def test_uniform_distribution_properties(total, n):
+    shares = uniform_distribution(total, n)
+    assert len(shares) == n
+    assert all(s >= 0 for s in shares)
+    assert abs(sum(shares) - total) <= n  # rounding only
+
+
+@given(
+    total=st.integers(1, 10_000_000),
+    groups=st.integers(1, 10),
+    per_group=st.integers(1, 4),
+    exponent=st.floats(0.0, 2.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_zipf_distribution_properties(total, groups, per_group, exponent):
+    n = groups * per_group
+    shares = zipf_group_distribution(total, n, num_groups=groups,
+                                     exponent=exponent)
+    assert len(shares) == n
+    assert all(s >= 0 for s in shares)
+    # non-increasing across groups
+    group_values = [shares[g * per_group] for g in range(groups)]
+    assert group_values == sorted(group_values, reverse=True)
+    # total preserved up to rounding
+    assert abs(sum(shares) - total) <= n + total * 0.001
+
+
+@given(
+    n=st.integers(1, 50),
+    high=st.integers(0, 1_000_000),
+    low=st.integers(0, 1_000_000),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_spike_distribution_properties(n, high, low, data):
+    if high < low:
+        high, low = low, high
+    high_count = data.draw(st.integers(0, n))
+    shares = spike_distribution(n, high, low, high_count=high_count)
+    assert len(shares) == n
+    assert shares == sorted(shares, reverse=True)
+    assert sum(shares) == high * high_count + low * (n - high_count)

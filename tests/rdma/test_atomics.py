@@ -1,0 +1,35 @@
+"""Signed-word helpers and report packing."""
+
+import pytest
+
+from repro.rdma.atomics import pack_report, to_signed64, to_unsigned64, unpack_report
+
+
+def test_signed_round_trip():
+    for value in (0, 1, -1, 2**62, -(2**62), 12345, -98765):
+        assert to_signed64(to_unsigned64(value)) == value
+
+
+def test_negative_encoding_is_twos_complement():
+    assert to_unsigned64(-1) == 2**64 - 1
+    assert to_signed64(2**64 - 1) == -1
+
+
+def test_boundaries():
+    assert to_signed64(2**63 - 1) == 2**63 - 1
+    assert to_signed64(2**63) == -(2**63)
+
+
+def test_pack_unpack_report():
+    word = pack_report(residual=123456, completed=789012)
+    assert unpack_report(word) == (123456, 789012)
+
+
+def test_pack_report_bounds():
+    assert unpack_report(pack_report(0, 0)) == (0, 0)
+    top = 2**32 - 1
+    assert unpack_report(pack_report(top, top)) == (top, top)
+    with pytest.raises(ValueError):
+        pack_report(2**32, 0)
+    with pytest.raises(ValueError):
+        pack_report(0, -1)

@@ -1,0 +1,41 @@
+"""Server CPU profile calibration and service accounting."""
+
+import pytest
+
+from repro.rdma.cpu import CPU, CPUProfile
+
+
+def test_rpc_cost_calibrated_to_427_kiops():
+    profile = CPUProfile()
+    assert 1.0 / profile.rpc_cost(4096) == pytest.approx(427_000, rel=1e-2)
+
+
+def test_scaled_profile():
+    base = CPUProfile()
+    slow = CPUProfile.chameleon(scale=10)
+    assert slow.rpc_cost(4096) == pytest.approx(10 * base.rpc_cost(4096))
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        CPUProfile.chameleon(scale=-1)
+
+
+def test_cpu_serializes_requests(sim):
+    cpu = CPU(sim, "srv", CPUProfile())
+    t1 = cpu.submit_rpc(4096)
+    t2 = cpu.submit_rpc(4096)
+    assert t2 == pytest.approx(2 * t1)
+    assert cpu.requests_served == 2
+
+
+def test_submit_work_arbitrary_cost(sim):
+    cpu = CPU(sim, "srv", CPUProfile())
+    assert cpu.submit_work(1e-3) == pytest.approx(1e-3)
+
+
+def test_reset_accounting(sim):
+    cpu = CPU(sim, "srv", CPUProfile())
+    cpu.submit_rpc(4096)
+    cpu.reset_accounting()
+    assert cpu.requests_served == 0

@@ -1,0 +1,100 @@
+"""Type dispatch and completion routing."""
+
+import dataclasses
+
+import pytest
+
+from repro.rdma.dispatch import CompletionRouter, TypeDispatcher
+from repro.common.types import OpType
+from repro.rdma.verbs import CompletionQueue, WCStatus, WorkCompletion
+
+
+@dataclasses.dataclass
+class Ping:
+    n: int
+
+
+@dataclasses.dataclass
+class Pong:
+    n: int
+
+
+class TestTypeDispatcher:
+    def test_routes_by_payload_type(self):
+        d = TypeDispatcher()
+        got = []
+        d.register(Ping, lambda msg, qp: got.append(("ping", msg.n)))
+        d.register(Pong, lambda msg, qp: got.append(("pong", msg.n)))
+        d(Ping(1), None)
+        d(Pong(2), None)
+        assert got == [("ping", 1), ("pong", 2)]
+
+    def test_duplicate_registration_rejected(self):
+        d = TypeDispatcher()
+        d.register(Ping, lambda m, q: None)
+        with pytest.raises(ValueError):
+            d.register(Ping, lambda m, q: None)
+
+    def test_unhandled_messages_counted(self):
+        d = TypeDispatcher()
+        d("stray string", None)
+        assert d.unhandled == 1
+
+
+def make_wc(wr_id):
+    return WorkCompletion(wr_id=wr_id, opcode=OpType.READ, status=WCStatus.SUCCESS)
+
+
+class TestCompletionRouter:
+    def test_routes_by_wr_id(self):
+        cq = CompletionQueue()
+        router = CompletionRouter(cq)
+        got = []
+        router.expect(5, lambda wc: got.append(wc.wr_id))
+        cq.push(make_wc(5))
+        assert got == [5]
+
+    def test_callback_is_one_shot(self):
+        cq = CompletionQueue()
+        router = CompletionRouter(cq)
+        got = []
+        router.expect(5, lambda wc: got.append(wc.wr_id))
+        cq.push(make_wc(5))
+        cq.push(make_wc(5))
+        assert got == [5]
+        assert router.unclaimed == 1
+
+    def test_duplicate_expectation_rejected(self):
+        router = CompletionRouter(CompletionQueue())
+        router.expect(1, lambda wc: None)
+        with pytest.raises(ValueError):
+            router.expect(1, lambda wc: None)
+
+    def test_unclaimed_completions_counted(self):
+        cq = CompletionQueue()
+        router = CompletionRouter(cq)
+        cq.push(make_wc(99))
+        assert router.unclaimed == 1
+
+
+class TestCompletionQueue:
+    def test_polling_mode_buffers(self):
+        cq = CompletionQueue()
+        cq.push(make_wc(1))
+        cq.push(make_wc(2))
+        assert [wc.wr_id for wc in cq.poll()] == [1, 2]
+        assert len(cq) == 0
+
+    def test_set_handler_drains_backlog(self):
+        cq = CompletionQueue()
+        cq.push(make_wc(1))
+        got = []
+        cq.set_handler(lambda wc: got.append(wc.wr_id))
+        assert got == [1]
+
+    def test_poll_respects_max_entries(self):
+        cq = CompletionQueue()
+        for i in range(5):
+            cq.push(make_wc(i))
+        assert len(cq.poll(max_entries=3)) == 3
+        assert len(cq) == 2

@@ -1,0 +1,71 @@
+"""Fabric wiring and host management."""
+
+import pytest
+
+from repro.rdma import Fabric, Host, NICProfile
+from repro.rdma.cpu import CPUProfile
+
+
+def make_host(sim, name):
+    return Host(sim, name, NICProfile.chameleon(), CPUProfile())
+
+
+def test_connect_returns_linked_pair(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    b = fabric.add_host(make_host(sim, "b"))
+    qp_ab, qp_ba = fabric.connect(a, b)
+    assert qp_ab.reverse is qp_ba
+    assert qp_ba.reverse is qp_ab
+    assert qp_ab.src is a and qp_ab.dst is b
+
+
+def test_duplicate_host_name_rejected(sim):
+    fabric = Fabric(sim)
+    fabric.add_host(make_host(sim, "a"))
+    with pytest.raises(ValueError):
+        fabric.add_host(make_host(sim, "a"))
+
+
+def test_connect_requires_attached_hosts(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    stranger = make_host(sim, "s")
+    with pytest.raises(ValueError):
+        fabric.connect(a, stranger)
+
+
+def test_recvs_preposted_by_default(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    b = fabric.add_host(make_host(sim, "b"))
+    qp_ab, qp_ba = fabric.connect(a, b)
+    assert qp_ab.recv_posted > 0 and qp_ba.recv_posted > 0
+
+
+def test_prepost_can_be_disabled(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    b = fabric.add_host(make_host(sim, "b"))
+    qp_ab, _ = fabric.connect(a, b, prepost_recvs=0)
+    assert qp_ab.recv_posted == 0
+
+
+def test_negative_prop_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        Fabric(sim, prop_delay=-1.0)
+
+
+def test_connections_recorded(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    b = fabric.add_host(make_host(sim, "b"))
+    fabric.connect(a, b)
+    assert len(fabric.connections) == 1
+
+
+def test_host_without_handler_counts_drops(sim):
+    fabric = Fabric(sim)
+    a = fabric.add_host(make_host(sim, "a"))
+    a.deliver("orphan", None)
+    assert a.dropped_messages == 1

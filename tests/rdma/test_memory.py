@@ -1,0 +1,129 @@
+"""Sparse memory, regions, rkeys, bounds and permission checks."""
+
+import pytest
+
+from repro.common.errors import MemoryAccessError, RDMAError
+from repro.rdma.memory import MemoryManager, Permissions, SparseMemory
+
+
+class TestSparseMemory:
+    def test_unwritten_reads_as_zero(self):
+        mem = SparseMemory()
+        assert mem.read(1234, 8) == b"\x00" * 8
+
+    def test_write_read_round_trip(self):
+        mem = SparseMemory()
+        mem.write(100, b"hello")
+        assert mem.read(100, 5) == b"hello"
+
+    def test_write_spanning_pages(self):
+        mem = SparseMemory()
+        data = bytes(range(256)) * 40  # 10240 bytes across 3+ pages
+        mem.write(4000, data)
+        assert mem.read(4000, len(data)) == data
+
+    def test_partial_overlap_read(self):
+        mem = SparseMemory()
+        mem.write(10, b"abcdef")
+        assert mem.read(8, 10) == b"\x00\x00abcdef\x00\x00"
+
+    def test_u64_round_trip(self):
+        mem = SparseMemory()
+        mem.write_u64(64, 0xDEADBEEFCAFEBABE)
+        assert mem.read_u64(64) == 0xDEADBEEFCAFEBABE
+
+    def test_u64_wraps_modulo_2_64(self):
+        mem = SparseMemory()
+        mem.write_u64(0, -1)
+        assert mem.read_u64(0) == 2**64 - 1
+
+
+class TestMemoryManager:
+    def test_allocation_is_disjoint_and_aligned(self):
+        mm = MemoryManager()
+        a = mm.allocate(100)
+        b = mm.allocate(100)
+        assert b >= a + 100
+        assert a % 8 == 0 and b % 8 == 0
+
+    def test_zero_page_unmapped(self):
+        mm = MemoryManager()
+        assert mm.allocate(8) >= 4096
+
+    def test_register_and_lookup(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(256, Permissions.all())
+        assert mm.region(region.rkey) is region
+
+    def test_unknown_rkey_raises(self):
+        mm = MemoryManager()
+        with pytest.raises(MemoryAccessError):
+            mm.region(0x9999)
+
+    def test_deregister_invalidates(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        mm.deregister(region)
+        with pytest.raises(MemoryAccessError):
+            mm.remote_read(region.rkey, region.addr, 8)
+
+    def test_double_deregister_raises(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        mm.deregister(region)
+        with pytest.raises(RDMAError):
+            mm.deregister(region)
+
+    def test_remote_read_write(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        mm.remote_write(region.rkey, region.addr + 8, b"data")
+        assert mm.remote_read(region.rkey, region.addr + 8, 4) == b"data"
+
+    def test_out_of_bounds_rejected(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        with pytest.raises(MemoryAccessError):
+            mm.remote_read(region.rkey, region.addr + 60, 8)
+        with pytest.raises(MemoryAccessError):
+            mm.remote_read(region.rkey, region.addr - 8, 8)
+
+    def test_permission_enforcement(self):
+        mm = MemoryManager()
+        ro = mm.allocate_and_register(64, Permissions.read_only())
+        mm.remote_read(ro.rkey, ro.addr, 8)
+        with pytest.raises(MemoryAccessError):
+            mm.remote_write(ro.rkey, ro.addr, b"x")
+        with pytest.raises(MemoryAccessError):
+            mm.remote_fetch_add(ro.rkey, ro.addr, 1)
+
+    def test_fetch_add_returns_prior_and_wraps(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        assert mm.remote_fetch_add(region.rkey, region.addr, 5) == 0
+        assert mm.remote_fetch_add(region.rkey, region.addr, -10) == 5
+        # 5 - 10 wraps to 2**64 - 5
+        assert mm.backing.read_u64(region.addr) == 2**64 - 5
+
+    def test_compare_swap_semantics(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        mm.backing.write_u64(region.addr, 7)
+        assert mm.remote_compare_swap(region.rkey, region.addr, 7, 99) == 7
+        assert mm.backing.read_u64(region.addr) == 99
+        # failed compare leaves memory untouched
+        assert mm.remote_compare_swap(region.rkey, region.addr, 7, 1) == 99
+        assert mm.backing.read_u64(region.addr) == 99
+
+    def test_atomic_alignment_enforced(self):
+        mm = MemoryManager()
+        region = mm.allocate_and_register(64, Permissions.all())
+        with pytest.raises(MemoryAccessError):
+            mm.remote_fetch_add(region.rkey, region.addr + 4, 1)
+
+    def test_bad_sizes_rejected(self):
+        mm = MemoryManager()
+        with pytest.raises(ValueError):
+            mm.allocate(0)
+        with pytest.raises(ValueError):
+            mm.register(4096, 0, Permissions.all())

@@ -1,0 +1,99 @@
+"""Simulator event-loop semantics."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_schedule_runs_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo(sim):
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_run_until_stops_and_sets_now(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_includes_boundary_events(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_run_until_in_past_rejected(sim):
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_step_returns_false_when_drained(sim):
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_reports_next_event_time(sim):
+    assert sim.peek() is None
+    sim.schedule(4.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_events_scheduled_during_run_execute(sim):
+    seen = []
+
+    def first():
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == 2.0
+
+
+def test_callback_args_passed_through(sim):
+    got = []
+    sim.schedule(0.0, lambda a, b: got.append((a, b)), 1, "x")
+    sim.run()
+    assert got == [(1, "x")]
+
+
+def test_fresh_simulator_time_is_zero():
+    assert Simulator().now == 0.0

@@ -1,0 +1,134 @@
+"""Pipeline, Semaphore and Store behaviour."""
+
+import pytest
+
+from repro.sim import Pipeline, Semaphore, Store
+
+
+class TestPipeline:
+    def test_idle_pipeline_serves_immediately(self, sim):
+        pipe = Pipeline(sim)
+        assert pipe.submit(2.0) == 2.0
+
+    def test_busy_pipeline_queues_fifo(self, sim):
+        pipe = Pipeline(sim)
+        assert pipe.submit(2.0) == 2.0
+        assert pipe.submit(3.0) == 5.0
+        assert pipe.submit(1.0) == 6.0
+
+    def test_pipeline_idles_then_resumes(self, sim):
+        pipe = Pipeline(sim)
+        pipe.submit(1.0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert pipe.submit(1.0) == 6.0
+
+    def test_backlog_reports_queued_work(self, sim):
+        pipe = Pipeline(sim)
+        pipe.submit(4.0)
+        assert pipe.backlog == 4.0
+
+    def test_negative_cost_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Pipeline(sim).submit(-1.0)
+
+    def test_utilization_tracks_busy_fraction(self, sim):
+        pipe = Pipeline(sim)
+        pipe.submit(2.0)
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert pipe.utilization() == pytest.approx(0.5)
+
+    def test_charge_completes_now_plus_cost(self, sim):
+        pipe = Pipeline(sim)
+        pipe.submit(10.0)
+        assert pipe.charge(0.5) == 0.5  # skips the bulk queue
+
+    def test_charge_consumes_capacity(self, sim):
+        pipe = Pipeline(sim)
+        pipe.charge(1.0)
+        assert pipe.submit(2.0) == 3.0  # bulk work starts after the charge
+
+    def test_reset_accounting_zeroes_busy(self, sim):
+        pipe = Pipeline(sim)
+        pipe.submit(2.0)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        pipe.reset_accounting()
+        assert pipe.utilization(since=0.0) == 0.0
+
+
+class TestSemaphore:
+    def test_try_acquire_until_exhausted(self, sim):
+        sem = Semaphore(sim, 2)
+        assert sem.try_acquire()
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        assert sem.in_use == 2
+
+    def test_acquire_blocks_until_release(self, sim):
+        sem = Semaphore(sim, 1)
+        assert sem.acquire().triggered
+        waiter = sem.acquire()
+        assert not waiter.triggered
+        sem.release()
+        assert waiter.triggered
+
+    def test_waiters_wake_fifo(self, sim):
+        sem = Semaphore(sim, 1)
+        sem.acquire()
+        first = sem.acquire()
+        second = sem.acquire()
+        sem.release()
+        assert first.triggered and not second.triggered
+
+    def test_over_release_raises(self, sim):
+        sem = Semaphore(sim, 1)
+        with pytest.raises(RuntimeError):
+            sem.release()
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, 0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        ev = store.get()
+        assert ev.triggered and ev.value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        assert not ev.triggered
+        store.put("x")
+        assert ev.value == "x"
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_blocked_getters_fifo(self, sim):
+        store = Store(sim)
+        first = store.get()
+        second = store.get()
+        store.put("a")
+        store.put("b")
+        assert first.value == "a" and second.value == "b"
+
+    def test_try_get_nonblocking(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(9)
+        assert store.try_get() == 9
+
+    def test_len_counts_buffered_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

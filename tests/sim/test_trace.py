@@ -1,0 +1,108 @@
+"""Structured tracing."""
+
+import pytest
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_records_carry_sim_time(self, sim):
+        tracer = Tracer(sim)
+        sim.schedule(1.5, tracer.emit, "cat", "tick")
+        sim.run()
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.time == 1.5
+        assert record.category == "cat" and record.event == "tick"
+
+    def test_fields_preserved(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("engine", "faa", client=3, granted=10)
+        assert tracer.records[0].fields == {"client": 3, "granted": 10}
+
+    def test_category_filtering(self, sim):
+        tracer = Tracer(sim, categories=["monitor"])
+        tracer.emit("engine", "faa")
+        tracer.emit("monitor", "conversion")
+        assert len(tracer.records) == 1
+        assert tracer.enabled_for("monitor")
+        assert not tracer.enabled_for("engine")
+
+    def test_filter_by_category_and_event(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("a", "x")
+        tracer.emit("a", "y")
+        tracer.emit("b", "x")
+        assert len(tracer.filter(category="a")) == 2
+        assert len(tracer.filter(event="x")) == 2
+        assert len(tracer.filter(category="a", event="x")) == 1
+
+    def test_summary_counts_survive_eviction(self, sim):
+        tracer = Tracer(sim, max_records=10)
+        for _ in range(100):
+            tracer.emit("c", "e")
+        assert tracer.summary() == {"c.e": 100}
+        assert len(tracer.records) <= 10
+        assert tracer.dropped > 0
+
+    def test_str_rendering(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("monitor", "estimate", value=7)
+        text = str(tracer.records[0])
+        assert "monitor.estimate" in text and "value=7" in text
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Tracer(sim, max_records=1)
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit("any", "thing", n=1)
+        assert NULL_TRACER.filter() == []
+        assert NULL_TRACER.summary() == {}
+        assert not NULL_TRACER.enabled_for("any")
+
+
+class TestWiring:
+    def test_cluster_traces_protocol_events(self):
+        from repro.common.types import QoSMode
+        from repro.cluster.builder import build_cluster
+        from repro.cluster.scale import SimScale
+
+        scale = SimScale(factor=1000, interval_divisor=50)
+        cluster = build_cluster(
+            2, QoSMode.HAECHI, reservations_ops=[100_000, 100_000],
+            scale=scale,
+        )
+        tracer = Tracer(cluster.sim)
+        cluster.monitor.tracer = tracer
+        for client in cluster.clients:
+            client.engine.tracer = tracer
+        cluster.start()
+        period = cluster.config.period
+        cluster.sim.run(until=0.05 * period)
+        for key in range(300):
+            cluster.clients[0].engine.submit(key % 16, lambda ok, v, l: None)
+        cluster.sim.run(until=1.5 * period)
+
+        summary = tracer.summary()
+        assert summary["monitor.period_begin"] >= 1
+        assert summary["engine.period_start"] >= 2  # both clients
+        assert summary["engine.faa"] >= 1
+        assert summary["monitor.reporting_triggered"] >= 1
+        assert summary["monitor.conversion"] >= 1
+        assert summary["monitor.estimate"] >= 1
+
+    def test_builder_threads_tracer(self):
+        from repro.common.types import QoSMode
+        from repro.cluster.builder import build_cluster
+        from repro.cluster.scale import SimScale
+
+        scale = SimScale(factor=1000, interval_divisor=50)
+        cluster = build_cluster(
+            1, QoSMode.HAECHI, reservations_ops=[100_000], scale=scale,
+            tracer=NULL_TRACER,
+        )
+        assert cluster.monitor.tracer is NULL_TRACER
+        assert cluster.clients[0].engine.tracer is NULL_TRACER

@@ -1,0 +1,74 @@
+"""CLI behaviour (argument handling, exit codes, output shape)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_figures_lists_every_paper_artifact(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for fig in range(6, 20):
+        assert f"Fig. {fig}" in out
+    assert "Table I" in out
+    assert "bench_fig09_haechi_qos.py" in out
+
+
+def test_profile_reports_capacity(capsys):
+    assert main(["profile", "--periods", "4", "--scale", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "1570.0 KIOPS" in out
+    assert "floor" in out
+
+
+def test_profile_single_client(capsys):
+    assert main(["profile", "--clients", "1", "--periods", "3",
+                 "--scale", "1000"]) == 0
+    assert "400.0 KIOPS" in capsys.readouterr().out
+
+
+def test_run_haechi_meets_reservations(capsys):
+    code = main(["run", "--distribution", "uniform", "--periods", "3",
+                 "--warmup", "2", "--scale", "1000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "NO" not in out
+    assert "total:" in out
+
+
+def test_run_bare_prints_no_verdicts(capsys):
+    assert main(["run", "--mode", "bare", "--periods", "3", "--warmup", "1",
+                 "--scale", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "met" not in out.splitlines()[0]
+
+
+def test_run_rejects_bad_fraction(capsys):
+    assert main(["run", "--reserved-fraction", "1.5"]) == 2
+
+
+def test_run_basic_mode(capsys):
+    assert main(["run", "--mode", "basic", "--distribution", "uniform",
+                 "--periods", "3", "--warmup", "2", "--scale", "1000"]) == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_figure_list(capsys):
+    assert main(["figure", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig9-zipf" in out and "fig13" in out
+
+
+def test_figure_unknown_preset(capsys):
+    assert main(["figure", "fig999"]) == 2
+    assert "known:" in capsys.readouterr().err
+
+
+def test_figure_runs_quick_preset(capsys):
+    assert main(["figure", "fig11", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "totals:" in out and "haechi=" in out

@@ -1,0 +1,235 @@
+"""App drivers: burst (closed and token-paced) and constant-rate."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.app import (
+    BurstApp,
+    ConstantRateApp,
+    bare_submitter,
+    constant_demand,
+)
+
+
+class InstantSubmitter:
+    """Completes every request after a fixed delay; records issue times."""
+
+    def __init__(self, sim, delay=1e-6):
+        self.sim = sim
+        self.delay = delay
+        self.issue_times = []
+
+    def __call__(self, key, on_complete):
+        self.issue_times.append(self.sim.now)
+        self.sim.schedule(self.delay, on_complete, True, None, self.delay)
+
+
+def make_burst(sim, demand=100, window=8, period=1.0, **kwargs):
+    submitter = InstantSubmitter(sim)
+    app = BurstApp(
+        sim=sim,
+        name="a",
+        submit=submitter,
+        key_fn=lambda: 0,
+        demand_fn=constant_demand(demand),
+        period=period,
+        window=window,
+        **kwargs,
+    )
+    return app, submitter
+
+
+class TestBurstApp:
+    def test_issues_exactly_the_demand_per_period(self, sim):
+        app, _ = make_burst(sim, demand=100)
+        sim.run(until=0.999)  # stop before the next boundary fires
+        assert app.total_issued == 100
+        sim.run(until=1.999)
+        assert app.total_issued == 200
+
+    def test_window_bounds_outstanding(self, sim):
+        issued_at_once = []
+        slow = InstantSubmitter(sim, delay=10.0)  # nothing completes
+        app = BurstApp(
+            sim=sim, name="a", submit=slow, key_fn=lambda: 0,
+            demand_fn=constant_demand(100), period=1.0, window=8,
+        )
+        sim.run(until=0.5)
+        assert app.in_flight == 8
+        assert app.issued_this_period == 8
+
+    def test_unbounded_window_dumps_demand(self, sim):
+        slow = InstantSubmitter(sim, delay=10.0)
+        app = BurstApp(
+            sim=sim, name="a", submit=slow, key_fn=lambda: 0,
+            demand_fn=constant_demand(100), period=1.0, window=None,
+        )
+        sim.run(until=0.1)
+        assert app.issued_this_period == 100
+
+    def test_completion_refills_window(self, sim):
+        app, _ = make_burst(sim, demand=1000, window=4)
+        sim.run(until=0.5)
+        assert app.total_completed > 4
+
+    def test_unissued_demand_does_not_carry_over(self, sim):
+        slow = InstantSubmitter(sim, delay=0.4)
+        app = BurstApp(
+            sim=sim, name="a", submit=slow, key_fn=lambda: 0,
+            demand_fn=constant_demand(3), period=1.0, window=1,
+        )
+        sim.run(until=3.05)
+        # window 1 + 0.4 s completions: ~2-3 per period, never the backlog
+        assert app.total_issued <= 9
+
+    def test_demand_fn_receives_period_index(self, sim):
+        seen = []
+
+        def demand(period_index):
+            seen.append(period_index)
+            return 1
+
+        submitter = InstantSubmitter(sim)
+        BurstApp(sim=sim, name="a", submit=submitter, key_fn=lambda: 0,
+                 demand_fn=demand, period=1.0)
+        sim.run(until=2.5)
+        assert seen == [0, 1, 2]
+
+    def test_zero_demand_period_idles(self, sim):
+        app, submitter = make_burst(sim, demand=0)
+        sim.run(until=1.5)
+        assert app.total_issued == 0
+
+    def test_negative_demand_fails_loud(self, sim):
+        submitter = InstantSubmitter(sim)
+        BurstApp(sim=sim, name="a", submit=submitter, key_fn=lambda: 0,
+                 demand_fn=constant_demand(-1), period=1.0)
+        with pytest.raises(ConfigError):
+            sim.run(until=0.1)
+
+    def test_bad_window_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            make_burst(sim, window=0)
+
+    def test_bad_period_rejected(self, sim):
+        with pytest.raises(ConfigError):
+            BurstApp(sim=sim, name="a", submit=lambda k, c: None,
+                     key_fn=lambda: 0, demand_fn=constant_demand(1),
+                     period=0.0)
+
+
+class TestConstantRateApp:
+    def make(self, sim, demand=10, period=1.0):
+        submitter = InstantSubmitter(sim)
+        app = ConstantRateApp(
+            sim=sim, name="r", submit=submitter, key_fn=lambda: 0,
+            demand_fn=constant_demand(demand), period=period,
+        )
+        return app, submitter
+
+    def test_issues_demand_evenly_spaced(self, sim):
+        app, submitter = self.make(sim, demand=10)
+        sim.run(until=0.999)  # stop before the next boundary fires
+        assert app.total_issued == 10
+        gaps = [
+            b - a
+            for a, b in zip(submitter.issue_times, submitter.issue_times[1:])
+        ]
+        assert all(g == pytest.approx(0.1) for g in gaps)
+
+    def test_open_loop_ignores_completions(self, sim):
+        slow = InstantSubmitter(sim, delay=100.0)
+        app = ConstantRateApp(
+            sim=sim, name="r", submit=slow, key_fn=lambda: 0,
+            demand_fn=constant_demand(10), period=1.0,
+        )
+        sim.run(until=0.999)
+        assert app.total_issued == 10  # not gated by the stuck completions
+
+    def test_next_period_restarts_schedule(self, sim):
+        app, submitter = self.make(sim, demand=5)
+        sim.run(until=1.999)
+        assert app.total_issued == 10
+
+    def test_completion_hook_called(self, sim):
+        latencies = []
+        submitter = InstantSubmitter(sim)
+        ConstantRateApp(
+            sim=sim, name="r", submit=submitter, key_fn=lambda: 0,
+            demand_fn=constant_demand(5), period=1.0,
+            on_complete=lambda ok, lat: latencies.append(lat),
+        )
+        sim.run(until=1.0)
+        assert len(latencies) == 5
+
+
+class TestSubmitterAdapters:
+    def test_bare_submitter_uses_one_sided_path(self, mini):
+        submit = bare_submitter(mini.clients[0], touch_memory=True)
+        out = {}
+        submit(5, lambda ok, val, lat: out.update(ok=ok, val=val))
+        mini.sim.run(until=0.01)
+        assert out["ok"]
+        assert out["val"][1].startswith(b"value-5")
+
+
+class TestPoissonApp:
+    def make(self, sim, demand=200, seed=1):
+        from repro.workloads.app import PoissonApp
+
+        submitter = InstantSubmitter(sim)
+        app = PoissonApp(
+            sim=sim, name="p", submit=submitter, key_fn=lambda: 0,
+            demand_fn=constant_demand(demand), period=1.0, seed=seed,
+        )
+        return app, submitter
+
+    def test_issues_at_most_the_demand(self, sim):
+        app, _ = self.make(sim, demand=200)
+        sim.run(until=0.999)
+        assert app.issued_this_period <= 200
+        # the Poisson process realizes most of its mean in one period
+        assert app.total_issued > 140
+
+    def test_interarrivals_are_variable(self, sim):
+        app, submitter = self.make(sim, demand=500)
+        sim.run(until=0.999)
+        gaps = [b - a for a, b in
+                zip(submitter.issue_times, submitter.issue_times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # exponential: std ~ mean (CV ~ 1); constant-rate would have 0
+        assert var ** 0.5 > 0.5 * mean
+
+    def test_deterministic_given_seed(self, sim):
+        from repro.sim import Simulator
+
+        def run(seed):
+            s = Simulator()
+            app, sub = PoissonAppFactory(s, seed)
+            s.run(until=0.999)
+            return sub.issue_times
+
+        def PoissonAppFactory(s, seed):
+            from repro.workloads.app import PoissonApp
+
+            sub = InstantSubmitter(s)
+            app = PoissonApp(
+                sim=s, name="p", submit=sub, key_fn=lambda: 0,
+                demand_fn=constant_demand(50), period=1.0, seed=seed,
+            )
+            return app, sub
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_open_loop(self, sim):
+        from repro.workloads.app import PoissonApp
+
+        slow = InstantSubmitter(sim, delay=100.0)
+        app = PoissonApp(
+            sim=sim, name="p", submit=slow, key_fn=lambda: 0,
+            demand_fn=constant_demand(50), period=1.0, seed=2,
+        )
+        sim.run(until=0.999)
+        assert app.total_issued > 25  # not gated by stuck completions

@@ -1,0 +1,83 @@
+"""Background congestion jobs."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.background import BackgroundJob
+
+
+class FakeKV:
+    """Counts issues; completes after a delay on the shared sim."""
+
+    def __init__(self, sim, delay=1e-5):
+        self.sim = sim
+        self.delay = delay
+        self.issued = 0
+
+    def get_onesided(self, key, on_complete, touch_memory=True):
+        self.issued += 1
+        self.sim.schedule(self.delay, on_complete, True, None, self.delay)
+
+
+class TestClosedLoop:
+    def test_respects_schedule(self, sim):
+        kv = FakeKV(sim)
+        job = BackgroundJob(sim, kv, schedule=[(1.0, 2.0)], window=4)
+        sim.run(until=0.5)
+        assert kv.issued == 0
+        sim.run(until=1.5)
+        assert kv.issued > 0
+        issued_at_deactivation = None
+        sim.run(until=2.0)
+        issued_at_deactivation = kv.issued
+        sim.run(until=3.0)
+        assert kv.issued == issued_at_deactivation  # stopped reissuing
+
+    def test_window_bounds_outstanding(self, sim):
+        kv = FakeKV(sim, delay=100.0)  # never completes in window
+        job = BackgroundJob(sim, kv, schedule=[(0.0, 10.0)], window=4)
+        sim.run(until=1.0)
+        assert kv.issued == 4
+        assert job.in_flight == 4
+
+    def test_multiple_windows(self, sim):
+        kv = FakeKV(sim)
+        BackgroundJob(sim, kv, schedule=[(0.0, 1.0), (2.0, 3.0)], window=2)
+        sim.run(until=1.5)
+        after_first = kv.issued
+        sim.run(until=2.5)
+        assert kv.issued > after_first
+
+
+class TestRateControlled:
+    def test_issues_at_fixed_rate(self, sim):
+        kv = FakeKV(sim)
+        BackgroundJob(sim, kv, schedule=[(0.0, 1.0)], rate_ops=100)
+        sim.run(until=1.0)
+        assert kv.issued == pytest.approx(100, abs=2)
+
+    def test_stops_when_window_closes(self, sim):
+        kv = FakeKV(sim)
+        BackgroundJob(sim, kv, schedule=[(0.0, 0.5)], rate_ops=100)
+        sim.run(until=2.0)
+        assert kv.issued == pytest.approx(50, abs=2)
+
+    def test_completion_counter(self, sim):
+        kv = FakeKV(sim)
+        job = BackgroundJob(sim, kv, schedule=[(0.0, 0.5)], rate_ops=100)
+        sim.run(until=2.0)
+        assert job.total_completed == kv.issued
+
+
+class TestValidation:
+    def test_bad_window(self, sim):
+        with pytest.raises(ConfigError):
+            BackgroundJob(sim, FakeKV(sim), schedule=[(0, 1)], window=0)
+
+    def test_bad_rate(self, sim):
+        with pytest.raises(ConfigError):
+            BackgroundJob(sim, FakeKV(sim), schedule=[(0, 1)], rate_ops=0)
+
+    def test_bad_schedule(self, sim):
+        with pytest.raises(ConfigError):
+            BackgroundJob(sim, FakeKV(sim), schedule=[(2.0, 1.0)])

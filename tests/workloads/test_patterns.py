@@ -1,0 +1,17 @@
+"""Request-pattern enum."""
+
+from repro.workloads.patterns import BURST_WINDOW, RequestPattern
+
+
+def test_burst_window_is_papers_64():
+    assert BURST_WINDOW == 64
+
+
+def test_keeps_queue_classification():
+    assert RequestPattern.BURST.keeps_queue
+    assert not RequestPattern.CONSTANT_RATE.keeps_queue
+
+
+def test_values():
+    assert RequestPattern.BURST.value == "burst"
+    assert RequestPattern.CONSTANT_RATE.value == "constant_rate"

@@ -1,0 +1,75 @@
+"""Reservation distribution shapes."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.reservations import (
+    spike_distribution,
+    uniform_distribution,
+    zipf_group_distribution,
+)
+
+
+class TestUniform:
+    def test_equal_shares(self):
+        shares = uniform_distribution(1_570_000, 10)
+        assert shares == [157_000] * 10
+
+    def test_sums_close_to_total(self):
+        shares = uniform_distribution(1_000_000, 7)
+        assert sum(shares) == pytest.approx(1_000_000, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            uniform_distribution(100, 0)
+        with pytest.raises(ConfigError):
+            uniform_distribution(-1, 5)
+
+
+class TestZipfGroups:
+    def test_paper_shape_10_clients_5_groups(self):
+        shares = zipf_group_distribution(1_413_000, 10)
+        # pairs share the same reservation, decreasing by group
+        assert shares[0] == shares[1]
+        assert shares[0] > shares[2] > shares[4] > shares[6] > shares[8]
+        # C1 reserves ~236K as in Fig. 9(b) (7080K over 30 periods)
+        assert shares[0] == pytest.approx(236_000, rel=0.01)
+
+    def test_total_preserved(self):
+        shares = zipf_group_distribution(1_000_000, 10)
+        assert sum(shares) == pytest.approx(1_000_000, rel=0.01)
+
+    def test_exponent_zero_is_uniform(self):
+        shares = zipf_group_distribution(1_000_000, 10, exponent=0.0)
+        assert len(set(shares)) == 1
+
+    def test_group_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            zipf_group_distribution(100, 9, num_groups=5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zipf_group_distribution(100, 10, num_groups=0)
+        with pytest.raises(ConfigError):
+            zipf_group_distribution(100, 10, exponent=-1)
+
+
+class TestSpike:
+    def test_paper_set3_shape(self):
+        shares = spike_distribution(10, 285_000, 80_000)
+        assert shares[:3] == [285_000] * 3
+        assert shares[3:] == [80_000] * 7
+
+    def test_experiment_1c_shape(self):
+        shares = spike_distribution(10, 340_000, 80_000)
+        assert sum(shares) == 1_580_000  # the paper's saturating demand
+
+    def test_high_count_bounds(self):
+        assert spike_distribution(4, 10, 5, high_count=0) == [5] * 4
+        assert spike_distribution(4, 10, 5, high_count=4) == [10] * 4
+        with pytest.raises(ConfigError):
+            spike_distribution(4, 10, 5, high_count=5)
+
+    def test_inverted_spike_rejected(self):
+        with pytest.raises(ConfigError):
+            spike_distribution(10, 10, 20)

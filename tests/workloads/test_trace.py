@@ -1,0 +1,155 @@
+"""Workload trace record / persist / replay."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.trace import (
+    TraceOp,
+    TraceReplayApp,
+    jitter_trace,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+from repro.workloads.ycsb import WORKLOAD_A, WORKLOAD_PAPER, YCSBWorkload
+
+
+def paper_trace(count=100, rate=1000.0, seed=1):
+    workload = YCSBWorkload(WORKLOAD_PAPER, item_count=64, seed=seed)
+    return record_trace(workload, count=count, rate_ops=rate)
+
+
+class TestRecord:
+    def test_evenly_spaced_timestamps(self):
+        trace = paper_trace(count=10, rate=100.0)
+        gaps = [b.time - a.time for a, b in zip(trace, trace[1:])]
+        assert all(g == pytest.approx(0.01) for g in gaps)
+        assert trace[0].time == 0.0
+
+    def test_ops_follow_workload_mix(self):
+        workload = YCSBWorkload(WORKLOAD_A, item_count=64, seed=2)
+        trace = record_trace(workload, count=400, rate_ops=1000)
+        ops = {entry.op for entry in trace}
+        assert ops == {"read", "update"}
+
+    def test_validation(self):
+        workload = YCSBWorkload(WORKLOAD_PAPER, item_count=8, seed=0)
+        with pytest.raises(ConfigError):
+            record_trace(workload, count=0, rate_ops=10)
+        with pytest.raises(ConfigError):
+            record_trace(workload, count=1, rate_ops=0)
+
+
+class TestJitter:
+    def test_preserves_count_and_mean_rate(self):
+        trace = paper_trace(count=500, rate=1000.0)
+        jittered = jitter_trace(trace, seed=3)
+        assert len(jittered) == len(trace)
+        duration = jittered[-1].time - jittered[0].time
+        assert duration == pytest.approx(0.5, rel=0.25)
+
+    def test_timestamps_non_decreasing(self):
+        jittered = jitter_trace(paper_trace(count=200), seed=4)
+        times = [e.time for e in jittered]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        assert jitter_trace(paper_trace(), seed=5) == jitter_trace(
+            paper_trace(), seed=5
+        )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        trace = paper_trace(count=50)
+        path = tmp_path / "trace.jsonl"
+        assert save_trace(trace, str(path)) == 50
+        assert load_trace(str(path)) == trace
+
+    def test_load_rejects_time_travel(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            TraceOp(1.0, "read", 1).to_json() + "\n"
+            + TraceOp(0.5, "read", 2).to_json() + "\n"
+        )
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            load_trace(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            TraceOp(0.0, "read", 1).to_json() + "\n\n"
+            + TraceOp(1.0, "read", 2).to_json() + "\n"
+        )
+        assert len(load_trace(str(path))) == 2
+
+
+class TestReplay:
+    def test_replays_at_recorded_times(self, sim):
+        fired = []
+        trace = [TraceOp(0.0, "read", 1), TraceOp(0.5, "read", 2)]
+        TraceReplayApp(
+            sim, trace,
+            submit=lambda key, cb: fired.append((sim.now, key)),
+        )
+        sim.run()
+        assert fired == [(0.0, 1), (0.5, 2)]
+
+    def test_time_scale_compresses_replay(self, sim):
+        fired = []
+        trace = [TraceOp(0.0, "read", 1), TraceOp(1.0, "read", 2)]
+        TraceReplayApp(
+            sim, trace,
+            submit=lambda key, cb: fired.append(sim.now),
+            time_scale=100,
+        )
+        sim.run()
+        assert fired[-1] == pytest.approx(0.01)
+
+    def test_writes_skipped_without_write_submitter(self, sim):
+        trace = [TraceOp(0.0, "update", 1), TraceOp(0.1, "read", 2)]
+        app = TraceReplayApp(sim, trace, submit=lambda key, cb: cb(True, None, 0))
+        sim.run()
+        assert app.skipped_writes == 1
+        assert app.issued == 1
+        assert app.done
+
+    def test_writes_routed_to_write_submitter(self, sim):
+        reads, writes = [], []
+        trace = [TraceOp(0.0, "update", 1), TraceOp(0.1, "read", 2)]
+        app = TraceReplayApp(
+            sim, trace,
+            submit=lambda key, cb: (reads.append(key), cb(True, None, 0)),
+            submit_write=lambda key, cb: (writes.append(key), cb(True, None, 0)),
+        )
+        sim.run()
+        assert reads == [2] and writes == [1]
+        assert app.completed == 2
+
+    def test_completion_hook(self, sim):
+        latencies = []
+        app = TraceReplayApp(
+            sim, paper_trace(count=5, rate=100),
+            submit=lambda key, cb: sim.schedule(0.001, cb, True, None, 0.001),
+            on_complete=lambda ok, lat: latencies.append(lat),
+        )
+        sim.run()
+        assert len(latencies) == 5 and app.done
+
+    def test_validation(self, sim):
+        with pytest.raises(ConfigError):
+            TraceReplayApp(sim, [], submit=lambda k, c: None, time_scale=0)
+
+    def test_end_to_end_replay_against_kv(self, mini):
+        """A recorded YCSB trace replays over the real one-sided path."""
+        workload = YCSBWorkload(WORKLOAD_PAPER, item_count=64, seed=7)
+        trace = record_trace(workload, count=50, rate_ops=100_000)
+        results = []
+        app = TraceReplayApp(
+            mini.sim, trace,
+            submit=lambda key, cb: mini.clients[0].get_onesided(key, cb),
+            on_complete=lambda ok, lat: results.append(ok),
+        )
+        mini.sim.run(until=0.01)
+        assert results == [True] * 50
+        assert app.done

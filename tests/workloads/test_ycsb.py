@@ -1,0 +1,193 @@
+"""YCSB-style generators."""
+
+import collections
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_PAPER,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    WorkloadSpec,
+    YCSBWorkload,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestUniformGenerator:
+    def test_keys_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        keys = [gen.next() for _ in range(1000)]
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_roughly_uniform(self):
+        gen = UniformGenerator(10, seed=1)
+        counts = collections.Counter(gen.next() for _ in range(10_000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_deterministic(self):
+        a = [UniformGenerator(50, seed=9).next() for _ in range(20)]
+        b = [UniformGenerator(50, seed=9).next() for _ in range(20)]
+        assert a == b
+
+
+class TestZipfianGenerator:
+    def test_keys_in_range(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        assert all(0 <= gen.next() < 1000 for _ in range(5000))
+
+    def test_small_keys_dominate(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        top10 = sum(counts[k] for k in range(10))
+        assert top10 > 0.3 * 20_000  # zipf(0.99): top-1% gets >30%
+
+    def test_key_zero_is_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        assert counts[0] == max(counts.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(0)
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestScrambledZipfian:
+    def test_hot_keys_are_scattered(self):
+        gen = ScrambledZipfianGenerator(1000, seed=3)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        hottest = counts.most_common(3)
+        # popularity survives, position does not cluster at 0..2
+        assert hottest[0][1] > 1000
+        assert any(key > 10 for key, _ in hottest)
+
+    def test_fnv_is_stable(self):
+        assert fnv1a_64(0) == fnv1a_64(0)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+
+class TestWorkloadSpec:
+    def test_presets_are_valid_mixes(self):
+        for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_PAPER):
+            total = (
+                spec.read_proportion
+                + spec.update_proportion
+                + spec.insert_proportion
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec("bad", read_proportion=0.5, update_proportion=0.1)
+
+
+class TestYCSBWorkload:
+    def test_paper_workload_is_read_only(self):
+        wl = YCSBWorkload(WORKLOAD_PAPER, item_count=100, seed=4)
+        ops = collections.Counter(op for op, _ in wl.stream(1000))
+        assert ops == {"read": 1000}
+
+    def test_workload_a_mix(self):
+        wl = YCSBWorkload(WORKLOAD_A, item_count=100, seed=4)
+        ops = collections.Counter(op for op, _ in wl.stream(4000))
+        assert ops["read"] == pytest.approx(2000, rel=0.1)
+        assert ops["update"] == pytest.approx(2000, rel=0.1)
+
+    def test_inserts_extend_keyspace(self):
+        from repro.workloads.ycsb import WORKLOAD_D
+
+        wl = YCSBWorkload(WORKLOAD_D, item_count=100, seed=4)
+        inserts = [key for op, key in wl.stream(2000) if op == "insert"]
+        assert inserts and inserts == sorted(inserts)
+        assert inserts[0] == 100
+
+    def test_uniform_distribution_choice(self):
+        spec = WorkloadSpec("u", 1.0, 0.0, distribution="uniform")
+        wl = YCSBWorkload(spec, item_count=50, seed=1)
+        assert all(0 <= wl.next_key() < 50 for _ in range(100))
+
+    def test_unknown_distribution_rejected(self):
+        spec = WorkloadSpec("x", 1.0, 0.0, distribution="nope")
+        with pytest.raises(ConfigError):
+            YCSBWorkload(spec, item_count=10)
+
+    def test_deterministic_stream(self):
+        a = list(YCSBWorkload(WORKLOAD_A, 100, seed=5).stream(50))
+        b = list(YCSBWorkload(WORKLOAD_A, 100, seed=5).stream(50))
+        assert a == b
+
+
+class TestLatestGenerator:
+    def test_newest_keys_dominate(self):
+        from repro.workloads.ycsb import LatestGenerator
+
+        gen = LatestGenerator(1000, seed=5)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        newest_decile = sum(counts[k] for k in range(900, 1000))
+        assert newest_decile > 0.5 * 20_000
+
+    def test_advance_shifts_the_hot_end(self):
+        from repro.workloads.ycsb import LatestGenerator
+
+        gen = LatestGenerator(100, seed=5)
+        gen.advance(200)
+        keys = [gen.next() for _ in range(2000)]
+        assert max(keys) > 150  # the new tail is reachable and hot
+        assert all(0 <= k < 200 for k in keys)
+
+    def test_keyspace_cannot_shrink(self):
+        from repro.workloads.ycsb import LatestGenerator
+
+        gen = LatestGenerator(100)
+        with pytest.raises(ConfigError):
+            gen.advance(50)
+
+    def test_workload_d_reads_recent_keys(self):
+        from repro.workloads.ycsb import WORKLOAD_D
+
+        wl = YCSBWorkload(WORKLOAD_D, item_count=1000, seed=9)
+        reads = [key for op, key in wl.stream(5000) if op == "read"]
+        recent = sum(1 for k in reads if k >= 900)
+        assert recent > 0.4 * len(reads)
+
+
+class TestHotspotGenerator:
+    def test_hot_set_receives_hot_fraction_of_ops(self):
+        from repro.workloads.ycsb import HotspotGenerator
+
+        gen = HotspotGenerator(1000, hot_fraction=0.1, hot_opn_fraction=0.9,
+                               seed=3)
+        keys = [gen.next() for _ in range(20_000)]
+        hot = sum(1 for k in keys if k < 100)
+        assert hot == pytest.approx(0.9 * len(keys), rel=0.05)
+
+    def test_cold_keys_stay_outside_hot_set(self):
+        from repro.workloads.ycsb import HotspotGenerator
+
+        gen = HotspotGenerator(1000, hot_fraction=0.1, hot_opn_fraction=0.0,
+                               seed=3)
+        keys = [gen.next() for _ in range(1000)]
+        assert all(100 <= k < 1000 for k in keys)
+
+    def test_degenerate_full_hot_set(self):
+        from repro.workloads.ycsb import HotspotGenerator
+
+        gen = HotspotGenerator(10, hot_fraction=1.0, hot_opn_fraction=0.5)
+        assert all(0 <= gen.next() < 10 for _ in range(100))
+
+    def test_validation(self):
+        from repro.workloads.ycsb import HotspotGenerator
+
+        with pytest.raises(ConfigError):
+            HotspotGenerator(10, hot_fraction=0.0)
+        with pytest.raises(ConfigError):
+            HotspotGenerator(10, hot_opn_fraction=1.5)
+        with pytest.raises(ConfigError):
+            HotspotGenerator(0)
