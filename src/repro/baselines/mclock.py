@@ -29,7 +29,7 @@ import math
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
-from repro.common.errors import ConfigError, QoSError
+from repro.common.errors import QoSError
 from repro.baselines.server_qos import ServerQoSScheduler
 
 

@@ -22,10 +22,13 @@ from typing import List, Optional
 from repro.analysis import format_table, meets_reservation
 from repro.common.types import QoSMode
 from repro.cluster.experiment import run_experiment
+from repro.cluster.metrics import robustness_summary
 from repro.cluster.profiling import run_profiling
 from repro.cluster.scale import SimScale
 from repro.cluster.scenarios import (
+    FAULT_KINDS,
     bare_cluster,
+    faulty_qos_cluster,
     paper_demands,
     qos_cluster,
     reservation_set,
@@ -69,6 +72,27 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--window", type=int, default=None,
                      help="completion-gated window for burst apps "
                           "(default: token-paced)")
+
+    faults = sub.add_parser(
+        "faults", help="run a QoS scenario under an injected fault plan"
+    )
+    faults.add_argument("--kind", choices=FAULT_KINDS, default="control-loss")
+    faults.add_argument("--rate", type=float, default=0.05,
+                        help="per-op probability for probabilistic kinds")
+    faults.add_argument("--client", type=int, default=0,
+                        help="victim client index for crash/qp-close kinds")
+    faults.add_argument("--factor", type=float, default=0.5,
+                        help="remaining NIC capacity during a brownout")
+    faults.add_argument("--start-period", type=int, default=2)
+    faults.add_argument("--end-period", type=int, default=None)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--distribution", choices=["uniform", "zipf", "spike"],
+                        default="uniform")
+    faults.add_argument("--reserved-fraction", type=float, default=0.75)
+    faults.add_argument("--clients", type=int, default=3)
+    faults.add_argument("--periods", type=int, default=10)
+    faults.add_argument("--warmup", type=int, default=3)
+    faults.add_argument("--scale", type=float, default=200)
 
     sub.add_parser("figures", help="list the paper-figure benchmarks")
 
@@ -147,6 +171,70 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    if not 0 < args.reserved_fraction <= 1:
+        print("--reserved-fraction must be in (0, 1]", file=sys.stderr)
+        return 2
+    if not 0 <= args.client < args.clients:
+        print(f"--client must be in [0, {args.clients})", file=sys.stderr)
+        return 2
+    from repro.common.errors import ConfigError
+
+    scale = SimScale(factor=args.scale, interval_divisor=200)
+    reservations = reservation_set(
+        args.distribution, args.reserved_fraction * _CAPACITY, args.clients
+    )
+    pool = (1 - args.reserved_fraction) * _CAPACITY
+    demands = paper_demands(reservations, pool)
+    try:
+        cluster = faulty_qos_cluster(
+            reservations, demands,
+            kind=args.kind,
+            fault_seed=args.seed,
+            fault_kwargs={
+                "rate": args.rate,
+                "client": args.client,
+                "factor": args.factor,
+                "start_period": args.start_period,
+                "end_period": args.end_period,
+            },
+            scale=scale,
+            master_seed=args.seed,
+        )
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+    result = run_experiment(cluster, warmup_periods=args.warmup,
+                            measure_periods=args.periods)
+
+    rows = []
+    for i, reservation in enumerate(reservations):
+        name = f"C{i+1}"
+        rows.append([name, f"{reservation/1000:.0f}",
+                     f"{result.client_kiops(name):.0f}"])
+    for line in format_table(
+        ["client", "reservation (KIOPS)", "served (KIOPS)"], rows
+    ):
+        print(line)
+    summary = robustness_summary(cluster)
+    faults_seen = summary.get("faults", {})
+    print(f"total: {result.total_kiops():.0f} KIOPS  "
+          f"(kind={args.kind}, rate={args.rate}, seed={args.seed})")
+    print(f"faults: dropped={faults_seen.get('dropped_total', 0)}  "
+          f"delayed={faults_seen.get('delayed_total', 0)}  "
+          f"qps_closed={faults_seen.get('qps_closed', 0)}")
+    monitor = summary.get("monitor", {})
+    print(f"control plane: faa_failures={summary['faa_failures_total']}  "
+          f"timeouts={summary['faa_timeouts_total']}  "
+          f"degraded_entries={summary['degraded_entries_total']}  "
+          f"stale_reports={monitor.get('stale_reports', 0)}  "
+          f"clamped={monitor.get('clamped_reports', 0)}")
+    for eviction in monitor.get("evictions", ()):
+        print(f"evicted: client C{eviction['client'] + 1} at period "
+              f"{eviction['period']} (reservation {eviction['reservation']})")
+    return 0
+
+
 _FIGURES = [
     ("Table I", "bench_table1_config.py", "testbed configuration"),
     ("Fig. 6", "bench_fig06_client_throughput.py", "per-client saturation"),
@@ -221,6 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "figure":

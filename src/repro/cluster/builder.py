@@ -90,8 +90,22 @@ class Cluster:
         self.touch_memory = touch_memory
         self.metrics = MetricsCollector(sim, config.period)
         self.background_jobs: List[BackgroundJob] = []
+        self.fault_injector = None
         self._background_count = 0
         self._started = False
+
+    def inject_faults(self, plan, seed: int = 0, tracer=NULL_TRACER):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on the fabric.
+
+        Call before :meth:`start`; returns the installed injector (also
+        kept as ``self.fault_injector`` for metrics collection).
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(plan, seed=seed, tracer=tracer)
+        injector.install(self.fabric)
+        self.fault_injector = injector
+        return injector
 
     def start(self) -> None:
         """Begin QoS periods (no-op for bare clusters)."""
@@ -142,6 +156,7 @@ def build_cluster(
     admission_enabled: bool = True,
     config: Optional[HaechiConfig] = None,
     tracer=NULL_TRACER,
+    master_seed: int = 0,
 ) -> Cluster:
     """Build the testbed.
 
@@ -241,6 +256,7 @@ def build_cluster(
                 dispatcher=dispatcher,
                 touch_memory=touch_memory,
                 tracer=tracer,
+                seed=master_seed,
             )
         clients.append(context)
 

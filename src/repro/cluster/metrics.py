@@ -91,3 +91,49 @@ class MetricsCollector:
         for metrics in self.clients.values():
             metrics.reset_window()
         self.period_totals.clear()
+
+
+def robustness_summary(cluster) -> dict:
+    """Fault and recovery counters for a built cluster, in one dict.
+
+    Aggregates the engines' control-plane telemetry (retries, timeouts,
+    degraded-mode episodes), the monitor's lease/clamp counters with the
+    eviction log, and — when a fault injector is installed — what the
+    plan actually inflicted.  Benches, the CLI, and the fault tests all
+    report through this single view.
+    """
+    engines = {}
+    for ctx in cluster.clients:
+        engine = ctx.engine
+        if engine is None:
+            continue
+        engines[ctx.name] = {
+            "faa_failures": engine.faa_failures,
+            "faa_timeouts": engine.faa_timeouts,
+            "faa_pool_empty": engine.faa_pool_empty,
+            "probes_issued": engine.probes_issued,
+            "reports_failed": engine.reports_failed,
+            "degraded": engine.degraded,
+            "degraded_entries": engine.degraded_entries,
+            "degraded_periods": engine.degraded_periods,
+            "degraded_recoveries": engine.degraded_recoveries,
+        }
+    summary = {
+        "engines": engines,
+        "faa_failures_total": sum(e["faa_failures"] for e in engines.values()),
+        "faa_timeouts_total": sum(e["faa_timeouts"] for e in engines.values()),
+        "degraded_entries_total": sum(
+            e["degraded_entries"] for e in engines.values()
+        ),
+    }
+    if cluster.monitor is not None:
+        monitor = cluster.monitor
+        summary["monitor"] = {
+            "stale_reports": monitor.stale_reports,
+            "clamped_reports": monitor.clamped_reports,
+            "sends_failed": monitor.sends_failed,
+            "evictions": list(monitor.evictions),
+        }
+    if cluster.fault_injector is not None:
+        summary["faults"] = cluster.fault_injector.summary()
+    return summary

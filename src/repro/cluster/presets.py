@@ -13,7 +13,7 @@ returns a dict of printable series/tables.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.common.errors import ConfigError
 from repro.common.types import AccessMode, QoSMode

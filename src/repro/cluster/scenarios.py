@@ -14,14 +14,24 @@ discussion of this distinction.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.types import AccessMode, QoSMode
 from repro.cluster.builder import Cluster, build_cluster
-from repro.cluster.calibration import CHAMELEON
 from repro.cluster.experiment import attach_app
 from repro.cluster.scale import SimScale
+from repro.core.config import HaechiConfig
+from repro.faults import (
+    Brownout,
+    CrashWindow,
+    DelayRule,
+    DropRule,
+    FaultPlan,
+    OpFilter,
+    QPCloseFault,
+)
 from repro.workloads.patterns import BURST_WINDOW, RequestPattern
 from repro.workloads.reservations import (
     spike_distribution,
@@ -135,6 +145,98 @@ def congestion_schedule(
     if onset:
         return [(switch_period * period, (total_periods + 2) * period)]
     return [(0.0, switch_period * period)]
+
+
+# ----------------------------------------------------------------------
+# Fault scenarios (robustness evaluation; see docs/FAULTS.md)
+# ----------------------------------------------------------------------
+FAULT_KINDS = (
+    "control-loss", "delay-spike", "brownout", "client-crash", "qp-close",
+)
+
+
+def fault_plan(
+    kind: str,
+    config: HaechiConfig,
+    rate: float = 0.05,
+    client: int = 0,
+    start_period: int = 2,
+    end_period: Optional[int] = None,
+    factor: float = 0.5,
+) -> FaultPlan:
+    """A canned fault plan, parameterised in *periods* of ``config``.
+
+    - ``control-loss``: every control op (atomics, report WRITEs, QoS
+      SENDs) on every link is dropped with probability ``rate``.
+    - ``delay-spike``: control ops suffer a multi-tick delay spike with
+      probability ``rate``.
+    - ``brownout``: the data node's NIC runs at ``factor`` of nominal
+      capacity during [start_period, end_period).
+    - ``client-crash``: client ``client`` goes dark at ``start_period``
+      (restarting at ``end_period`` if given, else never).
+    - ``qp-close``: client ``client``'s connection to the server is
+      abruptly closed at ``start_period``.
+
+    ``drop_fail_after`` is one check interval so transport retry expiry
+    is visible well within a period and the engine's backoff dominates
+    recovery timing.
+    """
+    T = config.period
+    start = start_period * T
+    fail_after = config.check_interval
+    if kind == "control-loss":
+        return FaultPlan(
+            drops=(DropRule(rate, OpFilter(control_only=True),
+                            label="control-loss"),),
+            drop_fail_after=fail_after,
+        )
+    if kind == "delay-spike":
+        return FaultPlan(
+            delays=(DelayRule(rate, delay=2 * config.check_interval,
+                              jitter=config.check_interval,
+                              where=OpFilter(control_only=True),
+                              label="delay-spike"),),
+            drop_fail_after=fail_after,
+        )
+    if kind == "brownout":
+        end = (end_period if end_period is not None else start_period + 2) * T
+        return FaultPlan(
+            brownouts=(Brownout("server", start, end, factor),),
+            drop_fail_after=fail_after,
+        )
+    if kind == "client-crash":
+        end = end_period * T if end_period is not None else math.inf
+        return FaultPlan(
+            crashes=(CrashWindow(f"C{client + 1}", start, end),),
+            drop_fail_after=fail_after,
+        )
+    if kind == "qp-close":
+        return FaultPlan(
+            qp_closes=(QPCloseFault(f"C{client + 1}", "server", start),),
+            drop_fail_after=fail_after,
+        )
+    raise ConfigError(f"unknown fault kind {kind!r} (know {FAULT_KINDS})")
+
+
+def faulty_qos_cluster(
+    reservations: Sequence[int],
+    demands: Sequence[float],
+    plan: Optional[FaultPlan] = None,
+    kind: str = "control-loss",
+    fault_seed: int = 0,
+    fault_kwargs: Optional[dict] = None,
+    **qos_kwargs,
+) -> Cluster:
+    """:func:`qos_cluster` plus an installed fault plan.
+
+    Pass an explicit ``plan`` or let ``kind``/``fault_kwargs`` build one
+    from :func:`fault_plan` against the cluster's own config.
+    """
+    cluster = qos_cluster(reservations, demands, **qos_kwargs)
+    if plan is None:
+        plan = fault_plan(kind, cluster.config, **(fault_kwargs or {}))
+    cluster.inject_faults(plan, seed=fault_seed)
+    return cluster
 
 
 # Saturating demand for profiling/characterization runs: far above C_L.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from repro.common.errors import ConfigError
 

@@ -13,6 +13,7 @@ faithful in shape.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from repro.common.errors import ConfigError
 
@@ -28,6 +29,28 @@ class HaechiConfig:
     batch_size: int = 1000  # B: tokens per fetch-and-add
     faa_retry_interval: float = 1e-3  # wait between FAA retries when pool empty
     final_report_margin: float = 2e-3  # final stats write happens T - margin
+
+    # Control-plane robustness (fault tolerance; see docs/FAULTS.md).
+    # FAA retries after *transport failures* back off exponentially from
+    # faa_retry_interval by faa_backoff_factor per attempt, capped at
+    # faa_backoff_cap (None = 16x the base interval), with deterministic
+    # jitter in [0.5, 1.0) of the computed delay.  Pool-exhausted waits
+    # are not failures and keep the paper's fixed interval.
+    faa_backoff_factor: float = 2.0
+    faa_backoff_cap: Optional[float] = None
+    # A control op (FAA) with no completion by this deadline is treated
+    # as failed and retried; a late completion is discarded.  None = 8x
+    # faa_retry_interval.
+    control_op_deadline: Optional[float] = None
+    # Degraded local-only mode: after this many consecutive periods in
+    # which every global-pool FAA failed at the transport level, the
+    # engine stops touching the pool and spends only its reservation,
+    # probing once per period until the fabric recovers.  0 disables.
+    degraded_after: int = 3
+    # Liveness leases: a client whose report words stay stale for this
+    # many consecutive periods is evicted by the monitor and its
+    # reservation returns to the pool.  0 disables.
+    lease_periods: int = 4
 
     # Algorithm 1 (adaptive capacity estimation)
     eta: int = 10_000  # token increment on saturation
@@ -52,6 +75,18 @@ class HaechiConfig:
                 )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.faa_backoff_factor < 1.0:
+            raise ConfigError(
+                f"faa_backoff_factor must be >= 1, got {self.faa_backoff_factor}"
+            )
+        for name in ("faa_backoff_cap", "control_op_deadline"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name}={value} must be positive")
+        for name in ("degraded_after", "lease_periods"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
         if self.eta < 0:
             raise ConfigError(f"eta must be >= 0, got {self.eta}")
         if self.history_window < 1:
@@ -99,6 +134,20 @@ class HaechiConfig:
         )
         values.update(overrides)
         return cls(**values)
+
+    @property
+    def resolved_backoff_cap(self) -> float:
+        """The effective ceiling on the FAA retry backoff."""
+        if self.faa_backoff_cap is not None:
+            return self.faa_backoff_cap
+        return 16.0 * self.faa_retry_interval
+
+    @property
+    def resolved_control_deadline(self) -> float:
+        """The effective completion deadline for control-plane ops."""
+        if self.control_op_deadline is not None:
+            return self.control_op_deadline
+        return 8.0 * self.faa_retry_interval
 
     def tokens_per_period(self, rate_ops_per_second: float) -> int:
         """Convert an ops/s rate into tokens per (dilated) period."""

@@ -23,7 +23,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from repro.common.errors import QoSError
+from repro.common.errors import QoSError, QPError
+from repro.common.rng import make_rng
 from repro.common.types import OpType
 from repro.core.config import HaechiConfig
 from repro.core.protocol import ControlLayout, PeriodStart, ReportRequest, ReservationAlert
@@ -56,6 +57,7 @@ class QoSEngine:
         dispatcher=None,
         touch_memory: bool = False,
         tracer=NULL_TRACER,
+        seed: int = 0,
     ):
         if limit is not None and limit < reservation:
             raise QoSError(
@@ -84,15 +86,36 @@ class QoSEngine:
         self._throttled_this_period = False
         self._started = False
 
+        # Control-plane fault tolerance (see docs/FAULTS.md): retries
+        # after transport failures back off exponentially with
+        # deterministic jitter; an FAA that never completes is failed at
+        # the control-op deadline (the epoch discards late completions);
+        # K consecutive periods without a usable pool flip the engine
+        # into degraded local-only mode, probed once per period.
+        self._backoff_rng = make_rng(seed, "engine-backoff", client_id)
+        self._retry_attempt = 0
+        self._faa_epoch = 0
+        self._faa_failed_streak = 0
+        self._period_faa_failed = False
+        self._period_faa_ok = False
+        self.degraded = False
+
         # telemetry
         self.total_completed = 0
         self.total_submitted = 0
         self.limit_throttle_events = 0  # periods in which the limit bound
         self.faa_issued = 0
-        self.faa_failures = 0
+        self.faa_failures = 0  # transport errors (drops, QP loss, timeouts)
+        self.faa_pool_empty = 0  # successful FAAs that granted nothing
+        self.faa_timeouts = 0  # subset of faa_failures hit at the deadline
         self.faa_granted_tokens = 0
+        self.probes_issued = 0
         self.reports_written = 0
+        self.reports_failed = 0
         self.alerts_received = 0
+        self.degraded_entries = 0
+        self.degraded_recoveries = 0
+        self.degraded_periods = 0
 
         if dispatcher is not None:
             dispatcher.register(PeriodStart, self._on_period_start)
@@ -117,6 +140,7 @@ class QoSEngine:
     # Control-plane message handlers
     # ------------------------------------------------------------------
     def _on_period_start(self, msg: PeriodStart, _reply_qp) -> None:
+        self._roll_failure_window()
         self.period_id = msg.period_id
         self._period_end = msg.period_end_time
         self.tracer.emit("engine", "period_start", client=self.client_id,
@@ -134,7 +158,27 @@ class QoSEngine:
         final_at = self._period_end - self.config.final_report_margin
         if final_at > self.sim.now:
             self.sim.schedule_at(final_at, self._write_final_report, msg.period_id)
+        if self.degraded:
+            self._probe_pool()
         self._drain()
+
+    def _roll_failure_window(self) -> None:
+        """Fold the finished period into the failure streak (at period start)."""
+        if self._period_faa_failed and not self._period_faa_ok:
+            self._faa_failed_streak += 1
+        elif self._period_faa_ok:
+            self._faa_failed_streak = 0
+        self._period_faa_failed = False
+        self._period_faa_ok = False
+        k = self.config.degraded_after
+        if self.degraded:
+            self.degraded_periods += 1
+        elif k and self._faa_failed_streak >= k:
+            self.degraded = True
+            self.degraded_entries += 1
+            self.degraded_periods += 1
+            self.tracer.emit("engine", "degraded_enter", client=self.client_id,
+                             streak=self._faa_failed_streak)
 
     def _on_report_request(self, msg: ReportRequest, _reply_qp) -> None:
         if msg.period_id != self.period_id or self._reporting_active:
@@ -159,8 +203,11 @@ class QoSEngine:
                 key, on_complete = self._queue.popleft()
                 self._issue(key, on_complete)
                 continue
-            # No token in hand: claim a batch from the global pool.
-            if not self._faa_inflight and not self._retry_scheduled:
+            # No token in hand: claim a batch from the global pool —
+            # unless degraded, in which case only the reservation is
+            # spent and recovery rides on the per-period probe.
+            if (not self._faa_inflight and not self._retry_scheduled
+                    and not self.degraded):
                 self._fetch_global_batch()
             return
 
@@ -174,7 +221,12 @@ class QoSEngine:
             self.total_completed += 1
             on_complete(ok, value, latency)
 
-        self.kv.get_onesided(key, finish, touch_memory=self.touch_memory)
+        try:
+            self.kv.get_onesided(key, finish, touch_memory=self.touch_memory)
+        except QPError as err:
+            # Dead QP: fail the I/O through the normal completion path
+            # (as an event, matching the asynchronous non-fault path).
+            self.sim.schedule(0.0, finish, False, str(err), 0.0)
 
     @property
     def token_obligations(self) -> int:
@@ -201,20 +253,34 @@ class QoSEngine:
             add_value=-batch,
             control=True,
         )
+        self._faa_epoch += 1
+        epoch = self._faa_epoch
         self._faa_inflight = True
         self.faa_issued += 1
-        wr_id = self.kv.qp.post_send(wr)
-        self.kv.router.expect(wr_id, self._on_faa_complete)
+        try:
+            wr_id = self.kv.qp.post_send(wr)
+        except QPError:
+            self._faa_inflight = False
+            self._note_faa_failure()
+            return
+        self.kv.router.expect(wr_id, lambda wc: self._on_faa_complete(wc, epoch))
+        self.sim.schedule(self.config.resolved_control_deadline,
+                          self._control_deadline, epoch)
 
-    def _on_faa_complete(self, wc: WorkCompletion) -> None:
+    def _on_faa_complete(self, wc: WorkCompletion, epoch: int) -> None:
+        if not self._faa_inflight or epoch != self._faa_epoch:
+            # Completed after its deadline already failed it.  Any
+            # tokens the FAA did claim are abandoned; the monitor's
+            # conversion overwrite re-absorbs them into the pool.
+            return
         self._faa_inflight = False
         if not wc.ok:
             # A transient fabric/NIC failure must not wedge the data
-            # path: count it and retry after the usual wait interval.
-            self.faa_failures += 1
-            self._retry_scheduled = True
-            self.sim.schedule(self.config.faa_retry_interval, self._retry_fetch)
+            # path: count it and retry with capped exponential backoff.
+            self._note_faa_failure()
             return
+        self._period_faa_ok = True
+        self._retry_attempt = 0
         prior = to_signed64(wc.value)
         granted = self.tokens.grant_from_pool(prior, self.config.batch_size)
         self.faa_granted_tokens += granted
@@ -223,12 +289,87 @@ class QoSEngine:
         if granted > 0:
             self._drain()
             return
-        # Pool exhausted: wait for conversion or the next period (step T4).
+        # Pool exhausted: wait for conversion or the next period (step
+        # T4).  Not a failure — the transport worked — so the paper's
+        # fixed retry interval applies, not backoff.
+        self.faa_pool_empty += 1
         self._retry_scheduled = True
         self.sim.schedule(self.config.faa_retry_interval, self._retry_fetch)
 
+    def _control_deadline(self, epoch: int) -> None:
+        if not self._faa_inflight or epoch != self._faa_epoch:
+            return  # completed (or was superseded) in time
+        self._faa_inflight = False
+        self.faa_timeouts += 1
+        self._note_faa_failure()
+
+    def _note_faa_failure(self) -> None:
+        self.faa_failures += 1
+        self._period_faa_failed = True
+        self._schedule_backoff_retry()
+
+    def _schedule_backoff_retry(self) -> None:
+        if self._retry_scheduled:
+            return
+        cfg = self.config
+        delay = min(
+            cfg.resolved_backoff_cap,
+            cfg.faa_retry_interval * cfg.faa_backoff_factor ** self._retry_attempt,
+        )
+        delay *= 0.5 + 0.5 * self._backoff_rng.random()
+        self._retry_attempt += 1
+        self._retry_scheduled = True
+        self.sim.schedule(delay, self._retry_fetch)
+
     def _retry_fetch(self) -> None:
         self._retry_scheduled = False
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Degraded local-only mode
+    # ------------------------------------------------------------------
+    def _probe_pool(self) -> None:
+        """Zero-add FETCH_ADD: tests pool reachability without taking tokens."""
+        if self._faa_inflight:
+            return
+        wr = WorkRequest(
+            opcode=OpType.FETCH_ADD,
+            remote_addr=self.layout.pool_addr,
+            rkey=self.layout.rkey,
+            add_value=0,
+            control=True,
+        )
+        self._faa_epoch += 1
+        epoch = self._faa_epoch
+        self._faa_inflight = True
+        self.probes_issued += 1
+        try:
+            wr_id = self.kv.qp.post_send(wr)
+        except QPError:
+            self._faa_inflight = False
+            self.faa_failures += 1
+            self._period_faa_failed = True
+            return
+        self.kv.router.expect(wr_id, lambda wc: self._on_probe_complete(wc, epoch))
+        self.sim.schedule(self.config.resolved_control_deadline,
+                          self._control_deadline, epoch)
+
+    def _on_probe_complete(self, wc: WorkCompletion, epoch: int) -> None:
+        if not self._faa_inflight or epoch != self._faa_epoch:
+            return
+        self._faa_inflight = False
+        if not wc.ok:
+            self.faa_failures += 1
+            self._period_faa_failed = True
+            return
+        # Fabric is back: leave degraded mode and resume pool fetches.
+        self._period_faa_ok = True
+        self._retry_attempt = 0
+        self._faa_failed_streak = 0
+        self.degraded = False
+        self.degraded_recoveries += 1
+        self.tracer.emit("engine", "degraded_recover", client=self.client_id,
+                         period=self.period_id)
         self._drain()
 
     # ------------------------------------------------------------------
@@ -259,7 +400,11 @@ class QoSEngine:
             payload=word.to_bytes(8, "little"),
             control=True,
         )
-        self.kv.qp.post_send(wr)  # fire-and-forget: completion unclaimed
+        try:
+            self.kv.qp.post_send(wr)  # fire-and-forget: completion unclaimed
+        except QPError:
+            self.reports_failed += 1
+            return
         self.reports_written += 1
         self.tracer.emit("engine", "report", client=self.client_id,
                          residual=self.token_obligations,

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.common.errors import QoSError
+from repro.common.errors import QoSError, QPError
 from repro.core.admission import AdmissionController
 from repro.core.capacity import AdaptiveCapacityEstimator
 from repro.core.config import HaechiConfig
@@ -52,10 +52,24 @@ _POOL_OFFSET = 0
 _CLIENT_STRIDE = 16  # live word + final word per client
 
 
+def _stale_sentinel(reservation: int) -> int:
+    """The marker written to a client's final-report word at period begin.
+
+    ``completed = 0xFFFFFFFF`` is unreachable for a real report (a period
+    never completes 2^32 - 1 I/Os), so the word still holding this value
+    at period end proves the client wrote nothing all period — a liveness
+    signal that works even for clients with reservation 0.  Any genuine
+    report, including an idle client's "no progress" final write,
+    replaces it.
+    """
+    return (reservation << 32) | 0xFFFFFFFF
+
+
 class _ClientSlot:
     """Monitor-side record for one admitted client."""
 
-    __slots__ = ("client_id", "reservation", "qp", "layout", "underuse_streak")
+    __slots__ = ("client_id", "reservation", "qp", "layout", "underuse_streak",
+                 "lease_streak")
 
     def __init__(self, client_id: int, reservation: int, qp, layout: ControlLayout):
         self.client_id = client_id
@@ -63,6 +77,7 @@ class _ClientSlot:
         self.qp = qp
         self.layout = layout
         self.underuse_streak = 0
+        self.lease_streak = 0  # consecutive periods with a stale final word
 
 
 class QoSMonitor:
@@ -110,6 +125,11 @@ class QoSMonitor:
         # Experiment 1C/Set 3 starvation effect made observable).
         self.local_violations: List[dict] = []
         self._violated_this_period: set = set()
+        # robustness telemetry (see docs/FAULTS.md)
+        self.stale_reports = 0
+        self.clamped_reports = 0
+        self.sends_failed = 0
+        self.evictions: List[dict] = []
 
     # ------------------------------------------------------------------
     # Client admission / wiring (step T1 prerequisites)
@@ -199,7 +219,13 @@ class QoSMonitor:
                 slot.layout.report_live_addr,
                 (slot.reservation << 32),
             )
-            memory.write_u64(slot.layout.report_final_addr, slot.reservation << 32)
+            # The final word starts at the stale sentinel; if it is still
+            # there at period end the client made no contact all period
+            # (liveness lease, _end_period).
+            memory.write_u64(
+                slot.layout.report_final_addr,
+                _stale_sentinel(slot.reservation),
+            )
             self._send(slot, PeriodStart(
                 period_id=self.period_id,
                 tokens=slot.reservation,
@@ -225,12 +251,19 @@ class QoSMonitor:
         # Step T2: token conversion from the last reported residuals.
         residual_sum = 0
         memory = self.host.memory.backing
+        omega = self.estimator.current
+        # A residual beyond the whole capacity estimate (+ one FAA batch
+        # of slack for in-flight grants) can only be a corrupted word;
+        # taking it at face value would zero the pool for the rest of
+        # the period.
+        residual_bound = omega + self.config.batch_size
         for slot in self._clients.values():
             residual, _completed = unpack_report(
                 memory.read_u64(slot.layout.report_live_addr)
             )
-            residual_sum += residual
-        omega = self.estimator.current
+            residual_sum += self._clamp(
+                residual, residual_bound, "residual", slot.client_id
+            )
         remaining = max(0.0, self._period_end - self.sim.now)
         new_pool = max(
             int(omega * remaining / self.config.period) - residual_sum, 0
@@ -244,13 +277,44 @@ class QoSMonitor:
         memory = self.host.memory.backing
         total_completed = 0
         per_client = {}
+        lease = self.config.lease_periods
+        # A single client cannot complete more than the whole node's
+        # capacity; 2x the estimate (+ batch slack) leaves the estimator
+        # room to discover under-estimation while rejecting garbage.
+        completed_bound = 2 * self.estimator.current + self.config.batch_size
+        expired = []
         for slot in self._clients.values():
-            residual, completed = unpack_report(
-                memory.read_u64(slot.layout.report_final_addr)
-            )
+            word = memory.read_u64(slot.layout.report_final_addr)
+            if word == _stale_sentinel(slot.reservation):
+                # No write all period: the client is unreachable or dead.
+                slot.lease_streak += 1
+                self.stale_reports += 1
+                self.tracer.emit("monitor", "stale_report",
+                                 period=self.period_id, client=slot.client_id,
+                                 streak=slot.lease_streak)
+                if lease and slot.lease_streak >= lease:
+                    expired.append(slot)
+                completed = 0
+            else:
+                slot.lease_streak = 0
+                _residual, completed = unpack_report(word)
+                completed = self._clamp(
+                    completed, completed_bound, "completed", slot.client_id
+                )
             total_completed += completed
             per_client[slot.client_id] = completed
             self._track_underuse(slot, completed)
+        for slot in expired:
+            self.remove_client(slot.client_id)
+            self.evictions.append({
+                "period": self.period_id,
+                "client": slot.client_id,
+                "reservation": slot.reservation,
+                "time": self.sim.now,
+            })
+            self.tracer.emit("monitor", "client_evicted",
+                             period=self.period_id, client=slot.client_id,
+                             reservation=slot.reservation)
         self.period_records.append(
             {
                 "period": self.period_id,
@@ -301,6 +365,17 @@ class QoSMonitor:
         else:
             slot.underuse_streak = 0
 
+    def _clamp(self, value: int, bound: int, field: str, client_id: int) -> int:
+        """Reject an out-of-range report word (bit corruption, stale
+        garbage from a crashed client) by clamping it to ``bound``."""
+        if value <= bound:
+            return value
+        self.clamped_reports += 1
+        self.tracer.emit("monitor", "report_clamped", period=self.period_id,
+                         client=client_id, field=field, value=value,
+                         bound=bound)
+        return bound
+
     # ------------------------------------------------------------------
     def _read_pool(self) -> int:
         return to_signed64(self.host.memory.backing.read_u64(self.pool_addr))
@@ -316,4 +391,9 @@ class QoSMonitor:
             is_response=True,  # offloaded control path, not a client request
             control=True,
         )
-        slot.qp.post_send(wr)
+        try:
+            slot.qp.post_send(wr)
+        except QPError:
+            # Dead connection: the lease machinery will notice the
+            # client's silence; losing the SEND itself is survivable.
+            self.sends_failed += 1

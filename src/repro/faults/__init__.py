@@ -1,0 +1,41 @@
+"""Deterministic, seeded fault injection for the simulated RDMA stack.
+
+Haechi enforces QoS for I/O the server CPU never sees, so every failure
+mode — lost control messages, stuck atomics, dead clients, NIC
+brownouts — must be survived by the client engines and the monitor
+alone.  This package makes those failures first-class and reproducible:
+
+- :class:`FaultPlan` declares *what* goes wrong and when (drops, delay
+  spikes, brownouts, QP closes, crash windows),
+- :class:`FaultInjector` applies the plan to a live fabric through the
+  drop/delay decision point in ``QueuePair.post_send`` and the capacity
+  modifier on the NIC pipelines, using per-link RNG streams so the same
+  (plan, seed) replays identically.
+
+The hardened control plane (engine backoff + degraded local-only mode,
+monitor leases + report clamping) is what turns these faults into
+degraded service instead of deadlock; see docs/FAULTS.md.
+"""
+
+from repro.faults.injector import FaultInjector, FaultVerdict
+from repro.faults.plan import (
+    Brownout,
+    CrashWindow,
+    DelayRule,
+    DropRule,
+    FaultPlan,
+    OpFilter,
+    QPCloseFault,
+)
+
+__all__ = [
+    "Brownout",
+    "CrashWindow",
+    "DelayRule",
+    "DropRule",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultVerdict",
+    "OpFilter",
+    "QPCloseFault",
+]

@@ -1,0 +1,190 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a pure description of the anomalies a run should
+experience — per-link op drops, delay spikes, NIC brownouts, abrupt QP
+closes, and host crash/restart windows.  Plans carry no randomness and
+no simulator state; the :class:`~repro.faults.injector.FaultInjector`
+pairs a plan with a seed and applies it deterministically, so the same
+(plan, seed) always produces the same fault sequence for a given event
+order.
+
+Times are absolute simulated seconds (i.e. already dilated); scenario
+helpers convert from period indices.  Probabilities are per-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.types import OpType
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    if start < 0:
+        raise ConfigError(f"{what} start must be >= 0, got {start}")
+    if end <= start:
+        raise ConfigError(f"{what} window is empty: [{start}, {end})")
+
+
+def _check_rate(rate: float, what: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigError(f"{what} rate must be in [0, 1], got {rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class OpFilter:
+    """Which posted work requests a probabilistic rule applies to.
+
+    ``None`` fields match anything.  ``src``/``dst`` are host names (the
+    initiator and target of the posting QP); ``control_only`` restricts
+    the rule to control-plane ops (atomics, report words, QoS SENDs),
+    which is how "control-message loss" plans are written.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    control_only: bool = False
+    opcodes: Optional[Tuple[OpType, ...]] = None
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "OpFilter")
+
+    def matches(self, src: str, dst: str, wr, now: float) -> bool:
+        """True when ``wr`` posted on link ``src -> dst`` at ``now`` is in scope."""
+        if not self.start <= now < self.end:
+            return False
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        if self.control_only and not wr.control:
+            return False
+        if self.opcodes is not None and wr.opcode not in self.opcodes:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class DropRule:
+    """Drop matching ops with probability ``rate`` (lost on the wire)."""
+
+    rate: float
+    where: OpFilter = OpFilter()
+    label: str = "drop"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "drop")
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayRule:
+    """Add ``delay`` (+ uniform ``jitter``) seconds to matching ops with
+    probability ``rate`` — a propagation-delay spike, not a reorder: the
+    op still serializes through both NIC pipelines in posting order."""
+
+    rate: float
+    delay: float
+    jitter: float = 0.0
+    where: OpFilter = OpFilter()
+    label: str = "delay"
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate, "delay")
+        if self.delay < 0 or self.jitter < 0:
+            raise ConfigError(
+                f"delay/jitter must be >= 0, got {self.delay}/{self.jitter}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Brownout:
+    """Temporarily reduce a host's NIC capacity to ``factor`` of nominal."""
+
+    host: str
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "Brownout")
+        if not 0.0 < self.factor < 1.0:
+            raise ConfigError(
+                f"brownout factor must be in (0, 1), got {self.factor}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class QPCloseFault:
+    """Abruptly close the ``src -> dst`` connection (both directions) at
+    ``time``.  In-flight WRs flush; later posts raise ``QPError``, which
+    the hardened control plane absorbs as transport failures."""
+
+    src: str
+    dst: str
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"close time must be >= 0, got {self.time}")
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashWindow:
+    """A host is down during [start, end): every op posted from or to it
+    is dropped.  ``end = inf`` models a crash with no restart; a finite
+    window models crash + restart (the protocol re-syncs at the next
+    period start, unless the monitor already evicted the client)."""
+
+    host: str
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "CrashWindow")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one run.
+
+    ``drop_fail_after`` is how long after wire entry a dropped op's
+    initiator observes the RETRY_EXC completion — the simulated
+    transport-retry budget.  Scenario helpers set it to one protocol
+    tick so the control plane's backoff dominates recovery timing.
+    """
+
+    drops: Tuple[DropRule, ...] = ()
+    delays: Tuple[DelayRule, ...] = ()
+    brownouts: Tuple[Brownout, ...] = ()
+    qp_closes: Tuple[QPCloseFault, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+    drop_fail_after: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.drop_fail_after < 0:
+            raise ConfigError(
+                f"drop_fail_after must be >= 0, got {self.drop_fail_after}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan schedules no faults at all."""
+        return not (self.drops or self.delays or self.brownouts
+                    or self.qp_closes or self.crashes)
+
+    def hosts_named(self) -> set:
+        """Every host name the plan refers to (for install-time checks)."""
+        names = set()
+        for b in self.brownouts:
+            names.add(b.host)
+        for c in self.crashes:
+            names.add(c.host)
+        for q in self.qp_closes:
+            names.add(q.src)
+            names.add(q.dst)
+        return names

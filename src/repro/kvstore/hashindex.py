@@ -19,7 +19,7 @@ Arbitrary integer keys are supported (not just ``[0, num_slots)``).
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.common.errors import StoreError
 from repro.common.types import OpType

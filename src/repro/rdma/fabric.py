@@ -27,6 +27,10 @@ class Fabric:
         self.prop_delay = prop_delay
         self.hosts: Dict[str, Host] = {}
         self.connections: List[Tuple[QueuePair, QueuePair]] = []
+        # Optional FaultInjector (see repro.faults): consulted by every
+        # QP of this fabric on post_send.  Installed post-hoc so a fully
+        # wired cluster can be made faulty without rebuilding it.
+        self.injector = None
 
     def add_host(self, host: Host) -> Host:
         """Attach a host to the fabric."""
@@ -58,6 +62,8 @@ class Fabric:
         qp_ba = QueuePair(self.sim, b, a, cq_b, self.prop_delay)
         qp_ab.reverse = qp_ba
         qp_ba.reverse = qp_ab
+        qp_ab.fabric = self
+        qp_ba.fabric = self
         if prepost_recvs:
             qp_ab.post_recv(prepost_recvs)
             qp_ba.post_recv(prepost_recvs)

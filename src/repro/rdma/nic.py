@@ -126,6 +126,11 @@ class RNIC:
         self.profile = profile
         self.issue = Pipeline(sim, f"{name}.issue")
         self.target = Pipeline(sim, f"{name}.target")
+        # Brownout hook: the fraction of nominal capacity available.
+        # Fault injection lowers it temporarily; every op's service cost
+        # is divided by it, which models a NIC processing ops slower
+        # (pause storms, PCIe pressure) without reordering anything.
+        self.capacity_factor = 1.0
         # op accounting, keyed by opcode, for overhead reporting
         self.issued_ops = {op: 0 for op in OpType}
         self.handled_ops = {op: 0 for op in OpType}
@@ -146,7 +151,7 @@ class RNIC:
         the op counters (see ``control_overhead_fraction``).
         """
         self.issued_ops[wr.opcode] += 1
-        cost = self.profile.issue_cost(wr)
+        cost = self.profile.issue_cost(wr) / self.capacity_factor
         if wr.control:
             self.control_issue_cost_total += cost
             return self.sim.now + cost
@@ -155,11 +160,22 @@ class RNIC:
     def submit_target(self, wr: WorkRequest) -> float:
         """Serialize an inbound WR; returns absolute processing-done time."""
         self.handled_ops[wr.opcode] += 1
-        cost = self.profile.target_cost(wr)
+        cost = self.profile.target_cost(wr) / self.capacity_factor
         if wr.control:
             self.control_target_cost_total += cost
             return self.sim.now + cost
         return self.target.submit(cost)
+
+    def set_capacity_factor(self, factor: float) -> None:
+        """Enter/leave a brownout: ``factor`` in (0, 1] scales capacity.
+
+        1.0 restores nominal speed.  The change applies to ops submitted
+        from now on; work already accepted by a pipeline keeps its
+        original cost (a brownout does not rewrite history).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"capacity factor must be in (0, 1], got {factor}")
+        self.capacity_factor = factor
 
     def control_overhead_fraction(self, periods: float, paper_period: float = 1.0,
                                   dilated_period: float = None) -> dict:

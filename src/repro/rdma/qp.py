@@ -52,6 +52,9 @@ class QueuePair:
         self.recv_posted = 0
         self.closed = False
         self.reverse: Optional["QueuePair"] = None
+        # Back-reference set by Fabric.connect; a fault injector installed
+        # on the fabric gets a drop/delay decision point on every post.
+        self.fabric = None
 
     def close(self) -> None:
         """Tear the QP down (client departure, error recovery).
@@ -87,7 +90,22 @@ class QueuePair:
         self.outstanding += 1
         posted_at = self.sim.now
         wire_time = self.src.nic.submit_issue(wr)
-        self.sim.schedule_at(wire_time + self.prop_delay, self._arrive, wr, posted_at)
+        extra_delay = 0.0
+        fabric = self.fabric
+        if fabric is not None and fabric.injector is not None:
+            verdict = fabric.injector.on_post(self, wr)
+            if verdict.drop:
+                # The op vanishes on the wire; the initiator NIC burns its
+                # transport retries and surfaces a retry-exhausted WC.
+                self.sim.schedule_at(
+                    wire_time + verdict.fail_after, self._fail, wr, posted_at,
+                    WCStatus.RETRY_EXC_ERROR, verdict.reason,
+                )
+                return wr.wr_id
+            extra_delay = verdict.delay
+        self.sim.schedule_at(
+            wire_time + self.prop_delay + extra_delay, self._arrive, wr, posted_at
+        )
         return wr.wr_id
 
     # ------------------------------------------------------------------
@@ -131,7 +149,10 @@ class QueuePair:
     def _arrive_send(self, wr: WorkRequest, posted_at: float) -> None:
         peer = self.reverse
         if peer is None or peer.recv_posted <= 0:
-            self._fail(wr, posted_at, WCStatus.FLUSH_ERROR, "receiver not ready (RNR)")
+            self._fail(
+                wr, posted_at, WCStatus.RNR_RETRY_EXC_ERROR,
+                "receiver not ready (RNR)",
+            )
             return
         peer.recv_posted -= 1
         done = self.dst.nic.submit_target(wr)

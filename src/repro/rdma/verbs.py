@@ -16,6 +16,12 @@ class WCStatus(enum.Enum):
     SUCCESS = "success"
     REMOTE_ACCESS_ERROR = "remote_access_error"
     FLUSH_ERROR = "flush_error"
+    # Receiver-not-ready: the peer had no posted RECV and the RNR retry
+    # budget is exhausted (IBV_WC_RNR_RETRY_EXC_ERR).
+    RNR_RETRY_EXC_ERROR = "rnr_retry_exc_error"
+    # Transport retries exhausted: the op was lost on the wire and never
+    # acked (IBV_WC_RETRY_EXC_ERR) — produced by injected drops.
+    RETRY_EXC_ERROR = "retry_exc_error"
 
 
 @dataclasses.dataclass

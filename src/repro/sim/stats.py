@@ -7,7 +7,7 @@ harness decides what to record and when to reset for warm-up windows.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 
 class Counter:

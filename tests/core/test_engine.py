@@ -229,3 +229,141 @@ class TestLimitTelemetry:
         submit_n(engine, 50)
         drain(cluster, 1.0)
         assert engine.limit_throttle_events == 0
+
+
+class TestControlPlaneHardening:
+    """Backoff, deadlines, failure/pool-empty split, degraded mode."""
+
+    def sabotage(self, engine):
+        """Make every FAA fail remotely (bad pool rkey)."""
+        from repro.core.protocol import ControlLayout
+
+        good = engine.layout
+        engine.layout = ControlLayout(
+            rkey=0xDEAD,
+            pool_addr=good.pool_addr,
+            report_live_addr=good.report_live_addr,
+            report_final_addr=good.report_final_addr,
+        )
+        return good
+
+    def test_pool_empty_not_counted_as_failure(self):
+        cluster = make_qos_cluster([100_000, 100_000])
+        cluster.monitor.estimator._current = float(
+            cluster.config.tokens_per_period(200_000)
+        )
+        cluster.start()
+        drain(cluster, 0.03)
+        engine = cluster.clients[0].engine
+        submit_n(engine, 1000)  # far beyond reservation; pool is empty
+        drain(cluster, 0.5)
+        assert engine.faa_pool_empty >= 1
+        assert engine.faa_failures == 0
+
+    def test_transport_failures_back_off(self):
+        cluster = make_qos_cluster([100_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[0].engine
+        self.sabotage(engine)
+        submit_n(engine, 300)
+        drain(cluster, 1.0)
+        # 50 retry ticks fit in the period; exponential backoff (cap 16
+        # ticks) must have slowed the retry train well below that
+        assert 1 <= engine.faa_failures <= 20
+        assert engine._retry_attempt >= 3
+
+    def test_backoff_resets_after_success(self):
+        cluster = make_qos_cluster([100_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[0].engine
+        good = self.sabotage(engine)
+        submit_n(engine, 300)
+        drain(cluster, 0.4)
+        assert engine._retry_attempt >= 2
+        engine.layout = good
+        drain(cluster, 0.5)  # still inside the same period
+        assert engine._retry_attempt == 0
+        assert engine.issued_this_period > 100
+
+    def test_backoff_jitter_is_deterministic(self):
+        def failures():
+            cluster = make_qos_cluster([100_000, 100_000])
+            cluster.start()
+            drain(cluster, 0.02)
+            engine = cluster.clients[0].engine
+            self.sabotage(engine)
+            submit_n(engine, 300)
+            drain(cluster, 1.0)
+            return engine.faa_failures, engine._retry_attempt
+
+        assert failures() == failures()
+
+    def test_deadline_times_out_a_swallowed_faa(self):
+        cluster = make_qos_cluster([100_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[0].engine
+        real_post = engine.kv.qp.post_send
+        swallowed = []
+
+        def swallow(wr):
+            from repro.common.types import OpType
+
+            if wr.opcode is OpType.FETCH_ADD:
+                # posted but no completion will ever come
+                swallowed.append(wr)
+                return 999_999 + len(swallowed)
+            return real_post(wr)
+
+        engine.kv.qp.post_send = swallow
+        submit_n(engine, 300)
+        drain(cluster, 0.5)
+        assert engine.faa_timeouts >= 1
+        assert engine.faa_failures >= engine.faa_timeouts
+        engine.kv.qp.post_send = real_post
+        drain(cluster, 1.0)
+        assert engine.issued_this_period > 100  # recovered
+
+    def test_degraded_mode_entered_and_recovered(self):
+        # leases off: the sabotaged rkey also kills report WRITEs, and
+        # this test wants the engine's recovery, not the monitor's
+        # eviction (their interplay is tested in integration)
+        cluster = make_qos_cluster(
+            [100_000, 100_000],
+            config=SCALE.config(degraded_after=2, lease_periods=0),
+        )
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[0].engine
+        good = self.sabotage(engine)
+        submit_n(engine, 2000)
+        drain(cluster, 4.0)  # 2 consecutive failed periods -> degraded
+        assert engine.degraded
+        assert engine.degraded_entries == 1
+        # local-only: reservation still served every period
+        assert engine.issued_this_period >= 90
+        failures_while_degraded = engine.faa_failures
+        drain(cluster, 1.0)
+        # degraded engines probe instead of hammering the pool
+        assert engine.probes_issued >= 1
+        engine.layout = good
+        drain(cluster, 2.0)
+        assert not engine.degraded
+        assert engine.degraded_recoveries == 1
+        assert engine.issued_this_period > 100  # pool fetches resumed
+
+    def test_degraded_zero_disables(self):
+        cluster = make_qos_cluster(
+            [100_000, 100_000],
+            config=SCALE.config(degraded_after=0),
+        )
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[0].engine
+        self.sabotage(engine)
+        submit_n(engine, 2000)
+        drain(cluster, 6.0)
+        assert not engine.degraded
+        assert engine.degraded_entries == 0

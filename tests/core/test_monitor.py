@@ -138,3 +138,142 @@ class TestUnderuseAlerts:
             drain(cluster, 0.98)
         assert cluster.clients[0].engine.alerts_received >= 1
         assert cluster.clients[1].engine.alerts_received == 0
+
+
+class TestLivenessLeases:
+    def test_dead_client_is_evicted(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[1].engine
+        # kill the client's only liveness signal: its final report write
+        engine._write_final_report = lambda period_id: None
+        drain(cluster, cluster.config.lease_periods + 1.5)
+        assert 1 not in cluster.monitor._clients
+        assert cluster.monitor.total_reserved == 300
+        (eviction,) = cluster.monitor.evictions
+        assert eviction["client"] == 1
+        assert eviction["reservation"] == 100
+
+    def test_idle_but_alive_client_keeps_its_lease(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        # client 1 never submits a single I/O but its engine still runs
+        drain(cluster, cluster.config.lease_periods + 3.0)
+        assert cluster.monitor.evictions == []
+        assert cluster.monitor.stale_reports == 0
+        assert 1 in cluster.monitor._clients
+
+    def test_intermittent_staleness_does_not_evict(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        engine = cluster.clients[1].engine
+        real = engine._write_final_report
+        # drop every other final report: streak never reaches the lease
+        state = {"n": 0}
+
+        def flaky(period_id):
+            state["n"] += 1
+            if state["n"] % 2:
+                real(period_id)
+
+        engine._write_final_report = flaky
+        drain(cluster, 3 * cluster.config.lease_periods)
+        assert cluster.monitor.stale_reports >= 2
+        assert cluster.monitor.evictions == []
+
+    def test_lease_zero_disables_eviction(self):
+        from tests.core.conftest import SCALE
+
+        cluster = make_qos_cluster(
+            [300_000, 100_000], config=SCALE.config(lease_periods=0)
+        )
+        cluster.start()
+        drain(cluster, 0.02)
+        cluster.clients[1].engine._write_final_report = lambda pid: None
+        drain(cluster, 8.0)
+        assert cluster.monitor.stale_reports >= 7
+        assert cluster.monitor.evictions == []
+
+    def test_evicted_reservation_reaches_the_pool(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        cluster.clients[1].engine._write_final_report = lambda pid: None
+        drain(cluster, cluster.config.lease_periods + 1.5)
+        assert cluster.monitor.evictions
+        drain(cluster, 1.0)  # a fresh period after the eviction
+        pool = pool_value(cluster)
+        estimate = cluster.monitor.estimator.current
+        # pool = estimate - 300 reserved, not - 400
+        assert pool >= estimate - 300 - cluster.config.batch_size
+
+
+class TestReportClamping:
+    def test_corrupt_final_completed_is_clamped(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        submit_n(cluster.clients[0].engine, 100)
+        # let the period run past the engine's final write, then smash
+        # the word with garbage before the monitor reads it
+        drain(cluster, 0.97)
+        layout = cluster.clients[0].engine.layout
+        cluster.server_host.memory.backing.write_u64(
+            layout.report_final_addr, (5 << 32) | 0xFFFF_FF00
+        )
+        drain(cluster, 0.1)  # crosses the boundary
+        assert cluster.monitor.clamped_reports >= 1
+        record = cluster.monitor.period_records[0]
+        bound = (2 * cluster.monitor.estimator.current
+                 + cluster.config.batch_size)
+        assert record["per_client"][0] <= bound
+
+    def test_corrupt_live_residual_cannot_zero_the_pool(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        submit_n(cluster.clients[1].engine, 200)  # trigger reporting
+        drain(cluster, 0.3)
+        assert cluster.monitor._reporting_triggered
+        layout = cluster.clients[1].engine.layout
+        # a bogus residual claiming ~4 billion outstanding tokens
+        cluster.server_host.memory.backing.write_u64(
+            layout.report_live_addr, (0xFFFF_FFFF << 32)
+        )
+        drain(cluster, 2 * cluster.config.check_interval / cluster.config.period)
+        assert cluster.monitor.clamped_reports >= 1
+        # conversion survived: the pool reflects real residuals, not the
+        # garbage (which alone would have pinned it at zero)
+        assert pool_value(cluster) > 0
+
+    def test_honest_reports_are_never_clamped(self, qos2):
+        submit_n(qos2.clients[1].engine, 200)
+        drain(qos2, 3.0)
+        assert qos2.monitor.clamped_reports == 0
+
+
+class TestMidPeriodDeparture:
+    def test_straggler_report_cannot_corrupt_other_accounting(self):
+        """remove_client mid-period: the departed client's engine keeps
+        writing into its (retired) slots; the survivor's per-period
+        accounting must be unaffected."""
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.02)
+        survivor = cluster.clients[0].engine
+        leaver = cluster.clients[1].engine
+        submit_n(survivor, 100)
+        submit_n(leaver, 150)  # beyond its reservation: reports flow
+        drain(cluster, 0.4)
+        cluster.monitor.remove_client(1)
+        # the leaver's engine is still live and still writes reports
+        # into the retired slot for the rest of the period
+        drain(cluster, 2.0)
+        for record in cluster.monitor.period_records:
+            assert set(record["per_client"]) == {0}
+        # the survivor's first-period count is its own 100 completions
+        assert cluster.monitor.period_records[0]["per_client"][0] == 100
+        assert cluster.monitor.clamped_reports == 0
+        assert leaver.reports_written > 0  # it really was writing

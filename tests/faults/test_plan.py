@@ -1,0 +1,101 @@
+"""FaultPlan declarations: validation and op matching."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import OpType
+from repro.faults import (
+    Brownout,
+    CrashWindow,
+    DelayRule,
+    DropRule,
+    FaultPlan,
+    OpFilter,
+    QPCloseFault,
+)
+from repro.rdma.verbs import WorkRequest
+
+
+def wr(opcode=OpType.READ, control=False):
+    return WorkRequest(opcode=opcode, size=8, remote_addr=0, rkey=0,
+                       control=control)
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigError):
+            DropRule(rate=1.5)
+        with pytest.raises(ConfigError):
+            DelayRule(rate=-0.1, delay=1e-3)
+
+    def test_windows_must_be_nonempty(self):
+        with pytest.raises(ConfigError):
+            CrashWindow("a", start=5.0, end=5.0)
+        with pytest.raises(ConfigError):
+            Brownout("a", start=-1.0, end=2.0, factor=0.5)
+        with pytest.raises(ConfigError):
+            OpFilter(start=3.0, end=1.0)
+
+    def test_brownout_factor_must_reduce_capacity(self):
+        for bad in (0.0, 1.0, 1.5, -0.5):
+            with pytest.raises(ConfigError):
+                Brownout("a", start=0.0, end=1.0, factor=bad)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            DelayRule(rate=0.5, delay=-1e-3)
+        with pytest.raises(ConfigError):
+            DelayRule(rate=0.5, delay=1e-3, jitter=-1e-3)
+
+    def test_negative_close_time_rejected(self):
+        with pytest.raises(ConfigError):
+            QPCloseFault("a", "b", time=-1.0)
+
+    def test_negative_fail_after_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(drop_fail_after=-1e-6)
+
+
+class TestOpFilter:
+    def test_default_matches_everything(self):
+        f = OpFilter()
+        assert f.matches("a", "b", wr(), 0.0)
+        assert f.matches("x", "y", wr(control=True), 1e9)
+
+    def test_control_only(self):
+        f = OpFilter(control_only=True)
+        assert not f.matches("a", "b", wr(), 0.0)
+        assert f.matches("a", "b", wr(control=True), 0.0)
+
+    def test_link_endpoints(self):
+        f = OpFilter(src="a", dst="b")
+        assert f.matches("a", "b", wr(), 0.0)
+        assert not f.matches("b", "a", wr(), 0.0)
+        assert not f.matches("a", "c", wr(), 0.0)
+
+    def test_opcode_scope(self):
+        f = OpFilter(opcodes=(OpType.FETCH_ADD,))
+        assert f.matches("a", "b", wr(OpType.FETCH_ADD), 0.0)
+        assert not f.matches("a", "b", wr(OpType.READ), 0.0)
+
+    def test_time_window(self):
+        f = OpFilter(start=1.0, end=2.0)
+        assert not f.matches("a", "b", wr(), 0.999)
+        assert f.matches("a", "b", wr(), 1.0)
+        assert not f.matches("a", "b", wr(), 2.0)
+
+
+class TestPlan:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(drops=(DropRule(0.1),)).empty
+
+    def test_hosts_named(self):
+        plan = FaultPlan(
+            brownouts=(Brownout("server", 0.0, 1.0, 0.5),),
+            crashes=(CrashWindow("C1", 0.0, math.inf),),
+            qp_closes=(QPCloseFault("C2", "server", 1.0),),
+        )
+        assert plan.hosts_named() == {"server", "C1", "C2"}

@@ -131,7 +131,27 @@ class TestSend:
         wc = post_and_run(
             mini, WorkRequest(opcode=OpType.SEND, size=64, payload="x")
         )
-        assert wc.status is WCStatus.FLUSH_ERROR
+        assert wc.status is WCStatus.RNR_RETRY_EXC_ERROR
+        assert "RNR" in wc.error
+
+    def test_unposted_connection_hits_rnr(self, mini):
+        # A connection built with prepost_recvs=0 has no recv credits at
+        # all: the very first SEND must complete as RNR-retries-exceeded,
+        # not as a generic flush.
+        from repro.rdma import Fabric, Host, NICProfile
+        from repro.rdma.cpu import CPUProfile
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a = fabric.add_host(Host(sim, "a", NICProfile.chameleon(), CPUProfile()))
+        b = fabric.add_host(Host(sim, "b", NICProfile.chameleon(), CPUProfile()))
+        qp_ab, _qp_ba = fabric.connect(a, b, prepost_recvs=0)
+        got = []
+        qp_ab.cq.set_handler(got.append)
+        qp_ab.post_send(WorkRequest(opcode=OpType.SEND, size=64, payload="x"))
+        sim.run(until=0.01)
+        assert got and got[0].status is WCStatus.RNR_RETRY_EXC_ERROR
 
     def test_send_consumes_one_recv(self, mini):
         qp = mini.clients[0].qp
