@@ -94,6 +94,16 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--warmup", type=int, default=3)
     faults.add_argument("--scale", type=float, default=200)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos runs over the replicated cluster "
+             "(crash/failover invariant checks)",
+    )
+    chaos.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="seeds to run (default: the documented set)")
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument("--periods", type=int, default=10)
+
     sub.add_parser("figures", help="list the paper-figure benchmarks")
 
     figure = sub.add_parser(
@@ -235,6 +245,46 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.recovery import DEFAULT_SEEDS, run_chaos
+
+    seeds = args.seeds if args.seeds else list(DEFAULT_SEEDS)
+    rows = []
+    failed = 0
+    for seed in seeds:
+        try:
+            report = run_chaos(seed, num_clients=args.clients,
+                               periods=args.periods)
+        except ConfigError as err:
+            print(err, file=sys.stderr)
+            return 2
+        worst = (max(report.failover_durations)
+                 if report.failover_durations else 0.0)
+        rows.append([
+            str(seed),
+            "PASS" if report.ok else "FAIL",
+            str(report.failovers),
+            f"{worst * 1e3:.2f}",
+            str(report.puts_acked),
+            str(report.put_retries),
+            str(report.duplicate_suppressed),
+        ])
+        if not report.ok:
+            failed += 1
+            for violation in report.violations:
+                print(f"seed {seed}: {violation}", file=sys.stderr)
+    for line in format_table(
+        ["seed", "verdict", "failovers", "worst failover (ms)",
+         "puts acked", "put retries", "replays suppressed"],
+        rows,
+    ):
+        print(line)
+    print(f"{len(seeds) - failed}/{len(seeds)} seeds passed "
+          f"({args.clients} clients, {args.periods} periods)")
+    return 1 if failed else 0
+
+
 _FIGURES = [
     ("Table I", "bench_table1_config.py", "testbed configuration"),
     ("Fig. 6", "bench_fig06_client_throughput.py", "per-client saturation"),
@@ -311,6 +361,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "figure":

@@ -45,6 +45,10 @@ class ClientContext:
     dispatcher: TypeDispatcher
     engine: Optional[QoSEngine] = None
     app: Optional[object] = None
+    # Replicated deployments (repro.recovery): the standby connection
+    # and the failover state machine driving it.
+    kv_replica: Optional[KVClient] = None
+    failover: Optional[object] = None
 
     def submitter(self, access: AccessMode = AccessMode.ONE_SIDED,
                   touch_memory: bool = False):
@@ -236,6 +240,10 @@ def build_cluster(
             dispatcher,
             layout=data_node.store.layout,
             data_rkey=data_node.store.region.rkey,
+            # Two-sided RPCs whose response never arrives fail at this
+            # deadline instead of leaking the pending entry (generous:
+            # a full period, far above any healthy RTT).
+            rpc_deadline=config.period,
         )
         context = ClientContext(
             index=i, name=name, host=host, kv=kv, dispatcher=dispatcher

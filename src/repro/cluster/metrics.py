@@ -103,6 +103,7 @@ def robustness_summary(cluster) -> dict:
     report through this single view.
     """
     engines = {}
+    failover = {}
     for ctx in cluster.clients:
         engine = ctx.engine
         if engine is None:
@@ -117,7 +118,23 @@ def robustness_summary(cluster) -> dict:
             "degraded_entries": engine.degraded_entries,
             "degraded_periods": engine.degraded_periods,
             "degraded_recoveries": engine.degraded_recoveries,
+            "re_registrations": engine.re_registrations,
+            "stale_control_messages": engine.stale_control_messages,
+            "generation_resyncs": engine.generation_resyncs,
         }
+        manager = getattr(ctx, "failover", None)
+        if manager is not None:
+            failover[ctx.name] = {
+                "state": manager.state.value,
+                "suspect_transitions": manager.suspect_transitions,
+                "probes_sent": manager.probes_sent,
+                "reconnect_attempts": manager.reconnect_attempts,
+                "failovers": manager.failovers,
+                "rejoins_completed": manager.rejoins_completed,
+                "put_retries": manager.put_retries,
+                "puts_acked": manager.puts_acked,
+                "failover_windows": list(manager.failover_windows),
+            }
     summary = {
         "engines": engines,
         "faa_failures_total": sum(e["faa_failures"] for e in engines.values()),
@@ -125,7 +142,15 @@ def robustness_summary(cluster) -> dict:
         "degraded_entries_total": sum(
             e["degraded_entries"] for e in engines.values()
         ),
+        "re_registrations_total": sum(
+            e["re_registrations"] for e in engines.values()
+        ),
     }
+    if failover:
+        summary["failover"] = failover
+        summary["failovers_total"] = sum(
+            f["failovers"] for f in failover.values()
+        )
     if cluster.monitor is not None:
         monitor = cluster.monitor
         summary["monitor"] = {
@@ -133,6 +158,27 @@ def robustness_summary(cluster) -> dict:
             "clamped_reports": monitor.clamped_reports,
             "sends_failed": monitor.sends_failed,
             "evictions": list(monitor.evictions),
+            "rejoins": list(monitor.rejoins),
+            "reinitializations": monitor.reinitializations,
+        }
+    replica_monitor = getattr(cluster, "replica_monitor", None)
+    if replica_monitor is not None:
+        summary["replica_monitor"] = {
+            "rejoins": list(replica_monitor.rejoins),
+            "rejoin_clamped": replica_monitor.rejoin_clamped,
+            "sends_failed": replica_monitor.sends_failed,
+        }
+        data_node = cluster.data_node
+        summary["replication"] = {
+            "replicated_puts": data_node.replicated_puts,
+            "replication_retries": data_node.replication_retries,
+            "degraded_acks": data_node.degraded_acks,
+            "replica_applies": cluster.replica_node.replica_applies,
+            # replayed PUTs suppressed by version, per store
+            "duplicate_suppressed_primary":
+                data_node.store.duplicate_suppressed,
+            "duplicate_suppressed_replica":
+                cluster.replica_node.store.duplicate_suppressed,
         }
     if cluster.fault_injector is not None:
         summary["faults"] = cluster.fault_injector.summary()

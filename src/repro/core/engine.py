@@ -100,6 +100,22 @@ class QoSEngine:
         self._period_faa_ok = False
         self.degraded = False
 
+        # Failover support (see docs/RECOVERY.md): control messages are
+        # accepted only from the active source (the monitor the engine
+        # is currently registered with); suspend() freezes the data path
+        # while a failover manager negotiates a rejoin, and rebind()
+        # points the engine at the adopting node.  The generation stamp
+        # detects a monitor that re-initialized its token words.
+        self._active_source: Optional[int] = 0
+        self.suspended = False
+        self._generation: Optional[int] = None
+        # Completion observer for a failover manager: called with
+        # ok=True/False for every data-path completion AND every
+        # control-op outcome (FAA/probe success or transport failure).
+        # Control outcomes matter because an idle client's only signal
+        # that its node died is its token fetches failing.
+        self.failure_listener: Optional[Callable[[bool], None]] = None
+
         # telemetry
         self.total_completed = 0
         self.total_submitted = 0
@@ -116,11 +132,105 @@ class QoSEngine:
         self.degraded_entries = 0
         self.degraded_recoveries = 0
         self.degraded_periods = 0
+        self.re_registrations = 0
+        self.stale_control_messages = 0
+        self.generation_resyncs = 0
 
         if dispatcher is not None:
-            dispatcher.register(PeriodStart, self._on_period_start)
-            dispatcher.register(ReportRequest, self._on_report_request)
-            dispatcher.register(ReservationAlert, self._on_alert)
+            self.bind_control_source(dispatcher, 0)
+
+    # ------------------------------------------------------------------
+    # Control-source binding (failover support)
+    # ------------------------------------------------------------------
+    def bind_control_source(self, dispatcher, source: int) -> None:
+        """Register the control handlers on ``dispatcher``, tagged with
+        ``source``.
+
+        A replicated client binds one source per data node; only
+        messages from the currently active source are honoured, so a
+        dead (or restarting) primary cannot steer an engine that has
+        already failed over — this is the client side of "deregister
+        from the dead node's monitor epoch".
+        """
+        dispatcher.register(
+            PeriodStart, self._from_source(source, self._on_period_start)
+        )
+        dispatcher.register(
+            ReportRequest, self._from_source(source, self._on_report_request)
+        )
+        dispatcher.register(
+            ReservationAlert, self._from_source(source, self._on_alert)
+        )
+
+    def _from_source(self, source: int, handler):
+        def wrapped(msg, reply_qp):
+            if self._active_source != source:
+                self.stale_control_messages += 1
+                return
+            handler(msg, reply_qp)
+        return wrapped
+
+    def suspend(self) -> None:
+        """Freeze the engine while a failover is negotiated.
+
+        No I/O is issued (submissions queue), in-flight control ops are
+        epoch-discarded, and *all* control sources are ignored until
+        :meth:`rebind` installs the new one.
+        """
+        self.suspended = True
+        self._active_source = None
+        self._faa_epoch += 1
+        self._faa_inflight = False
+
+    def rebind(
+        self,
+        kv: KVClient,
+        layout: ControlLayout,
+        reservation: int,
+        tokens_now: int,
+        period_id: int,
+        period_end_time: float,
+        generation: int,
+        source: int,
+    ) -> None:
+        """Re-register with the adopting node's monitor and resume.
+
+        Installs the new KV client and control-memory layout, adopts the
+        adopting monitor's period coordinates and generation stamp,
+        starts a fresh token state from the pro-rated grant, and drains
+        the I/O queued up during the outage.
+        """
+        self.kv = kv
+        self.layout = layout
+        self._active_source = source
+        self._generation = generation
+        self.tokens = ClientTokenState(reservation, self.config.period)
+        self.tokens.start_period(tokens_now)
+        self.period_id = period_id
+        self._period_end = period_end_time
+        self.completed_this_period = 0
+        self.issued_this_period = 0
+        self._throttled_this_period = False
+        self._reporting_active = False
+        self._faa_epoch += 1
+        self._faa_inflight = False
+        self._retry_attempt = 0
+        self._faa_failed_streak = 0
+        self._period_faa_failed = False
+        self._period_faa_ok = True
+        self.degraded = False
+        self.suspended = False
+        self.re_registrations += 1
+        if not self._started:
+            self._started = True
+            self.sim.process(self._mgmt_thread())
+        self.tracer.emit("engine", "rebound", client=self.client_id,
+                         period=period_id, reservation=reservation,
+                         tokens_now=tokens_now, generation=generation)
+        final_at = period_end_time - self.config.final_report_margin
+        if final_at > self.sim.now:
+            self.sim.schedule_at(final_at, self._write_final_report, period_id)
+        self._drain()
 
     # ------------------------------------------------------------------
     # Application-facing API
@@ -140,7 +250,20 @@ class QoSEngine:
     # Control-plane message handlers
     # ------------------------------------------------------------------
     def _on_period_start(self, msg: PeriodStart, _reply_qp) -> None:
-        self._roll_failure_window()
+        if self._generation is not None and msg.generation != self._generation:
+            # The monitor re-initialized its token words (crash-window
+            # restart): any pool tokens fetched before the stamp are
+            # claims against dead memory.  start_period below discards
+            # them; count the resync for the harnesses.
+            self.generation_resyncs += 1
+            self.tracer.emit("engine", "generation_resync",
+                             client=self.client_id, period=msg.period_id,
+                             generation=msg.generation)
+        self._generation = msg.generation
+        if msg.period_id != self.period_id:
+            # A genuine boundary (not an out-of-band mid-period resync)
+            # folds the finished period into the failure streak.
+            self._roll_failure_window()
         self.period_id = msg.period_id
         self._period_end = msg.period_end_time
         self.tracer.emit("engine", "period_start", client=self.client_id,
@@ -193,6 +316,8 @@ class QoSEngine:
     # Data access (Fig. 3 flowchart)
     # ------------------------------------------------------------------
     def _drain(self) -> None:
+        if self.suspended:
+            return  # failover in progress: submissions queue here
         while self._queue:
             if self.limit is not None and self.issued_this_period >= self.limit:
                 if not self._throttled_this_period:
@@ -219,6 +344,7 @@ class QoSEngine:
             self.inflight_tokened -= 1
             self.completed_this_period += 1
             self.total_completed += 1
+            self._notify_listener(ok)
             on_complete(ok, value, latency)
 
         try:
@@ -227,6 +353,11 @@ class QoSEngine:
             # Dead QP: fail the I/O through the normal completion path
             # (as an event, matching the asynchronous non-fault path).
             self.sim.schedule(0.0, finish, False, str(err), 0.0)
+
+    def _notify_listener(self, ok: bool) -> None:
+        listener = self.failure_listener
+        if listener is not None:
+            listener(ok)
 
     @property
     def token_obligations(self) -> int:
@@ -281,6 +412,7 @@ class QoSEngine:
             return
         self._period_faa_ok = True
         self._retry_attempt = 0
+        self._notify_listener(True)
         prior = to_signed64(wc.value)
         granted = self.tokens.grant_from_pool(prior, self.config.batch_size)
         self.faa_granted_tokens += granted
@@ -306,6 +438,7 @@ class QoSEngine:
     def _note_faa_failure(self) -> None:
         self.faa_failures += 1
         self._period_faa_failed = True
+        self._notify_listener(False)
         self._schedule_backoff_retry()
 
     def _schedule_backoff_retry(self) -> None:
@@ -349,6 +482,7 @@ class QoSEngine:
             self._faa_inflight = False
             self.faa_failures += 1
             self._period_faa_failed = True
+            self._notify_listener(False)
             return
         self.kv.router.expect(wr_id, lambda wc: self._on_probe_complete(wc, epoch))
         self.sim.schedule(self.config.resolved_control_deadline,
@@ -361,8 +495,10 @@ class QoSEngine:
         if not wc.ok:
             self.faa_failures += 1
             self._period_faa_failed = True
+            self._notify_listener(False)
             return
         # Fabric is back: leave degraded mode and resume pool fetches.
+        self._notify_listener(True)
         self._period_faa_ok = True
         self._retry_attempt = 0
         self._faa_failed_streak = 0

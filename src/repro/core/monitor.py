@@ -38,6 +38,8 @@ from repro.core.protocol import (
     CONTROL_MESSAGE_SIZE,
     ControlLayout,
     PeriodStart,
+    RejoinRequest,
+    RejoinResponse,
     ReportRequest,
     ReservationAlert,
 )
@@ -68,14 +70,16 @@ def _stale_sentinel(reservation: int) -> int:
 class _ClientSlot:
     """Monitor-side record for one admitted client."""
 
-    __slots__ = ("client_id", "reservation", "qp", "layout", "underuse_streak",
-                 "lease_streak")
+    __slots__ = ("client_id", "reservation", "qp", "layout", "index",
+                 "underuse_streak", "lease_streak")
 
-    def __init__(self, client_id: int, reservation: int, qp, layout: ControlLayout):
+    def __init__(self, client_id: int, reservation: int, qp,
+                 layout: ControlLayout, index: int):
         self.client_id = client_id
         self.reservation = reservation
         self.qp = qp
         self.layout = layout
+        self.index = index
         self.underuse_streak = 0
         self.lease_streak = 0  # consecutive periods with a stale final word
 
@@ -114,6 +118,12 @@ class QoSMonitor:
         self._reporting_triggered = False
         self._running = False
         self._next_slot_index = 0  # monotonic: retired slots never reused
+        # ...except by the same client rejoining after eviction, once
+        # the fresh-slot supply is exhausted (see rejoin_client).
+        self._retired_slots: Dict[int, int] = {}  # client_id -> old index
+        # Control-word epoch: bumps whenever the token words are
+        # re-initialized (node restart), stamped into every PeriodStart.
+        self.generation = 1
 
         # telemetry for the benches
         self.pool_history: List[tuple] = []  # (time, pool value at check)
@@ -130,6 +140,10 @@ class QoSMonitor:
         self.clamped_reports = 0
         self.sends_failed = 0
         self.evictions: List[dict] = []
+        # recovery telemetry (see docs/RECOVERY.md)
+        self.rejoins: List[dict] = []
+        self.rejoin_clamped = 0
+        self.reinitializations = 0
 
     # ------------------------------------------------------------------
     # Client admission / wiring (step T1 prerequisites)
@@ -147,8 +161,17 @@ class QoSMonitor:
             raise QoSError(f"monitor supports at most {self.max_clients} clients")
         if self.admission is not None:
             self.admission.admit(client_id, reservation)
-        index = self._next_slot_index
-        self._next_slot_index += 1
+        index, layout = self._allocate_slot()
+        self._clients[client_id] = _ClientSlot(
+            client_id, reservation, qp, layout, index
+        )
+        return layout
+
+    def _allocate_slot(self, index: Optional[int] = None):
+        """Assign control-memory slots (a fresh index unless reusing one)."""
+        if index is None:
+            index = self._next_slot_index
+            self._next_slot_index += 1
         base = self.control_region.addr + 8 + index * _CLIENT_STRIDE
         layout = ControlLayout(
             rkey=self.control_region.rkey,
@@ -156,20 +179,22 @@ class QoSMonitor:
             report_live_addr=base,
             report_final_addr=base + 8,
         )
-        self._clients[client_id] = _ClientSlot(client_id, reservation, qp, layout)
-        return layout
+        return index, layout
 
     def remove_client(self, client_id: int) -> None:
         """Release a departing client's reservation.
 
         Effective from the next period start: the freed tokens flow
         into the global pool (and the admission controller's headroom).
-        The client's control slots are retired, not reused, so a
-        straggling report cannot corrupt another client's accounting.
+        The client's control slots are retired, not reused — except by
+        the *same* client re-registering through :meth:`rejoin_client`
+        — so a straggling report cannot corrupt another client's
+        accounting.
         """
         slot = self._clients.pop(client_id, None)
         if slot is None:
             raise QoSError(f"client {client_id} is not registered")
+        self._retired_slots[client_id] = slot.index
         if self.admission is not None:
             self.admission.release(client_id)
 
@@ -177,6 +202,144 @@ class QoSMonitor:
     def total_reserved(self) -> int:
         """Sum of admitted reservations (tokens/period)."""
         return sum(slot.reservation for slot in self._clients.values())
+
+    # ------------------------------------------------------------------
+    # Failover rejoin (see docs/RECOVERY.md)
+    # ------------------------------------------------------------------
+    def rejoin_client(self, client_id: int, reservation: int, qp):
+        """Adopt a client that failed over from a dead data node.
+
+        Unlike :meth:`add_client`, this runs mid-period: the original
+        reservation is reconciled against this node's remaining
+        capacity (clamped, never rejected outright, so a failed-over
+        client keeps *some* guarantee), the slot's report words are
+        initialized immediately, and the returned grant is pro-rated to
+        the remainder of the current period.  Idempotent: a retransmitted
+        request gets the same slot back.
+
+        Returns a dict with the slot layout and period coordinates, or
+        None if the monitor is out of slots.
+        """
+        slot = self._clients.get(client_id)
+        if slot is None:
+            granted = reservation
+            if self.admission is not None:
+                granted = min(
+                    granted,
+                    self.admission.local_capacity,
+                    max(0, self.admission.headroom),
+                )
+                self.admission.admit(client_id, granted)
+            if granted < reservation:
+                self.rejoin_clamped += 1
+            index = None
+            if self._next_slot_index >= self.max_clients:
+                # Out of fresh slots: the one safe reuse is this same
+                # client's own retired slot (no other writer exists).
+                index = self._retired_slots.pop(client_id, None)
+                if index is None:
+                    if self.admission is not None:
+                        self.admission.release(client_id)
+                    return None
+            index, layout = self._allocate_slot(index)
+            slot = _ClientSlot(client_id, granted, qp, layout, index)
+            self._clients[client_id] = slot
+            memory = self.host.memory.backing
+            memory.write_u64(layout.report_live_addr, granted << 32)
+            memory.write_u64(
+                layout.report_final_addr, _stale_sentinel(granted)
+            )
+            self.rejoins.append({
+                "client": client_id,
+                "requested": reservation,
+                "granted": granted,
+                "period": self.period_id,
+                "time": self.sim.now,
+            })
+            self.tracer.emit("monitor", "client_rejoined",
+                             period=self.period_id, client=client_id,
+                             requested=reservation, granted=granted)
+        remaining = max(0.0, self._period_end - self.sim.now)
+        tokens_now = int(slot.reservation * remaining / self.config.period)
+        return {
+            "layout": slot.layout,
+            "reservation": slot.reservation,
+            "tokens_now": tokens_now,
+            "period_id": self.period_id,
+            "period_end_time": self._period_end,
+            "generation": self.generation,
+        }
+
+    def attach_rejoin_handler(self, dispatcher) -> None:
+        """Serve :class:`RejoinRequest` control SENDs on ``dispatcher``."""
+        dispatcher.register(RejoinRequest, self._on_rejoin_request)
+
+    def _on_rejoin_request(self, msg: RejoinRequest, reply_qp) -> None:
+        grant = self.rejoin_client(msg.client_id, msg.reservation, reply_qp)
+        if grant is None:
+            response = RejoinResponse(
+                client_id=msg.client_id, ok=False, reservation=0, tokens_now=0
+            )
+        else:
+            layout = grant["layout"]
+            response = RejoinResponse(
+                client_id=msg.client_id,
+                ok=True,
+                reservation=grant["reservation"],
+                tokens_now=grant["tokens_now"],
+                rkey=layout.rkey,
+                pool_addr=layout.pool_addr,
+                report_live_addr=layout.report_live_addr,
+                report_final_addr=layout.report_final_addr,
+                period_id=grant["period_id"],
+                period_end_time=grant["period_end_time"],
+                generation=grant["generation"],
+            )
+        wr = WorkRequest(
+            opcode=OpType.SEND,
+            payload=response,
+            size=CONTROL_MESSAGE_SIZE,
+            is_response=True,
+            control=True,
+        )
+        try:
+            reply_qp.post_send(wr)
+        except QPError:
+            self.sends_failed += 1
+
+    def reinitialize(self) -> None:
+        """Re-initialize the control words after a crash-window restart.
+
+        The node's memory came back zeroed (or stale): rebuild the pool
+        word and every slot's report words for the remainder of the
+        current period, bump the generation, and push an out-of-band
+        :class:`PeriodStart` carrying a pro-rated grant and the new
+        stamp.  Clients that see the generation change discard any pool
+        tokens fetched against the dead memory and resynchronize
+        immediately instead of limping to the next boundary.
+        """
+        self.generation += 1
+        self.reinitializations += 1
+        remaining = max(0.0, self._period_end - self.sim.now)
+        fraction = remaining / self.config.period if self.config.period else 0.0
+        pool_now = int(self._pool_init * fraction)
+        self._write_pool(pool_now)
+        self._reporting_triggered = False
+        memory = self.host.memory.backing
+        for slot in self._clients.values():
+            tokens_now = int(slot.reservation * fraction)
+            memory.write_u64(slot.layout.report_live_addr, tokens_now << 32)
+            memory.write_u64(
+                slot.layout.report_final_addr, _stale_sentinel(slot.reservation)
+            )
+            self._send(slot, PeriodStart(
+                period_id=self.period_id,
+                tokens=tokens_now,
+                period_end_time=self._period_end,
+                generation=self.generation,
+            ))
+        self.tracer.emit("monitor", "reinitialized", period=self.period_id,
+                         generation=self.generation, pool=pool_now)
 
     # ------------------------------------------------------------------
     # Period machinery
@@ -230,6 +393,7 @@ class QoSMonitor:
                 period_id=self.period_id,
                 tokens=slot.reservation,
                 period_end_time=self._period_end,
+                generation=self.generation,
             ))
 
     def _check_interval(self) -> None:

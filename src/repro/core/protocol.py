@@ -31,11 +31,19 @@ class ControlLayout:
 
 @dataclasses.dataclass(frozen=True)
 class PeriodStart:
-    """Step T1: reservation-token dispatch, also signals the new period."""
+    """Step T1: reservation-token dispatch, also signals the new period.
+
+    ``generation`` stamps the monitor's control-word epoch: it bumps
+    when the token words are re-initialized (monitor restart after a
+    crash window), so a client seeing a new generation knows any pool
+    tokens it fetched before the stamp are claims against dead memory
+    and must be discarded.
+    """
 
     period_id: int
     tokens: int  # R_i for this client, in (dilated) tokens
     period_end_time: float  # absolute sim time the period ends
+    generation: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,3 +59,39 @@ class ReservationAlert:
 
     period_id: int
     consecutive_underuse: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RejoinRequest:
+    """Failover handshake: a client asks a (replica's) monitor to adopt it.
+
+    Sent two-sided after the client's primary is declared dead.
+    ``reservation`` is the client's original grant; the monitor
+    reconciles it against its own remaining capacity and may clamp.
+    """
+
+    client_id: int
+    reservation: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RejoinResponse:
+    """Reply to :class:`RejoinRequest`: the adopted client's new world.
+
+    Carries the fresh control-memory layout, the (possibly clamped)
+    reservation, an immediate pro-rated token grant for the remainder
+    of the current period — so I/O resumes before the next boundary —
+    and the monitor's period/generation coordinates.
+    """
+
+    client_id: int
+    ok: bool
+    reservation: int  # tokens/period after reconciliation
+    tokens_now: int  # immediate grant for the rest of this period
+    rkey: int = 0
+    pool_addr: int = 0
+    report_live_addr: int = 0
+    report_final_addr: int = 0
+    period_id: int = 0
+    period_end_time: float = 0.0
+    generation: int = 0

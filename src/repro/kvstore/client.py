@@ -8,7 +8,7 @@ from typing import Callable, Dict, Optional
 from repro.common.errors import StoreError
 from repro.common.types import OpType
 from repro.kvstore import protocol
-from repro.kvstore.records import HEADER_SIZE, RecordLayout, decode_record, encode_record
+from repro.kvstore.records import RecordLayout, decode_record, encode_record
 from repro.rdma.dispatch import CompletionRouter, TypeDispatcher
 from repro.rdma.qp import QueuePair
 from repro.rdma.verbs import WorkCompletion, WorkRequest
@@ -36,6 +36,7 @@ class KVClient:
         dispatcher: TypeDispatcher,
         layout: Optional[RecordLayout] = None,
         data_rkey: Optional[int] = None,
+        rpc_deadline: Optional[float] = None,
     ):
         self.name = name
         self.qp = qp
@@ -43,6 +44,13 @@ class KVClient:
         self.router = CompletionRouter(qp.cq)
         self.layout = layout
         self.data_rkey = data_rkey
+        # Per-op deadline for two-sided RPCs: a request whose response
+        # never arrives (dropped SEND, crashed server) is swept at
+        # posted_at + rpc_deadline and fails through its own callback
+        # instead of leaking the pending entry and hanging the caller.
+        # None disables sweeping (trusted fault-free deployments only).
+        self.rpc_deadline = rpc_deadline
+        self.rpcs_timed_out = 0
         self._req_ids = itertools.count(1)
         self._pending_rpcs: Dict[int, tuple] = {}  # req_id -> (callback, posted_at)
         dispatcher.register(protocol.GetResponse, self._on_get_response)
@@ -151,7 +159,7 @@ class KVClient:
     def get_twosided(self, key: int, on_complete: IOCallback) -> int:
         """Fetch the record for ``key`` via a server-CPU RPC."""
         req_id = next(self._req_ids)
-        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+        self._track_rpc(req_id, on_complete)
         wr = WorkRequest(
             opcode=OpType.SEND,
             payload=protocol.GetRequest(req_id=req_id, key=key),
@@ -160,17 +168,49 @@ class KVClient:
         self.qp.post_send(wr)
         return req_id
 
-    def put_twosided(self, key: int, payload: bytes, on_complete: IOCallback) -> int:
-        """Store ``payload`` under ``key`` via a server-CPU RPC."""
+    def put_twosided(
+        self,
+        key: int,
+        payload: bytes,
+        on_complete: IOCallback,
+        client_version: int = 0,
+    ) -> int:
+        """Store ``payload`` under ``key`` via a server-CPU RPC.
+
+        A ``client_version`` > 0 makes the request idempotent
+        server-side, so a retry after a timeout cannot double-apply.
+        """
         req_id = next(self._req_ids)
-        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+        self._track_rpc(req_id, on_complete)
         wr = WorkRequest(
             opcode=OpType.SEND,
-            payload=protocol.PutRequest(req_id=req_id, key=key, payload=payload),
+            payload=protocol.PutRequest(
+                req_id=req_id, key=key, payload=payload,
+                client_id=self.name, client_version=client_version,
+            ),
             size=protocol.PUT_REQUEST_HEADER_SIZE + len(payload),
         )
         self.qp.post_send(wr)
         return req_id
+
+    @property
+    def pending_rpc_count(self) -> int:
+        """Two-sided requests still waiting for a response."""
+        return len(self._pending_rpcs)
+
+    def _track_rpc(self, req_id: int, on_complete: IOCallback) -> None:
+        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+        if self.rpc_deadline is not None:
+            self.sim.schedule(self.rpc_deadline, self._sweep_rpc, req_id)
+
+    def _sweep_rpc(self, req_id: int) -> None:
+        """Fail an RPC whose response never arrived (deadline passed)."""
+        entry = self._pending_rpcs.pop(req_id, None)
+        if entry is None:
+            return  # the response made it in time
+        callback, posted_at = entry
+        self.rpcs_timed_out += 1
+        callback(False, "rpc deadline exceeded", self.sim.now - posted_at)
 
     def _on_get_response(self, msg: protocol.GetResponse, _reply_qp) -> None:
         entry = self._pending_rpcs.pop(msg.req_id, None)

@@ -30,11 +30,20 @@ class GetResponse:
 
 @dataclasses.dataclass(frozen=True)
 class PutRequest:
-    """Two-sided PUT: the server CPU writes the slot and acks."""
+    """Two-sided PUT: the server CPU writes the slot and acks.
+
+    ``client_version`` > 0 makes the PUT *idempotent*: the server
+    applies each ``(client_id, key, client_version)`` at most once, so a
+    client that lost the ack can replay the request safely (the replay
+    is suppressed by version and re-acked).  ``client_version = 0`` is
+    the legacy unversioned path.
+    """
 
     req_id: int
     key: int
     payload: bytes
+    client_id: str = ""
+    client_version: int = 0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,6 +51,31 @@ class PutResponse:
     """Ack for :class:`PutRequest` with the committed version."""
 
     req_id: int
+    key: int
+    version: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicatePut:
+    """Primary -> replica: apply one PUT so the standby stays warm.
+
+    Carries the client's identity and version so the replica's
+    duplicate suppression matches the primary's — a re-forwarded PUT
+    (ack lost, client replay) applies at most once on each node.
+    """
+
+    rep_id: int
+    key: int
+    payload: bytes
+    client_id: str = ""
+    client_version: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicateAck:
+    """Replica -> primary: the forwarded PUT is applied (or suppressed)."""
+
+    rep_id: int
     key: int
     version: int
 

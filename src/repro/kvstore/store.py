@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.common.errors import StoreError
 from repro.kvstore.records import (
@@ -39,6 +39,14 @@ class KVStore:
         self.region: MemoryRegion = memory.register(
             base, num_slots * SLOT_SIZE, Permissions(remote_read=True, remote_write=True)
         )
+        # Idempotent-PUT bookkeeping (see protocol.PutRequest): highest
+        # client-assigned version applied per (client, key), plus an
+        # apply log the recovery invariants audit — every versioned PUT
+        # must apply at most once per store, replays included.
+        self.applied_versions: Dict[Tuple[str, int], int] = {}
+        self.apply_counts: Dict[Tuple[str, int, int], int] = {}
+        self.duplicate_suppressed = 0
+        self.versioned_applies = 0
         if materialize:
             self.populate()
 
@@ -70,6 +78,39 @@ class KVStore:
         if self.materialized and slot_key != key:
             raise StoreError(f"slot for key {key} holds key {slot_key}")
         return version, payload
+
+    def put_versioned(
+        self, client_id: str, key: int, payload: bytes, client_version: int
+    ) -> Tuple[int, bool]:
+        """Apply a client-versioned PUT exactly once.
+
+        Returns ``(slot_version, applied)``.  A ``client_version`` at or
+        below the highest already applied for ``(client_id, key)`` is a
+        replay: it is suppressed (counted, not re-applied) and the
+        current slot version is returned so the replayed request can
+        still be acked.
+        """
+        if client_version < 1:
+            raise StoreError(
+                f"client_version must be >= 1, got {client_version}"
+            )
+        applied = self.applied_versions.get((client_id, key), 0)
+        if client_version <= applied:
+            self.duplicate_suppressed += 1
+            if self.materialized:
+                version, _ = self.get_local(key)
+            else:
+                version = 0
+            return version, False
+        self.applied_versions[(client_id, key)] = client_version
+        log_key = (client_id, key, client_version)
+        self.apply_counts[log_key] = self.apply_counts.get(log_key, 0) + 1
+        self.versioned_applies += 1
+        if self.materialized:
+            version = self.put_local(key, payload)
+        else:
+            version = 0
+        return version, True
 
     @property
     def max_payload(self) -> int:

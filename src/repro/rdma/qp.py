@@ -65,6 +65,16 @@ class QueuePair:
         """
         self.closed = True
 
+    def reopen(self) -> None:
+        """Re-establish a closed connection (failover recovery path).
+
+        Models tearing down the errored QP and bringing up a fresh one
+        over the same path: posts are accepted again, while WRs that
+        were in flight at close time still flush with FLUSH_ERROR (they
+        belonged to the old QP).  Reopening an open QP is a no-op.
+        """
+        self.closed = False
+
     # ------------------------------------------------------------------
     def post_recv(self, count: int = 1) -> None:
         """Post ``count`` receive buffers for inbound SENDs."""

@@ -1,0 +1,67 @@
+"""Recovery tunables, derived from the protocol tick like the rest of
+the control plane's fault machinery (docs/FAULTS.md): everything is a
+small multiple of the check interval so time dilation preserves the
+ratios between failure detection, probing, and the QoS period."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.errors import ConfigError
+from repro.core.config import HaechiConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Client-side failover and replication timing (times in seconds).
+
+    Build with :meth:`from_config` so the intervals track the cluster's
+    (dilated) protocol tick; the bare constructor is for unit tests.
+    """
+
+    # Failure detection: this many *consecutive* data-path completion
+    # errors move the connection CONNECTED -> SUSPECT.
+    suspect_after: int = 3
+    # SUSPECT: probe the primary with timing-only one-sided READs this
+    # far apart; this many failed probes declare the node dead.
+    probe_attempts: int = 3
+    probe_interval: float = 1e-3
+    # RECONNECTING: the RejoinRequest handshake with the replica's
+    # monitor is retried on this deadline (idempotent server-side).
+    rejoin_attempts: int = 5
+    rejoin_deadline: float = 4e-3
+    # Reliable PUT: per-attempt retry spacing and the total budget.
+    put_attempts: int = 12
+    put_retry_interval: float = 2e-3
+    # Primary-side semi-sync replication: how long a ReplicatePut may go
+    # unacknowledged before re-forwarding, and how many misses before
+    # the client is acked on local durability alone.
+    replication_deadline: float = 4e-3
+    replication_attempts: int = 3
+    # The chaos harness's unavailability invariant: a failover must
+    # complete within this many QoS periods.
+    failover_bound_periods: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("suspect_after", "probe_attempts", "rejoin_attempts",
+                     "put_attempts", "replication_attempts"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        for name in ("probe_interval", "rejoin_deadline",
+                     "put_retry_interval", "replication_deadline",
+                     "failover_bound_periods"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    @classmethod
+    def from_config(cls, config: HaechiConfig, **overrides) -> "RecoveryConfig":
+        """Derive the recovery timing from a protocol configuration."""
+        tick = config.check_interval
+        values = dict(
+            probe_interval=tick,
+            rejoin_deadline=4 * tick,
+            put_retry_interval=2 * tick,
+            replication_deadline=4 * tick,
+        )
+        values.update(overrides)
+        return cls(**values)

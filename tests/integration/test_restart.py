@@ -1,0 +1,79 @@
+"""Crash + restart (a finite CrashWindow): boundary re-sync on the
+plain cluster vs mid-period generation-stamp re-sync on the replicated
+one."""
+
+from repro.cluster.experiment import attach_app, run_experiment
+from repro.cluster.scenarios import faulty_qos_cluster
+from repro.faults import CrashWindow, FaultPlan
+from repro.recovery import RecoveryConfig, build_replicated_cluster
+from repro.recovery.chaos import CHAOS_SCALE
+from repro.recovery.failover import FailoverState
+from repro.workloads.patterns import RequestPattern
+
+from tests.core.conftest import SCALE
+
+
+class TestClientRestartWithoutStamp:
+    """A crashed-and-restarted *client* re-syncs at the next period
+    boundary: no generation machinery on this path."""
+
+    def test_client_resumes_at_next_boundary(self):
+        num = 3
+        cluster = faulty_qos_cluster(
+            [250_000] * num, [400_000.0] * num,
+            kind="client-crash",
+            fault_kwargs={
+                "client": num - 1, "start_period": 2, "end_period": 3,
+            },
+            scale=SCALE,
+        )
+        result = run_experiment(cluster, warmup_periods=1, measure_periods=8)
+        # the one-period outage stays inside the liveness lease
+        assert cluster.monitor.evictions == []
+        engine = cluster.clients[-1].engine
+        assert engine.generation_resyncs == 0
+        # by the last measured period the restarted client is back in
+        # step with an untouched one
+        counts = result.client_period_counts[f"C{num}"]
+        healthy = result.client_period_counts["C1"]
+        assert counts[-1] >= 0.8 * healthy[-1]
+
+
+class TestPrimaryRestartWithStamp:
+    """A crashed-and-restarted *data node* re-initializes its control
+    words and pushes a new generation; clients that rode out the crash
+    in place resynchronize mid-period instead of limping to the next
+    boundary against dead memory."""
+
+    def test_generation_resync_mid_period(self):
+        config = CHAOS_SCALE.config()
+        # make failure detection effectively inert so the clients stay
+        # bound to the primary through the whole window
+        recovery = RecoveryConfig.from_config(config, suspect_after=10**9)
+        cluster = build_replicated_cluster(
+            num_clients=2,
+            reservations_ops=[60_000.0, 60_000.0],
+            scale=CHAOS_SCALE,
+            recovery=recovery,
+        )
+        T = cluster.config.period
+        for ctx in cluster.clients:
+            attach_app(cluster, ctx, RequestPattern.BURST,
+                       demand_ops=60_000.0, window=None)
+        cluster.inject_faults(FaultPlan(
+            crashes=(CrashWindow("server", 1.2 * T, 2.4 * T),),
+            drop_fail_after=cluster.config.check_interval,
+        ))
+        cluster.start()
+        cluster.sim.run(until=8 * T)
+
+        assert cluster.monitor.reinitializations == 1
+        assert cluster.monitor.generation == 2
+        for ctx in cluster.clients:
+            # never failed over: rode out the crash in place ...
+            assert ctx.failover.state is FailoverState.CONNECTED
+            assert ctx.failover.failovers == 0
+            # ... and picked up the new stamp mid-period
+            assert ctx.engine.generation_resyncs >= 1
+            counts = cluster.metrics.clients[ctx.name].period_counts
+            assert counts[-1] >= 0.9 * ctx.failover.granted_reservation

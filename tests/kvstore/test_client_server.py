@@ -130,3 +130,57 @@ class TestMultiClient:
         mini4.sim.run(until=0.01)
         for i in range(4):
             assert results[i][1].startswith(f"value-{i}".encode())
+
+
+class TestRpcDeadline:
+    """Per-op deadlines sweep two-sided RPCs whose response never
+    arrives, so `_pending_rpcs` cannot leak (and the caller cannot
+    hang) across server crashes or dropped replies."""
+
+    def test_lost_response_is_swept_and_fails(self, mini):
+        kv = mini.clients[0]
+        kv.rpc_deadline = 0.001
+        # the server's reply path is dark: requests arrive, responses
+        # are silently discarded (DataNode swallows the QPError)
+        mini.server_qps[0].close()
+        out = {}
+        kv.get_twosided(1, lambda ok, v, l: out.update(ok=ok, err=v))
+        run(mini)
+        assert out == {"ok": False, "err": "rpc deadline exceeded"}
+        assert kv.pending_rpc_count == 0
+        assert kv.rpcs_timed_out == 1
+
+    def test_pending_table_drains_under_sustained_loss(self, mini):
+        kv = mini.clients[0]
+        kv.rpc_deadline = 0.001
+        mini.server_qps[0].close()
+        failures = []
+        for key in range(10):
+            kv.put_twosided(key, b"x", lambda ok, v, l: failures.append(ok))
+        run(mini)
+        assert failures == [False] * 10
+        assert kv.pending_rpc_count == 0
+        assert kv.rpcs_timed_out == 10
+
+    def test_late_response_after_sweep_is_ignored(self, mini):
+        kv = mini.clients[0]
+        # deadline far below the two-sided RTT: the sweep always wins
+        kv.rpc_deadline = 1e-9
+        outcomes = []
+        kv.get_twosided(1, lambda ok, v, l: outcomes.append(ok))
+        run(mini)
+        # exactly one completion (the sweep); the real response that
+        # arrived later found no pending entry and was dropped
+        assert outcomes == [False]
+        assert kv.rpcs_timed_out == 1
+        assert kv.pending_rpc_count == 0
+
+    def test_timely_response_wins_and_sweep_noops(self, mini):
+        kv = mini.clients[0]
+        kv.rpc_deadline = 0.05
+        outcomes = []
+        kv.get_twosided(1, lambda ok, v, l: outcomes.append(ok))
+        run(mini, until=0.1)  # well past the deadline
+        assert outcomes == [True]
+        assert kv.rpcs_timed_out == 0
+        assert kv.pending_rpc_count == 0

@@ -1,0 +1,115 @@
+"""Semi-synchronous replication on the two-sided PUT path."""
+
+import math
+
+from repro.faults import CrashWindow, FaultPlan
+from repro.recovery import RecoveryConfig, build_replicated_cluster
+from repro.recovery.chaos import CHAOS_SCALE
+
+
+def make_cluster(num_clients=2, **kwargs):
+    return build_replicated_cluster(
+        num_clients=num_clients,
+        reservations_ops=[100_000.0] * num_clients,
+        scale=CHAOS_SCALE,
+        **kwargs,
+    )
+
+
+def drain(cluster, periods=1.0):
+    cluster.sim.run(until=cluster.sim.now + periods * cluster.config.period)
+
+
+class TestReplicatedPut:
+    def test_put_is_applied_on_both_stores_before_ack(self):
+        cluster = make_cluster()
+        kv = cluster.clients[0].kv
+        acks = []
+        kv.put_twosided(7, b"hello", lambda ok, v, l: acks.append(ok),
+                        client_version=1)
+        drain(cluster, 0.1)
+        assert acks == [True]
+        for store in cluster.stores:
+            assert store.applied_versions[("C1", 7)] == 1
+        assert cluster.data_node.replicated_puts == 1
+        assert cluster.replica_node.replica_applies == 1
+
+    def test_replayed_version_is_suppressed_but_acked(self):
+        cluster = make_cluster()
+        kv = cluster.clients[0].kv
+        acks = []
+        kv.put_twosided(3, b"a", lambda ok, v, l: acks.append(ok),
+                        client_version=1)
+        drain(cluster, 0.1)
+        kv.put_twosided(3, b"a", lambda ok, v, l: acks.append(ok),
+                        client_version=1)  # replay of the same version
+        drain(cluster, 0.1)
+        assert acks == [True, True]
+        primary = cluster.data_node.store
+        assert primary.duplicate_suppressed == 1
+        assert primary.apply_counts[("C1", 3, 1)] == 1
+
+    def test_dead_replica_degrades_to_local_ack(self):
+        config = CHAOS_SCALE.config()
+        # degrade fast enough that the client's own RPC deadline
+        # (resolved_control_deadline) has not swept the PUT yet
+        recovery = RecoveryConfig.from_config(
+            config,
+            replication_attempts=2,
+            replication_deadline=config.check_interval,
+        )
+        cluster = make_cluster(recovery=recovery)
+        # replica is dark from the start, forever
+        cluster.inject_faults(FaultPlan(
+            crashes=(CrashWindow("replica", 0.0, math.inf),),
+            drop_fail_after=cluster.config.check_interval,
+        ))
+        kv = cluster.clients[0].kv
+        acks = []
+        kv.put_twosided(5, b"x", lambda ok, v, l: acks.append(ok),
+                        client_version=1)
+        drain(cluster, 1.0)
+        # the client was still acked -- on local durability alone
+        assert acks == [True]
+        assert cluster.data_node.degraded_acks == 1
+        assert cluster.data_node.replication_retries >= 1
+        assert ("C1", 5) not in cluster.replica_node.store.applied_versions
+
+    def test_direct_put_on_replica_does_not_forward(self):
+        cluster = make_cluster()
+        kv_replica = cluster.clients[0].kv_replica
+        acks = []
+        kv_replica.put_twosided(9, b"r", lambda ok, v, l: acks.append(ok),
+                                client_version=1)
+        drain(cluster, 0.1)
+        assert acks == [True]
+        assert cluster.replica_node.store.applied_versions[("C1", 9)] == 1
+        # replication is one-directional: the standby never forwards back
+        assert ("C1", 9) not in cluster.data_node.store.applied_versions
+
+
+class TestVersionedStore:
+    def test_versions_are_per_client(self):
+        cluster = make_cluster()
+        acks = []
+        cluster.clients[0].kv.put_twosided(
+            1, b"a", lambda ok, v, l: acks.append(ok), client_version=1)
+        cluster.clients[1].kv.put_twosided(
+            1, b"b", lambda ok, v, l: acks.append(ok), client_version=1)
+        drain(cluster, 0.1)
+        assert acks == [True, True]
+        store = cluster.data_node.store
+        assert store.applied_versions[("C1", 1)] == 1
+        assert store.applied_versions[("C2", 1)] == 1
+        assert store.duplicate_suppressed == 0
+
+    def test_stale_version_is_suppressed(self):
+        cluster = make_cluster()
+        kv = cluster.clients[0].kv
+        kv.put_twosided(2, b"new", lambda ok, v, l: None, client_version=5)
+        drain(cluster, 0.1)
+        kv.put_twosided(2, b"old", lambda ok, v, l: None, client_version=4)
+        drain(cluster, 0.1)
+        store = cluster.data_node.store
+        assert store.applied_versions[("C1", 2)] == 5
+        assert store.duplicate_suppressed == 1
