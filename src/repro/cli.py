@@ -5,12 +5,19 @@ Subcommands::
     python -m repro profile   [--clients 10] [--periods 20] [--scale 500]
     python -m repro run       [--mode haechi|basic|bare] [--distribution ...]
                               [--reserved-fraction 0.9] [--pattern ...]
+    python -m repro faults    [--kind control-loss|client-crash ...]
+    python -m repro chaos     [--seeds 11 23 ...]
+    python -m repro telemetry [--sample N] [--trace out.json]
+                              [--chaos-seed N] [--overhead-check]
     python -m repro figures
 
 ``run`` prints the per-client reservation-vs-served table for the
 chosen configuration, the bread-and-butter view of the paper's
-evaluation.  ``figures`` lists the benchmark that regenerates each of
-the paper's tables/figures.
+evaluation.  ``telemetry`` runs a scenario with span sampling on and
+prints the per-stage latency decomposition (docs/OBSERVABILITY.md),
+with optional Perfetto/JSONL exports and the CI overhead gate.
+``figures`` lists the benchmark that regenerates each of the paper's
+tables/figures.
 """
 
 from __future__ import annotations
@@ -103,6 +110,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seeds to run (default: the documented set)")
     chaos.add_argument("--clients", type=int, default=4)
     chaos.add_argument("--periods", type=int, default=10)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run a traced scenario: per-stage latency breakdown, "
+             "Perfetto/JSONL exports, overhead gate",
+    )
+    telemetry.add_argument("--mode", choices=sorted(_MODES), default="haechi")
+    telemetry.add_argument("--access", choices=["one-sided", "two-sided"],
+                           default="one-sided",
+                           help="data path for the bare scenario "
+                                "(QoS modes are one-sided by design)")
+    telemetry.add_argument("--clients", type=int, default=4)
+    telemetry.add_argument("--periods", type=int, default=6)
+    telemetry.add_argument("--warmup", type=int, default=2)
+    telemetry.add_argument("--scale", type=float, default=200)
+    telemetry.add_argument("--sample", type=int, default=10,
+                           help="span sampling: record 1 op in N "
+                                "(1 = every op, 0 = data spans off)")
+    telemetry.add_argument("--trace", metavar="PATH", default=None,
+                           help="write a Perfetto trace_event JSON file")
+    telemetry.add_argument("--metrics", metavar="PATH", default=None,
+                           help="write per-period metric snapshots as JSONL")
+    telemetry.add_argument("--ledger", metavar="PATH", default=None,
+                           help="write the token-ledger audit stream as JSONL")
+    telemetry.add_argument("--chaos-seed", type=int, default=None,
+                           help="trace one seeded chaos run instead of a "
+                                "QoS scenario")
+    telemetry.add_argument("--overhead-check", action="store_true",
+                           help="measure wall-clock overhead at "
+                                "off/sampled rates and enforce the "
+                                "committed baseline's bounds")
+    telemetry.add_argument(
+        "--baseline", default="benchmarks/results/telemetry_baseline.json",
+        help="overhead-bound file for --overhead-check",
+    )
 
     sub.add_parser("figures", help="list the paper-figure benchmarks")
 
@@ -285,6 +327,147 @@ def _cmd_chaos(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.common.types import AccessMode
+    from repro.telemetry import (
+        TelemetryConfig,
+        attach_telemetry,
+        format_stage_table,
+        write_ledger_jsonl,
+        write_metrics_jsonl,
+        write_perfetto,
+    )
+
+    if args.sample < 0:
+        print("--sample must be >= 0", file=sys.stderr)
+        return 2
+
+    if args.overhead_check:
+        return _telemetry_overhead_check(args)
+
+    if args.chaos_seed is not None:
+        from repro.recovery import run_chaos
+
+        report = run_chaos(
+            args.chaos_seed, num_clients=args.clients, periods=args.periods,
+            telemetry=TelemetryConfig(sample_every=args.sample),
+            trace_path=args.trace,
+        )
+        totals = report.ledger_totals
+        print(f"chaos seed {args.chaos_seed}: "
+              f"{'PASS' if report.ok else 'FAIL'}  "
+              f"failovers={report.failovers}  rejoins={report.rejoins}")
+        print(f"token ledger: granted="
+              f"{totals.get('granted_reservation', 0)}"
+              f"+{totals.get('granted_pool', 0)} pool  "
+              f"spent={totals.get('spent', 0)}  "
+              f"yielded={totals.get('yielded', 0)}  "
+              f"expired={totals.get('expired', 0)}  "
+              f"accounts={totals.get('accounts', 0)}")
+        for violation in report.violations:
+            print(violation, file=sys.stderr)
+        if args.trace:
+            print(f"perfetto trace written to {args.trace}")
+        return 0 if report.ok else 1
+
+    scale = SimScale(factor=args.scale, interval_divisor=200)
+    access = (AccessMode.ONE_SIDED if args.access == "one-sided"
+              else AccessMode.TWO_SIDED)
+    mode = _MODES[args.mode]
+    if mode is QoSMode.BARE:
+        demands = [_CAPACITY / args.clients * 1.5] * args.clients
+        cluster = bare_cluster(demands=demands, scale=scale, access=access)
+    else:
+        # Stay under the per-client C_L admission cap for small counts.
+        total = min(0.9 * _CAPACITY, args.clients * 350_000)
+        reservations = reservation_set("uniform", total, args.clients)
+        demands = paper_demands(reservations, _CAPACITY - total)
+        cluster = qos_cluster(
+            reservations=reservations, demands=demands, qos_mode=mode,
+            scale=scale,
+        )
+    hub = attach_telemetry(cluster, TelemetryConfig(sample_every=args.sample))
+    result = run_experiment(cluster, warmup_periods=args.warmup,
+                            measure_periods=args.periods)
+
+    for line in format_stage_table(hub.spans):
+        print(line)
+    store = hub.spans.export()
+    print(f"spans: {store['recorded']} recorded "
+          f"({store['started']} started, {store['dropped']} dropped, "
+          f"sampling 1/{args.sample})  "
+          f"total: {result.total_kiops():.0f} KIOPS")
+    if args.trace:
+        events = write_perfetto(args.trace, hub.spans, store)
+        print(f"perfetto trace: {args.trace} ({events} events)")
+    if args.metrics:
+        rows = write_metrics_jsonl(args.metrics, hub.period_rows)
+        print(f"metrics snapshots: {args.metrics} ({rows} periods)")
+    if args.ledger is not None and hub.ledger is not None:
+        for ctx in cluster.clients:
+            if ctx.engine is not None:
+                ctx.engine.ledger_flush()
+        lines = write_ledger_jsonl(args.ledger, hub.ledger)
+        print(f"token ledger: {args.ledger} ({lines} events)")
+        violations = hub.ledger.check_conservation()
+        for violation in violations:
+            print(f"token ledger: {violation}", file=sys.stderr)
+        if violations:
+            return 1
+    return 0
+
+
+def _telemetry_overhead_check(args) -> int:
+    import json
+
+    from repro.telemetry import measure_overhead
+
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"baseline file not found: {args.baseline}", file=sys.stderr)
+        return 2
+    bounds = baseline["bounds"]
+    scenario = baseline["scenario"]
+    rates = [None if r is None else int(r) for r in baseline["rates"]]
+    rows = measure_overhead(
+        rates=rates,
+        num_clients=scenario["clients"],
+        periods=scenario["periods"],
+        scale_factor=scenario["scale"],
+        repeats=scenario.get("repeats", 3),
+    )
+    table = [
+        [row["sample"], f"{row['kiops']:.0f}", f"{row['cpu_seconds']:.3f}",
+         f"{row['overhead'] * 100:+.1f}%", str(row["spans_recorded"])]
+        for row in rows
+    ]
+    for line in format_table(
+        ["sampling", "KIOPS", "cpu (s)", "overhead", "spans"], table
+    ):
+        print(line)
+    # Throughput gate: the simulated KIOPS must be *identical* across
+    # rates (measure_overhead raises otherwise) — stricter than the
+    # issue's 3%/10% criteria, and fully deterministic.
+    print(f"simulated throughput: {rows[0]['kiops']:.0f} KIOPS at every "
+          "sampling rate (identical by construction)")
+    failed = False
+    for row in rows:
+        bound = bounds.get(row["sample"])
+        if bound is None:
+            continue
+        if row["overhead"] > bound:
+            failed = True
+            print(f"FAIL: {row['sample']} CPU overhead "
+                  f"{row['overhead'] * 100:.1f}% exceeds bound "
+                  f"{bound * 100:.0f}%", file=sys.stderr)
+    if not failed:
+        print("host CPU overhead within bounds "
+              + ", ".join(f"{k}<={v * 100:.0f}%" for k, v in bounds.items()))
+    return 1 if failed else 0
+
+
 _FIGURES = [
     ("Table I", "bench_table1_config.py", "testbed configuration"),
     ("Fig. 6", "bench_fig06_client_throughput.py", "per-client saturation"),
@@ -363,6 +546,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "figure":

@@ -93,6 +93,48 @@ class MetricsCollector:
         self.period_totals.clear()
 
 
+def register_cluster_metrics(cluster, registry) -> None:
+    """Register every component's counters on ``registry``.
+
+    All registrations are *callback gauges* over the components'
+    existing plain-attribute counters (see
+    :mod:`repro.telemetry.registry`): the hot paths keep their
+    ``self.whatever += 1`` and the registry reads them only at snapshot
+    time, so this costs the instrumented code nothing per operation.
+    Idempotent — re-registering after a topology change (failover
+    rebind) rebinds the callbacks.
+    """
+    for ctx in cluster.clients:
+        if ctx.engine is not None:
+            for name, getter in ctx.engine.metrics_items():
+                registry.gauge(name, getter, client=ctx.name)
+        manager = getattr(ctx, "failover", None)
+        if manager is not None:
+            for name, getter in manager.metrics_items():
+                registry.gauge(name, getter, client=ctx.name)
+        for name, getter in ctx.host.nic.metrics_items():
+            registry.gauge(name, getter, node=ctx.host.name)
+    for name, getter in cluster.server_host.nic.metrics_items():
+        registry.gauge(name, getter, node=cluster.server_host.name)
+    for name, getter in cluster.data_node.metrics_items():
+        registry.gauge(name, getter, node=cluster.server_host.name)
+    if cluster.monitor is not None:
+        for name, getter in cluster.monitor.metrics_items():
+            registry.gauge(name, getter, node=cluster.server_host.name)
+    replica_host = getattr(cluster, "replica_host", None)
+    if replica_host is not None:
+        for name, getter in replica_host.nic.metrics_items():
+            registry.gauge(name, getter, node=replica_host.name)
+        for name, getter in cluster.replica_node.metrics_items():
+            registry.gauge(name, getter, node=replica_host.name)
+        if cluster.replica_monitor is not None:
+            for name, getter in cluster.replica_monitor.metrics_items():
+                registry.gauge(name, getter, node=replica_host.name)
+    if cluster.fault_injector is not None:
+        for name, getter in cluster.fault_injector.metrics_items():
+            registry.gauge(name, getter)
+
+
 def robustness_summary(cluster) -> dict:
     """Fault and recovery counters for a built cluster, in one dict.
 
@@ -101,40 +143,43 @@ def robustness_summary(cluster) -> dict:
     eviction log, and — when a fault injector is installed — what the
     plan actually inflicted.  Benches, the CLI, and the fault tests all
     report through this single view.
+
+    Since the telemetry subsystem landed this is a *façade over the
+    metrics registry*: every scalar is read through the same callback
+    gauges :func:`register_cluster_metrics` exposes to the exporters,
+    so the two views cannot drift.  List- and string-valued entries
+    (eviction/rejoin logs, failover state) stay direct reads — they are
+    event logs, not metrics.  The output shape is unchanged
+    field-for-field from the pre-registry implementation.
     """
+    from repro.core.engine import QoSEngine
+    from repro.recovery.failover import FailoverManager
+    from repro.telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    register_cluster_metrics(cluster, registry)
+
+    def read(name, **labels):
+        return registry.value(name, **labels)
+
     engines = {}
     failover = {}
     for ctx in cluster.clients:
-        engine = ctx.engine
-        if engine is None:
+        if ctx.engine is None:
             continue
         engines[ctx.name] = {
-            "faa_failures": engine.faa_failures,
-            "faa_timeouts": engine.faa_timeouts,
-            "faa_pool_empty": engine.faa_pool_empty,
-            "probes_issued": engine.probes_issued,
-            "reports_failed": engine.reports_failed,
-            "degraded": engine.degraded,
-            "degraded_entries": engine.degraded_entries,
-            "degraded_periods": engine.degraded_periods,
-            "degraded_recoveries": engine.degraded_recoveries,
-            "re_registrations": engine.re_registrations,
-            "stale_control_messages": engine.stale_control_messages,
-            "generation_resyncs": engine.generation_resyncs,
+            field: read(f"engine_{field}", client=ctx.name)
+            for field in QoSEngine.SUMMARY_FIELDS
         }
         manager = getattr(ctx, "failover", None)
         if manager is not None:
-            failover[ctx.name] = {
-                "state": manager.state.value,
-                "suspect_transitions": manager.suspect_transitions,
-                "probes_sent": manager.probes_sent,
-                "reconnect_attempts": manager.reconnect_attempts,
-                "failovers": manager.failovers,
-                "rejoins_completed": manager.rejoins_completed,
-                "put_retries": manager.put_retries,
-                "puts_acked": manager.puts_acked,
-                "failover_windows": list(manager.failover_windows),
-            }
+            entry = {"state": manager.state.value}
+            entry.update({
+                field: read(f"failover_{field}", client=ctx.name)
+                for field in FailoverManager.SUMMARY_FIELDS
+            })
+            entry["failover_windows"] = list(manager.failover_windows)
+            failover[ctx.name] = entry
     summary = {
         "engines": engines,
         "faa_failures_total": sum(e["faa_failures"] for e in engines.values()),
@@ -152,33 +197,35 @@ def robustness_summary(cluster) -> dict:
             f["failovers"] for f in failover.values()
         )
     if cluster.monitor is not None:
-        monitor = cluster.monitor
+        node = cluster.server_host.name
         summary["monitor"] = {
-            "stale_reports": monitor.stale_reports,
-            "clamped_reports": monitor.clamped_reports,
-            "sends_failed": monitor.sends_failed,
-            "evictions": list(monitor.evictions),
-            "rejoins": list(monitor.rejoins),
-            "reinitializations": monitor.reinitializations,
+            "stale_reports": read("monitor_stale_reports", node=node),
+            "clamped_reports": read("monitor_clamped_reports", node=node),
+            "sends_failed": read("monitor_sends_failed", node=node),
+            "evictions": list(cluster.monitor.evictions),
+            "rejoins": list(cluster.monitor.rejoins),
+            "reinitializations": read("monitor_reinitializations", node=node),
         }
     replica_monitor = getattr(cluster, "replica_monitor", None)
     if replica_monitor is not None:
+        replica = cluster.replica_host.name
+        primary = cluster.server_host.name
         summary["replica_monitor"] = {
             "rejoins": list(replica_monitor.rejoins),
-            "rejoin_clamped": replica_monitor.rejoin_clamped,
-            "sends_failed": replica_monitor.sends_failed,
+            "rejoin_clamped": read("monitor_rejoin_clamped", node=replica),
+            "sends_failed": read("monitor_sends_failed", node=replica),
         }
-        data_node = cluster.data_node
         summary["replication"] = {
-            "replicated_puts": data_node.replicated_puts,
-            "replication_retries": data_node.replication_retries,
-            "degraded_acks": data_node.degraded_acks,
-            "replica_applies": cluster.replica_node.replica_applies,
+            "replicated_puts": read("server_replicated_puts", node=primary),
+            "replication_retries":
+                read("server_replication_retries", node=primary),
+            "degraded_acks": read("server_degraded_acks", node=primary),
+            "replica_applies": read("server_replica_applies", node=replica),
             # replayed PUTs suppressed by version, per store
             "duplicate_suppressed_primary":
-                data_node.store.duplicate_suppressed,
+                read("server_duplicate_suppressed", node=primary),
             "duplicate_suppressed_replica":
-                cluster.replica_node.store.duplicate_suppressed,
+                read("server_duplicate_suppressed", node=replica),
         }
     if cluster.fault_injector is not None:
         summary["faults"] = cluster.fault_injector.summary()

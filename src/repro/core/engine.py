@@ -100,6 +100,12 @@ class QoSEngine:
         self._period_faa_ok = False
         self.degraded = False
 
+        # Telemetry ledger account for the current grant episode (see
+        # repro.telemetry.ledger): opened at each period start / rebind,
+        # closed at the next boundary with the episode's aggregate
+        # spend/yield/residual.  None when telemetry is not attached.
+        self._ledger_account = None
+
         # Failover support (see docs/RECOVERY.md): control messages are
         # accepted only from the active source (the monitor the engine
         # is currently registered with); suspend() freezes the data path
@@ -200,6 +206,9 @@ class QoSEngine:
         starts a fresh token state from the pro-rated grant, and drains
         the I/O queued up during the outage.
         """
+        # The pre-failover grant episode ends here: close its ledger
+        # account against the outgoing token state before replacing it.
+        self._ledger_roll("rebind")
         self.kv = kv
         self.layout = layout
         self._active_source = source
@@ -207,6 +216,7 @@ class QoSEngine:
         self.tokens = ClientTokenState(reservation, self.config.period)
         self.tokens.start_period(tokens_now)
         self.period_id = period_id
+        self._ledger_open(tokens_now)
         self._period_end = period_end_time
         self.completed_this_period = 0
         self.issued_this_period = 0
@@ -238,7 +248,13 @@ class QoSEngine:
     def submit(self, key: int, on_complete: IOCallback) -> None:
         """Request one read I/O for ``key``; runs when a token backs it."""
         self.total_submitted += 1
-        self._queue.append((key, on_complete))
+        span = None
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            # The span starts at submit so the engine's token-queueing
+            # stage is part of the op's latency decomposition.
+            span = telemetry.data_span("onesided_read", self.kv.name, key)
+        self._queue.append((key, on_complete, span))
         self._drain()
 
     @property
@@ -268,7 +284,11 @@ class QoSEngine:
         self._period_end = msg.period_end_time
         self.tracer.emit("engine", "period_start", client=self.client_id,
                          period=msg.period_id, tokens=msg.tokens)
+        # Close the previous grant episode's ledger account BEFORE
+        # start_period replaces the token state, then open the new one.
+        self._ledger_roll("period_start")
         self.tokens.start_period(msg.tokens)
+        self._ledger_open(msg.tokens)
         self.completed_this_period = 0
         self.issued_this_period = 0
         self._throttled_this_period = False
@@ -325,8 +345,8 @@ class QoSEngine:
                     self.limit_throttle_events += 1
                 return  # throttled until the next period
             if self.tokens.try_consume():
-                key, on_complete = self._queue.popleft()
-                self._issue(key, on_complete)
+                key, on_complete, span = self._queue.popleft()
+                self._issue(key, on_complete, span)
                 continue
             # No token in hand: claim a batch from the global pool —
             # unless degraded, in which case only the reservation is
@@ -336,20 +356,30 @@ class QoSEngine:
                 self._fetch_global_batch()
             return
 
-    def _issue(self, key: int, on_complete: IOCallback) -> None:
+    def _issue(self, key: int, on_complete: IOCallback, span=None) -> None:
         self.issued_this_period += 1
         self.inflight_tokened += 1
+        if span is not None:
+            # Token wait ends here: everything before this boundary was
+            # spent queueing inside the engine.
+            span.mark("engine_queue", self.sim.now)
 
         def finish(ok: bool, value: object, latency: float) -> None:
             self.inflight_tokened -= 1
             self.completed_this_period += 1
             self.total_completed += 1
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                telemetry.observe_latency("onesided_read", latency)
             self._notify_listener(ok)
             on_complete(ok, value, latency)
 
         try:
-            self.kv.get_onesided(key, finish, touch_memory=self.touch_memory)
+            self.kv.get_onesided(key, finish, touch_memory=self.touch_memory,
+                                 span=span, sample=False)
         except QPError as err:
+            if span is not None:
+                span.finish(self.sim.now, ok=False, error=str(err))
             # Dead QP: fail the I/O through the normal completion path
             # (as an event, matching the asynchronous non-fault path).
             self.sim.schedule(0.0, finish, False, str(err), 0.0)
@@ -358,6 +388,48 @@ class QoSEngine:
         listener = self.failure_listener
         if listener is not None:
             listener(ok)
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing (no-ops when no hub is attached to the sim)
+    # ------------------------------------------------------------------
+    def _control_span(self, kind: str):
+        telemetry = self.sim.telemetry
+        if telemetry is None:
+            return None
+        return telemetry.control_span(kind, self.kv.name)
+
+    def _ledger_roll(self, reason: str) -> None:
+        """Close the current grant episode's ledger account, if any.
+
+        Must run *before* the token state is replaced: the closing
+        balance reads the outgoing episode's spend/yield/residual.
+        """
+        account, self._ledger_account = self._ledger_account, None
+        if account is None:
+            return
+        ledger = getattr(self.sim.telemetry, "ledger", None)
+        if ledger is None:
+            return
+        ledger.close(
+            account,
+            spent=self.issued_this_period,
+            yielded=self.tokens.yielded_tokens,
+            residual=self.tokens.xi_res + self.tokens.local_global,
+            reason=reason,
+            time=self.sim.now,
+        )
+
+    def _ledger_open(self, granted: int) -> None:
+        telemetry = self.sim.telemetry
+        if telemetry is None or telemetry.ledger is None:
+            return
+        self._ledger_account = telemetry.ledger.open(
+            self.kv.name, self.period_id, granted, self.sim.now,
+        )
+
+    def ledger_flush(self, reason: str = "run_end") -> None:
+        """Close the open ledger account at end of run (conservation check)."""
+        self._ledger_roll(reason)
 
     @property
     def token_obligations(self) -> int:
@@ -383,6 +455,7 @@ class QoSEngine:
             rkey=self.layout.rkey,
             add_value=-batch,
             control=True,
+            span=self._control_span("control_faa"),
         )
         self._faa_epoch += 1
         epoch = self._faa_epoch
@@ -390,8 +463,10 @@ class QoSEngine:
         self.faa_issued += 1
         try:
             wr_id = self.kv.qp.post_send(wr)
-        except QPError:
+        except QPError as err:
             self._faa_inflight = False
+            if wr.span is not None:
+                wr.span.finish(self.sim.now, ok=False, error=str(err))
             self._note_faa_failure()
             return
         self.kv.router.expect(wr_id, lambda wc: self._on_faa_complete(wc, epoch))
@@ -416,6 +491,13 @@ class QoSEngine:
         prior = to_signed64(wc.value)
         granted = self.tokens.grant_from_pool(prior, self.config.batch_size)
         self.faa_granted_tokens += granted
+        telemetry = self.sim.telemetry
+        if (telemetry is not None and telemetry.ledger is not None
+                and self._ledger_account is not None):
+            telemetry.ledger.pool_claim(
+                self._ledger_account, self.config.batch_size, granted,
+                prior, self.sim.now,
+            )
         self.tracer.emit("engine", "faa", client=self.client_id,
                          prior=prior, granted=granted)
         if granted > 0:
@@ -471,6 +553,7 @@ class QoSEngine:
             rkey=self.layout.rkey,
             add_value=0,
             control=True,
+            span=self._control_span("control_probe"),
         )
         self._faa_epoch += 1
         epoch = self._faa_epoch
@@ -478,8 +561,10 @@ class QoSEngine:
         self.probes_issued += 1
         try:
             wr_id = self.kv.qp.post_send(wr)
-        except QPError:
+        except QPError as err:
             self._faa_inflight = False
+            if wr.span is not None:
+                wr.span.finish(self.sim.now, ok=False, error=str(err))
             self.faa_failures += 1
             self._period_faa_failed = True
             self._notify_listener(False)
@@ -550,3 +635,42 @@ class QoSEngine:
         if self.period_id != period_id:
             return
         self._write_report(self.layout.report_final_addr)
+
+    # ------------------------------------------------------------------
+    # Metrics registry integration
+    # ------------------------------------------------------------------
+    # The per-engine fields robustness_summary exposes, in its order.
+    SUMMARY_FIELDS = (
+        "faa_failures",
+        "faa_timeouts",
+        "faa_pool_empty",
+        "probes_issued",
+        "reports_failed",
+        "degraded",
+        "degraded_entries",
+        "degraded_periods",
+        "degraded_recoveries",
+        "re_registrations",
+        "stale_control_messages",
+        "generation_resyncs",
+    )
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        items = [
+            (f"engine_{field}", lambda f=field: getattr(self, f))
+            for field in self.SUMMARY_FIELDS
+        ]
+        items.extend([
+            ("engine_total_submitted", lambda: self.total_submitted),
+            ("engine_total_completed", lambda: self.total_completed),
+            ("engine_queue_depth", lambda: len(self._queue)),
+            ("engine_inflight_tokened", lambda: self.inflight_tokened),
+            ("engine_faa_issued", lambda: self.faa_issued),
+            ("engine_faa_granted_tokens", lambda: self.faa_granted_tokens),
+            ("engine_reports_written", lambda: self.reports_written),
+            ("engine_alerts_received", lambda: self.alerts_received),
+            ("engine_limit_throttle_events",
+             lambda: self.limit_throttle_events),
+        ])
+        return items

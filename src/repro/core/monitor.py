@@ -374,6 +374,12 @@ class QoSMonitor:
         self._write_pool(self._pool_init)
         self.tracer.emit("monitor", "period_begin", period=self.period_id,
                          estimate=omega, pool=self._pool_init)
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.on_period_begin(
+                self.period_id, self._pool_init, self.total_reserved,
+                source=self.host.name,
+            )
         memory = self.host.memory.backing
         for slot in self._clients.values():
             # Reset the live report to "full residual, nothing done" so a
@@ -436,6 +442,12 @@ class QoSMonitor:
         self.conversions += 1
         self.tracer.emit("monitor", "conversion", period=self.period_id,
                          residual_sum=residual_sum, pool=new_pool)
+        telemetry = self.sim.telemetry
+        if telemetry is not None:
+            telemetry.on_conversion(
+                self.period_id, pool, new_pool, residual_sum,
+                source=self.host.name,
+            )
 
     def _end_period(self) -> None:
         memory = self.host.memory.backing
@@ -539,6 +551,39 @@ class QoSMonitor:
                          client=client_id, field=field, value=value,
                          bound=bound)
         return bound
+
+    # ------------------------------------------------------------------
+    # Metrics registry integration
+    # ------------------------------------------------------------------
+    # Scalar fields robustness_summary exposes (its list-valued entries
+    # — evictions, rejoins — are read off the monitor directly).
+    SUMMARY_FIELDS = (
+        "stale_reports",
+        "clamped_reports",
+        "sends_failed",
+        "reinitializations",
+    )
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        items = [
+            (f"monitor_{field}", lambda f=field: getattr(self, f))
+            for field in self.SUMMARY_FIELDS
+        ]
+        items.extend([
+            ("monitor_period_id", lambda: self.period_id),
+            ("monitor_conversions", lambda: self.conversions),
+            ("monitor_pool_value", self._read_pool),
+            ("monitor_total_reserved", lambda: self.total_reserved),
+            ("monitor_capacity_estimate", lambda: self.estimator.current),
+            ("monitor_clients", lambda: len(self._clients)),
+            ("monitor_evictions", lambda: len(self.evictions)),
+            ("monitor_rejoins", lambda: len(self.rejoins)),
+            ("monitor_rejoin_clamped", lambda: self.rejoin_clamped),
+            ("monitor_local_violations", lambda: len(self.local_violations)),
+            ("monitor_generation", lambda: self.generation),
+        ])
+        return items
 
     # ------------------------------------------------------------------
     def _read_pool(self) -> int:

@@ -175,3 +175,15 @@ class FaultInjector:
             "brownouts_applied": self.brownouts_applied,
             "qps_closed": self.qps_closed,
         }
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("faults_dropped_total", lambda: sum(self.dropped.values())),
+            ("faults_delayed_total", lambda: sum(self.delayed.values())),
+            ("faults_delay_injected_seconds",
+             lambda: self.delay_injected_total),
+            ("faults_brownouts_applied", lambda: self.brownouts_applied),
+            ("faults_qps_closed", lambda: self.qps_closed),
+            ("faults_qp_close_misses", lambda: self.qp_close_misses),
+        ]

@@ -91,16 +91,29 @@ class KVClient:
     # One-sided path
     # ------------------------------------------------------------------
     def get_onesided(
-        self, key: int, on_complete: IOCallback, touch_memory: bool = True
+        self, key: int, on_complete: IOCallback, touch_memory: bool = True,
+        span=None, sample: bool = True,
     ) -> int:
-        """Fetch the record for ``key`` with a single RDMA READ."""
+        """Fetch the record for ``key`` with a single RDMA READ.
+
+        ``span`` attaches an existing telemetry span (the engine passes
+        its own, already carrying the queueing stage); with
+        ``sample=True`` and no span, the client samples one from the
+        attached telemetry hub, so bare (QoS-less) callers are traced
+        too.
+        """
         layout = self._require_layout()
+        if span is None and sample:
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                span = telemetry.data_span("onesided_read", self.name, key)
         wr = WorkRequest(
             opcode=OpType.READ,
             size=layout.slot_size,
             remote_addr=layout.slot_addr(key),
             rkey=self.data_rkey,
             touch_memory=touch_memory,
+            span=span,
         )
         wr_id = self.qp.post_send(wr)
 
@@ -126,6 +139,8 @@ class KVClient:
         payload: Optional[bytes],
         on_complete: IOCallback,
         touch_memory: bool = True,
+        span=None,
+        sample: bool = True,
     ) -> int:
         """Overwrite the record for ``key`` with a single RDMA WRITE.
 
@@ -138,6 +153,10 @@ class KVClient:
             if payload is None:
                 raise StoreError("put_onesided with touch_memory requires a payload")
             data = encode_record(key, version=0, payload=payload)
+        if span is None and sample:
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                span = telemetry.data_span("onesided_write", self.name, key)
         wr = WorkRequest(
             opcode=OpType.WRITE,
             size=layout.slot_size,
@@ -145,6 +164,7 @@ class KVClient:
             rkey=self.data_rkey,
             payload=data,
             touch_memory=touch_memory,
+            span=span,
         )
         wr_id = self.qp.post_send(wr)
         self.router.expect(
@@ -156,14 +176,20 @@ class KVClient:
     # ------------------------------------------------------------------
     # Two-sided path
     # ------------------------------------------------------------------
-    def get_twosided(self, key: int, on_complete: IOCallback) -> int:
+    def get_twosided(self, key: int, on_complete: IOCallback,
+                     span=None, sample: bool = True) -> int:
         """Fetch the record for ``key`` via a server-CPU RPC."""
         req_id = next(self._req_ids)
-        self._track_rpc(req_id, on_complete)
+        if span is None and sample:
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                span = telemetry.data_span("twosided_get", self.name, key)
+        self._track_rpc(req_id, on_complete, span)
         wr = WorkRequest(
             opcode=OpType.SEND,
-            payload=protocol.GetRequest(req_id=req_id, key=key),
+            payload=protocol.GetRequest(req_id=req_id, key=key, span=span),
             size=protocol.GET_REQUEST_SIZE,
+            span=span,
         )
         self.qp.post_send(wr)
         return req_id
@@ -174,6 +200,8 @@ class KVClient:
         payload: bytes,
         on_complete: IOCallback,
         client_version: int = 0,
+        span=None,
+        sample: bool = True,
     ) -> int:
         """Store ``payload`` under ``key`` via a server-CPU RPC.
 
@@ -181,14 +209,20 @@ class KVClient:
         server-side, so a retry after a timeout cannot double-apply.
         """
         req_id = next(self._req_ids)
-        self._track_rpc(req_id, on_complete)
+        if span is None and sample:
+            telemetry = self.sim.telemetry
+            if telemetry is not None:
+                span = telemetry.data_span("twosided_put", self.name, key)
+        self._track_rpc(req_id, on_complete, span)
         wr = WorkRequest(
             opcode=OpType.SEND,
             payload=protocol.PutRequest(
                 req_id=req_id, key=key, payload=payload,
                 client_id=self.name, client_version=client_version,
+                span=span,
             ),
             size=protocol.PUT_REQUEST_HEADER_SIZE + len(payload),
+            span=span,
         )
         self.qp.post_send(wr)
         return req_id
@@ -198,8 +232,9 @@ class KVClient:
         """Two-sided requests still waiting for a response."""
         return len(self._pending_rpcs)
 
-    def _track_rpc(self, req_id: int, on_complete: IOCallback) -> None:
-        self._pending_rpcs[req_id] = (on_complete, self.sim.now)
+    def _track_rpc(self, req_id: int, on_complete: IOCallback,
+                   span=None) -> None:
+        self._pending_rpcs[req_id] = (on_complete, self.sim.now, span)
         if self.rpc_deadline is not None:
             self.sim.schedule(self.rpc_deadline, self._sweep_rpc, req_id)
 
@@ -208,7 +243,9 @@ class KVClient:
         entry = self._pending_rpcs.pop(req_id, None)
         if entry is None:
             return  # the response made it in time
-        callback, posted_at = entry
+        callback, posted_at, span = entry
+        if span is not None:
+            span.finish(self.sim.now, ok=False, error="rpc deadline exceeded")
         self.rpcs_timed_out += 1
         callback(False, "rpc deadline exceeded", self.sim.now - posted_at)
 
@@ -216,12 +253,16 @@ class KVClient:
         entry = self._pending_rpcs.pop(msg.req_id, None)
         if entry is None:
             return
-        callback, posted_at = entry
+        callback, posted_at, span = entry
+        if span is not None:
+            span.finish(self.sim.now, ok=True)
         callback(True, (msg.version, msg.payload), self.sim.now - posted_at)
 
     def _on_put_response(self, msg: protocol.PutResponse, _reply_qp) -> None:
         entry = self._pending_rpcs.pop(msg.req_id, None)
         if entry is None:
             return
-        callback, posted_at = entry
+        callback, posted_at, span = entry
+        if span is not None:
+            span.finish(self.sim.now, ok=True)
         callback(True, msg.version, self.sim.now - posted_at)

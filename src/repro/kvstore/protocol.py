@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 # Sizes used for service-cost accounting on the simulated wire.
 GET_REQUEST_SIZE = 64
@@ -16,6 +17,10 @@ class GetRequest:
 
     req_id: int
     key: int
+    # Telemetry span shared by reference with the client (models the
+    # trace context a real RPC would carry in its header); excluded
+    # from equality so message identity is unchanged.
+    span: Any = dataclasses.field(default=None, compare=False, repr=False)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +49,8 @@ class PutRequest:
     payload: bytes
     client_id: str = ""
     client_version: int = 0
+    # Telemetry span (see GetRequest.span).
+    span: Any = dataclasses.field(default=None, compare=False, repr=False)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -18,14 +18,16 @@ from repro.common.types import OpType
 class _PendingReplication:
     """One PUT awaiting the replica's ack before the client is answered."""
 
-    __slots__ = ("reply_qp", "response", "message", "attempts", "size")
+    __slots__ = ("reply_qp", "response", "message", "attempts", "size",
+                 "span")
 
-    def __init__(self, reply_qp, response, message, size):
+    def __init__(self, reply_qp, response, message, size, span=None):
         self.reply_qp = reply_qp
         self.response = response
         self.message = message
         self.attempts = 0
         self.size = size
+        self.span = span
 
 
 class DataNode:
@@ -110,14 +112,15 @@ class DataNode:
         response = protocol.GetResponse(
             req_id=msg.req_id, key=msg.key, version=version, payload=payload
         )
-        self._reply(reply_qp, response, size=SLOT_SIZE)
+        self._reply(reply_qp, response, size=SLOT_SIZE, span=msg.span)
 
     def _on_put(self, msg: protocol.PutRequest, reply_qp) -> None:
         version = self._apply_put(msg.client_id, msg.key, msg.payload,
                                   msg.client_version)
         response = protocol.PutResponse(req_id=msg.req_id, key=msg.key, version=version)
         if self.replica_qp is None:
-            self._reply(reply_qp, response, size=protocol.RESPONSE_HEADER_SIZE)
+            self._reply(reply_qp, response, size=protocol.RESPONSE_HEADER_SIZE,
+                        span=msg.span)
             return
         # Semi-sync replication: hold the client's ack until the replica
         # confirms.  Replays re-forward too (idempotent on the replica),
@@ -130,6 +133,7 @@ class DataNode:
         self._pending_replications[rep_id] = _PendingReplication(
             reply_qp, response,
             forward, protocol.PUT_REQUEST_HEADER_SIZE + len(msg.payload),
+            span=msg.span,
         )
         self._forward(rep_id)
 
@@ -174,7 +178,7 @@ class DataNode:
             del self._pending_replications[rep_id]
             self.degraded_acks += 1
             self._reply(entry.reply_qp, entry.response,
-                        size=protocol.RESPONSE_HEADER_SIZE)
+                        size=protocol.RESPONSE_HEADER_SIZE, span=entry.span)
             return
         self.replication_retries += 1
         self._forward(rep_id)
@@ -185,7 +189,7 @@ class DataNode:
             return  # already degraded-acked, or a duplicate ack
         self.replicated_puts += 1
         self._reply(entry.reply_qp, entry.response,
-                    size=protocol.RESPONSE_HEADER_SIZE)
+                    size=protocol.RESPONSE_HEADER_SIZE, span=entry.span)
 
     # ------------------------------------------------------------------
     # Replication (replica side)
@@ -199,16 +203,36 @@ class DataNode:
         self._reply(reply_qp, ack, size=protocol.RESPONSE_HEADER_SIZE)
 
     # ------------------------------------------------------------------
-    def _reply(self, reply_qp, response, size: int, cpu: bool = True) -> None:
+    def _reply(self, reply_qp, response, size: int, cpu: bool = True,
+               span=None) -> None:
         """Serve the request on the CPU, then post the response SEND."""
         wr = WorkRequest(
-            opcode=OpType.SEND, payload=response, size=size, is_response=True
+            opcode=OpType.SEND, payload=response, size=size, is_response=True,
+            span=span,
         )
         if cpu:
             done = self.host.cpu.submit_rpc(size)
+            if span is not None:
+                # For a replicated PUT this segment also covers the
+                # semi-sync replication wait (apply + forward + ack),
+                # which precedes this _reply call.
+                span.mark("server_cpu", done)
             self.sim.schedule_at(done, self._post_reply, reply_qp, wr)
         else:
             self._post_reply(reply_qp, wr)
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("server_replicated_puts", lambda: self.replicated_puts),
+            ("server_replication_retries", lambda: self.replication_retries),
+            ("server_degraded_acks", lambda: self.degraded_acks),
+            ("server_replica_applies", lambda: self.replica_applies),
+            ("server_pending_replications",
+             lambda: len(self._pending_replications)),
+            ("server_duplicate_suppressed",
+             lambda: self.store.duplicate_suppressed),
+        ]
 
     def _post_reply(self, reply_qp, wr: WorkRequest) -> None:
         try:

@@ -194,6 +194,27 @@ class RNIC:
             "target": self.control_target_cost_total / periods / paper_period,
         }
 
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry.
+
+        Callback gauges over the existing counters: registration adds
+        no per-op cost (see repro.telemetry.registry).
+        """
+        items = []
+        for op in OpType:
+            items.append((f"nic_issued_ops_{op.name.lower()}",
+                          lambda o=op: self.issued_ops[o]))
+            items.append((f"nic_handled_ops_{op.name.lower()}",
+                          lambda o=op: self.handled_ops[o]))
+        items.extend([
+            ("nic_control_issue_cost_seconds",
+             lambda: self.control_issue_cost_total),
+            ("nic_control_target_cost_seconds",
+             lambda: self.control_target_cost_total),
+            ("nic_capacity_factor", lambda: self.capacity_factor),
+        ])
+        return items
+
     def reset_accounting(self) -> None:
         """Zero utilization + op counters (measurement-window start)."""
         self.issue.reset_accounting()

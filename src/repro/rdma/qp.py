@@ -100,6 +100,10 @@ class QueuePair:
         self.outstanding += 1
         posted_at = self.sim.now
         wire_time = self.src.nic.submit_issue(wr)
+        span = wr.span
+        if span is not None:
+            span.mark("resp_nic_issue" if wr.is_response else "nic_issue",
+                      wire_time)
         extra_delay = 0.0
         fabric = self.fabric
         if fabric is not None and fabric.injector is not None:
@@ -124,6 +128,11 @@ class QueuePair:
         if op is OpType.SEND:
             self._arrive_send(wr, posted_at)
             return
+        span = wr.span
+        if span is not None:
+            # Fabric propagation ends now; this segment also absorbs any
+            # injected delay fault, which physically happens on the wire.
+            span.mark("fabric", self.sim.now)
         # One-sided: apply the memory effect in target-pipeline order.
         value = None
         try:
@@ -152,6 +161,8 @@ class QueuePair:
             self._fail(wr, posted_at, WCStatus.REMOTE_ACCESS_ERROR, str(err))
             return
         done = self.dst.nic.submit_target(wr)
+        if span is not None:
+            span.mark("nic_target", done)
         self.sim.schedule_at(
             done + self.prop_delay, self._complete, wr, posted_at, value
         )
@@ -165,7 +176,14 @@ class QueuePair:
             )
             return
         peer.recv_posted -= 1
+        span = wr.span
+        if span is not None:
+            span.mark("resp_fabric" if wr.is_response else "fabric",
+                      self.sim.now)
         done = self.dst.nic.submit_target(wr)
+        if span is not None:
+            span.mark("resp_nic_target" if wr.is_response else "nic_target",
+                      done)
         # Deliver to the target host once the NIC finished processing;
         # the sender's ack comes back one propagation later.
         self.sim.schedule_at(done, self.dst.deliver, wr.payload, peer)
@@ -178,6 +196,13 @@ class QueuePair:
             self._fail(wr, posted_at, WCStatus.FLUSH_ERROR, "QP closed")
             return
         self.outstanding -= 1
+        span = wr.span
+        if span is not None and wr.opcode is not OpType.SEND:
+            # One-sided ops end here.  SEND spans are RPC spans: the
+            # client's response handler (or deadline sweep) closes them,
+            # so the transport ack does not.
+            span.mark("fabric_return", self.sim.now)
+            span.finish(self.sim.now, ok=True)
         self.cq.push(
             WorkCompletion(
                 wr_id=wr.wr_id,
@@ -193,6 +218,10 @@ class QueuePair:
         self, wr: WorkRequest, posted_at: float, status: WCStatus, error: str
     ) -> None:
         self.outstanding -= 1
+        span = wr.span
+        if span is not None:
+            span.mark("failed", self.sim.now)
+            span.finish(self.sim.now, ok=False, error=error)
         self.cq.push(
             WorkCompletion(
                 wr_id=wr.wr_id,

@@ -50,6 +50,9 @@ class WorkRequest:
     # NIC's prioritized lane: they consume pipeline capacity but do not
     # queue behind bulk data (see Pipeline.charge).
     control: bool = False
+    # Optional telemetry span (repro.telemetry.spans.Span) annotated by
+    # the datapath as the WR crosses each stage boundary.
+    span: Any = None
 
 
 @dataclasses.dataclass

@@ -14,6 +14,10 @@ settle tail, and then checks the safety and liveness invariants:
    client's per-period completions reach ~its granted reservation.
 4. **Bounded unavailability** — every failover completes within the
    configured number of QoS periods.
+5. **Token conservation** — the telemetry ledger's per-account identity
+   (granted reservation + pool claims == spent + yielded + expired)
+   balances to zero for every grant episode, across crash, failover,
+   and rejoin (see :mod:`repro.telemetry.ledger`).
 
 Same seed, same schedule, same verdict: failures are replayable.
 """
@@ -31,6 +35,7 @@ from repro.cluster.scale import SimScale
 from repro.faults.plan import CrashWindow, DropRule, FaultPlan, OpFilter, QPCloseFault
 from repro.recovery.cluster import ReplicatedCluster, build_replicated_cluster
 from repro.recovery.failover import FailoverState
+from repro.telemetry import TelemetryConfig, attach_telemetry, write_perfetto
 from repro.workloads.patterns import RequestPattern
 
 # The documented seed set: CI's chaos-smoke job runs the first three,
@@ -59,6 +64,8 @@ class ChaosReport:
     degraded_acks: int
     rejoins: int
     generation_resyncs: int
+    # Aggregate token flow from the telemetry ledger (invariant 5).
+    ledger_totals: dict = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -140,8 +147,17 @@ def run_chaos(
     reservations_ops: Optional[Sequence[float]] = None,
     puts_per_period: int = 8,
     scale: Optional[SimScale] = None,
+    telemetry: Optional[TelemetryConfig] = None,
+    trace_path: Optional[str] = None,
 ) -> ChaosReport:
-    """One seeded chaos run; returns the invariant verdict."""
+    """One seeded chaos run; returns the invariant verdict.
+
+    A telemetry hub is always attached — by default ledger-only (no
+    spans), which costs the data path nothing and lets invariant 5
+    audit token conservation through the fault schedule.  Pass a
+    ``telemetry`` config to also sample spans, and ``trace_path`` to
+    write them out as a Perfetto trace.
+    """
     scale = scale or CHAOS_SCALE
     if reservations_ops is None:
         reservations_ops = [60_000.0] * num_clients
@@ -150,6 +166,9 @@ def run_chaos(
         reservations_ops=list(reservations_ops),
         scale=scale,
     )
+    if telemetry is None:
+        telemetry = TelemetryConfig(sample_every=0, control_spans=False)
+    hub = attach_telemetry(cluster, telemetry)
     config = cluster.config
     T = config.period
     plan = chaos_plan(seed, config, periods, num_clients)
@@ -166,7 +185,21 @@ def run_chaos(
     cluster.start()
     cluster.sim.run(until=periods * T + T * 1e-6)
 
-    return _check_invariants(cluster, plan, seed, periods)
+    # Close every engine's open ledger account before auditing.
+    for ctx in cluster.clients:
+        if ctx.engine is not None:
+            ctx.engine.ledger_flush()
+
+    report = _check_invariants(cluster, plan, seed, periods)
+    if hub.ledger is not None:
+        report.violations.extend(
+            f"token ledger: {violation}"
+            for violation in hub.ledger.check_conservation()
+        )
+        report.ledger_totals = hub.ledger.totals()
+    if trace_path is not None:
+        write_perfetto(trace_path, hub.spans, hub.spans.export())
+    return report
 
 
 def _check_invariants(cluster: ReplicatedCluster, plan: FaultPlan,

@@ -263,6 +263,33 @@ class FailoverManager:
         return end - start
 
     # ------------------------------------------------------------------
+    # Metrics registry integration
+    # ------------------------------------------------------------------
+    # Scalar fields robustness_summary exposes (state and the
+    # failover_windows list are read off the manager directly).
+    SUMMARY_FIELDS = (
+        "suspect_transitions",
+        "probes_sent",
+        "reconnect_attempts",
+        "failovers",
+        "rejoins_completed",
+        "put_retries",
+        "puts_acked",
+    )
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        items = [
+            (f"failover_{field}", lambda f=field: getattr(self, f))
+            for field in self.SUMMARY_FIELDS
+        ]
+        items.extend([
+            ("failover_windows", lambda: len(self.failover_windows)),
+            ("failover_puts_started", lambda: self.puts_started),
+        ])
+        return items
+
+    # ------------------------------------------------------------------
     # Reliable PUT (idempotent, failover-following)
     # ------------------------------------------------------------------
     def put(self, key: int, payload: bytes,

@@ -33,6 +33,11 @@ class Simulator:
         self._now = 0.0
         self._heap: list = []
         self._seq = 0
+        # Optional TelemetryHub (see repro.telemetry.hub).  Every
+        # component reaches telemetry through its simulator, so the
+        # disabled-mode cost at an instrumentation point is one
+        # attribute read plus a None check.
+        self.telemetry = None
 
     @property
     def now(self) -> float:

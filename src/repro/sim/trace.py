@@ -84,6 +84,23 @@ class Tracer:
         """Exact event counts (survives record eviction)."""
         return dict(self.counts)
 
+    def export(self) -> Dict[str, Any]:
+        """Collection state for exporters; flags truncation explicitly.
+
+        ``emitted`` counts every event ever recorded (eviction-proof),
+        ``recorded`` what is still held, and ``dropped`` the evicted
+        remainder — so a consumer can tell a complete trace
+        (``complete=True``) from a truncated one instead of silently
+        under-reporting.
+        """
+        return {
+            "recorded": len(self.records),
+            "emitted": sum(self.counts.values()),
+            "dropped": self.dropped,
+            "complete": self.dropped == 0,
+            "counts": dict(self.counts),
+        }
+
 
 class _NullTracer:
     """The disabled tracer: every operation is a cheap no-op."""
@@ -101,6 +118,10 @@ class _NullTracer:
 
     def summary(self):
         return {}
+
+    def export(self):
+        return {"recorded": 0, "emitted": 0, "dropped": 0, "complete": True,
+                "counts": {}}
 
 
 NULL_TRACER = _NullTracer()

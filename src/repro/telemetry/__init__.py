@@ -1,0 +1,50 @@
+"""``repro.telemetry``: causal spans, metrics registry, exporters.
+
+See docs/OBSERVABILITY.md for the span model, the registry API, the
+token-ledger audit stream, and the exporter formats.
+"""
+
+from repro.telemetry.exporters import (
+    format_stage_table,
+    ledger_jsonl,
+    metrics_jsonl,
+    perfetto_trace,
+    stage_breakdown,
+    write_ledger_jsonl,
+    write_metrics_jsonl,
+    write_perfetto,
+)
+from repro.telemetry.hub import TelemetryConfig, TelemetryHub, attach_telemetry
+from repro.telemetry.ledger import LedgerAccount, TokenLedger
+from repro.telemetry.overhead import measure_overhead, run_saturated
+from repro.telemetry.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Span, SpanStore
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "LedgerAccount",
+    "MetricsRegistry",
+    "Span",
+    "SpanStore",
+    "TelemetryConfig",
+    "TelemetryHub",
+    "TokenLedger",
+    "attach_telemetry",
+    "format_stage_table",
+    "ledger_jsonl",
+    "measure_overhead",
+    "metrics_jsonl",
+    "perfetto_trace",
+    "run_saturated",
+    "stage_breakdown",
+    "write_ledger_jsonl",
+    "write_metrics_jsonl",
+    "write_perfetto",
+]

@@ -1,0 +1,177 @@
+"""Exporters: Perfetto trace JSON, metrics JSONL, ledger JSONL, tables.
+
+Perfetto/Chrome ``trace_event`` format (loadable at ui.perfetto.dev):
+each span becomes a complete ("X") slice on its client's track, with
+its stage segments as nested child slices; timestamps are microseconds
+of simulated time.  Metrics snapshots and the token-ledger audit
+stream are newline-delimited JSON, one object per line, so they can be
+tailed and post-processed with standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis import format_table
+from repro.telemetry.spans import Span
+
+_US = 1e6  # trace_event timestamps are in microseconds
+
+
+def perfetto_trace(spans: Iterable[Span],
+                   store_export: Optional[dict] = None) -> dict:
+    """Build a ``trace_event`` JSON document from ``spans``.
+
+    Unfinished spans are skipped (they have no duration yet); the
+    span-store export — including its ``dropped`` count — rides along
+    in ``otherData`` so a truncated trace is never mistaken for a
+    complete one.
+    """
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+    for span in spans:
+        if not span.finished:
+            continue
+        pid = pids.get(span.client)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[span.client] = pid
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"client {span.client}"},
+            })
+        tid = 2 if span.control else 1
+        args = {"span_id": span.span_id, "ok": bool(span.ok)}
+        if span.key is not None:
+            args["key"] = span.key
+        if span.error:
+            args["error"] = span.error
+        events.append({
+            "name": span.kind, "cat": "op", "ph": "X",
+            "ts": span.start * _US, "dur": span.latency * _US,
+            "pid": pid, "tid": tid, "args": args,
+        })
+        for stage, t0, t1 in span.segments():
+            events.append({
+                "name": stage, "cat": "stage", "ph": "X",
+                "ts": t0 * _US, "dur": (t1 - t0) * _US,
+                "pid": pid, "tid": tid, "args": {"span_id": span.span_id},
+            })
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if store_export is not None:
+        doc["otherData"] = {"span_store": store_export}
+    return doc
+
+
+def write_perfetto(path: str, spans: Iterable[Span],
+                   store_export: Optional[dict] = None) -> int:
+    """Write the Perfetto file; returns the number of trace events."""
+    doc = perfetto_trace(spans, store_export)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# JSONL streams
+# ----------------------------------------------------------------------
+def metrics_jsonl(rows: Iterable[dict]) -> str:
+    """Per-period metric snapshots, one JSON object per line."""
+    return "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+
+
+def write_metrics_jsonl(path: str, rows: Iterable[dict]) -> int:
+    rows = list(rows)
+    with open(path, "w") as fh:
+        fh.write(metrics_jsonl(rows))
+    return len(rows)
+
+
+def ledger_jsonl(ledger) -> str:
+    """The token-ledger audit stream, one event per line, closed-account
+    balances appended as ``account`` records."""
+    lines = [json.dumps(event, sort_keys=True) for event in ledger.events]
+    for rec in ledger.closed_accounts:
+        lines.append(json.dumps({"event": "account", **rec}, sort_keys=True))
+    return "".join(line + "\n" for line in lines)
+
+
+def write_ledger_jsonl(path: str, ledger) -> int:
+    text = ledger_jsonl(ledger)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+# ----------------------------------------------------------------------
+# Per-stage latency breakdown
+# ----------------------------------------------------------------------
+def stage_breakdown(spans: Iterable[Span]) -> Dict[str, dict]:
+    """Aggregate finished-ok spans into per-kind, per-stage statistics.
+
+    Returns ``{kind: {"count": n, "total_mean": s, "stages": [(stage,
+    mean, max, n), ...]}}`` with stages in datapath order (order of
+    first appearance across the kind's spans).
+    """
+    out: Dict[str, dict] = {}
+    for span in spans:
+        if not span.finished or not span.ok:
+            continue
+        entry = out.setdefault(span.kind, {
+            "count": 0, "total_sum": 0.0, "stages": {}, "order": [],
+        })
+        entry["count"] += 1
+        entry["total_sum"] += span.latency
+        for stage, duration in span.stage_durations():
+            if stage not in entry["stages"]:
+                entry["stages"][stage] = [0, 0.0, 0.0]  # n, sum, max
+                entry["order"].append(stage)
+            acc = entry["stages"][stage]
+            acc[0] += 1
+            acc[1] += duration
+            if duration > acc[2]:
+                acc[2] = duration
+    rendered: Dict[str, dict] = {}
+    for kind, entry in out.items():
+        stages = [
+            (stage, acc[1] / acc[0], acc[2], acc[0])
+            for stage, acc in
+            ((s, entry["stages"][s]) for s in entry["order"])
+        ]
+        rendered[kind] = {
+            "count": entry["count"],
+            "total_mean": entry["total_sum"] / entry["count"],
+            "stages": stages,
+        }
+    return rendered
+
+
+def format_stage_table(spans: Iterable[Span]) -> List[str]:
+    """The CLI's per-stage latency breakdown, as table lines."""
+    breakdown = stage_breakdown(spans)
+    rows = []
+    for kind in sorted(breakdown):
+        entry = breakdown[kind]
+        first = True
+        for stage, mean, peak, count in entry["stages"]:
+            rows.append([
+                kind if first else "",
+                stage,
+                f"{mean * _US:.3f}",
+                f"{peak * _US:.3f}",
+                str(count),
+            ])
+            first = False
+        rows.append([
+            kind if first else "",
+            "= end-to-end",
+            f"{entry['total_mean'] * _US:.3f}",
+            "",
+            str(entry["count"]),
+        ])
+    if not rows:
+        return ["(no finished spans sampled)"]
+    return format_table(
+        ["op kind", "stage", "mean (us)", "max (us)", "samples"], rows
+    )

@@ -1,0 +1,170 @@
+"""The token-ledger audit stream: every token batch, cradle to grave.
+
+The ledger records the life of Haechi's tokens as typed audit events —
+``mint`` (monitor initializes the period pool), ``grant`` (a client's
+reservation grant opens a per-client *account*), ``claim`` (a batched
+FETCH_ADD takes tokens from the pool), ``convert`` (the monitor's
+token-conversion overwrite), ``spend``/``expire`` (recorded in
+aggregate when the account closes) — and can then *assert
+conservation*: for every closed account,
+
+    granted_reservation + sum(pool claims)
+        == spent + yielded + expired(residual)
+
+must hold exactly.  This is the client-side token identity of
+:class:`~repro.core.tokens.ClientTokenState`; a nonzero balance means a
+token was created or destroyed by an accounting bug (the chaos harness
+runs this check across crash/failover/rejoin, where such bugs live).
+
+Accounts are objects, not ``(client, period)`` keys: a failover can
+legitimately give one client two accounts in the same period (pre- and
+post-rebind), and each must balance independently.
+
+Instrumentation cost: the engine touches the ledger only at period
+boundaries and FAA completions — never per I/O — so the data hot path
+is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class LedgerAccount:
+    """One client's token account for one grant episode."""
+
+    __slots__ = ("client", "period", "granted_reservation", "granted_pool",
+                 "opened_at", "closed")
+
+    def __init__(self, client, period: int, granted_reservation: int,
+                 opened_at: float):
+        self.client = client
+        self.period = period
+        self.granted_reservation = granted_reservation
+        self.granted_pool = 0
+        self.opened_at = opened_at
+        self.closed = False
+
+
+class TokenLedger:
+    """Collects audit events and closed-account balances."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.closed_accounts: List[Dict[str, Any]] = []
+        self.open_account_count = 0
+
+    # ------------------------------------------------------------------
+    # Monitor-side events
+    # ------------------------------------------------------------------
+    def mint(self, period: int, pool_tokens: int, total_reserved: int,
+             time: float, source: Optional[str] = None) -> None:
+        """The monitor initialized a period's global pool word."""
+        self.events.append({
+            "event": "mint", "time": time, "period": period,
+            "pool": pool_tokens, "reserved": total_reserved,
+            "source": source,
+        })
+
+    def convert(self, period: int, pool_before: int, pool_after: int,
+                residual_sum: int, time: float,
+                source: Optional[str] = None) -> None:
+        """The monitor converted unused reservations into pool tokens."""
+        self.events.append({
+            "event": "convert", "time": time, "period": period,
+            "pool_before": pool_before, "pool_after": pool_after,
+            "residual_sum": residual_sum, "source": source,
+        })
+
+    # ------------------------------------------------------------------
+    # Client-side account lifecycle
+    # ------------------------------------------------------------------
+    def open(self, client, period: int, granted: int,
+             time: float) -> LedgerAccount:
+        """A reservation grant landed at a client: open its account."""
+        account = LedgerAccount(client, period, granted, time)
+        self.open_account_count += 1
+        self.events.append({
+            "event": "grant", "time": time, "period": period,
+            "client": client, "tokens": granted,
+        })
+        return account
+
+    def pool_claim(self, account: LedgerAccount, requested: int, granted: int,
+                   prior_pool: int, time: float) -> None:
+        """A batched FAA granted ``granted`` of ``requested`` tokens."""
+        account.granted_pool += granted
+        self.events.append({
+            "event": "claim", "time": time, "period": account.period,
+            "client": account.client, "requested": requested,
+            "granted": granted, "prior_pool": prior_pool,
+        })
+
+    def close(self, account: LedgerAccount, spent: int, yielded: int,
+              residual: int, reason: str, time: float) -> None:
+        """Close the account: record aggregate spend and expiry.
+
+        ``residual`` is what the client still held when the episode
+        ended (unspent reservation + unspent batched global tokens) —
+        those tokens expire with the episode.
+        """
+        if account.closed:
+            return
+        account.closed = True
+        self.open_account_count -= 1
+        balance = (account.granted_reservation + account.granted_pool
+                   - spent - yielded - residual)
+        self.events.append({
+            "event": "spend", "time": time, "period": account.period,
+            "client": account.client, "tokens": spent,
+        })
+        self.events.append({
+            "event": "expire", "time": time, "period": account.period,
+            "client": account.client, "yielded": yielded,
+            "residual": residual, "reason": reason,
+        })
+        self.closed_accounts.append({
+            "client": account.client,
+            "period": account.period,
+            "granted_reservation": account.granted_reservation,
+            "granted_pool": account.granted_pool,
+            "spent": spent,
+            "yielded": yielded,
+            "expired": residual,
+            "balance": balance,
+            "reason": reason,
+            "opened_at": account.opened_at,
+            "closed_at": time,
+        })
+
+    # ------------------------------------------------------------------
+    def check_conservation(self) -> List[str]:
+        """Human-readable violations; empty means every account balanced."""
+        violations = []
+        for rec in self.closed_accounts:
+            if rec["balance"] != 0:
+                violations.append(
+                    f"client {rec['client']} period {rec['period']} "
+                    f"({rec['reason']}): granted "
+                    f"{rec['granted_reservation']}+{rec['granted_pool']} != "
+                    f"spent {rec['spent']} + yielded {rec['yielded']} + "
+                    f"expired {rec['expired']} "
+                    f"(balance {rec['balance']:+d})"
+                )
+        if self.open_account_count > 0:
+            violations.append(
+                f"{self.open_account_count} account(s) never closed "
+                "(missing ledger flush)"
+            )
+        return violations
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate token flow over all closed accounts."""
+        keys = ("granted_reservation", "granted_pool", "spent", "yielded",
+                "expired")
+        out = {k: 0 for k in keys}
+        for rec in self.closed_accounts:
+            for k in keys:
+                out[k] += rec[k]
+        out["accounts"] = len(self.closed_accounts)
+        return out

@@ -1,0 +1,200 @@
+"""A typed metrics registry: counters, gauges, log-bucketed histograms.
+
+Components register metrics once (optionally with labels) and update
+them directly, or expose *callback gauges* that read an existing
+attribute on demand — the migration path for the repo's ad-hoc counter
+attributes: the component keeps its plain ``self.whatever += 1`` hot
+path and the registry samples it only when a snapshot is taken, so
+registration costs the instrumented code nothing per operation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class CounterMetric:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def read(self):
+        return self.value
+
+
+class GaugeMetric:
+    """A point-in-time value: settable, or backed by a callback."""
+
+    __slots__ = ("name", "labels", "_value", "callback")
+
+    def __init__(self, name: str, labels: Dict[str, Any],
+                 callback: Optional[Callable[[], Any]] = None):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self.callback = callback
+
+    def set(self, value) -> None:
+        if self.callback is not None:
+            raise ValueError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    def read(self):
+        if self.callback is not None:
+            return self.callback()
+        return self._value
+
+
+class HistogramMetric:
+    """A log-bucketed (base-2) histogram of positive samples.
+
+    Buckets hold counts keyed by the binary exponent of the sample, so
+    the memory footprint is ~64 ints regardless of range; exact sum,
+    count, min and max ride alongside for mean/extremes.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "count", "sum", "min", "max",
+                 "zero_or_negative")
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.buckets: Dict[int, int] = {}  # exponent -> count
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zero_or_negative = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero_or_negative += 1
+            return
+        exponent = math.frexp(value)[1]  # value in [2**(e-1), 2**e)
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the log buckets (upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.zero_or_negative
+        if seen >= rank:
+            return 0.0
+        for exponent in sorted(self.buckets):
+            seen += self.buckets[exponent]
+            if seen >= rank:
+                return float(2.0 ** exponent)
+        return self.max
+
+    def read(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Holds every registered metric; snapshots read them all at once.
+
+    Registration is idempotent on ``(name, labels)``: asking again for
+    the same metric returns the existing instance (a fresh callback on
+    an existing gauge replaces the old one — re-registration after a
+    component is rebuilt, e.g. failover rebind, must rebind the read).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, tuple], Any] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> CounterMetric:
+        return self._register(CounterMetric, name, labels)
+
+    def gauge(self, name: str, callback: Optional[Callable[[], Any]] = None,
+              **labels) -> GaugeMetric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = GaugeMetric(name, labels, callback)
+            self._metrics[key] = metric
+        elif not isinstance(metric, GaugeMetric):
+            raise ValueError(f"{name}{labels} already registered as "
+                             f"{type(metric).__name__}")
+        elif callback is not None:
+            metric.callback = callback
+        return metric
+
+    def histogram(self, name: str, **labels) -> HistogramMetric:
+        return self._register(HistogramMetric, name, labels)
+
+    def _register(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(f"{name}{labels} already registered as "
+                             f"{type(metric).__name__}")
+        return metric
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels):
+        """Read one metric's current value (raw, uncoerced)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            raise KeyError(f"no metric {name}{labels}")
+        return metric.read()
+
+    def collect(self) -> List[Tuple[str, Dict[str, Any], Any]]:
+        """Every metric as ``(name, labels, value)``, registry order."""
+        return [(m.name, m.labels, m.read()) for m in self._metrics.values()]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A flat, JSON-ready view: ``name{k=v,...} -> value``."""
+        out: Dict[str, Any] = {}
+        for name, labels, value in self.collect():
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                key = f"{name}{{{rendered}}}"
+            else:
+                key = name
+            if isinstance(value, bool):
+                value = int(value)
+            out[key] = value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.types import AccessMode
 from repro.cluster.profiling import run_profiling
 from repro.cluster.scale import SimScale
 
@@ -27,3 +28,38 @@ def test_single_client_profiles_at_local_limit():
 def test_lower_bound_definition():
     prof = run_profiling(num_clients=2, periods=3, scale=SCALE)
     assert prof.lower_bound == pytest.approx(prof.mean - 3 * prof.stddev)
+
+
+def test_warmup_periods_are_excluded():
+    # A burst workload's first period carries ramp-up (empty pipelines,
+    # clients connecting); with the warm-up window the profile must not
+    # be dragged down by it, and a warm-up-free profile of the same run
+    # can only be lower or equal on its mean's first period.
+    warm = run_profiling(num_clients=10, periods=5, warmup_periods=2,
+                         scale=SCALE)
+    cold = run_profiling(num_clients=10, periods=7, warmup_periods=0,
+                         scale=SCALE)
+    assert warm.mean == pytest.approx(1570, rel=0.02)
+    # The cold profile includes the ramp-up periods, so its variance is
+    # strictly larger and its mean no higher than the warmed one.
+    assert cold.stddev >= warm.stddev
+    assert cold.mean <= warm.mean + 0.02 * warm.mean
+
+
+def test_two_sided_profile_matches_calibrated_knee():
+    # The paper's two-sided server saturation: 427 KIOPS (Sec. III-B).
+    # Two clients already saturate the server CPU (2 x C_L = 800 ops >
+    # 427); many more and the RPC backlog outruns the client timeouts.
+    prof = run_profiling(num_clients=2, periods=4, scale=SCALE,
+                         access=AccessMode.TWO_SIDED)
+    assert prof.mean == pytest.approx(427, rel=0.02)
+
+
+def test_two_sided_ceiling_below_one_sided():
+    one = run_profiling(num_clients=10, periods=3, scale=SCALE,
+                        access=AccessMode.ONE_SIDED)
+    two = run_profiling(num_clients=2, periods=3, scale=SCALE,
+                        access=AccessMode.TWO_SIDED)
+    # The CPU-bypassing one-sided path is the paper's premise: roughly
+    # 3.7x the two-sided ceiling on the same hardware.
+    assert one.mean > 3 * two.mean

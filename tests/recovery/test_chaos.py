@@ -24,6 +24,21 @@ class TestInvariants:
         assert report.puts_acked > 0
 
 
+class TestTokenConservation:
+    @pytest.mark.parametrize("seed", DEFAULT_SEEDS)
+    def test_ledger_balances_through_chaos(self, seed):
+        report = run_chaos(seed)
+        ledger_violations = [v for v in report.violations
+                             if v.startswith("token ledger")]
+        assert ledger_violations == []
+        totals = report.ledger_totals
+        # Non-trivial token flow actually passed through the audit.
+        assert totals["accounts"] > 0
+        assert totals["spent"] > 0
+        assert (totals["granted_reservation"] + totals["granted_pool"]
+                == totals["spent"] + totals["yielded"] + totals["expired"])
+
+
 class TestDeterminism:
     def test_same_seed_same_report(self):
         a = run_chaos(DEFAULT_SEEDS[0])

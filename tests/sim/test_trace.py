@@ -56,12 +56,51 @@ class TestTracer:
             Tracer(sim, max_records=1)
 
 
+class TestExport:
+    def test_export_complete_collection(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("c", "e")
+        tracer.emit("c", "f")
+        export = tracer.export()
+        assert export == {
+            "recorded": 2,
+            "emitted": 2,
+            "dropped": 0,
+            "complete": True,
+            "counts": {"c.e": 1, "c.f": 1},
+        }
+
+    def test_export_flags_eviction(self, sim):
+        tracer = Tracer(sim, max_records=10)
+        for _ in range(100):
+            tracer.emit("c", "e")
+        export = tracer.export()
+        assert export["dropped"] > 0
+        assert not export["complete"]
+        assert export["emitted"] == 100  # counts survive eviction
+        assert export["recorded"] + export["dropped"] == 100
+        assert export["counts"] == {"c.e": 100}
+
+    def test_export_is_json_serializable(self, sim):
+        import json
+
+        tracer = Tracer(sim)
+        tracer.emit("a", "b")
+        assert json.loads(json.dumps(tracer.export()))["recorded"] == 1
+
+
 class TestNullTracer:
     def test_null_tracer_is_inert(self):
         NULL_TRACER.emit("any", "thing", n=1)
         assert NULL_TRACER.filter() == []
         assert NULL_TRACER.summary() == {}
         assert not NULL_TRACER.enabled_for("any")
+
+    def test_null_tracer_export(self):
+        assert NULL_TRACER.export() == {
+            "recorded": 0, "emitted": 0, "dropped": 0, "complete": True,
+            "counts": {},
+        }
 
 
 class TestWiring:

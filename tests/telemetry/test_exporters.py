@@ -1,0 +1,109 @@
+"""Exporter formats: Perfetto trace_event JSON, JSONL streams, tables."""
+
+import json
+
+from repro.telemetry.exporters import (
+    format_stage_table,
+    ledger_jsonl,
+    metrics_jsonl,
+    perfetto_trace,
+    stage_breakdown,
+)
+from repro.telemetry.ledger import TokenLedger
+from repro.telemetry.spans import Span, SpanStore
+
+
+def make_span(span_id=1, kind="onesided_read", client="c0", ok=True,
+              control=False):
+    span = Span(span_id, kind, client, 1e-3, key=7, control=control)
+    span.mark("nic_issue", 1e-3 + 1e-6)
+    span.mark("fabric", 1e-3 + 2.5e-6)
+    span.finish(1e-3 + 4e-6, ok=ok, error=None if ok else "qp closed")
+    return span
+
+
+class TestPerfetto:
+    def test_trace_event_schema(self):
+        store = SpanStore()
+        store.add(make_span(1))
+        store.add(make_span(2, client="c1", control=True))
+        doc = perfetto_trace(store, store.export())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        for event in doc["traceEvents"]:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], float)
+                assert isinstance(event["dur"], float)
+                assert event["cat"] in ("op", "stage")
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metadata] == [
+            "client c0", "client c1",
+        ]
+        assert doc["otherData"]["span_store"]["complete"]
+
+    def test_stage_slices_nest_inside_op_slice(self):
+        doc = perfetto_trace([make_span()])
+        ops = [e for e in doc["traceEvents"] if e.get("cat") == "op"]
+        stages = [e for e in doc["traceEvents"] if e.get("cat") == "stage"]
+        assert len(ops) == 1 and len(stages) == 3  # 2 marks + tail
+        op = ops[0]
+        for stage in stages:
+            assert stage["ts"] >= op["ts"]
+            assert stage["ts"] + stage["dur"] <= op["ts"] + op["dur"] + 1e-9
+
+    def test_control_ops_get_their_own_track(self):
+        doc = perfetto_trace([make_span(control=False),
+                              make_span(2, control=True)])
+        tids = {e["args"]["span_id"]: e["tid"] for e in doc["traceEvents"]
+                if e.get("cat") == "op"}
+        assert tids == {1: 1, 2: 2}  # data track 1, control track 2
+
+    def test_unfinished_spans_skipped(self):
+        open_span = Span(9, "k", "c0", 0.0)
+        doc = perfetto_trace([open_span])
+        assert doc["traceEvents"] == []
+
+    def test_json_round_trip(self):
+        doc = perfetto_trace([make_span()])
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestJsonl:
+    def test_metrics_one_object_per_line(self):
+        rows = [{"period": 1, "metrics": {"a": 1}},
+                {"period": 2, "metrics": {"a": 2}}]
+        lines = metrics_jsonl(rows).splitlines()
+        assert [json.loads(line)["period"] for line in lines] == [1, 2]
+
+    def test_ledger_stream_appends_account_records(self):
+        ledger = TokenLedger()
+        account = ledger.open("c0", period=1, granted=10, time=0.0)
+        ledger.close(account, spent=10, yielded=0, residual=0,
+                     reason="run_end", time=1.0)
+        lines = [json.loads(line) for line in
+                 ledger_jsonl(ledger).splitlines()]
+        assert [line["event"] for line in lines] == [
+            "grant", "spend", "expire", "account",
+        ]
+        assert lines[-1]["balance"] == 0
+
+
+class TestBreakdown:
+    def test_stage_means_sum_to_total_mean(self):
+        spans = [make_span(i) for i in range(1, 4)]
+        entry = stage_breakdown(spans)["onesided_read"]
+        assert entry["count"] == 3
+        stage_mean_sum = sum(mean for _, mean, _, _ in entry["stages"])
+        assert abs(stage_mean_sum - entry["total_mean"]) < 1e-15
+
+    def test_failed_spans_excluded(self):
+        assert stage_breakdown([make_span(ok=False)]) == {}
+
+    def test_table_renders_end_to_end_row(self):
+        lines = format_stage_table([make_span()])
+        text = "\n".join(lines)
+        assert "= end-to-end" in text
+        assert "onesided_read" in text and "nic_issue" in text
+
+    def test_empty_input_renders_placeholder(self):
+        assert format_stage_table([]) == ["(no finished spans sampled)"]

@@ -1,0 +1,87 @@
+"""TelemetryHub: sampling, control spans, period snapshots."""
+
+import pytest
+
+from repro.telemetry.hub import TelemetryConfig, TelemetryHub
+
+
+class TestSampling:
+    def test_one_in_n_is_deterministic_counter_based(self):
+        hub = TelemetryHub(_FakeSim(), TelemetryConfig(sample_every=3))
+        sampled = [
+            hub.data_span("read", "c0", key=i) is not None for i in range(9)
+        ]
+        assert sampled == [True, False, False] * 3
+
+    def test_sample_every_one_records_everything(self):
+        hub = TelemetryHub(_FakeSim(), TelemetryConfig(sample_every=1))
+        assert all(
+            hub.data_span("read", "c0") is not None for _ in range(10)
+        )
+
+    def test_zero_disables_data_spans(self):
+        hub = TelemetryHub(_FakeSim(), TelemetryConfig(sample_every=0))
+        assert hub.data_span("read", "c0") is None
+        assert len(hub.spans) == 0
+
+    def test_control_spans_ignore_data_sampling(self):
+        hub = TelemetryHub(_FakeSim(), TelemetryConfig(sample_every=0))
+        span = hub.control_span("control_faa", "c0")
+        assert span is not None and span.control
+
+    def test_control_spans_can_be_disabled(self):
+        hub = TelemetryHub(
+            _FakeSim(), TelemetryConfig(sample_every=1, control_spans=False)
+        )
+        assert hub.control_span("control_faa", "c0") is None
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_every=-1)
+
+
+class TestPeriodHooks:
+    def test_snapshot_taken_once_per_finished_period(self):
+        hub = TelemetryHub(_FakeSim())
+        hub.registry.gauge("pool", lambda: 42)
+        hub.on_period_begin(1, pool_tokens=500, total_reserved=300,
+                            source="mon")
+        hub.on_period_begin(2, pool_tokens=500, total_reserved=300,
+                            source="mon")
+        assert [row["period"] for row in hub.period_rows] == [1]
+        assert hub.period_rows[0]["metrics"]["pool"] == 42
+
+    def test_replica_monitor_does_not_double_snapshot(self):
+        # Both monitors of a replicated cluster call on_period_begin;
+        # snapshots follow the first-seen source, mints record both.
+        hub = TelemetryHub(_FakeSim())
+        for period in (1, 2):
+            hub.on_period_begin(period, 500, 300, source="primary")
+            hub.on_period_begin(period, 500, 300, source="replica")
+        assert [row["period"] for row in hub.period_rows] == [1]
+        mints = [e for e in hub.ledger.events if e["event"] == "mint"]
+        assert [m["source"] for m in mints] == [
+            "primary", "replica", "primary", "replica",
+        ]
+
+    def test_ledger_can_be_disabled(self):
+        hub = TelemetryHub(_FakeSim(), TelemetryConfig(ledger=False))
+        assert hub.ledger is None
+        hub.on_period_begin(1, 500, 300, source="mon")  # must not raise
+        hub.on_conversion(1, 10, 20, 10, source="mon")
+
+
+class TestLatencyObservation:
+    def test_feeds_per_kind_histogram(self):
+        hub = TelemetryHub(_FakeSim())
+        hub.observe_latency("onesided_read", 4e-6)
+        hub.observe_latency("onesided_read", 6e-6)
+        hist = hub.registry.value("op_latency_seconds", kind="onesided_read")
+        assert hist["count"] == 2
+        assert hist["mean"] == pytest.approx(5e-6)
+
+
+class _FakeSim:
+    """The hub only reads ``sim.now``; no scheduling, by design."""
+
+    now = 0.0

@@ -1,0 +1,149 @@
+"""End-to-end telemetry: exact decomposition, conservation, no perturbation.
+
+These tests run real clusters with the hub attached and assert the
+issue's load-bearing claims: stage segments partition every span's
+``[start, end]`` exactly (one-sided, two-sided, and under injected
+delay faults), the token ledger balances on a QoS run, and attaching
+telemetry does not change the simulated outcome.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.common.types import AccessMode, QoSMode
+from repro.cluster.builder import build_cluster
+from repro.cluster.experiment import attach_app, run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import bare_cluster, paper_demands, \
+    qos_cluster, reservation_set
+from repro.faults.plan import DelayRule, FaultPlan, OpFilter
+from repro.telemetry import TelemetryConfig, attach_telemetry
+from repro.workloads.patterns import RequestPattern
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+SAMPLE_ALL = TelemetryConfig(sample_every=1)
+
+
+def assert_exact_partition(span):
+    """The decomposition property: segments tile [start, end] exactly."""
+    segments = span.segments()
+    assert segments, f"finished span {span!r} has no segments"
+    assert segments[0][1] == span.start
+    assert segments[-1][2] == span.end
+    for left, right in zip(segments, segments[1:]):
+        assert left[2] == right[1]
+    exact = sum(
+        (Fraction(t1) - Fraction(t0) for _, t0, t1 in segments),
+        Fraction(0),
+    )
+    assert exact == Fraction(span.end) - Fraction(span.start)
+    assert sum(d for _, d in span.stage_durations()) == \
+        pytest.approx(span.latency, rel=1e-12, abs=1e-18)
+
+
+def run_qos(telemetry=None, delay=None):
+    reservations = reservation_set("uniform", 400_000, num_clients=2)
+    cluster = qos_cluster(
+        reservations, paper_demands(reservations, 50_000), scale=SCALE
+    )
+    hub = attach_telemetry(cluster, telemetry) if telemetry else None
+    if delay is not None:
+        cluster.inject_faults(
+            FaultPlan(delays=(DelayRule(rate=1.0, delay=delay,
+                                        where=OpFilter()),)),
+            seed=7,
+        )
+    result = run_experiment(cluster, warmup_periods=1, measure_periods=3)
+    return cluster, hub, result
+
+
+class TestOneSidedDecomposition:
+    def test_every_sampled_span_partitions_exactly(self):
+        _, hub, _ = run_qos(SAMPLE_ALL)
+        data = [s for s in hub.spans.finished(ok=True) if not s.control]
+        assert len(data) > 100
+        for span in data:
+            assert_exact_partition(span)
+
+    def test_one_sided_stage_sequence(self):
+        _, hub, _ = run_qos(SAMPLE_ALL)
+        span = hub.spans.finished(kind="onesided_read", ok=True)[0]
+        stages = [stage for stage, _ in span.stage_durations()]
+        assert stages[:2] == ["engine_queue", "nic_issue"]
+        assert "fabric" in stages and "nic_target" in stages
+        assert "server_cpu" not in stages  # CPU bypass is the premise
+
+    def test_control_spans_partition_exactly(self):
+        _, hub, _ = run_qos(SAMPLE_ALL)
+        control = [s for s in hub.spans.finished(ok=True) if s.control]
+        assert any(s.kind == "control_faa" for s in control)
+        for span in control:
+            assert_exact_partition(span)
+
+
+class TestDecompositionUnderFaults:
+    def test_injected_delay_lands_inside_a_segment(self):
+        delay = 40e-6
+        _, hub_clean, _ = run_qos(SAMPLE_ALL)
+        _, hub_slow, _ = run_qos(SAMPLE_ALL, delay=delay)
+        clean = hub_clean.spans.finished(kind="onesided_read", ok=True)
+        slow = hub_slow.spans.finished(kind="onesided_read", ok=True)
+        assert clean and slow
+        # The partition stays exact even with the fault-injected latency...
+        for span in slow:
+            assert_exact_partition(span)
+        # ...and the delay is attributed, not leaked: mean end-to-end
+        # rises by at least the injected amount.
+        mean = lambda spans: sum(s.latency for s in spans) / len(spans)
+        assert mean(slow) >= mean(clean) + delay
+
+
+class TestTwoSidedDecomposition:
+    def test_server_cpu_stage_appears_and_partitions_exactly(self):
+        cluster = bare_cluster([200_000.0] * 2, scale=SCALE,
+                               access=AccessMode.TWO_SIDED)
+        hub = attach_telemetry(cluster, SAMPLE_ALL)
+        run_experiment(cluster, warmup_periods=1, measure_periods=2)
+        spans = hub.spans.finished(kind="twosided_get", ok=True)
+        assert len(spans) > 50
+        for span in spans:
+            assert_exact_partition(span)
+        stages = [stage for stage, _ in spans[0].stage_durations()]
+        assert "server_cpu" in stages
+        assert "resp_nic_issue" in stages  # the response leg is marked
+
+
+class TestLedgerConservation:
+    def test_qos_run_balances_every_account(self):
+        cluster, hub, _ = run_qos(TelemetryConfig(sample_every=0))
+        for ctx in cluster.clients:
+            ctx.engine.ledger_flush()
+        assert hub.ledger.check_conservation() == []
+        totals = hub.ledger.totals()
+        assert totals["accounts"] >= 2 * 4  # 2 clients x (warmup + measure)
+        assert totals["spent"] > 0
+        assert (totals["granted_reservation"] + totals["granted_pool"]
+                == totals["spent"] + totals["yielded"] + totals["expired"])
+
+
+class TestNoPerturbation:
+    def test_sampling_everything_leaves_results_identical(self):
+        cluster_a, _, bare = run_qos(telemetry=None)
+        cluster_b, _, sampled = run_qos(SAMPLE_ALL)
+        assert sampled.total_kiops() == bare.total_kiops()
+        for ctx_a, ctx_b in zip(cluster_a.clients, cluster_b.clients):
+            assert sampled.client_kiops(ctx_b.name) == \
+                bare.client_kiops(ctx_a.name)
+
+    def test_hub_never_schedules_events(self):
+        cluster = build_cluster(1, QoSMode.BARE, scale=SCALE)
+        before = cluster.sim.scheduled_count \
+            if hasattr(cluster.sim, "scheduled_count") else None
+        hub = attach_telemetry(cluster, SAMPLE_ALL)
+        span = hub.data_span("onesided_read", "c0", key=1)
+        span.mark("engine_queue", 0.0)
+        span.finish(0.0)
+        hub.observe_latency("onesided_read", 1e-6)
+        if before is not None:
+            assert cluster.sim.scheduled_count == before

@@ -1,0 +1,87 @@
+"""Token-ledger accounting: conservation holds, violations surface."""
+
+from repro.telemetry.ledger import TokenLedger
+
+
+def make_balanced_ledger():
+    ledger = TokenLedger()
+    ledger.mint(1, pool_tokens=500, total_reserved=300, time=0.0,
+                source="monitor")
+    account = ledger.open("c0", period=1, granted=100, time=0.001)
+    ledger.pool_claim(account, requested=8, granted=8, prior_pool=500,
+                      time=0.002)
+    ledger.pool_claim(account, requested=8, granted=2, prior_pool=2,
+                      time=0.003)
+    # 100 + 10 in; 95 spent + 10 yielded + 5 expired out.
+    ledger.close(account, spent=95, yielded=10, residual=5,
+                 reason="period_start", time=0.01)
+    return ledger
+
+
+class TestConservation:
+    def test_balanced_account_has_no_violations(self):
+        ledger = make_balanced_ledger()
+        assert ledger.check_conservation() == []
+        assert ledger.closed_accounts[0]["balance"] == 0
+
+    def test_lost_token_is_reported(self):
+        ledger = TokenLedger()
+        account = ledger.open("c0", period=1, granted=100, time=0.0)
+        ledger.close(account, spent=90, yielded=0, residual=9,  # 1 vanished
+                     reason="run_end", time=1.0)
+        violations = ledger.check_conservation()
+        assert len(violations) == 1
+        assert "c0" in violations[0] and "+1" in violations[0]
+
+    def test_unclosed_account_is_reported(self):
+        ledger = TokenLedger()
+        ledger.open("c0", period=1, granted=10, time=0.0)
+        violations = ledger.check_conservation()
+        assert violations == ["1 account(s) never closed (missing ledger "
+                              "flush)"]
+
+    def test_close_is_idempotent(self):
+        ledger = TokenLedger()
+        account = ledger.open("c0", period=1, granted=10, time=0.0)
+        ledger.close(account, spent=10, yielded=0, residual=0,
+                     reason="run_end", time=1.0)
+        ledger.close(account, spent=99, yielded=99, residual=99,
+                     reason="again", time=2.0)
+        assert len(ledger.closed_accounts) == 1
+        assert ledger.open_account_count == 0
+
+    def test_failover_gives_two_independent_accounts(self):
+        # One client, one period, two grant episodes (pre/post rebind):
+        # each must balance on its own.
+        ledger = TokenLedger()
+        first = ledger.open("c0", period=3, granted=50, time=0.0)
+        ledger.close(first, spent=20, yielded=0, residual=30,
+                     reason="rebind", time=0.5)
+        second = ledger.open("c0", period=3, granted=50, time=0.5)
+        ledger.close(second, spent=50, yielded=0, residual=0,
+                     reason="run_end", time=1.0)
+        assert ledger.check_conservation() == []
+        assert len(ledger.closed_accounts) == 2
+
+
+class TestAuditStream:
+    def test_event_sequence(self):
+        ledger = make_balanced_ledger()
+        assert [e["event"] for e in ledger.events] == [
+            "mint", "grant", "claim", "claim", "spend", "expire",
+        ]
+
+    def test_totals_aggregate_closed_accounts(self):
+        ledger = make_balanced_ledger()
+        assert ledger.totals() == {
+            "granted_reservation": 100, "granted_pool": 10,
+            "spent": 95, "yielded": 10, "expired": 5, "accounts": 1,
+        }
+
+    def test_convert_recorded(self):
+        ledger = TokenLedger()
+        ledger.convert(2, pool_before=10, pool_after=150, residual_sum=140,
+                       time=0.02, source="monitor")
+        event = ledger.events[0]
+        assert event["event"] == "convert"
+        assert event["pool_after"] - event["pool_before"] == 140

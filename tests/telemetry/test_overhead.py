@@ -1,0 +1,32 @@
+"""Overhead harness: KIOPS identity asserted, rows well-formed."""
+
+import pytest
+
+from repro.telemetry.overhead import measure_overhead, run_saturated
+
+
+def test_rows_cover_rates_and_kiops_is_identical():
+    rows = measure_overhead(rates=(None, 0, 10), num_clients=2, periods=2,
+                            scale_factor=1000.0, repeats=1)
+    assert [row["sample"] for row in rows] == ["no hub", "disabled", "1/10"]
+    kiops = {row["kiops"] for row in rows}
+    assert len(kiops) == 1  # telemetry never perturbs the simulation
+    assert rows[0]["overhead"] == 0.0
+    assert rows[0]["spans_recorded"] == 0
+    assert rows[2]["spans_recorded"] > 0
+    assert all(row["cpu_seconds"] > 0 for row in rows)
+
+
+def test_run_saturated_reports_hub_state():
+    run = run_saturated(num_clients=2, periods=2, scale_factor=1000.0,
+                        sample_every=1)
+    assert run["sample"] == "1/1"
+    assert run["spans_recorded"] == len(run["hub"].spans)
+    assert run["kiops"] > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        measure_overhead(repeats=0)
+    with pytest.raises(ValueError):
+        measure_overhead(rates=(None,))

@@ -1,0 +1,124 @@
+"""Metrics registry: typed metrics, labels, idempotent registration."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", client="c0")
+        c.inc()
+        c.inc(4)
+        assert reg.value("ops_total", client="c0") == 5
+
+    def test_rejects_decrease(self):
+        c = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_settable(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(17)
+        assert reg.value("queue_depth") == 17
+
+    def test_callback_reads_live_state(self):
+        state = {"n": 0}
+        reg = MetricsRegistry()
+        reg.gauge("depth", lambda: state["n"])
+        state["n"] = 9
+        assert reg.value("depth") == 9
+
+    def test_set_on_callback_gauge_rejected(self):
+        g = MetricsRegistry().gauge("depth", lambda: 1)
+        with pytest.raises(ValueError):
+            g.set(5)
+
+    def test_reregistration_rebinds_callback(self):
+        # Failover rebuilds components; re-registering must replace the
+        # dead component's callback with the live one's.
+        reg = MetricsRegistry()
+        reg.gauge("depth", lambda: 1, client="c0")
+        reg.gauge("depth", lambda: 2, client="c0")
+        assert reg.value("depth", client="c0") == 2
+        assert len(reg) == 1
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        read = h.read()
+        assert read["count"] == 3
+        assert read["sum"] == 6.0
+        assert read["mean"] == 2.0
+        assert read["min"] == 1.0 and read["max"] == 3.0
+
+    def test_quantile_is_log_bucket_upper_bound(self):
+        h = MetricsRegistry().histogram("lat")
+        for _ in range(99):
+            h.observe(1.5)  # bucket [1, 2)
+        h.observe(100.0)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) >= 100.0
+
+    def test_nonpositive_samples_counted_not_bucketed(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.0)
+        h.observe(4.0)
+        assert h.count == 2
+        assert h.zero_or_negative == 1
+        assert h.quantile(0.25) == 0.0
+
+    def test_empty_histogram_reads_zeros(self):
+        read = MetricsRegistry().histogram("lat").read()
+        assert read["count"] == 0
+        assert read["mean"] == 0.0 and read["min"] == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat").quantile(1.5)
+
+
+class TestRegistry:
+    def test_registration_idempotent_per_label_set(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops", client="c0")
+        b = reg.counter("ops", client="c0")
+        c = reg.counter("ops", client="c1")
+        assert a is b and a is not c
+        assert len(reg) == 2
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("ops")
+        with pytest.raises(ValueError):
+            reg.gauge("ops")
+        with pytest.raises(ValueError):
+            reg.histogram("ops")
+
+    def test_unknown_metric_read_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+    def test_snapshot_renders_labels_and_coerces_bools(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", client="c0", node="n1").inc(3)
+        reg.gauge("degraded", lambda: True)
+        snap = reg.snapshot()
+        assert snap["ops{client=c0,node=n1}"] == 3
+        assert snap["degraded"] == 1 and snap["degraded"] is not True
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_collect_preserves_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert [name for name, _, _ in reg.collect()] == ["b", "a"]

@@ -1,0 +1,117 @@
+"""Span and SpanStore semantics: exact partition, idempotent finish."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.telemetry.spans import Span, SpanStore
+
+
+def exact_sum(span):
+    """Telescoped segment sum in exact rational arithmetic."""
+    return sum(
+        (Fraction(t1) - Fraction(t0) for _, t0, t1 in span.segments()),
+        Fraction(0),
+    )
+
+
+class TestSpan:
+    def test_marks_become_adjacent_segments(self):
+        span = Span(1, "onesided_read", "c0", 10.0, key=7)
+        span.mark("engine_queue", 10.5)
+        span.mark("nic_issue", 11.25)
+        span.finish(12.0)
+        assert span.segments() == [
+            ("engine_queue", 10.0, 10.5),
+            ("nic_issue", 10.5, 11.25),
+            ("tail", 11.25, 12.0),
+        ]
+
+    def test_segments_partition_start_to_end_exactly(self):
+        span = Span(1, "k", "c", 0.1)
+        for i, stage in enumerate(["a", "b", "c"]):
+            span.mark(stage, 0.1 + (i + 1) * 0.3)
+        span.finish(1.3)
+        segments = span.segments()
+        assert segments[0][1] == span.start
+        assert segments[-1][2] == span.end
+        for left, right in zip(segments, segments[1:]):
+            assert left[2] == right[1]  # adjacent, no gap or overlap
+        assert exact_sum(span) == Fraction(span.end) - Fraction(span.start)
+
+    def test_no_tail_when_last_mark_is_the_end(self):
+        span = Span(1, "k", "c", 0.0)
+        span.mark("only", 2.0)
+        span.finish(2.0)
+        assert span.segments() == [("only", 0.0, 2.0)]
+
+    def test_finish_first_call_wins(self):
+        span = Span(1, "k", "c", 0.0)
+        span.finish(1.0, ok=False, error="qp closed")
+        span.finish(2.0, ok=True)
+        assert span.end == 1.0
+        assert span.ok is False
+        assert span.error == "qp closed"
+
+    def test_marks_after_finish_are_dropped(self):
+        span = Span(1, "k", "c", 0.0)
+        span.finish(1.0, ok=False, error="deadline")
+        span.mark("nic_target", 1.5)  # late completion of a dead op
+        assert span.marks == []
+        assert span.segments() == [("tail", 0.0, 1.0)]
+
+    def test_latency_and_stage_durations(self):
+        span = Span(1, "k", "c", 1.0)
+        span.mark("a", 1.5)
+        span.finish(2.25)
+        assert span.latency == 1.25
+        assert span.stage_durations() == [("a", 0.5), ("tail", 0.75)]
+
+    def test_unfinished_span_properties(self):
+        span = Span(1, "k", "c", 3.0)
+        assert not span.finished
+        assert span.latency == 0.0
+
+
+class TestSpanStore:
+    def test_eviction_drops_oldest_half_and_counts(self):
+        store = SpanStore(max_spans=10)
+        for i in range(11):
+            store.add(Span(i, "k", "c", float(i)))
+        assert len(store) == 6  # 10 // 2 dropped, then one appended
+        assert store.dropped == 5
+        assert store.started == 11
+        assert [s.span_id for s in store][:1] == [5]  # oldest half gone
+
+    def test_export_flags_truncation(self):
+        store = SpanStore(max_spans=10)
+        for i in range(3):
+            span = Span(i, "k", "c", 0.0)
+            if i < 2:
+                span.finish(1.0)
+            store.add(span)
+        assert store.export() == {
+            "started": 3, "recorded": 3, "dropped": 0,
+            "complete": True, "unfinished": 1,
+        }
+        for i in range(20):
+            store.add(Span(100 + i, "k", "c", 0.0))
+        assert not store.export()["complete"]
+        assert store.export()["dropped"] > 0
+
+    def test_finished_filters(self):
+        store = SpanStore()
+        ok = Span(1, "read", "c", 0.0)
+        ok.finish(1.0, ok=True)
+        bad = Span(2, "read", "c", 0.0)
+        bad.finish(1.0, ok=False)
+        open_span = Span(3, "write", "c", 0.0)
+        for s in (ok, bad, open_span):
+            store.add(s)
+        assert store.finished() == [ok, bad]
+        assert store.finished(ok=True) == [ok]
+        assert store.finished(kind="write") == []
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            SpanStore(max_spans=1)

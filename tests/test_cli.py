@@ -72,3 +72,61 @@ def test_figure_runs_quick_preset(capsys):
     assert main(["figure", "fig11", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "totals:" in out and "haechi=" in out
+
+
+def test_telemetry_prints_stage_breakdown(capsys):
+    assert main(["telemetry", "--clients", "2", "--periods", "3",
+                 "--warmup", "1", "--scale", "1000", "--sample", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "= end-to-end" in out
+    assert "onesided_read" in out
+    assert "KIOPS" in out
+
+
+def test_telemetry_writes_valid_perfetto_trace(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.json"
+    assert main(["telemetry", "--clients", "2", "--periods", "3",
+                 "--warmup", "1", "--scale", "1000", "--sample", "1",
+                 "--trace", str(trace)]) == 0
+    doc = json.loads(trace.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert len(events) > 100
+    for event in events:
+        assert event["ph"] in ("X", "M")
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["dur"] >= 0
+            assert event["cat"] in ("op", "stage")
+    assert doc["otherData"]["span_store"]["dropped"] == 0
+
+
+def test_telemetry_writes_metrics_and_ledger_jsonl(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.jsonl"
+    ledger = tmp_path / "ledger.jsonl"
+    assert main(["telemetry", "--clients", "2", "--periods", "3",
+                 "--warmup", "1", "--scale", "1000",
+                 "--metrics", str(metrics), "--ledger", str(ledger)]) == 0
+    rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert rows and all("metrics" in row for row in rows)
+    events = [json.loads(line) for line in ledger.read_text().splitlines()]
+    kinds = {event["event"] for event in events}
+    assert {"mint", "grant", "spend", "expire", "account"} <= kinds
+    assert all(e["balance"] == 0 for e in events if e["event"] == "account")
+
+
+def test_telemetry_chaos_seed_passes(capsys):
+    assert main(["telemetry", "--chaos-seed", "11", "--clients", "4",
+                 "--periods", "10", "--sample", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "ledger" in out
+
+
+def test_telemetry_rejects_negative_sample(capsys):
+    assert main(["telemetry", "--sample", "-1"]) == 2
