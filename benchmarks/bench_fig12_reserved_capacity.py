@@ -11,9 +11,10 @@ drains, leaving fewer than the 4 active clients needed to saturate).
 import pytest
 
 from repro.cluster.experiment import run_experiment
+from repro.cluster.runner import fig12_cells
 from repro.cluster.scenarios import qos_cluster, reservation_set
 
-from conftest import SWEEP_SCALE, TOTAL_CAPACITY
+from conftest import SWEEP_SCALE, TOTAL_CAPACITY, run_sweep_cells
 
 FRACTIONS = (0.5, 0.6, 0.7, 0.8, 0.9)
 PERIODS = 6
@@ -37,11 +38,20 @@ def run_point(distribution, fraction):
 
 
 def test_fig12_reserved_fraction_sweep(benchmark, report):
+    # The sweep goes through the parallel cell runner (serial by
+    # default; REPRO_BENCH_WORKERS fans it out with identical results).
     def run():
-        return {
-            dist: [run_point(dist, f) for f in FRACTIONS]
-            for dist in ("uniform", "zipf")
-        }
+        cells = fig12_cells(fractions=FRACTIONS, periods=PERIODS)
+        outcome = run_sweep_cells(cells)
+        totals = {"uniform": [], "zipf": []}
+        for cell, result in zip(outcome.cells, outcome.results):
+            for i, r in enumerate(result["reservations"]):
+                assert result["client_kiops"][f"C{i+1}"] * 1000 >= r * 0.98, (
+                    f"{cell.params['distribution']}@{cell.params['fraction']}"
+                    f": C{i+1} missed its reservation"
+                )
+            totals[cell.params["distribution"]].append(result["total_kiops"])
+        return totals
 
     totals = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -31,6 +31,22 @@ TOTAL_CAPACITY = 1_570_000  # C_G, one-sided, ops/s
 CLIENT_CAPACITY = 400_000  # C_L, one-sided, ops/s
 NUM_CLIENTS = 10
 
+# Parallel sweep execution (repro.cluster.runner): workers default to 1
+# (serial, exactly the historical behaviour); exporting
+# REPRO_BENCH_WORKERS=4 fans sweep cells out across processes, and
+# REPRO_BENCH_CACHE=<dir> memoizes cells across runs.  Worker count
+# never changes results — the runner merges in input-cell order and
+# every cell is a deterministic simulation.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def run_sweep_cells(cells):
+    """Run runner cells honoring the env-var worker/cache settings."""
+    from repro.cluster.runner import run_cells
+
+    return run_cells(cells, workers=BENCH_WORKERS, cache_dir=BENCH_CACHE)
+
 
 class Report:
     """Collects lines for one figure, echoes them, persists them."""

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro telemetry [--sample N] [--trace out.json]
                               [--chaos-seed N] [--overhead-check]
     python -m repro figures
+    python -m repro bench     [--workers N] [--cache DIR]
+                              [--distribution uniform|zipf|both]
 
 ``run`` prints the per-client reservation-vs-served table for the
 chosen configuration, the bread-and-butter view of the paper's
@@ -154,6 +156,24 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", help="preset name (see `figure --list`)")
     figure.add_argument("--quick", action="store_true",
                         help="coarser dilation, fewer periods")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a sweep through the parallel cell runner",
+    )
+    bench.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results are byte-identical "
+                            "for any count)")
+    bench.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory (cells re-run only "
+                            "when their config hash is new)")
+    bench.add_argument("--distribution", default="both",
+                       choices=["uniform", "zipf", "both"])
+    bench.add_argument("--seed", type=int, default=0,
+                       help="master seed fed to every cell")
+    bench.add_argument("--json", action="store_true",
+                       help="print the canonical merged JSON instead of "
+                            "the table")
     return parser
 
 
@@ -527,6 +547,36 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.cluster.runner import RunnerError, fig12_cells, run_cells
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    distributions = (("uniform", "zipf") if args.distribution == "both"
+                     else (args.distribution,))
+    cells = fig12_cells(distributions=distributions, seed=args.seed)
+    try:
+        report = run_cells(cells, workers=args.workers, cache_dir=args.cache)
+    except RunnerError as err:
+        print(err, file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.merged_json())
+        return 0
+    rows = [
+        [cell.params["distribution"], f"{cell.params['fraction']:.0%}",
+         f"{result['total_kiops']:.0f}"]
+        for cell, result in zip(report.cells, report.results)
+    ]
+    for line in format_table(["distribution", "reserved", "KIOPS"], rows):
+        print(line)
+    print(f"{len(cells)} cells in {report.wall_seconds:.2f}s "
+          f"({args.workers} worker(s), cache: {report.cache_hits} hit(s) / "
+          f"{report.cache_misses} miss(es))")
+    return 0
+
+
 def _cmd_figures(_args) -> int:
     for line in format_table(["artifact", "benchmark", "regenerates"],
                              _FIGURES):
@@ -552,6 +602,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figures(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

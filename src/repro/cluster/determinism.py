@@ -1,0 +1,162 @@
+"""The determinism guard: bit-identical simulated outputs, by hash.
+
+The simulator's whole value rests on one property: the same scenario
+and seed produce the *same* simulated history, byte for byte.  Every
+hot-path optimisation (``__slots__``, cached locals, the engine's
+direct-callback ticks, the NIC cost tables) is licensed by this module:
+it runs a fixed scenario family on the canonical seeds and folds the
+telemetry exports — the per-period metrics JSONL, the token-ledger
+audit JSONL, and the experiment's result payload — into SHA-256
+digests.  If an "optimisation" changes a single float or reorders a
+single same-timestamp event, a digest moves and the pinned test fails.
+
+The scenario family deliberately leans on the messy paths: each seed
+drives a :func:`~repro.cluster.scenarios.faulty_qos_cluster` with a
+seed-specific fault plan (control loss, delay spikes, a brownout), so
+drops, retries, engine backoff, capacity dilation, and conversion all
+feed the hash — not just the steady-state fast path.
+
+``python -m repro.cluster.determinism`` regenerates the committed
+reference file (``benchmarks/results/determinism_hashes.json``); the
+pinned test (``tests/integration/test_determinism.py``) recomputes and
+compares.  Regenerate *only* when a change intentionally alters
+simulated behaviour, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import (
+    faulty_qos_cluster,
+    paper_demands,
+    reservation_set,
+)
+from repro.telemetry.exporters import ledger_jsonl, metrics_jsonl
+from repro.telemetry.hub import TelemetryConfig, attach_telemetry
+
+#: The canonical seeds every before/after comparison runs on.
+CANONICAL_SEEDS = (11, 23, 37, 41, 53)
+
+#: Seed -> (fault kind, fault_plan kwargs).  Distinct plans per seed so
+#: the five runs exercise genuinely different dynamics: lossy control
+#: planes at two rates, delayed control planes at two rates, and a
+#: capacity brownout.
+SEED_FAULTS = {
+    11: ("control-loss", {"rate": 0.04}),
+    23: ("control-loss", {"rate": 0.10}),
+    37: ("delay-spike", {"rate": 0.08}),
+    41: ("brownout", {"factor": 0.6}),
+    53: ("delay-spike", {"rate": 0.15}),
+}
+
+#: Matches the Fig. 12 sweep's scale (benchmarks/conftest.py) so the
+#: guard hashes the same arithmetic regime the speedup is measured in.
+DIGEST_SCALE = SimScale(factor=500, interval_divisor=100)
+
+_NUM_CLIENTS = 5
+_TOTAL_OPS = 0.7 * 1_570_000  # 70% of C_L reserved, zipf-shaped
+_POOL_OPS = 120_000.0
+_WARMUP = 1
+_MEASURE = 4
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical_json(obj) -> str:
+    # Canonical form: sorted keys, no whitespace.  Floats serialize via
+    # repr (shortest round-trip since CPython 3.1), so equal bit
+    # patterns give equal text on every supported interpreter.
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def determinism_digest(seed: int,
+                       scale: Optional[SimScale] = None) -> Dict[str, str]:
+    """Run the canonical scenario for ``seed`` and digest its outputs.
+
+    Returns ``{"kind", "metrics", "ledger", "results", "combined"}``
+    where the last four are SHA-256 hex digests.  ``combined`` is the
+    one number to compare: it covers the metrics stream, the ledger
+    stream, the result payload, and the ledger conservation check.
+    """
+    kind, fault_kwargs = SEED_FAULTS[seed]
+    reservations = reservation_set("zipf", _TOTAL_OPS, _NUM_CLIENTS)
+    demands = paper_demands(reservations, _POOL_OPS)
+    cluster = faulty_qos_cluster(
+        reservations,
+        demands,
+        kind=kind,
+        fault_seed=seed,
+        fault_kwargs=fault_kwargs,
+        scale=scale or DIGEST_SCALE,
+        master_seed=seed,
+    )
+    hub = attach_telemetry(
+        cluster, TelemetryConfig(sample_every=7, ledger=True)
+    )
+    result = run_experiment(
+        cluster, warmup_periods=_WARMUP, measure_periods=_MEASURE
+    )
+    for ctx in cluster.clients:
+        ctx.engine.ledger_flush()
+
+    metrics_text = metrics_jsonl(hub.period_rows)
+    ledger_text = ledger_jsonl(hub.ledger)
+    results_text = _canonical_json({
+        "client_period_counts": result.client_period_counts,
+        "client_latency": result.client_latency,
+        "period_totals": result.period_totals,
+        "estimator_history": result.estimator_history,
+        "conservation": hub.ledger.check_conservation(),
+    })
+    metrics_hash = _sha256(metrics_text)
+    ledger_hash = _sha256(ledger_text)
+    results_hash = _sha256(results_text)
+    return {
+        "kind": kind,
+        "metrics": metrics_hash,
+        "ledger": ledger_hash,
+        "results": results_hash,
+        "combined": _sha256(_canonical_json(
+            [metrics_hash, ledger_hash, results_hash]
+        )),
+    }
+
+
+def digest_all(seeds=CANONICAL_SEEDS) -> Dict[str, Dict[str, str]]:
+    """``{str(seed): digest}`` for every canonical seed (JSON-keyable)."""
+    return {str(seed): determinism_digest(seed) for seed in seeds}
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Recompute the determinism digests and optionally "
+        "rewrite the committed reference file."
+    )
+    parser.add_argument(
+        "--write", metavar="PATH", default=None,
+        help="write the digests to PATH (the committed reference is "
+        "benchmarks/results/determinism_hashes.json)",
+    )
+    args = parser.parse_args(argv)
+    digests = digest_all()
+    text = json.dumps({"seeds": digests}, indent=2, sort_keys=True) + "\n"
+    if args.write:
+        with open(args.write, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.write}")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,8 @@ def attach_app(
     )
     if app_cls is BurstApp:
         kwargs["window"] = window
+        if client.engine is not None and access is AccessMode.ONE_SIDED:
+            kwargs["submit_burst"] = client.engine.submit_burst
     elif app_cls is PoissonApp:
         kwargs["seed"] = client.index  # deterministic per-client stream
     client.app = app_cls(**kwargs)

@@ -36,6 +36,13 @@ _ONE_SIDED = frozenset(
     {OpType.READ, OpType.WRITE, OpType.FETCH_ADD, OpType.COMPARE_SWAP}
 )
 
+# Dense member indexes so per-opcode hot-path tables can be plain lists
+# (a dict keyed by the enum would pay the Python-level Enum.__hash__ on
+# every lookup — measurably hot at millions of simulated ops per run).
+for _index, _op in enumerate(OpType):
+    _op.index = _index
+del _index, _op
+
 
 class AccessMode(enum.Enum):
     """How a storage client reaches the data node."""

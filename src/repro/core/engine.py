@@ -85,6 +85,11 @@ class QoSEngine:
         self._reporting_active = False
         self._throttled_this_period = False
         self._started = False
+        # Completion-closure cache for _issue: in practice every op of
+        # a client carries the same app callback, so the wrapper is
+        # built once and reused instead of allocated per op.
+        self._last_on_complete = None
+        self._last_finish = None
 
         # Control-plane fault tolerance (see docs/FAULTS.md): retries
         # after transport failures back off exponentially with
@@ -233,7 +238,7 @@ class QoSEngine:
         self.re_registrations += 1
         if not self._started:
             self._started = True
-            self.sim.process(self._mgmt_thread())
+            self._mgmt_start()
         self.tracer.emit("engine", "rebound", client=self.client_id,
                          period=period_id, reservation=reservation,
                          tokens_now=tokens_now, generation=generation)
@@ -254,7 +259,44 @@ class QoSEngine:
             # The span starts at submit so the engine's token-queueing
             # stage is part of the op's latency decomposition.
             span = telemetry.data_span("onesided_read", self.kv.name, key)
-        self._queue.append((key, on_complete, span))
+        queue = self._queue
+        if queue:
+            # Fast path: a backlogged queue means the last drain ended
+            # throttled or token-starved (with the FAA machinery already
+            # armed if it could be), and no tokens can have arrived
+            # since — token grants come via simulator events, and every
+            # one of those handlers drains.  Draining again would be a
+            # no-op, so skip it; the new request queues behind the head.
+            queue.append((key, on_complete, span))
+            return
+        queue.append((key, on_complete, span))
+        self._drain()
+
+    def submit_burst(self, count: int, key_fn, on_complete: IOCallback) -> None:
+        """Queue ``count`` reads (keys drawn from ``key_fn``), then drain.
+
+        Equivalent to ``count`` consecutive :meth:`submit` calls — the
+        per-op order of key draws and telemetry span creation is
+        preserved, and since no simulator event can run between
+        synchronous submits, draining once at the end issues exactly
+        the ops the one-drain-per-submit form would have.  Exists so
+        burst-pattern apps can hand a period's demand over without a
+        Python call pair per op.
+        """
+        if count <= 0:
+            return
+        self.total_submitted += count
+        queue = self._queue
+        telemetry = self.sim.telemetry
+        if telemetry is None:
+            for _ in range(count):
+                queue.append((key_fn(), on_complete, None))
+        else:
+            name = self.kv.name
+            for _ in range(count):
+                key = key_fn()
+                span = telemetry.data_span("onesided_read", name, key)
+                queue.append((key, on_complete, span))
         self._drain()
 
     @property
@@ -295,7 +337,7 @@ class QoSEngine:
         self._reporting_active = False
         if not self._started:
             self._started = True
-            self.sim.process(self._mgmt_thread())
+            self._mgmt_start()
         # Final statistics are written shortly before the period ends so
         # the monitor can run Algorithm 1 at the boundary.
         final_at = self._period_end - self.config.final_report_margin
@@ -327,7 +369,7 @@ class QoSEngine:
         if msg.period_id != self.period_id or self._reporting_active:
             return
         self._reporting_active = True
-        self.sim.process(self._reporting_thread(msg.period_id))
+        self.sim.schedule(0.0, self._reporting_tick, msg.period_id)
 
     def _on_alert(self, msg: ReservationAlert, _reply_qp) -> None:
         self.alerts_received += 1
@@ -338,14 +380,20 @@ class QoSEngine:
     def _drain(self) -> None:
         if self.suspended:
             return  # failover in progress: submissions queue here
-        while self._queue:
-            if self.limit is not None and self.issued_this_period >= self.limit:
+        # Locals for the loop: neither the queue/token objects nor the
+        # limit are replaced while draining (only at period boundaries),
+        # so hoisting the attribute reads is safe.
+        queue = self._queue
+        tokens = self.tokens
+        limit = self.limit
+        while queue:
+            if limit is not None and self.issued_this_period >= limit:
                 if not self._throttled_this_period:
                     self._throttled_this_period = True
                     self.limit_throttle_events += 1
                 return  # throttled until the next period
-            if self.tokens.try_consume():
-                key, on_complete, span = self._queue.popleft()
+            if tokens.try_consume():
+                key, on_complete, span = queue.popleft()
                 self._issue(key, on_complete, span)
                 continue
             # No token in hand: claim a batch from the global pool —
@@ -364,15 +412,21 @@ class QoSEngine:
             # spent queueing inside the engine.
             span.mark("engine_queue", self.sim.now)
 
-        def finish(ok: bool, value: object, latency: float) -> None:
-            self.inflight_tokened -= 1
-            self.completed_this_period += 1
-            self.total_completed += 1
-            telemetry = self.sim.telemetry
-            if telemetry is not None:
-                telemetry.observe_latency("onesided_read", latency)
-            self._notify_listener(ok)
-            on_complete(ok, value, latency)
+        if on_complete is self._last_on_complete:
+            finish = self._last_finish
+        else:
+            def finish(ok: bool, value: object, latency: float) -> None:
+                self.inflight_tokened -= 1
+                self.completed_this_period += 1
+                self.total_completed += 1
+                telemetry = self.sim.telemetry
+                if telemetry is not None:
+                    telemetry.observe_latency("onesided_read", latency)
+                self._notify_listener(ok)
+                on_complete(ok, value, latency)
+
+            self._last_on_complete = on_complete
+            self._last_finish = finish
 
         try:
             self.kv.get_onesided(key, finish, touch_memory=self.touch_memory,
@@ -449,6 +503,8 @@ class QoSEngine:
 
     def _fetch_global_batch(self) -> None:
         batch = self.config.batch_size
+        self._faa_epoch += 1
+        epoch = self._faa_epoch
         wr = WorkRequest(
             opcode=OpType.FETCH_ADD,
             remote_addr=self.layout.pool_addr,
@@ -456,20 +512,18 @@ class QoSEngine:
             add_value=-batch,
             control=True,
             span=self._control_span("control_faa"),
+            on_completion=lambda wc: self._on_faa_complete(wc, epoch),
         )
-        self._faa_epoch += 1
-        epoch = self._faa_epoch
         self._faa_inflight = True
         self.faa_issued += 1
         try:
-            wr_id = self.kv.qp.post_send(wr)
+            self.kv.qp.post_send(wr)
         except QPError as err:
             self._faa_inflight = False
             if wr.span is not None:
                 wr.span.finish(self.sim.now, ok=False, error=str(err))
             self._note_faa_failure()
             return
-        self.kv.router.expect(wr_id, lambda wc: self._on_faa_complete(wc, epoch))
         self.sim.schedule(self.config.resolved_control_deadline,
                           self._control_deadline, epoch)
 
@@ -547,6 +601,8 @@ class QoSEngine:
         """Zero-add FETCH_ADD: tests pool reachability without taking tokens."""
         if self._faa_inflight:
             return
+        self._faa_epoch += 1
+        epoch = self._faa_epoch
         wr = WorkRequest(
             opcode=OpType.FETCH_ADD,
             remote_addr=self.layout.pool_addr,
@@ -554,13 +610,12 @@ class QoSEngine:
             add_value=0,
             control=True,
             span=self._control_span("control_probe"),
+            on_completion=lambda wc: self._on_probe_complete(wc, epoch),
         )
-        self._faa_epoch += 1
-        epoch = self._faa_epoch
         self._faa_inflight = True
         self.probes_issued += 1
         try:
-            wr_id = self.kv.qp.post_send(wr)
+            self.kv.qp.post_send(wr)
         except QPError as err:
             self._faa_inflight = False
             if wr.span is not None:
@@ -569,7 +624,6 @@ class QoSEngine:
             self._period_faa_failed = True
             self._notify_listener(False)
             return
-        self.kv.router.expect(wr_id, lambda wc: self._on_probe_complete(wc, epoch))
         self.sim.schedule(self.config.resolved_control_deadline,
                           self._control_deadline, epoch)
 
@@ -596,20 +650,36 @@ class QoSEngine:
     # ------------------------------------------------------------------
     # Token-management thread
     # ------------------------------------------------------------------
-    def _mgmt_thread(self):
+    # Direct self-rescheduling callbacks replaced the original
+    # generator threads here: a per-tick generator resume plus a fresh
+    # Timeout/Event pair per tick is pure overhead when the tick body is
+    # three lines.  The callback chain makes schedule calls at exactly
+    # the positions the generator machinery did (spawn scheduled a
+    # +0.0 resume; the first resume scheduled tick 1 at +interval; each
+    # tick runs its body, then schedules the next), so the simulator's
+    # seq counter — and with it every same-timestamp tie-break — is
+    # allocated identically and runs stay bit-identical (enforced by
+    # repro.cluster.determinism).
+    def _mgmt_start(self) -> None:
+        self.sim.schedule(0.0, self._mgmt_arm)
+
+    def _mgmt_arm(self) -> None:
+        self.sim.schedule(self.config.mgmt_interval, self._mgmt_tick)
+
+    def _mgmt_tick(self) -> None:
         interval = self.config.mgmt_interval
-        while True:
-            yield self.sim.timeout(interval)
-            self.tokens.decay(interval)
+        self.tokens.decay(interval)
+        self.sim.schedule(interval, self._mgmt_tick)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def _reporting_thread(self, period_id: int):
-        interval = self.config.report_interval
-        while self._reporting_active and self.period_id == period_id:
-            self._write_report(self.layout.report_live_addr)
-            yield self.sim.timeout(interval)
+    def _reporting_tick(self, period_id: int) -> None:
+        if not self._reporting_active or self.period_id != period_id:
+            return
+        self._write_report(self.layout.report_live_addr)
+        self.sim.schedule(self.config.report_interval,
+                          self._reporting_tick, period_id)
 
     def _write_report(self, addr: int) -> None:
         word = pack_report(self.token_obligations, self.completed_this_period)

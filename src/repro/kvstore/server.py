@@ -71,6 +71,11 @@ class DataNode:
         self.replication_retries = 0
         self.degraded_acks = 0
         self.replica_applies = 0
+        # QPError swallows: posts the deadline machinery knowingly
+        # absorbs.  Counted so a real defect (every post failing) is
+        # visible in the metrics instead of silently degrading.
+        self.forward_post_qp_errors = 0
+        self.reply_post_qp_errors = 0
 
     # ------------------------------------------------------------------
     def set_replica(
@@ -163,7 +168,10 @@ class DataNode:
         try:
             self.replica_qp.post_send(wr)
         except QPError:
-            pass  # the deadline path below retries or degrades
+            # Only QPError is recoverable here: the deadline check below
+            # retries the forward or degrades to a local ack.  Anything
+            # else is a programming error and must propagate.
+            self.forward_post_qp_errors += 1
         self.sim.schedule(self._replication_deadline,
                           self._replication_deadline_check, rep_id,
                           entry.attempts)
@@ -232,10 +240,17 @@ class DataNode:
              lambda: len(self._pending_replications)),
             ("server_duplicate_suppressed",
              lambda: self.store.duplicate_suppressed),
+            ("server_forward_post_qp_errors",
+             lambda: self.forward_post_qp_errors),
+            ("server_reply_post_qp_errors",
+             lambda: self.reply_post_qp_errors),
         ]
 
     def _post_reply(self, reply_qp, wr: WorkRequest) -> None:
         try:
             reply_qp.post_send(wr)
         except QPError:
-            pass  # dead connection: the client's deadline machinery recovers
+            # Dead connection: the client's per-op RPC deadline sweeps
+            # the pending request, so dropping the response is the
+            # correct recovery — but never an invisible one.
+            self.reply_post_qp_errors += 1

@@ -60,10 +60,27 @@ class SparseMemory:
 
     def read_u64(self, addr: int) -> int:
         """Read an unsigned little-endian 64-bit word."""
+        # Words are the control plane's unit (token pool, report slots),
+        # so the intra-page case gets a direct unpack instead of the
+        # generic page-walking read.
+        page_no, page_off = divmod(addr, _PAGE)
+        if page_off <= _PAGE - 8:
+            page = self._pages.get(page_no)
+            if page is None:
+                return 0
+            return _U64.unpack_from(page, page_off)[0]
         return _U64.unpack(self.read(addr, 8))[0]
 
     def write_u64(self, addr: int, value: int) -> None:
         """Write an unsigned little-endian 64-bit word."""
+        page_no, page_off = divmod(addr, _PAGE)
+        if page_off <= _PAGE - 8:
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(_PAGE)
+                self._pages[page_no] = page
+            _U64.pack_into(page, page_off, value & 0xFFFFFFFFFFFFFFFF)
+            return
         self.write(addr, _U64.pack(value & 0xFFFFFFFFFFFFFFFF))
 
 

@@ -67,6 +67,51 @@ class NICProfile:
     # signalling scale factor (1.0 = full Chameleon speed)
     scale: float = 1.0
 
+    def __post_init__(self):
+        # Precomputed per-opcode affine cost tables, keyed by
+        # (opcode, is_response) -> (base, per_byte), so the per-op hot
+        # path is one dict lookup + one multiply-add instead of an
+        # opcode branch chain.  The table entries reuse the field
+        # values verbatim (flat ops get per_byte = 0.0, and
+        # ``base + size * 0.0 == base`` exactly in IEEE-754), so costs
+        # are bit-identical to the branching form this replaces.
+        issue = {}
+        target = {}
+        for resp in (False, True):
+            for op in (OpType.READ, OpType.WRITE):
+                issue[(op, resp)] = (
+                    self.onesided_issue_base, self.onesided_issue_per_byte
+                )
+                target[(op, resp)] = (
+                    self.onesided_target_base, self.onesided_target_per_byte
+                )
+            for op in (OpType.FETCH_ADD, OpType.COMPARE_SWAP):
+                issue[(op, resp)] = (self.atomic_issue_cost, 0.0)
+                target[(op, resp)] = (self.atomic_target_cost, 0.0)
+            target[(OpType.SEND, resp)] = (
+                self.send_target_base, self.send_target_per_byte
+            )
+        issue[(OpType.SEND, False)] = (self.send_request_issue, 0.0)
+        issue[(OpType.SEND, True)] = (
+            self.send_response_issue_base, self.send_response_issue_per_byte
+        )
+        object.__setattr__(self, "issue_table", issue)
+        object.__setattr__(self, "target_table", target)
+        # Flat variants for the RNIC's per-op path, indexed by
+        # ``opcode.index * 2 + is_response`` — a couple of list indexes
+        # instead of a tuple hash (which would call Enum.__hash__, a
+        # Python-level function, twice per op).  None marks opcodes
+        # with no cost (RECV).
+        n = len(OpType)
+        issue_flat = [None] * (2 * n)
+        target_flat = [None] * (2 * n)
+        for (op, resp), pair in issue.items():
+            issue_flat[op.index * 2 + resp] = pair
+        for (op, resp), pair in target.items():
+            target_flat[op.index * 2 + resp] = pair
+        object.__setattr__(self, "issue_flat", tuple(issue_flat))
+        object.__setattr__(self, "target_flat", tuple(target_flat))
+
     @classmethod
     def chameleon(cls, scale: float = 1.0) -> "NICProfile":
         """The profile calibrated to the paper's Chameleon measurements,
@@ -86,30 +131,19 @@ class NICProfile:
     # ------------------------------------------------------------------
     def issue_cost(self, wr: WorkRequest) -> float:
         """Initiator-side serialization cost of posting ``wr``."""
-        op = wr.opcode
-        if op is OpType.READ or op is OpType.WRITE:
-            return self.onesided_issue_base + wr.size * self.onesided_issue_per_byte
-        if op is OpType.FETCH_ADD or op is OpType.COMPARE_SWAP:
-            return self.atomic_issue_cost
-        if op is OpType.SEND:
-            if wr.is_response:
-                return (
-                    self.send_response_issue_base
-                    + wr.size * self.send_response_issue_per_byte
-                )
-            return self.send_request_issue
-        raise ValueError(f"opcode {op} cannot be issued")
+        try:
+            base, per_byte = self.issue_table[(wr.opcode, wr.is_response)]
+        except KeyError:
+            raise ValueError(f"opcode {wr.opcode} cannot be issued")
+        return base + wr.size * per_byte
 
     def target_cost(self, wr: WorkRequest) -> float:
         """Target-NIC processing cost of an inbound ``wr``."""
-        op = wr.opcode
-        if op is OpType.READ or op is OpType.WRITE:
-            return self.onesided_target_base + wr.size * self.onesided_target_per_byte
-        if op is OpType.FETCH_ADD or op is OpType.COMPARE_SWAP:
-            return self.atomic_target_cost
-        if op is OpType.SEND:
-            return self.send_target_base + wr.size * self.send_target_per_byte
-        raise ValueError(f"opcode {op} has no target cost")
+        try:
+            base, per_byte = self.target_table[(wr.opcode, wr.is_response)]
+        except KeyError:
+            raise ValueError(f"opcode {wr.opcode} has no target cost")
+        return base + wr.size * per_byte
 
 
 class RNIC:
@@ -120,10 +154,18 @@ class RNIC:
     which is the property Haechi is designed around.
     """
 
+    __slots__ = ("sim", "name", "profile", "issue", "target",
+                 "capacity_factor", "_issued_counts", "_handled_counts",
+                 "control_issue_cost_total", "control_target_cost_total",
+                 "_issue_flat", "_target_flat")
+
     def __init__(self, sim: "Simulator", name: str, profile: NICProfile):  # noqa: F821
         self.sim = sim
         self.name = name
         self.profile = profile
+        # Cached table refs: the per-op path skips the profile hop.
+        self._issue_flat = profile.issue_flat
+        self._target_flat = profile.target_flat
         self.issue = Pipeline(sim, f"{name}.issue")
         self.target = Pipeline(sim, f"{name}.target")
         # Brownout hook: the fraction of nominal capacity available.
@@ -131,11 +173,22 @@ class RNIC:
         # is divided by it, which models a NIC processing ops slower
         # (pause storms, PCIe pressure) without reordering anything.
         self.capacity_factor = 1.0
-        # op accounting, keyed by opcode, for overhead reporting
-        self.issued_ops = {op: 0 for op in OpType}
-        self.handled_ops = {op: 0 for op in OpType}
+        # op accounting, indexed by opcode.index, for overhead reporting
+        # (see issued_ops/handled_ops for the dict view)
+        self._issued_counts = [0] * len(OpType)
+        self._handled_counts = [0] * len(OpType)
         self.control_issue_cost_total = 0.0
         self.control_target_cost_total = 0.0
+
+    @property
+    def issued_ops(self):
+        """Per-opcode issued-op counts (dict view; cold path)."""
+        return {op: self._issued_counts[op.index] for op in OpType}
+
+    @property
+    def handled_ops(self):
+        """Per-opcode handled-op counts (dict view; cold path)."""
+        return {op: self._handled_counts[op.index] for op in OpType}
 
     def submit_issue(self, wr: WorkRequest) -> float:
         """Serialize an outbound WR; returns absolute wire-entry time.
@@ -150,21 +203,56 @@ class RNIC:
         zero and report the *paper-scale* overhead analytically from
         the op counters (see ``control_overhead_fraction``).
         """
-        self.issued_ops[wr.opcode] += 1
-        cost = self.profile.issue_cost(wr) / self.capacity_factor
+        op_index = wr.opcode.index
+        self._issued_counts[op_index] += 1
+        pair = self._issue_flat[op_index * 2 + wr.is_response]
+        if pair is None:
+            raise ValueError(f"opcode {wr.opcode} cannot be issued")
+        base, per_byte = pair
+        cost = base + wr.size * per_byte
+        # x / 1.0 == x exactly, so skipping the common-case division is
+        # free of behaviour change (and brownouts still divide).
+        factor = self.capacity_factor
+        if factor != 1.0:
+            cost = cost / factor
         if wr.control:
             self.control_issue_cost_total += cost
             return self.sim.now + cost
-        return self.issue.submit(cost)
+        # Inlined Pipeline.submit (cost is non-negative by
+        # construction): one attribute hop per op instead of a call.
+        pipe = self.issue
+        now = self.sim.now
+        free = pipe._free_at
+        start = free if free > now else now
+        finish = start + cost
+        pipe._free_at = finish
+        pipe._busy += cost
+        return finish
 
     def submit_target(self, wr: WorkRequest) -> float:
         """Serialize an inbound WR; returns absolute processing-done time."""
-        self.handled_ops[wr.opcode] += 1
-        cost = self.profile.target_cost(wr) / self.capacity_factor
+        op_index = wr.opcode.index
+        self._handled_counts[op_index] += 1
+        pair = self._target_flat[op_index * 2 + wr.is_response]
+        if pair is None:
+            raise ValueError(f"opcode {wr.opcode} has no target cost")
+        base, per_byte = pair
+        cost = base + wr.size * per_byte
+        factor = self.capacity_factor
+        if factor != 1.0:
+            cost = cost / factor
         if wr.control:
             self.control_target_cost_total += cost
             return self.sim.now + cost
-        return self.target.submit(cost)
+        # Inlined Pipeline.submit (see submit_issue).
+        pipe = self.target
+        now = self.sim.now
+        free = pipe._free_at
+        start = free if free > now else now
+        finish = start + cost
+        pipe._free_at = finish
+        pipe._busy += cost
+        return finish
 
     def set_capacity_factor(self, factor: float) -> None:
         """Enter/leave a brownout: ``factor`` in (0, 1] scales capacity.
@@ -177,15 +265,17 @@ class RNIC:
             raise ValueError(f"capacity factor must be in (0, 1], got {factor}")
         self.capacity_factor = factor
 
-    def control_overhead_fraction(self, periods: float, paper_period: float = 1.0,
-                                  dilated_period: float = None) -> dict:
+    def control_overhead_fraction(self, periods: float,
+                                  paper_period: float = 1.0) -> dict:
         """Paper-scale capacity share of control ops on this NIC.
 
         ``periods`` is how many QoS periods the accumulated counters
         cover.  The per-period control cost is divided by the *paper*
         period (1 s), because control-op frequency is per-tick (fixed
         count per period) while their service cost is physical — the
-        quantity a real deployment would observe.
+        quantity a real deployment would observe.  The dilated
+        (simulated) period deliberately plays no role here: dividing by
+        it would inflate the fraction K-fold under time dilation K.
         """
         if periods <= 0:
             raise ValueError(f"periods must be positive, got {periods}")
@@ -203,9 +293,9 @@ class RNIC:
         items = []
         for op in OpType:
             items.append((f"nic_issued_ops_{op.name.lower()}",
-                          lambda o=op: self.issued_ops[o]))
+                          lambda i=op.index: self._issued_counts[i]))
             items.append((f"nic_handled_ops_{op.name.lower()}",
-                          lambda o=op: self.handled_ops[o]))
+                          lambda i=op.index: self._handled_counts[i]))
         items.extend([
             ("nic_control_issue_cost_seconds",
              lambda: self.control_issue_cost_total),
@@ -219,8 +309,7 @@ class RNIC:
         """Zero utilization + op counters (measurement-window start)."""
         self.issue.reset_accounting()
         self.target.reset_accounting()
-        for op in OpType:
-            self.issued_ops[op] = 0
-            self.handled_ops[op] = 0
+        self._issued_counts = [0] * len(OpType)
+        self._handled_counts = [0] * len(OpType)
         self.control_issue_cost_total = 0.0
         self.control_target_cost_total = 0.0

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from collections import deque
 from typing import Any, Callable, Deque, Optional
@@ -24,7 +23,6 @@ class WCStatus(enum.Enum):
     RETRY_EXC_ERROR = "retry_exc_error"
 
 
-@dataclasses.dataclass
 class WorkRequest:
     """A posted work request.
 
@@ -33,39 +31,68 @@ class WorkRequest:
     ``size`` used for service-cost accounting.  ``is_response`` marks a
     SEND as an RPC response, which uses the cheaper hardware-offloaded
     responder path in the NIC cost model (see :class:`NICProfile`).
+
+    A plain ``__slots__`` class rather than a dataclass: one of these
+    is allocated per simulated I/O, and the slotted layout measurably
+    cuts both allocation time and footprint on the hot path (a
+    ``slots=True`` dataclass would read the same but needs 3.10+).
     """
 
-    opcode: OpType
-    wr_id: int = 0
-    size: int = 0
-    remote_addr: int = 0
-    rkey: int = 0
-    payload: Any = None
-    compare: int = 0
-    swap: int = 0
-    add_value: int = 0
-    is_response: bool = False
-    touch_memory: bool = True
-    # Control-plane ops (atomics, report words, QoS signals) take the
-    # NIC's prioritized lane: they consume pipeline capacity but do not
-    # queue behind bulk data (see Pipeline.charge).
-    control: bool = False
-    # Optional telemetry span (repro.telemetry.spans.Span) annotated by
-    # the datapath as the WR crosses each stage boundary.
-    span: Any = None
+    __slots__ = ("opcode", "wr_id", "size", "remote_addr", "rkey",
+                 "payload", "compare", "swap", "add_value", "is_response",
+                 "touch_memory", "control", "span", "on_completion")
+
+    def __init__(self, opcode: OpType, wr_id: int = 0, size: int = 0,
+                 remote_addr: int = 0, rkey: int = 0, payload: Any = None,
+                 compare: int = 0, swap: int = 0, add_value: int = 0,
+                 is_response: bool = False, touch_memory: bool = True,
+                 control: bool = False, span: Any = None,
+                 on_completion: Optional[Callable] = None):
+        self.opcode = opcode
+        self.wr_id = wr_id
+        self.size = size
+        self.remote_addr = remote_addr
+        self.rkey = rkey
+        self.payload = payload
+        self.compare = compare
+        self.swap = swap
+        self.add_value = add_value
+        # Control-plane ops (atomics, report words, QoS signals) take
+        # the NIC's prioritized lane: they consume pipeline capacity but
+        # do not queue behind bulk data (see Pipeline.charge).
+        self.is_response = is_response
+        self.touch_memory = touch_memory
+        self.control = control
+        # Optional telemetry span (repro.telemetry.spans.Span) annotated
+        # by the datapath as the WR crosses each stage boundary.
+        self.span = span
+        # Optional direct completion callback: when set, the QP hands
+        # the WorkCompletion straight to it instead of pushing through
+        # the CQ (equivalent to a CQ handler that routes by wr_id, minus
+        # the per-op dict round-trip; see QueuePair._complete).
+        self.on_completion = on_completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkRequest(opcode={self.opcode}, wr_id={self.wr_id}, "
+                f"size={self.size}, control={self.control})")
 
 
-@dataclasses.dataclass
 class WorkCompletion:
     """A completion entry delivered to a CQ."""
 
-    wr_id: int
-    opcode: OpType
-    status: WCStatus
-    value: Any = None  # READ data / atomic prior value / SEND payload echo
-    posted_at: float = 0.0
-    completed_at: float = 0.0
-    error: Optional[str] = None
+    __slots__ = ("wr_id", "opcode", "status", "value", "posted_at",
+                 "completed_at", "error")
+
+    def __init__(self, wr_id: int, opcode: OpType, status: WCStatus,
+                 value: Any = None, posted_at: float = 0.0,
+                 completed_at: float = 0.0, error: Optional[str] = None):
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.status = status
+        self.value = value  # READ data / atomic prior value / payload echo
+        self.posted_at = posted_at
+        self.completed_at = completed_at
+        self.error = error
 
     @property
     def ok(self) -> bool:
@@ -76,6 +103,10 @@ class WorkCompletion:
     def latency(self) -> float:
         """Post-to-completion latency in seconds."""
         return self.completed_at - self.posted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkCompletion(wr_id={self.wr_id}, opcode={self.opcode}, "
+                f"status={self.status})")
 
 
 class CompletionQueue:

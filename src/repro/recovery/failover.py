@@ -97,6 +97,7 @@ class FailoverManager:
         self.reconnect_attempts = 0
         self.failovers = 0
         self.rejoin_requests_sent = 0
+        self.rejoin_post_qp_errors = 0  # QPError swallows on rejoin posts
         self.rejoins_completed = 0
         self.puts_started = 0
         self.puts_acked = 0
@@ -210,7 +211,11 @@ class FailoverManager:
         try:
             self.kv_replica.qp.post_send(wr)
         except QPError:
-            pass  # the deadline below retries
+            # Only QPError is recoverable: the rejoin deadline below
+            # retransmits (bounded by rejoin_attempts).  Count the
+            # swallow so a replica that rejects every post shows up in
+            # the metrics rather than as a silent FAILED transition.
+            self.rejoin_post_qp_errors += 1
         self.sim.schedule(self.recovery.rejoin_deadline,
                           self._rejoin_deadline, self._rejoin_attempt)
 
@@ -286,6 +291,8 @@ class FailoverManager:
         items.extend([
             ("failover_windows", lambda: len(self.failover_windows)),
             ("failover_puts_started", lambda: self.puts_started),
+            ("failover_rejoin_post_qp_errors",
+             lambda: self.rejoin_post_qp_errors),
         ])
         return items
 

@@ -95,6 +95,8 @@ class Pipeline:
 class Semaphore:
     """Counting semaphore with FIFO event-based acquire."""
 
+    __slots__ = ("sim", "capacity", "_available", "_waiters")
+
     def __init__(self, sim: "Simulator", capacity: int):  # noqa: F821
         if capacity < 1:
             raise ValueError(f"semaphore capacity must be >= 1, got {capacity}")
@@ -142,6 +144,8 @@ class Semaphore:
 
 class Store:
     """Unbounded FIFO of items with event-based ``get``."""
+
+    __slots__ = ("sim", "_items", "_getters")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821
         self.sim = sim

@@ -57,12 +57,18 @@ class _AppBase:
         period: float,
         start_time: float = 0.0,
         on_complete: Optional[CompletionHook] = None,
+        submit_burst: Optional[Callable] = None,
     ):
         if period <= 0:
             raise ConfigError(f"period must be positive, got {period}")
         self.sim = sim
         self.name = name
         self.submit = submit
+        # Optional bulk form of ``submit`` (the QoS engine provides
+        # one); burst apps use it to hand a whole period's demand over
+        # without a per-op submit call.  Semantics are identical to
+        # calling ``submit`` in a loop.
+        self.submit_burst = submit_burst
         self.key_fn = key_fn
         self.demand_fn = demand_fn
         self.period = period
@@ -134,11 +140,30 @@ class BurstApp(_AppBase):
 
     def _pump(self) -> None:
         limit = self.window
+        demand = self.demand_this_period
+        burst = self.submit_burst
+        if burst is not None:
+            # Bulk path: nothing completes synchronously during the
+            # issue loop (completions are simulator events), so the
+            # loop below would issue exactly min(headroom, remaining)
+            # ops — compute that and hand them over in one call.
+            n = demand - self.issued_this_period
+            if limit is not None:
+                headroom = limit - self.in_flight
+                if headroom < n:
+                    n = headroom
+            if n > 0:
+                self.issued_this_period += n
+                self.total_issued += n
+                self.in_flight += n
+                burst(n, self.key_fn, self._completed)
+            return
+        issue_one = self._issue_one
         while (
             (limit is None or self.in_flight < limit)
-            and self.issued_this_period < self.demand_this_period
+            and self.issued_this_period < demand
         ):
-            self._issue_one()
+            issue_one()
 
     def _on_new_period(self) -> None:
         self._pump()

@@ -1,0 +1,43 @@
+"""Perf-gate mechanics (decision logic, baseline I/O — not timing)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster import perfgate
+
+
+def test_measure_reports_positive_scores():
+    scores = perfgate.measure(rounds=1)
+    assert scores["calibration_seconds"] > 0
+    assert scores["workload_seconds"] > 0
+    assert scores["normalized"] > 0
+
+
+def test_write_then_check_passes(tmp_path):
+    baseline = tmp_path / "perf_baseline.json"
+    assert perfgate.main(["--write", "--rounds", "1",
+                          "--baseline", str(baseline)]) == 0
+    payload = json.loads(baseline.read_text())
+    assert set(payload) == {
+        "calibration_seconds", "workload_seconds", "normalized"
+    }
+    # A generous tolerance makes the check insensitive to machine noise.
+    assert perfgate.main(["--rounds", "1", "--tolerance", "10.0",
+                          "--baseline", str(baseline)]) == 0
+
+
+def test_regression_fails_the_gate(tmp_path):
+    baseline = tmp_path / "perf_baseline.json"
+    baseline.write_text(json.dumps({
+        "calibration_seconds": 1.0,
+        "workload_seconds": 0.001,
+        "normalized": 0.001,  # absurdly fast baseline: any run regresses
+    }))
+    assert perfgate.main(["--rounds", "1",
+                          "--baseline", str(baseline)]) == 1
+
+
+def test_missing_baseline_is_an_error(tmp_path):
+    assert perfgate.main(["--rounds", "1",
+                          "--baseline", str(tmp_path / "nope.json")]) == 2

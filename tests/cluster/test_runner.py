@@ -1,0 +1,192 @@
+"""The parallel runner: caching, merge determinism, crash consistency.
+
+The scenarios used here are tiny deterministic functions (registered at
+import time, visible to forked workers), so the tests exercise the
+runner machinery rather than the simulator.  The real-simulation
+equivalence of 1-worker and N-worker sweeps is covered by the
+determinism guard plus `test_parallel_merge_is_byte_identical`, which
+runs actual (down-scaled) fig12-point cells.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.cluster.runner import (
+    Cell,
+    ResultCache,
+    RunnerError,
+    cell_key,
+    fig12_cells,
+    register_scenario,
+    run_cells,
+)
+
+
+def _has_fork() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@register_scenario("test-square")
+def _square(params, seed):
+    return {"value": params["x"] ** 2 + seed}
+
+
+@register_scenario("test-crashy")
+def _crashy(params, seed):
+    if params.get("boom"):
+        raise ValueError("injected cell failure")
+    return {"value": params["x"]}
+
+
+@register_scenario("test-die")
+def _die(params, seed):  # pragma: no cover - runs in a worker
+    os._exit(3)
+
+
+class TestCellKeys:
+    def test_key_is_stable_and_param_sensitive(self):
+        a = cell_key(Cell("test-square", {"x": 2}, seed=1))
+        b = cell_key(Cell("test-square", {"x": 2}, seed=1))
+        c = cell_key(Cell("test-square", {"x": 3}, seed=1))
+        d = cell_key(Cell("test-square", {"x": 2}, seed=2))
+        assert a == b
+        assert len({a, c, d}) == 3
+
+    def test_key_ignores_param_insertion_order(self):
+        a = cell_key(Cell("test-square", {"x": 2, "y": 1}))
+        b = cell_key(Cell("test-square", {"y": 1, "x": 2}))
+        assert a == b
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cells = [Cell("test-square", {"x": x}) for x in (2, 3)]
+        first = run_cells(cells, cache_dir=tmp_path)
+        assert first.cache_hits == 0 and first.cache_misses == 2
+        second = run_cells(cells, cache_dir=tmp_path)
+        assert second.cache_hits == 2 and second.cache_misses == 0
+        assert second.merged_json() == first.merged_json()
+
+    def test_corrupt_entry_is_a_miss_and_repaired(self, tmp_path):
+        cell = Cell("test-square", {"x": 5})
+        run_cells([cell], cache_dir=tmp_path)
+        path = tmp_path / f"{cell_key(cell)}.json"
+        path.write_text("{ not json")
+        report = run_cells([cell], cache_dir=tmp_path)
+        assert report.cache_misses == 1
+        assert report.results[0] == {"value": 25}
+        assert json.loads(path.read_text())["result"] == {"value": 25}
+
+    def test_cache_files_are_complete_json(self, tmp_path):
+        run_cells([Cell("test-square", {"x": x}) for x in range(4)],
+                  cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 4
+        for path in entries:
+            payload = json.loads(path.read_text())
+            assert set(payload) == {"scenario", "params", "seed", "result"}
+
+    def test_put_is_atomic_no_temp_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("deadbeef", {"result": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["deadbeef.json"]
+
+
+class TestMergeDeterminism:
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_parallel_merge_is_byte_identical(self):
+        # Real simulator cells, scaled down hard so this stays quick.
+        cells = fig12_cells(
+            distributions=("uniform",), fractions=(0.5, 0.7),
+            scale_factor=2000, interval_divisor=50, periods=2, warmup=1,
+        )
+        serial = run_cells(cells, workers=1)
+        parallel = run_cells(cells, workers=4)
+        assert parallel.merged_json() == serial.merged_json()
+
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_worker_count_does_not_reorder_results(self):
+        cells = [Cell("test-square", {"x": x}) for x in range(8)]
+        serial = run_cells(cells, workers=1)
+        for workers in (2, 4):
+            assert run_cells(cells, workers=workers).merged_json() \
+                == serial.merged_json()
+
+    def test_cached_rerun_matches_cold_run(self, tmp_path):
+        cells = [Cell("test-square", {"x": x}) for x in range(5)]
+        cold = run_cells(cells, workers=1)
+        run_cells(cells, workers=1, cache_dir=tmp_path)
+        warm = run_cells(cells, workers=1, cache_dir=tmp_path)
+        assert warm.cache_hits == 5
+        assert warm.merged_json() == cold.merged_json()
+
+
+class TestFailures:
+    def test_unknown_scenario_rejected_up_front(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            run_cells([Cell("no-such-scenario", {})])
+
+    def test_failed_cell_reports_but_others_complete_and_cache(self, tmp_path):
+        cells = [
+            Cell("test-crashy", {"x": 1}),
+            Cell("test-crashy", {"x": 2, "boom": True}),
+            Cell("test-crashy", {"x": 3}),
+        ]
+        with pytest.raises(RunnerError) as excinfo:
+            run_cells(cells, cache_dir=tmp_path)
+        err = excinfo.value
+        assert set(err.errors) == {1}
+        assert "injected cell failure" in err.errors[1]
+        assert err.results[0] == {"value": 1}
+        assert err.results[2] == {"value": 3}
+        # The good cells were persisted; a rerun only re-attempts the bad one.
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        with pytest.raises(RunnerError) as again:
+            run_cells(cells, cache_dir=tmp_path)
+        assert again.value.results[0] == {"value": 1}
+
+    @pytest.mark.skipif(not _has_fork(), reason="needs fork start method")
+    def test_worker_death_leaves_cache_consistent(self, tmp_path):
+        # Warm the two good cells first so the dying worker cannot take
+        # them down with it, then assert the dead cell is reported and
+        # every cache file is still complete valid JSON.
+        good = [Cell("test-square", {"x": 1}), Cell("test-square", {"x": 2})]
+        run_cells(good, cache_dir=tmp_path)
+        cells = good + [Cell("test-die", {})]
+        with pytest.raises(RunnerError) as excinfo:
+            run_cells(cells, workers=2, cache_dir=tmp_path)
+        assert 2 in excinfo.value.errors
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text())  # no partial writes
+        report_ok = run_cells(good, cache_dir=tmp_path)
+        assert report_ok.cache_hits == 2
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            run_cells([], workers=0)
+
+
+@pytest.mark.skipif(
+    not _has_fork() or (os.cpu_count() or 1) < 4,
+    reason="speedup is only observable with >= 4 cores",
+)
+def test_four_workers_meet_wall_clock_budget():
+    """The acceptance criterion: 4 workers finish in <= 0.4x serial time.
+
+    Skipped on small machines — with fewer cores than workers the
+    parallel run cannot beat serial no matter how good the runner is.
+    """
+    cells = fig12_cells(
+        distributions=("uniform",), fractions=(0.5, 0.6, 0.7, 0.8),
+        scale_factor=1000, interval_divisor=50, periods=3, warmup=1,
+    )
+    serial = run_cells(cells, workers=1)
+    parallel = run_cells(cells, workers=4)
+    assert parallel.merged_json() == serial.merged_json()
+    assert parallel.wall_seconds <= 0.4 * serial.wall_seconds

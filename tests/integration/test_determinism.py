@@ -1,0 +1,57 @@
+"""The determinism guard, pinned.
+
+Recomputes the canonical-seed digests and compares them against the
+committed reference (``benchmarks/results/determinism_hashes.json``).
+A failure here means simulated *behaviour* changed — an event reorder,
+a float that took a different path, an RNG consumed at a different
+point.  If the change was intentional, regenerate the reference with
+
+    PYTHONPATH=src python -m repro.cluster.determinism \
+        --write benchmarks/results/determinism_hashes.json
+
+and say so in the commit message.  If it was not intentional (a
+"pure" refactor or performance change), the change is wrong — fix it,
+not the reference.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster.determinism import (
+    CANONICAL_SEEDS,
+    SEED_FAULTS,
+    determinism_digest,
+)
+
+REFERENCE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks" / "results" / "determinism_hashes.json"
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["seeds"]
+
+
+def test_reference_covers_every_canonical_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["seeds"]
+    assert sorted(seeds) == sorted(str(s) for s in CANONICAL_SEEDS)
+    assert sorted(SEED_FAULTS) == sorted(CANONICAL_SEEDS)
+
+
+@pytest.mark.parametrize("seed", CANONICAL_SEEDS)
+def test_digest_matches_committed_reference(seed, reference):
+    digest = determinism_digest(seed)
+    expected = reference[str(seed)]
+    # Compare the parts before the combined hash so a mismatch names
+    # the stream that moved (metrics vs ledger vs results).
+    for part in ("kind", "metrics", "ledger", "results", "combined"):
+        assert digest[part] == expected[part], (
+            f"seed {seed}: {part} digest changed -- simulated behaviour "
+            f"is no longer bit-identical to the committed reference"
+        )

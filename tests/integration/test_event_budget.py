@@ -5,43 +5,23 @@ small number of heap events (issue-arrival + completion) and because
 control traffic is bounded per protocol tick.  These tests pin those
 budgets so an accidental O(n) regression (say, a per-op process spawn)
 fails loudly rather than silently making benches 10x slower.
-"""
 
-import pytest
+Events are counted through ``Simulator._seq``: every scheduled
+callback — including the heap pushes the datapath inlines for speed —
+increments it exactly once, so the delta over a window is the exact
+number of events scheduled in that window.
+"""
 
 from repro.cluster.experiment import run_experiment
 from repro.cluster.scale import SimScale
 from repro.cluster.scenarios import bare_cluster
-from repro.sim.core import Simulator
 
 SCALE = SimScale(factor=1000, interval_divisor=50)
 
 
-class CountingSimulator(Simulator):
-    """Counts every scheduled callback."""
-
-    def __init__(self):
-        super().__init__()
-        self.scheduled = 0
-
-    def schedule_at(self, time, fn, *args):
-        self.scheduled += 1
-        super().schedule_at(time, fn, *args)
-
-
 def test_one_sided_io_costs_at_most_three_events(mini):
     sim = mini.sim
-
-    class Probe:
-        count = 0
-
-    original = sim.schedule_at
-
-    def counting(time, fn, *args):
-        Probe.count += 1
-        return original(time, fn, *args)
-
-    sim.schedule_at = counting
+    before = sim._seq
     n = 100
     done = []
     for key in range(n):
@@ -51,50 +31,35 @@ def test_one_sided_io_costs_at_most_three_events(mini):
     sim.run(until=0.01)
     assert len(done) == n
     # two heap events per op (target arrival + completion); allow 3
-    assert Probe.count <= 3 * n
+    assert sim._seq - before <= 3 * n
 
 
 def test_bare_saturation_run_stays_within_event_budget():
     """A full bare experiment: events scale with I/Os, not I/Os^2."""
-    import repro.cluster.builder as builder_module
-
-    original_sim = builder_module.Simulator
-    builder_module.Simulator = CountingSimulator
-    try:
-        cluster = bare_cluster(demands=[400_000] * 4, scale=SCALE)
-    finally:
-        builder_module.Simulator = original_sim
+    cluster = bare_cluster(demands=[400_000] * 4, scale=SCALE)
     result = run_experiment(cluster, warmup_periods=1, measure_periods=3)
     completed = sum(sum(v) for v in result.client_period_counts.values())
     assert completed > 3000
     # generous ceiling: < 6 events per completed I/O for the whole
     # harness (datapath + apps + metrics)
-    assert cluster.sim.scheduled < 6 * (completed + 4000)
+    assert cluster.sim._seq < 6 * (completed + 4000)
 
 
 def test_qos_control_plane_event_budget():
     """Haechi's control threads add O(ticks), not O(I/Os)."""
-    import repro.cluster.builder as builder_module
+    from repro.common.types import QoSMode
+    from repro.cluster.builder import build_cluster
 
-    original_sim = builder_module.Simulator
-    builder_module.Simulator = CountingSimulator
-    try:
-        from repro.common.types import QoSMode
-        from repro.cluster.builder import build_cluster
-
-        cluster = build_cluster(
-            2, QoSMode.HAECHI, reservations_ops=[100_000, 100_000],
-            scale=SCALE,
-        )
-    finally:
-        builder_module.Simulator = original_sim
+    cluster = build_cluster(
+        2, QoSMode.HAECHI, reservations_ops=[100_000, 100_000],
+        scale=SCALE,
+    )
     cluster.start()
-    baseline = None
     period = cluster.config.period
     cluster.sim.run(until=2 * period)  # idle periods: control plane only
-    baseline = cluster.sim.scheduled
+    baseline = cluster.sim._seq
     cluster.sim.run(until=4 * period)
-    per_period = (cluster.sim.scheduled - baseline) / 2
+    per_period = (cluster.sim._seq - baseline) / 2
     ticks = cluster.config.period / cluster.config.check_interval
     # monitor loop + 2 mgmt threads + period machinery; no I/O traffic.
     # Budget: ~4 events per tick across the deployment.

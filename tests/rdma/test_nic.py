@@ -113,3 +113,24 @@ class TestRNIC:
         nic = RNIC(sim, "n", profile)
         with pytest.raises(ValueError):
             nic.control_overhead_fraction(periods=0)
+
+    def test_overhead_uses_paper_period_not_dilated(self, sim):
+        # Under time dilation K the same per-tick op count runs against a
+        # K-times shorter simulated period; the reported fraction must
+        # divide by the *paper* period so it stays the deployment-scale
+        # number.  The old signature took a ``dilated_period`` argument it
+        # silently ignored — it is gone, and passing it must fail loudly.
+        k = 100
+        nic = RNIC(sim, "n", NICProfile.chameleon(scale=k))
+        faa = WorkRequest(opcode=OpType.FETCH_ADD, control=True)
+        nic.submit_issue(faa)
+        overhead = nic.control_overhead_fraction(periods=1.0, paper_period=1.0)
+        # One dilated-cost atomic against the 1 s paper period.
+        assert overhead["issue"] == pytest.approx(
+            k * NICProfile.chameleon().atomic_issue_cost
+        )
+        # Halving the paper period doubles the capacity share.
+        doubled = nic.control_overhead_fraction(periods=1.0, paper_period=0.5)
+        assert doubled["issue"] == pytest.approx(2 * overhead["issue"])
+        with pytest.raises(TypeError):
+            nic.control_overhead_fraction(periods=1.0, dilated_period=0.01)

@@ -115,6 +115,31 @@ class TestStaleControlEpoch:
             assert counts[-1] >= 0.9 * ctx.failover.granted_reservation
 
 
+class TestRejoinPostSwallows:
+    def test_failed_rejoin_post_is_counted_and_retried(self):
+        from repro.common.errors import QPError
+
+        cluster = make_cluster(with_apps=False)
+        cluster.start()
+        cluster.sim.run(until=cluster.config.period * 0.25)
+        manager = cluster.clients[0].failover
+        # Make every rejoin post fail at the QP layer: the manager must
+        # count the swallow and keep retransmitting on its deadline.
+        def refuse(wr):
+            raise QPError("injected: replica QP refuses posts")
+
+        manager.kv_replica.qp.post_send = refuse
+        manager._start_failover()
+        cluster.sim.run(
+            until=cluster.sim.now
+            + manager.recovery.rejoin_deadline
+            * (manager.recovery.rejoin_attempts + 1)
+        )
+        assert manager.rejoin_post_qp_errors == manager.recovery.rejoin_attempts
+        assert manager.rejoin_requests_sent == manager.recovery.rejoin_attempts
+        assert manager.state is FailoverState.FAILED
+
+
 class TestRejoinReconciliation:
     def test_oversized_reservation_is_clamped(self):
         cluster = make_cluster(with_apps=False)

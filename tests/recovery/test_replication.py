@@ -88,6 +88,56 @@ class TestReplicatedPut:
         assert ("C1", 9) not in cluster.data_node.store.applied_versions
 
 
+class TestSwallowedPostErrors:
+    """QPError swallows on fire-and-forget posts are counted, not silent."""
+
+    def test_forward_to_closed_replica_counts_swallow(self):
+        config = CHAOS_SCALE.config()
+        recovery = RecoveryConfig.from_config(
+            config,
+            replication_attempts=2,
+            replication_deadline=config.check_interval,
+        )
+        cluster = make_cluster(recovery=recovery)
+        # Close the primary->replica QP out from under the server; the
+        # forward post raises QPError, the deadline machinery degrades,
+        # and every swallow is visible in the counter.
+        cluster.data_node.replica_qp.close()
+        acks = []
+        cluster.clients[0].kv.put_twosided(
+            4, b"x", lambda ok, v, l: acks.append(ok), client_version=1)
+        drain(cluster, 2.0)
+        assert cluster.data_node.forward_post_qp_errors >= 1
+        assert cluster.data_node.degraded_acks == 1
+        assert acks == [True]
+
+    def test_reply_on_dead_connection_counts_swallow(self):
+        cluster = make_cluster()
+        kv = cluster.clients[0].kv
+        results = []
+        kv.get_twosided(1, lambda ok, v, l: results.append(ok))
+        # Kill the server->client direction after the request is on the
+        # wire: the response post fails and must be counted.
+        cluster.sim.schedule(cluster.config.check_interval / 4,
+                             kv.qp.reverse.close)
+        drain(cluster, 2.0)
+        assert cluster.data_node.reply_post_qp_errors >= 1
+        # the client's own deadline machinery failed the RPC
+        assert results == [False]
+
+    def test_counters_flow_into_metrics_registry(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        cluster = make_cluster()
+        registry = MetricsRegistry()
+        for name, getter in cluster.data_node.metrics_items():
+            registry.gauge(name, getter)
+        cluster.data_node.forward_post_qp_errors = 3
+        cluster.data_node.reply_post_qp_errors = 2
+        assert registry.value("server_forward_post_qp_errors") == 3
+        assert registry.value("server_reply_post_qp_errors") == 2
+
+
 class TestVersionedStore:
     def test_versions_are_per_client(self):
         cluster = make_cluster()
