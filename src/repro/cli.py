@@ -7,6 +7,8 @@ Subcommands::
                               [--reserved-fraction 0.9] [--pattern ...]
     python -m repro faults    [--kind control-loss|client-crash ...]
     python -m repro chaos     [--seeds 11 23 ...]
+    python -m repro globalqos [--seeds 11 23 ...] [--chaos]
+                              [--report out.json]
     python -m repro telemetry [--sample N] [--trace out.json]
                               [--chaos-seed N] [--overhead-check]
     python -m repro figures
@@ -112,6 +114,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seeds to run (default: the documented set)")
     chaos.add_argument("--clients", type=int, default=4)
     chaos.add_argument("--periods", type=int, default=10)
+
+    globalqos = sub.add_parser(
+        "globalqos",
+        help="multi-node global coordinator: static-vs-coordinated skew "
+             "comparison, or coordinator-crash chaos (--chaos)",
+    )
+    globalqos.add_argument("--seeds", type=int, nargs="+", default=None,
+                           help="seeds to run (default: the documented set)")
+    globalqos.add_argument("--chaos", action="store_true",
+                           help="run the coordinator-crash chaos invariants "
+                                "instead of the skew comparison")
+    globalqos.add_argument("--periods", type=int, default=18,
+                           help="chaos run length in QoS periods")
+    globalqos.add_argument("--rebalance-periods", type=int, default=2,
+                           help="QoS periods per rebalance epoch")
+    globalqos.add_argument("--fallback-after", type=int, default=2,
+                           help="silent epochs before clients restore the "
+                                "static even split")
+    globalqos.add_argument("--report", metavar="PATH", default=None,
+                           help="write the per-seed verdicts and ledger "
+                                "conservation audit as JSON")
 
     telemetry = sub.add_parser(
         "telemetry",
@@ -344,6 +367,101 @@ def _cmd_chaos(args) -> int:
         print(line)
     print(f"{len(seeds) - failed}/{len(seeds)} seeds passed "
           f"({args.clients} clients, {args.periods} periods)")
+    return 1 if failed else 0
+
+
+def _cmd_globalqos(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.common.errors import ConfigError
+    from repro.globalqos import (
+        DEFAULT_SEEDS,
+        run_coord_chaos,
+        run_skewed_comparison,
+    )
+
+    seeds = args.seeds if args.seeds else list(DEFAULT_SEEDS)
+    payload: dict = {"mode": "chaos" if args.chaos else "comparison",
+                     "seeds": {}}
+    failed = 0
+    rows = []
+    if args.chaos:
+        for seed in seeds:
+            try:
+                report = run_coord_chaos(
+                    seed, periods=args.periods,
+                    rebalance_periods=args.rebalance_periods,
+                    fallback_after=args.fallback_after,
+                )
+            except ConfigError as err:
+                print(err, file=sys.stderr)
+                return 2
+            rows.append([
+                str(seed),
+                "PASS" if report.ok else "FAIL",
+                str(report.fallbacks),
+                str(report.rebalances),
+                str(report.tokens_shifted),
+                str(report.epochs_skipped),
+                str(report.puts_acked),
+                str(report.rebinds),
+            ])
+            payload["seeds"][str(seed)] = dataclasses.asdict(report)
+            if not report.ok:
+                failed += 1
+                for violation in report.violations:
+                    print(f"seed {seed}: {violation}", file=sys.stderr)
+        for line in format_table(
+            ["seed", "verdict", "fallbacks", "rebalances", "tokens shifted",
+             "epochs skipped", "puts acked", "rebinds"],
+            rows,
+        ):
+            print(line)
+        print(f"{len(seeds) - failed}/{len(seeds)} seeds passed "
+              f"({args.periods} periods, coordinator crash + drop storm)")
+    else:
+        for seed in seeds:
+            comparison = run_skewed_comparison(
+                seed,
+                rebalance_periods=args.rebalance_periods,
+                fallback_after=args.fallback_after,
+            )
+            comparison.pop("_cluster")
+            static = comparison["static"]
+            coordinated = comparison["coordinated"]
+            conserved = not (coordinated["ledger_violations"]
+                             or coordinated["split_violations"])
+            ok = (comparison["worst_gain"] > 0 and conserved)
+            rows.append([
+                str(seed),
+                f"{static['worst_entitled_attainment']:.3f}",
+                f"{coordinated['worst_entitled_attainment']:.3f}",
+                f"{comparison['worst_gain']:+.3f}",
+                str(coordinated["rebalances"]),
+                str(coordinated["tokens_shifted"]),
+                "PASS" if conserved else "FAIL",
+            ])
+            payload["seeds"][str(seed)] = comparison
+            if not ok:
+                failed += 1
+                for violation in (coordinated["ledger_violations"]
+                                  + coordinated["split_violations"]):
+                    print(f"seed {seed}: {violation}", file=sys.stderr)
+        for line in format_table(
+            ["seed", "static worst", "coordinated worst", "gain",
+             "rebalances", "tokens shifted", "conservation"],
+            rows,
+        ):
+            print(line)
+        print(f"{len(seeds) - failed}/{len(seeds)} seeds improved the worst "
+              "entitled client's attainment with clean conservation audits")
+    payload["failed"] = failed
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
     return 1 if failed else 0
 
 
@@ -596,6 +714,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "globalqos":
+        return _cmd_globalqos(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     if args.command == "figures":

@@ -134,6 +134,63 @@ def digest_all(seeds=CANONICAL_SEEDS) -> Dict[str, Dict[str, str]]:
     return {str(seed): determinism_digest(seed) for seed in seeds}
 
 
+#: Seeds for the multi-node global-coordinator digest.  Two, not five:
+#: each digest runs the skewed scenario twice (static + coordinated)
+#: plus a coordinator-crash chaos run, so two seeds already cover the
+#: rebalance, fallback, and recovery paths at acceptable suite cost.
+GLOBALQOS_SEEDS = (11, 23)
+
+
+def globalqos_digest(seed: int,
+                     scale: Optional[SimScale] = None) -> Dict[str, str]:
+    """Digest the global-coordinator scenario family for ``seed``.
+
+    Covers the full tentpole surface: the static-vs-coordinated skew
+    comparison (metrics stream, ledger stream with its ``rebalance``
+    events, attainment payload) and a coordinator-crash chaos run
+    (fallback, recovery, conservation verdicts).  Same shape as
+    :func:`determinism_digest` so the pinned test compares both
+    families uniformly.
+    """
+    import dataclasses
+
+    from repro.globalqos.chaos import run_coord_chaos
+    from repro.globalqos.scenario import run_skewed
+
+    static = run_skewed(seed, False, scale=scale)
+    coordinated = run_skewed(seed, True, scale=scale)
+    static.pop("_cluster")
+    coord_cluster = coordinated.pop("_cluster")
+    hub = coord_cluster.sim.telemetry
+
+    chaos = run_coord_chaos(seed, scale=scale)
+
+    metrics_text = metrics_jsonl(hub.period_rows)
+    ledger_text = ledger_jsonl(hub.ledger)
+    results_text = _canonical_json({
+        "static": static,
+        "coordinated": coordinated,
+        "chaos": dataclasses.asdict(chaos),
+    })
+    metrics_hash = _sha256(metrics_text)
+    ledger_hash = _sha256(ledger_text)
+    results_hash = _sha256(results_text)
+    return {
+        "kind": "globalqos-skew",
+        "metrics": metrics_hash,
+        "ledger": ledger_hash,
+        "results": results_hash,
+        "combined": _sha256(_canonical_json(
+            [metrics_hash, ledger_hash, results_hash]
+        )),
+    }
+
+
+def globalqos_digest_all(seeds=GLOBALQOS_SEEDS) -> Dict[str, Dict[str, str]]:
+    """``{str(seed): digest}`` for every global-coordinator seed."""
+    return {str(seed): globalqos_digest(seed) for seed in seeds}
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -148,7 +205,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     digests = digest_all()
-    text = json.dumps({"seeds": digests}, indent=2, sort_keys=True) + "\n"
+    globalqos = globalqos_digest_all()
+    text = json.dumps(
+        {"seeds": digests, "globalqos": globalqos},
+        indent=2, sort_keys=True,
+    ) + "\n"
     if args.write:
         with open(args.write, "w") as fh:
             fh.write(text)

@@ -104,6 +104,9 @@ def register_cluster_metrics(cluster, registry) -> None:
     Idempotent — re-registering after a topology change (failover
     rebind) rebinds the callbacks.
     """
+    if hasattr(cluster, "nodes"):  # MultiNodeCluster
+        _register_multinode_metrics(cluster, registry)
+        return
     for ctx in cluster.clients:
         if ctx.engine is not None:
             for name, getter in ctx.engine.metrics_items():
@@ -135,6 +138,39 @@ def register_cluster_metrics(cluster, registry) -> None:
             registry.gauge(name, getter)
 
 
+def _register_multinode_metrics(cluster, registry) -> None:
+    """The multi-node topology: per-(client, node) engines, N monitors,
+    and — when attached — the global coordinator and its agents."""
+    for striped in cluster.clients:
+        for node, engine in zip(cluster.nodes, striped.engines):
+            for name, getter in engine.metrics_items():
+                registry.gauge(name, getter, client=striped.name,
+                               node=node.host.name)
+        for name, getter in striped.host.nic.metrics_items():
+            registry.gauge(name, getter, node=striped.host.name)
+    for node in cluster.nodes:
+        for name, getter in node.host.nic.metrics_items():
+            registry.gauge(name, getter, node=node.host.name)
+        for name, getter in node.data_node.metrics_items():
+            registry.gauge(name, getter, node=node.host.name)
+        if node.monitor is not None:
+            for name, getter in node.monitor.metrics_items():
+                registry.gauge(name, getter, node=node.host.name)
+    if cluster.fault_injector is not None:
+        for name, getter in cluster.fault_injector.metrics_items():
+            registry.gauge(name, getter)
+    coordinator = getattr(cluster, "coordinator", None)
+    if coordinator is not None:
+        for name, getter in coordinator.metrics_items():
+            registry.gauge(name, getter, node=coordinator.host.name)
+    for agent in getattr(cluster, "client_agents", []):
+        for name, getter in agent.metrics_items():
+            registry.gauge(name, getter, client=agent.striped.name)
+    for agent in getattr(cluster, "node_agents", []):
+        for name, getter in agent.metrics_items():
+            registry.gauge(name, getter, node=agent.node.host.name)
+
+
 def robustness_summary(cluster) -> dict:
     """Fault and recovery counters for a built cluster, in one dict.
 
@@ -155,6 +191,9 @@ def robustness_summary(cluster) -> dict:
     from repro.core.engine import QoSEngine
     from repro.recovery.failover import FailoverManager
     from repro.telemetry.registry import MetricsRegistry
+
+    if hasattr(cluster, "nodes"):  # MultiNodeCluster
+        return _multinode_summary(cluster)
 
     registry = MetricsRegistry()
     register_cluster_metrics(cluster, registry)
@@ -227,6 +266,90 @@ def robustness_summary(cluster) -> dict:
             "duplicate_suppressed_replica":
                 read("server_duplicate_suppressed", node=replica),
         }
+    if cluster.fault_injector is not None:
+        summary["faults"] = cluster.fault_injector.summary()
+    return summary
+
+
+def _multinode_summary(cluster) -> dict:
+    """The multi-node façade: per-(client, node) engine counters, one
+    monitor block per node, and the global-coordinator telemetry
+    (coordinator + client/node agent counters) when one is attached.
+
+    Reads go through the same registry gauges
+    :func:`register_cluster_metrics` exposes to the exporters, so this
+    view cannot drift from the metrics stream.
+    """
+    from repro.core.engine import QoSEngine
+    from repro.telemetry.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    register_cluster_metrics(cluster, registry)
+
+    def read(name, **labels):
+        return registry.value(name, **labels)
+
+    engines = {}
+    for striped in cluster.clients:
+        engines[striped.name] = {
+            node.host.name: {
+                field: read(f"engine_{field}",
+                            client=striped.name, node=node.host.name)
+                for field in QoSEngine.SUMMARY_FIELDS
+            }
+            for node in cluster.nodes[:len(striped.engines)]
+        }
+    flat = [e for per_node in engines.values() for e in per_node.values()]
+    summary = {
+        "engines": engines,
+        "faa_failures_total": sum(e["faa_failures"] for e in flat),
+        "faa_timeouts_total": sum(e["faa_timeouts"] for e in flat),
+        "degraded_entries_total": sum(
+            e["degraded_entries"] for e in flat
+        ),
+        "re_registrations_total": sum(
+            e["re_registrations"] for e in flat
+        ),
+        "monitors": {},
+    }
+    for node in cluster.nodes:
+        if node.monitor is None:
+            continue
+        name = node.host.name
+        summary["monitors"][name] = {
+            "stale_reports": read("monitor_stale_reports", node=name),
+            "clamped_reports": read("monitor_clamped_reports", node=name),
+            "sends_failed": read("monitor_sends_failed", node=name),
+            "evictions": list(node.monitor.evictions),
+            "rejoins": list(node.monitor.rejoins),
+            "rebalances": len(node.monitor.rebalances),
+            "rebalance_clamped": node.monitor.rebalance_clamped,
+        }
+    coordinator = getattr(cluster, "coordinator", None)
+    if coordinator is not None:
+        coord_node = coordinator.host.name
+        block = {
+            name: read(name, node=coord_node)
+            for name, _ in coordinator.metrics_items()
+        }
+        block["clients"] = {
+            agent.striped.name: {
+                name: read(name, client=agent.striped.name)
+                for name, _ in agent.metrics_items()
+            }
+            for agent in cluster.client_agents
+        }
+        block["nodes"] = {
+            agent.node.host.name: {
+                name: read(name, node=agent.node.host.name)
+                for name, _ in agent.metrics_items()
+            }
+            for agent in cluster.node_agents
+        }
+        block["fallbacks_total"] = sum(
+            agent.fallbacks for agent in cluster.client_agents
+        )
+        summary["globalqos"] = block
     if cluster.fault_injector is not None:
         summary["faults"] = cluster.fault_injector.summary()
     return summary

@@ -26,6 +26,7 @@ from repro.core.engine import QoSEngine
 from repro.core.monitor import QoSMonitor
 from repro.cluster.calibration import CHAMELEON, DEFAULT_PROFILE_RSD
 from repro.cluster.metrics import MetricsCollector
+from repro.globalqos.waterfill import even_split
 from repro.cluster.scale import SimScale
 from repro.kvstore.client import KVClient
 from repro.kvstore.server import DataNode
@@ -58,12 +59,25 @@ class StripedClient:
         self.kv_clients: List[KVClient] = []
         self.engines: List[QoSEngine] = []
         self.app = None
+        # Connection routing, kept for post-build wiring (the global
+        # coordinator registers extra control handlers on these).
+        self.router: Optional[ConnectionDispatcher] = None
+        self.dispatchers: List = []
+        # Aggregate reservation (tokens/period) and its per-node split,
+        # kept current by the global coordinator's apply path; the
+        # builder seeds them with the static even split.
+        self.aggregate_reservation = 0
+        self.splits: List[int] = []
+        # Per-node submission counts — the demand signal the global
+        # coordinator's client agent reports each epoch.
+        self.node_submitted: List[int] = []
 
     def submit(self, key: int, on_complete: Callable) -> None:
         """Route one I/O to the node owning ``key`` (modulo striping)."""
         num_nodes = len(self.kv_clients)
         node = key % num_nodes
         node_key = key // num_nodes
+        self.node_submitted[node] += 1
         if self.engines:
             self.engines[node].submit(node_key, on_complete)
         else:
@@ -92,6 +106,21 @@ class MultiNodeCluster:
         self.metrics = MetricsCollector(sim, config.period)
         self.background_jobs = []
         self._started = False
+        self.fault_injector = None
+        # Populated by repro.globalqos.attach_coordinator.
+        self.coordinator = None
+        self.client_agents = []
+        self.node_agents = []
+
+    def inject_faults(self, plan, seed: int = 0, tracer=None):
+        """Install a seeded fault plan on the fabric (see repro.faults)."""
+        from repro.faults.injector import FaultInjector
+        from repro.sim.trace import NULL_TRACER
+
+        self.fault_injector = FaultInjector(
+            plan, seed=seed, tracer=tracer or NULL_TRACER
+        ).install(self.fabric)
+        return self.fault_injector
 
     def add_background_job(self, node_index: int, schedule,
                            rate_ops: float = None, window: int = 64):
@@ -127,17 +156,32 @@ class MultiNodeCluster:
                 node.monitor.start()
 
     def attach_burst_app(self, client: StripedClient, demand_ops: float,
-                         window: Optional[int] = None) -> BurstApp:
-        """A burst app driving the striped submitter."""
+                         window: Optional[int] = None,
+                         key_gen=None) -> BurstApp:
+        """A burst app driving the striped submitter.
+
+        ``key_gen`` is any object with a ``next() -> int`` method — the
+        :mod:`repro.workloads.ycsb` generators (uniform / zipfian /
+        scrambled-zipfian / hotspot) plug in directly, making skewed
+        multi-node workloads expressible without a custom driver.  When
+        omitted, the original sequential scan over the striped keyspace
+        is used.
+        """
         keyspace = len(self.nodes) * min(
             node.data_node.store.layout.num_slots for node in self.nodes
         )
-        state = {"next": client.index % keyspace}
+        if key_gen is not None:
+            gen_next = key_gen.next
 
-        def key_fn() -> int:
-            key = state["next"]
-            state["next"] = (key + 1) % keyspace
-            return key
+            def key_fn() -> int:
+                return gen_next() % keyspace
+        else:
+            state = {"next": client.index % keyspace}
+
+            def key_fn() -> int:
+                key = state["next"]
+                state["next"] = (key + 1) % keyspace
+                return key
 
         hook = self.metrics.hook(client.name)
         client.app = BurstApp(
@@ -214,12 +258,21 @@ def build_multinode_cluster(
         router = ConnectionDispatcher()
         host.set_rpc_handler(router)
         striped = StripedClient(i, name, host)
-        per_node_tokens = config.tokens_per_period(
-            reservations_ops[i] / num_nodes
-        )
+        striped.router = router
+        # Split the *aggregate* token reservation, not the ops rate:
+        # rounding tokens_per_period(rate / num_nodes) per node could
+        # sum below the client's aggregate (up to num_nodes - 1 tokens
+        # silently lost).  Largest-remainder over the node index keeps
+        # the sum exact and deterministic.
+        aggregate_tokens = config.tokens_per_period(reservations_ops[i])
+        node_tokens = even_split(aggregate_tokens, num_nodes)
+        striped.aggregate_reservation = aggregate_tokens
+        striped.splits = list(node_tokens)
+        striped.node_submitted = [0] * num_nodes
         for node in nodes:
             qp_cs, qp_sc = fabric.connect(host, node.host)
             dispatcher = router.register_connection(qp_cs)
+            striped.dispatchers.append(dispatcher)
             kv = KVClient(
                 f"{name}->server{node.index + 1}",
                 qp_cs,
@@ -229,6 +282,7 @@ def build_multinode_cluster(
             )
             striped.kv_clients.append(kv)
             if node.monitor is not None:
+                per_node_tokens = node_tokens[node.index]
                 layout = node.monitor.add_client(i, per_node_tokens, qp_sc)
                 striped.engines.append(QoSEngine(
                     client_id=i,

@@ -69,6 +69,32 @@ class AdmissionController:
             )
         self.admitted[client_id] = reservation
 
+    def resize(self, client_id: int, reservation: int) -> None:
+        """Replace an admitted client's reservation (Definition 2 still
+        enforced against the *new* value).
+
+        Used by the global coordinator's mid-period split updates: the
+        client stays admitted throughout, only its share moves.  Raises
+        :class:`AdmissionError` when the new value violates either
+        capacity constraint, leaving the old reservation in force.
+        """
+        if client_id not in self.admitted:
+            raise AdmissionError(f"client {client_id} is not admitted")
+        if reservation < 0:
+            raise AdmissionError(f"reservation must be >= 0, got {reservation}")
+        if reservation > self.local_capacity:
+            raise AdmissionError(
+                f"local capacity violation: reservation {reservation} exceeds "
+                f"per-client capacity {self.local_capacity}"
+            )
+        others = self.total_reserved - self.admitted[client_id]
+        if others + reservation > self.global_capacity:
+            raise AdmissionError(
+                f"aggregate capacity violation: {others} + {reservation} "
+                f"exceeds {self.global_capacity}"
+            )
+        self.admitted[client_id] = reservation
+
     def release(self, client_id: int) -> None:
         """Remove a departed client's reservation."""
         if client_id not in self.admitted:

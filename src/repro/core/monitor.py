@@ -144,6 +144,11 @@ class QoSMonitor:
         self.rejoins: List[dict] = []
         self.rejoin_clamped = 0
         self.reinitializations = 0
+        # global-coordinator telemetry (see docs/GLOBALQOS.md); exposed
+        # through the node agent's metrics_items, not this class's, so
+        # coordinator-free runs keep their metric streams byte-stable.
+        self.rebalances: List[dict] = []
+        self.rebalance_clamped = 0
 
     # ------------------------------------------------------------------
     # Client admission / wiring (step T1 prerequisites)
@@ -264,6 +269,63 @@ class QoSMonitor:
         return {
             "layout": slot.layout,
             "reservation": slot.reservation,
+            "tokens_now": tokens_now,
+            "period_id": self.period_id,
+            "period_end_time": self._period_end,
+            "generation": self.generation,
+        }
+
+    def update_reservation(self, client_id: int, reservation: int) -> dict:
+        """Resize a registered client's reservation mid-period.
+
+        The global coordinator's apply path: the client keeps its slot
+        and control-memory layout, only the grant changes.  The new
+        value is clamped against the local capacity and the admission
+        headroom (the other clients' reservations are untouched), the
+        slot's report words are re-initialized for the new grant —
+        exactly the rejoin treatment, so the end-of-period stale/lease
+        accounting stays consistent — and the returned grant is
+        pro-rated to the remainder of the current period.  From the
+        next ``_begin_period`` the full new reservation flows through
+        the normal :class:`PeriodStart` dispatch automatically.
+        """
+        slot = self._clients.get(client_id)
+        if slot is None:
+            raise QoSError(f"client {client_id} is not registered")
+        granted = reservation
+        if self.admission is not None:
+            others = (self.admission.total_reserved
+                      - self.admission.admitted[client_id])
+            granted = min(
+                granted,
+                self.admission.local_capacity,
+                max(0, self.admission.global_capacity - others),
+            )
+            if granted < reservation:
+                self.rebalance_clamped += 1
+            self.admission.resize(client_id, granted)
+        previous = slot.reservation
+        slot.reservation = granted
+        memory = self.host.memory.backing
+        memory.write_u64(slot.layout.report_live_addr, granted << 32)
+        memory.write_u64(
+            slot.layout.report_final_addr, _stale_sentinel(granted)
+        )
+        remaining = max(0.0, self._period_end - self.sim.now)
+        tokens_now = int(granted * remaining / self.config.period)
+        self.rebalances.append({
+            "client": client_id,
+            "previous": previous,
+            "requested": reservation,
+            "granted": granted,
+            "period": self.period_id,
+            "time": self.sim.now,
+        })
+        self.tracer.emit("monitor", "reservation_resized",
+                         period=self.period_id, client=client_id,
+                         previous=previous, granted=granted)
+        return {
+            "reservation": granted,
             "tokens_now": tokens_now,
             "period_id": self.period_id,
             "period_end_time": self._period_end,

@@ -1,0 +1,333 @@
+"""The distributed halves of the coordinator protocol.
+
+``NodeAgent`` lives beside each data node's monitor: it pushes per-epoch
+headroom reports to the coordinator and serves the mid-period
+:class:`~repro.globalqos.protocol.SplitApply` resize requests through
+:meth:`~repro.core.monitor.QoSMonitor.update_reservation`.
+
+``ClientAgent`` lives beside each striped client: it reports per-node
+demand each epoch, applies the coordinator's split updates through the
+engines' ``rebind`` machinery (decreases first, increases one check
+interval later, so a node never sees a transient aggregate
+over-reservation), and owns the degradation policy — a silent
+coordinator freezes the last split, and after ``fallback_after``
+epochs without a heartbeat the agent reverts to the static even split
+on its own.
+
+Both agents expose ``metrics_items()`` so their counters flow into the
+registry/robustness-summary exports like every other component's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import QoSError, QPError
+from repro.common.types import OpType
+from repro.core.protocol import CONTROL_MESSAGE_SIZE
+from repro.globalqos.protocol import (
+    SPLIT_ENTRY_SIZE,
+    DemandReport,
+    NodeReport,
+    SplitApply,
+    SplitGrant,
+    SplitUpdate,
+)
+from repro.globalqos.waterfill import even_split
+from repro.rdma.verbs import WorkRequest
+
+# Epoch-relative offsets, as fractions of one QoS period.  Reports go
+# out late in an epoch's final period; the coordinator computes shortly
+# after; applied splits land before the next period boundary, whose
+# PeriodStart then carries the full new grant.
+REPORT_MARGIN = 0.25
+COMPUTE_MARGIN = 0.125
+
+
+def _control_wr(message, num_nodes: int) -> WorkRequest:
+    return WorkRequest(
+        opcode=OpType.SEND,
+        payload=message,
+        size=CONTROL_MESSAGE_SIZE + num_nodes * SPLIT_ENTRY_SIZE,
+        is_response=True,
+        control=True,
+    )
+
+
+class NodeAgent:
+    """One data node's end of the coordinator protocol."""
+
+    def __init__(self, node, coord_qp, epoch_len: float,
+                 num_nodes: int):
+        self.node = node
+        self.monitor = node.monitor
+        self.sim = node.host.sim
+        self.coord_qp = coord_qp
+        self.epoch_len = epoch_len
+        self.num_nodes = num_nodes
+        self.reports_sent = 0
+        self.report_sends_failed = 0
+        self.applies_served = 0
+        self.applies_rejected = 0
+        node.data_node.dispatcher.register(SplitApply, self._on_apply)
+
+    def start(self) -> None:
+        self._schedule_report(1)
+
+    def _schedule_report(self, epoch: int) -> None:
+        period = self.monitor.config.period
+        at = epoch * self.epoch_len - REPORT_MARGIN * period
+        self.sim.schedule_at(at, self._report, epoch)
+
+    def _report(self, epoch: int) -> None:
+        monitor = self.monitor
+        admission = monitor.admission
+        message = NodeReport(
+            node_index=self.node.index,
+            epoch=epoch,
+            capacity=int(monitor.estimator.current),
+            reserved=(admission.total_reserved if admission is not None
+                      else monitor.total_reserved),
+            local_capacity=(admission.local_capacity
+                            if admission is not None else 0),
+        )
+        try:
+            self.coord_qp.post_send(_control_wr(message, self.num_nodes))
+            self.reports_sent += 1
+        except QPError:
+            self.report_sends_failed += 1
+        self._schedule_report(epoch + 1)
+
+    def _on_apply(self, msg: SplitApply, reply_qp) -> None:
+        try:
+            grant = self.monitor.update_reservation(
+                msg.client_id, msg.reservation
+            )
+        except QoSError:
+            self.applies_rejected += 1
+            response = SplitGrant(
+                client_id=msg.client_id, node_index=self.node.index,
+                epoch=msg.epoch, ok=False, reservation=0, tokens_now=0,
+            )
+        else:
+            self.applies_served += 1
+            response = SplitGrant(
+                client_id=msg.client_id,
+                node_index=self.node.index,
+                epoch=msg.epoch,
+                ok=True,
+                reservation=grant["reservation"],
+                tokens_now=grant["tokens_now"],
+                period_id=grant["period_id"],
+                period_end_time=grant["period_end_time"],
+                generation=grant["generation"],
+            )
+        try:
+            reply_qp.post_send(_control_wr(response, self.num_nodes))
+        except QPError:
+            self.report_sends_failed += 1
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("globalqos_node_reports_sent", lambda: self.reports_sent),
+            ("globalqos_node_report_sends_failed",
+             lambda: self.report_sends_failed),
+            ("globalqos_node_applies_served", lambda: self.applies_served),
+            ("globalqos_node_applies_rejected",
+             lambda: self.applies_rejected),
+            ("globalqos_node_rebalances",
+             lambda: len(self.monitor.rebalances)),
+            ("globalqos_node_rebalance_clamped",
+             lambda: self.monitor.rebalance_clamped),
+        ]
+
+
+class ClientAgent:
+    """One striped client's end of the coordinator protocol."""
+
+    def __init__(self, striped, config, coord_qp, coord_dispatcher,
+                 epoch_len: float, fallback_after: int):
+        self.striped = striped
+        self.config = config
+        self.sim = striped.host.sim
+        self.coord_qp = coord_qp
+        self.epoch_len = epoch_len
+        self.fallback_after = fallback_after
+        num_nodes = len(striped.engines)
+        self.num_nodes = num_nodes
+        self._last_submitted = [0] * num_nodes
+        self._last_completed = [0] * num_nodes
+        self._last_report_time = 0.0
+        self._epoch = 0
+        self.last_update_epoch = 0
+        # node -> epoch of the SplitApply still awaiting its grant.
+        self._pending: Dict[int, int] = {}
+        self.reports_sent = 0
+        self.report_sends_failed = 0
+        self.updates_received = 0
+        self.splits_applied = 0
+        self.applies_clamped = 0
+        self.applies_failed = 0
+        self.applies_timed_out = 0
+        self.fallbacks = 0
+        coord_dispatcher.register(SplitUpdate, self._on_update)
+        for dispatcher in striped.dispatchers:
+            dispatcher.register(SplitGrant, self._on_grant)
+
+    # ------------------------------------------------------------------
+    # Per-epoch reporting + the fallback timer
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._schedule_report(1)
+
+    def _schedule_report(self, epoch: int) -> None:
+        at = epoch * self.epoch_len - REPORT_MARGIN * self.config.period
+        self.sim.schedule_at(at, self._report, epoch)
+
+    def _report(self, epoch: int) -> None:
+        self._epoch = epoch
+        striped = self.striped
+        elapsed = self.sim.now - self._last_report_time
+        period = self.config.period
+        demand: List[int] = []
+        completed: List[int] = []
+        for n in range(self.num_nodes):
+            sub = striped.node_submitted[n]
+            done = striped.engines[n].total_completed
+            demand.append(
+                int(round((sub - self._last_submitted[n]) * period / elapsed))
+                if elapsed > 0 else 0
+            )
+            completed.append(
+                int(round((done - self._last_completed[n]) * period / elapsed))
+                if elapsed > 0 else 0
+            )
+            self._last_submitted[n] = sub
+            self._last_completed[n] = done
+        self._last_report_time = self.sim.now
+        message = DemandReport(
+            client_id=striped.index,
+            epoch=epoch,
+            aggregate=striped.aggregate_reservation,
+            demand=tuple(demand),
+            completed=tuple(completed),
+            splits=tuple(striped.splits),
+        )
+        try:
+            self.coord_qp.post_send(_control_wr(message, self.num_nodes))
+            self.reports_sent += 1
+        except QPError:
+            self.report_sends_failed += 1
+        self._maybe_fall_back(epoch)
+        self._schedule_report(epoch + 1)
+
+    def _maybe_fall_back(self, epoch: int) -> None:
+        """Degraded mode: no heartbeat for ``fallback_after`` epochs.
+
+        Until then the last applied split stays frozen; past it the
+        agent restores the static even split locally — the safe
+        configuration every node admitted at build time — so a dead
+        coordinator degrades the cluster to exactly its
+        pre-coordinator behaviour.
+        """
+        silent = epoch - max(self.last_update_epoch, 1)
+        if silent < self.fallback_after:
+            return
+        target = even_split(self.striped.aggregate_reservation,
+                            self.num_nodes)
+        if list(self.striped.splits) == target:
+            return
+        self.fallbacks += 1
+        self._apply_splits(target, epoch)
+
+    # ------------------------------------------------------------------
+    # Split application (rebind machinery)
+    # ------------------------------------------------------------------
+    def _on_update(self, msg: SplitUpdate, _reply_qp) -> None:
+        self.updates_received += 1
+        if msg.epoch > self.last_update_epoch:
+            self.last_update_epoch = msg.epoch
+        self._apply_splits(list(msg.splits), msg.epoch)
+
+    def _apply_splits(self, target: List[int], epoch: int) -> None:
+        """Send SplitApply for every node whose share changes.
+
+        Decreases go immediately; increases one check interval later,
+        so with a healthy control plane every node sees the releases
+        before the claims and admission clamping never fires.  A lost
+        apply self-heals: ``striped.splits`` keeps the old value, so
+        the next epoch's heartbeat update retries the delta.
+        """
+        current = self.striped.splits
+        for n in range(self.num_nodes):
+            if target[n] < current[n]:
+                self._send_apply(n, target[n], epoch)
+        for n in range(self.num_nodes):
+            if target[n] > current[n]:
+                self.sim.schedule(
+                    self.config.check_interval,
+                    self._send_apply, n, target[n], epoch,
+                )
+
+    def _send_apply(self, node: int, reservation: int, epoch: int) -> None:
+        message = SplitApply(
+            client_id=self.striped.index,
+            reservation=reservation,
+            epoch=epoch,
+        )
+        qp = self.striped.kv_clients[node].qp
+        try:
+            qp.post_send(_control_wr(message, self.num_nodes))
+        except QPError:
+            self.applies_failed += 1
+            return
+        self._pending[node] = epoch
+        self.sim.schedule(
+            self.config.resolved_control_deadline,
+            self._sweep_apply, node, epoch,
+        )
+
+    def _sweep_apply(self, node: int, epoch: int) -> None:
+        if self._pending.get(node) == epoch:
+            del self._pending[node]
+            self.applies_timed_out += 1
+
+    def _on_grant(self, msg: SplitGrant, _reply_qp) -> None:
+        node = msg.node_index
+        if self._pending.get(node) == msg.epoch:
+            del self._pending[node]
+        if not msg.ok:
+            self.applies_failed += 1
+            return
+        engine = self.striped.engines[node]
+        if msg.reservation == self.striped.splits[node]:
+            return  # duplicate grant (retry raced the original)
+        engine.rebind(
+            kv=engine.kv,
+            layout=engine.layout,
+            reservation=msg.reservation,
+            tokens_now=msg.tokens_now,
+            period_id=msg.period_id,
+            period_end_time=msg.period_end_time,
+            generation=msg.generation,
+            source=0,
+        )
+        self.striped.splits[node] = msg.reservation
+        self.splits_applied += 1
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("globalqos_reports_sent", lambda: self.reports_sent),
+            ("globalqos_report_sends_failed",
+             lambda: self.report_sends_failed),
+            ("globalqos_updates_received", lambda: self.updates_received),
+            ("globalqos_splits_applied", lambda: self.splits_applied),
+            ("globalqos_applies_failed", lambda: self.applies_failed),
+            ("globalqos_applies_timed_out",
+             lambda: self.applies_timed_out),
+            ("globalqos_fallbacks", lambda: self.fallbacks),
+            ("globalqos_last_update_epoch",
+             lambda: self.last_update_epoch),
+        ]

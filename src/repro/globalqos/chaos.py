@@ -1,0 +1,291 @@
+"""Seeded chaos for the global coordinator (degradation invariants).
+
+The coordinator is soft state, so its chaos harness checks *graceful
+degradation*, not durability: crash the ``coord`` host mid-run (every
+send to or from it drops at the fabric), add a seeded control-op drop
+storm, and verify that the data plane never noticed:
+
+1. **Fallback engaged** — with the coordinator silent past the
+   client-side timer, agents restore the static even split on their
+   own (the freeze -> fallback ladder actually ran).
+2. **Recovery re-engaged** — after the crash window closes, one epoch
+   of reports rebuilds the coordinator's view and rebalancing resumes
+   (heartbeats reach the clients again, shifts are recomputed).
+3. **No lost acknowledged PUT** — every versioned PUT acked to the
+   chaos driver is durable on the owning node's store, mid-stream
+   rebinds notwithstanding.
+4. **Token conservation** — every engine grant episode balances across
+   all the rebinds the split changes caused
+   (:meth:`~repro.telemetry.ledger.TokenLedger.check_conservation`).
+5. **Split conservation** — every rebalance the coordinator recorded
+   sums to the client's aggregate reservation exactly
+   (:meth:`~repro.telemetry.ledger.TokenLedger.check_split_conservation`).
+6. **Reservations met after settle** — in the final (fault-free)
+   period every client's completions reach 90% of its aggregate
+   reservation: the coordinator's return actually restored the skewed
+   clients' attainment.
+
+Same seed, same schedule, same verdict: failures are replayable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.cluster.scale import SimScale
+from repro.faults.plan import CrashWindow, DropRule, FaultPlan, OpFilter
+from repro.globalqos.coordinator import COORD_HOST_NAME
+from repro.globalqos.scenario import build_skewed_cluster
+from repro.globalqos.waterfill import even_split
+
+# CI's globalqos-smoke job runs the first seed; the full suite and
+# `python -m repro globalqos --chaos` run all of them.
+DEFAULT_SEEDS = (11, 23, 37)
+
+SETTLE_PERIODS = 3
+
+
+@dataclasses.dataclass
+class CoordChaosReport:
+    """One coordinator-chaos run's verdict and headline counters."""
+
+    seed: int
+    periods: int
+    violations: List[str]
+    fallbacks: int
+    rebalances: int
+    tokens_shifted: int
+    updates_received: int
+    epochs_skipped: int
+    puts_acked: int
+    rebinds: int
+    ledger_totals: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def coord_chaos_plan(seed: int, config, periods: int,
+                     rebalance_periods: int) -> FaultPlan:
+    """A deterministic schedule built around one coordinator outage.
+
+    The crash window opens after the first rebalance has landed and
+    stays down long enough to trip the client fallback timers, then
+    lifts with at least two epochs plus the settle tail remaining so
+    recovery is observable.  A short control-op drop storm lands
+    somewhere in the faulted region for extra report loss.
+    """
+    min_periods = 7 * rebalance_periods + SETTLE_PERIODS
+    if periods < min_periods:
+        raise ConfigError(
+            f"coordinator chaos needs >= {min_periods} periods "
+            f"(got {periods}): outage, fallback, recovery and a "
+            f"{SETTLE_PERIODS}-period settle tail must all fit"
+        )
+    rng = make_rng(seed, "coord-chaos-plan")
+    T = config.period
+    epoch = rebalance_periods * T
+    # Down for 3 epochs starting somewhere in the second one: the
+    # first shift is in force, then >= fallback_after epochs of
+    # silence force the even-split fallback.
+    crash_start = epoch * (1.0 + rng.random())
+    crash_end = crash_start + 3.0 * epoch
+    crashes = (CrashWindow(COORD_HOST_NAME, crash_start, crash_end),)
+
+    storm_start = crash_start + rng.random() * 2.0 * epoch
+    drops = (DropRule(
+        rate=0.05 + 0.1 * rng.random(),
+        where=OpFilter(control_only=True, start=storm_start,
+                       end=storm_start + T),
+        label="coord-chaos-storm",
+    ),)
+    return FaultPlan(
+        drops=drops,
+        crashes=crashes,
+        drop_fail_after=config.check_interval,
+    )
+
+
+class _PutDriver:
+    """A paced versioned-PUT stream through one striped client.
+
+    Tracks every acknowledged (node, key, version) so invariant 3 can
+    demand durability; versions make server-side replays idempotent.
+    """
+
+    def __init__(self, cluster, striped, puts_per_period: int,
+                 stop_time: float, seed: int):
+        self.striped = striped
+        self.acked: Dict[Tuple[int, int], int] = {}
+        self.puts_acked = 0
+        self._versions: Dict[Tuple[int, int], int] = {}
+        sim = cluster.sim
+        num_nodes = len(cluster.nodes)
+        keyspace = num_nodes * min(
+            node.data_node.store.layout.num_slots for node in cluster.nodes
+        )
+        rng = make_rng(seed, "coord-chaos-puts", striped.index)
+        gap = cluster.config.period / puts_per_period
+        payload = b"coordchaos"
+
+        def driver():
+            while sim.now < stop_time:
+                key = rng.randrange(keyspace)
+                node = key % num_nodes
+                node_key = key // num_nodes
+                slot = (node, node_key)
+                version = self._versions.get(slot, 0) + 1
+                self._versions[slot] = version
+
+                def on_ack(ok, _value, _latency,
+                           slot=slot, version=version):
+                    if ok:
+                        self.puts_acked += 1
+                        if version > self.acked.get(slot, 0):
+                            self.acked[slot] = version
+
+                striped.kv_clients[node].put_twosided(
+                    node_key, payload, on_ack, client_version=version
+                )
+                yield sim.timeout(gap)
+
+        sim.process(driver())
+
+
+def run_coord_chaos(
+    seed: int,
+    periods: int = 18,
+    rebalance_periods: int = 2,
+    fallback_after: int = 2,
+    puts_per_period: int = 6,
+    scale: Optional[SimScale] = None,
+) -> CoordChaosReport:
+    """One seeded coordinator-chaos run; returns the invariant verdict."""
+    cluster = build_skewed_cluster(
+        seed, coordinated=True, scale=scale,
+        rebalance_periods=rebalance_periods,
+        fallback_after=fallback_after,
+    )
+    config = cluster.config
+    T = config.period
+    plan = coord_chaos_plan(seed, config, periods, rebalance_periods)
+    cluster.inject_faults(plan, seed=seed)
+
+    drivers = [
+        _PutDriver(cluster, striped, puts_per_period,
+                   stop_time=(periods - 1) * T, seed=seed)
+        for striped in cluster.clients
+    ]
+
+    cluster.start()
+    cluster.sim.run(until=periods * T + T * 1e-6)
+    for striped in cluster.clients:
+        for engine in striped.engines:
+            engine.ledger_flush()
+
+    return _check_invariants(cluster, plan, drivers, seed, periods)
+
+
+def _check_invariants(cluster, plan: FaultPlan, drivers,
+                      seed: int, periods: int) -> CoordChaosReport:
+    violations: List[str] = []
+    coordinator = cluster.coordinator
+    agents = cluster.client_agents
+    T = cluster.config.period
+    crash = plan.crashes[0]
+
+    # 1. Fallback engaged during the outage.  Only clients whose split
+    # had been shifted off even have anything to restore — the skewed
+    # scenario guarantees at least the entitled clients were.
+    fallbacks = sum(agent.fallbacks for agent in agents)
+    if fallbacks < 1:
+        violations.append(
+            "no client fell back to the static split despite "
+            f"coordinator down {crash.start / T:.1f}..{crash.end / T:.1f} "
+            "periods"
+        )
+
+    # 2. Recovery re-engaged after the window closed: heartbeats
+    # resumed (every agent heard a post-crash epoch) and the
+    # coordinator kept computing.
+    recovery_epoch = int(crash.end / coordinator.epoch_len) + 1
+    for agent in agents:
+        if agent.last_update_epoch < recovery_epoch:
+            violations.append(
+                f"{agent.striped.name}: no coordinator heartbeat after "
+                f"restart (last epoch {agent.last_update_epoch}, "
+                f"expected >= {recovery_epoch})"
+            )
+    if coordinator.rebalances_computed < 2:
+        violations.append(
+            "coordinator never re-shifted after restart "
+            f"(rebalances={coordinator.rebalances_computed})"
+        )
+
+    # 3. No lost acknowledged PUT.
+    for striped, driver in zip(cluster.clients, drivers):
+        for (node, node_key), version in driver.acked.items():
+            store = cluster.nodes[node].data_node.store
+            client_id = striped.kv_clients[node].name
+            durable = store.applied_versions.get((client_id, node_key), 0)
+            if durable < version:
+                violations.append(
+                    f"lost acked PUT: {striped.name} node {node} "
+                    f"key={node_key} acked v{version}, durable v{durable}"
+                )
+
+    # 4 + 5. Token and split conservation.
+    ledger = getattr(cluster.sim.telemetry, "ledger", None)
+    ledger_totals: dict = {}
+    if ledger is not None:
+        violations.extend(
+            f"token ledger: {v}" for v in ledger.check_conservation()
+        )
+        violations.extend(
+            f"split ledger: {v}" for v in ledger.check_split_conservation()
+        )
+        ledger_totals = ledger.totals()
+
+    # 6. Reservations met in the final, fault-free period.
+    for striped in cluster.clients:
+        counts = cluster.metrics.clients[striped.name].period_counts
+        target = striped.aggregate_reservation
+        if counts and counts[-1] < 0.9 * target:
+            violations.append(
+                f"reservation unmet after settle: {striped.name} "
+                f"completed {counts[-1]}/{target} in the final period"
+            )
+
+    # Sanity: the fallback target was the even split (not garbage).
+    for agent in agents:
+        if agent.fallbacks:
+            even = even_split(
+                agent.striped.aggregate_reservation, agent.num_nodes
+            )
+            shifted = agent.splits_applied
+            if shifted < 1:
+                violations.append(
+                    f"{agent.striped.name}: fallback fired but no split "
+                    f"was ever applied (even target {even})"
+                )
+
+    return CoordChaosReport(
+        seed=seed,
+        periods=periods,
+        violations=violations,
+        fallbacks=fallbacks,
+        rebalances=coordinator.rebalances_computed,
+        tokens_shifted=coordinator.tokens_shifted,
+        updates_received=sum(a.updates_received for a in agents),
+        epochs_skipped=coordinator.epochs_skipped_no_quorum,
+        puts_acked=sum(d.puts_acked for d in drivers),
+        rebinds=sum(
+            engine.re_registrations
+            for striped in cluster.clients for engine in striped.engines
+        ),
+        ledger_totals=ledger_totals,
+    )

@@ -1,0 +1,305 @@
+"""The global QoS coordinator (control-node process).
+
+A :class:`GlobalCoordinator` runs on its own control host attached to
+the cluster fabric.  Each *rebalance epoch* — a small multiple of the
+QoS period — client agents report per-node demand and node agents
+report admission headroom over the ordinary two-sided SEND path; the
+coordinator water-fills demand against headroom
+(:func:`~repro.globalqos.waterfill.waterfill_splits`), conserving each
+client's aggregate reservation exactly, and pushes the new splits back
+as :class:`~repro.globalqos.protocol.SplitUpdate` messages.
+
+The coordinator is deliberately *soft state*: it can crash (or have
+its reports dropped by the fault injector) at any point and the data
+plane keeps running on the last applied split — and, after
+``fallback_after`` silent epochs, on the static even split the cluster
+was built with.  Restarting is just re-attaching: one epoch of reports
+rebuilds its entire view.
+
+Every computed shift is recorded in the token ledger as a
+``rebalance`` event, so conservation — per-node splits summing to the
+client's aggregate, per epoch — is auditable offline via
+:meth:`~repro.telemetry.ledger.TokenLedger.check_split_conservation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, QPError
+from repro.globalqos.agents import (
+    COMPUTE_MARGIN,
+    ClientAgent,
+    NodeAgent,
+    _control_wr,
+)
+from repro.globalqos.protocol import DemandReport, NodeReport, SplitUpdate
+from repro.globalqos.waterfill import waterfill_splits
+from repro.rdma.cpu import CPUProfile
+from repro.rdma.dispatch import TypeDispatcher
+from repro.rdma.node import Host
+from repro.sim.trace import NULL_TRACER
+
+COORD_HOST_NAME = "coord"
+
+
+class GlobalCoordinator:
+    """Demand-aware cross-node reservation rebalancing."""
+
+    def __init__(self, cluster, epoch_len: float,
+                 min_shift_fraction: float = 0.05,
+                 tracer=NULL_TRACER):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.epoch_len = epoch_len
+        self.min_shift_fraction = min_shift_fraction
+        self.tracer = tracer
+        self.num_nodes = len(cluster.nodes)
+        self.host = cluster.fabric.add_host(Host(
+            cluster.sim, COORD_HOST_NAME,
+            cluster.nodes[0].host.nic.profile, CPUProfile(),
+        ))
+        self.dispatcher = TypeDispatcher()
+        self.host.set_rpc_handler(self.dispatcher)
+        self.dispatcher.register(DemandReport, self._on_demand)
+        self.dispatcher.register(NodeReport, self._on_node_report)
+        # Coordinator-side QP toward each client host, filled in by
+        # attach_coordinator as it wires the connections.
+        self.client_qps: Dict[int, object] = {}
+        # Soft state, rebuilt from one epoch of reports after a crash.
+        self._demand: Dict[int, DemandReport] = {}
+        self._nodes: Dict[int, NodeReport] = {}
+        # Seeded with the build-time static split (cluster-wide config
+        # knowledge), then kept current from DemandReports so the view
+        # self-corrects after clamps or lost updates.
+        self._splits: Dict[int, List[int]] = {
+            c.index: list(c.splits) for c in cluster.clients
+        }
+        self._aggregates: Dict[int, int] = {
+            c.index: c.aggregate_reservation for c in cluster.clients
+        }
+        self.epochs_run = 0
+        self.epochs_skipped_no_quorum = 0
+        self.reports_received = 0
+        self.node_reports_received = 0
+        self.rebalances_computed = 0
+        self.rebalances_skipped_hysteresis = 0
+        self.tokens_shifted = 0
+        self.updates_sent = 0
+        self.update_sends_failed = 0
+
+    # ------------------------------------------------------------------
+    # Inbound reports
+    # ------------------------------------------------------------------
+    def _on_demand(self, msg: DemandReport, _reply_qp) -> None:
+        self.reports_received += 1
+        self._demand[msg.client_id] = msg
+        self._splits[msg.client_id] = list(msg.splits)
+        self._aggregates[msg.client_id] = msg.aggregate
+
+    def _on_node_report(self, msg: NodeReport, _reply_qp) -> None:
+        self.node_reports_received += 1
+        self._nodes[msg.node_index] = msg
+
+    # ------------------------------------------------------------------
+    # The per-epoch compute tick
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._schedule_compute(1)
+
+    def _schedule_compute(self, epoch: int) -> None:
+        at = epoch * self.epoch_len - COMPUTE_MARGIN * self.config.period
+        self.sim.schedule_at(at, self._compute, epoch)
+
+    def _compute(self, epoch: int) -> None:
+        self.epochs_run += 1
+        participants = sorted(
+            cid for cid, r in self._demand.items() if r.epoch == epoch
+        )
+        fresh_nodes = {
+            n for n, r in self._nodes.items() if r.epoch == epoch
+        }
+        if not participants or len(fresh_nodes) < self.num_nodes:
+            # Lost or late reports: freeze the last splits this epoch.
+            # No heartbeats go out either — silence is what arms the
+            # client-side fallback timers when the loss persists.
+            self.epochs_skipped_no_quorum += 1
+            self._schedule_compute(epoch + 1)
+            return
+
+        current = {cid: self._splits[cid] for cid in participants}
+        aggregates = {cid: self._aggregates[cid] for cid in participants}
+        demands = {
+            cid: list(self._demand[cid].demand) for cid in participants
+        }
+        node_caps, max_split = self._headroom(participants)
+        targets = waterfill_splits(
+            aggregates, demands, node_caps, current, max_split
+        )
+        threshold = {
+            cid: max(1, int(self.min_shift_fraction * aggregates[cid]))
+            for cid in participants
+        }
+        ledger = getattr(
+            getattr(self.sim, "telemetry", None), "ledger", None
+        )
+        for cid in participants:
+            old, new = current[cid], targets[cid]
+            delta = max(abs(a - b) for a, b in zip(old, new))
+            if 0 < delta <= threshold[cid]:
+                # Hysteresis: churn this small is not worth a rebind.
+                self.rebalances_skipped_hysteresis += 1
+                new = old
+            elif delta > 0:
+                self.rebalances_computed += 1
+                self.tokens_shifted += (
+                    sum(abs(a - b) for a, b in zip(old, new)) // 2
+                )
+                if ledger is not None:
+                    ledger.rebalance(
+                        epoch, cid, aggregates[cid], old, new,
+                        self.sim.now, source=COORD_HOST_NAME,
+                    )
+                self.tracer.emit(
+                    "globalqos", "rebalance", client=cid, epoch=epoch,
+                    old=list(old), new=list(new),
+                )
+                self._splits[cid] = list(new)
+            # Heartbeat: every participant hears from us every epoch,
+            # shifted or not, to hold off its fallback timer.
+            self._send_update(cid, epoch, new)
+        self._schedule_compute(epoch + 1)
+
+    def _headroom(self, participants: List[int]):
+        """Per-node capacity available to the reporting clients.
+
+        Non-participants (clients whose report was lost this epoch)
+        keep their current reservations untouched, so their share is
+        subtracted from each node's ceiling before the water-filling
+        runs.  The ceiling itself is ``max(capacity, reserved)``: what
+        is already admitted on a node is placeable there by definition
+        (admission said so), so a dipping capacity estimate limits
+        *additional* load only — otherwise one estimator sag below the
+        reserved sum would freeze rebalancing cluster-wide.
+        """
+        node_caps = []
+        max_split = []
+        for n in range(self.num_nodes):
+            report = self._nodes[n]
+            part_reserved = sum(
+                self._splits[cid][n] for cid in participants
+            )
+            others = max(0, report.reserved - part_reserved)
+            ceiling = max(report.capacity, report.reserved)
+            node_caps.append(max(0, ceiling - others))
+            max_split.append(report.local_capacity)
+        return node_caps, max_split
+
+    def _send_update(self, cid: int, epoch: int, splits) -> None:
+        qp = self.client_qps.get(cid)
+        if qp is None:
+            return
+        message = SplitUpdate(
+            client_id=cid, epoch=epoch, splits=tuple(splits)
+        )
+        try:
+            qp.post_send(_control_wr(message, self.num_nodes))
+            self.updates_sent += 1
+        except QPError:
+            self.update_sends_failed += 1
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("globalqos_epochs_run", lambda: self.epochs_run),
+            ("globalqos_epochs_skipped_no_quorum",
+             lambda: self.epochs_skipped_no_quorum),
+            ("globalqos_demand_reports_received",
+             lambda: self.reports_received),
+            ("globalqos_node_reports_received",
+             lambda: self.node_reports_received),
+            ("globalqos_rebalances_computed",
+             lambda: self.rebalances_computed),
+            ("globalqos_rebalances_skipped_hysteresis",
+             lambda: self.rebalances_skipped_hysteresis),
+            ("globalqos_tokens_shifted", lambda: self.tokens_shifted),
+            ("globalqos_updates_sent", lambda: self.updates_sent),
+            ("globalqos_update_sends_failed",
+             lambda: self.update_sends_failed),
+        ]
+
+
+def attach_coordinator(
+    cluster,
+    rebalance_periods: int = 2,
+    fallback_after: int = 2,
+    min_shift_fraction: float = 0.05,
+    tracer=NULL_TRACER,
+) -> GlobalCoordinator:
+    """Wire a global coordinator into a multi-node cluster.
+
+    Adds the ``coord`` control host to the fabric, connects it to every
+    client host, and starts the per-epoch report/compute/apply loop
+    (``rebalance_periods`` QoS periods per epoch).  Call after
+    :func:`~repro.cluster.multinode.build_multinode_cluster` and
+    *before* ``cluster.inject_faults`` if a fault plan names the
+    ``coord`` host, and before ``cluster.start()``.
+
+    ``fallback_after`` is the client-side degradation knob: that many
+    epochs without a coordinator heartbeat and a client restores its
+    static even split on its own.
+    """
+    if rebalance_periods < 1:
+        raise ConfigError(
+            f"rebalance_periods must be >= 1, got {rebalance_periods}"
+        )
+    if fallback_after < 1:
+        raise ConfigError(
+            f"fallback_after must be >= 1, got {fallback_after}"
+        )
+    if not 0 <= min_shift_fraction < 1:
+        raise ConfigError(
+            f"min_shift_fraction must be in [0, 1), got {min_shift_fraction}"
+        )
+    if any(node.monitor is None for node in cluster.nodes):
+        raise ConfigError(
+            "global coordinator requires QoS-managed nodes (HAECHI mode)"
+        )
+    if cluster.coordinator is not None:
+        raise ConfigError("coordinator already attached")
+
+    epoch_len = rebalance_periods * cluster.config.period
+    coordinator = GlobalCoordinator(
+        cluster, epoch_len,
+        min_shift_fraction=min_shift_fraction, tracer=tracer,
+    )
+
+    for striped in cluster.clients:
+        qp_coord_client, qp_client_coord = cluster.fabric.connect(
+            coordinator.host, striped.host
+        )
+        coordinator.client_qps[striped.index] = qp_coord_client
+        coord_dispatcher = striped.router.register_connection(
+            qp_client_coord
+        )
+        agent = ClientAgent(
+            striped, cluster.config, qp_client_coord, coord_dispatcher,
+            epoch_len, fallback_after,
+        )
+        cluster.client_agents.append(agent)
+        agent.start()
+
+    for node in cluster.nodes:
+        qp_node_coord, _qp_coord_node = cluster.fabric.connect(
+            node.host, coordinator.host
+        )
+        agent = NodeAgent(
+            node, qp_node_coord, epoch_len, coordinator.num_nodes
+        )
+        cluster.node_agents.append(agent)
+        agent.start()
+
+    coordinator.start()
+    cluster.coordinator = coordinator
+    return coordinator

@@ -1,0 +1,94 @@
+"""Coordinator control-plane messages.
+
+All coordination rides the existing two-sided SEND path (the same
+transport as :class:`~repro.core.protocol.PeriodStart` and the rejoin
+handshake), sized at :data:`~repro.core.protocol.CONTROL_MESSAGE_SIZE`
+plus a small per-node payload.  Tuples, not lists, keep the messages
+hashable and immutable like every other control dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+# Per-node vector entries ride in the same control SEND; account their
+# wire size so the NIC model charges for them.
+SPLIT_ENTRY_SIZE = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class DemandReport:
+    """Client agent -> coordinator: one epoch of per-node demand.
+
+    ``demand`` and ``completed`` are per-node tokens/period averaged
+    over the epoch; ``splits`` is the split currently in force (so the
+    coordinator's view self-corrects after clamps or lost updates).
+    """
+
+    client_id: int
+    epoch: int
+    aggregate: int
+    demand: Tuple[int, ...]
+    completed: Tuple[int, ...]
+    splits: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeReport:
+    """Node agent -> coordinator: one epoch of admission headroom.
+
+    ``capacity`` is the node's current adaptive capacity estimate in
+    tokens/period (the water-filling ceiling); ``reserved`` the sum of
+    admitted reservations; ``local_capacity`` the per-client ``C_L``.
+    """
+
+    node_index: int
+    epoch: int
+    capacity: int
+    reserved: int
+    local_capacity: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitUpdate:
+    """Coordinator -> client agent: the split to apply this epoch.
+
+    Sent every epoch to every reporting client — unchanged splits
+    included — so the message doubles as the coordinator's liveness
+    heartbeat for the client-side fallback timer.
+    """
+
+    client_id: int
+    epoch: int
+    splits: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitApply:
+    """Client agent -> data node: resize my reservation on this node."""
+
+    client_id: int
+    reservation: int
+    epoch: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitGrant:
+    """Data node -> client agent: the resize outcome.
+
+    Mirrors :class:`~repro.core.protocol.RejoinResponse`: a (possibly
+    clamped) reservation plus a pro-rated immediate grant and the
+    monitor's period coordinates, enough for the engine to ``rebind``
+    mid-stream without re-negotiating its control-memory layout.
+    """
+
+    client_id: int
+    node_index: int
+    epoch: int
+    ok: bool
+    reservation: int
+    tokens_now: int
+    period_id: int = 0
+    period_end_time: float = 0.0
+    generation: int = 0

@@ -1,0 +1,185 @@
+"""Pure split arithmetic for the global coordinator.
+
+Everything here is integer-exact and deterministic: splits are computed
+with largest-remainder apportionment (ties broken by lowest index), so
+every client's per-node shares always sum to its aggregate reservation
+*exactly* — the conservation property the token-ledger audit checks per
+epoch.  No simulator state, no RNG: these functions are unit-testable
+in isolation and safe to call from the deterministic event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+
+
+def largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
+    """Apportion ``total`` units proportionally to ``weights``.
+
+    Hamilton's method: floor the proportional quotas, then hand the
+    leftover units to the largest fractional parts (ties broken by
+    lowest index).  All-zero weights degrade to an even split.  The
+    result always sums to ``total`` exactly.
+    """
+    if total < 0:
+        raise ConfigError(f"total must be >= 0, got {total}")
+    if not weights:
+        raise ConfigError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ConfigError("weights must be non-negative")
+    denom = sum(weights)
+    if denom <= 0:
+        weights = [1.0] * len(weights)
+        denom = float(len(weights))
+    quotas = [total * w / denom for w in weights]
+    alloc = [int(q) for q in quotas]
+    leftover = total - sum(alloc)
+    order = sorted(
+        range(len(weights)), key=lambda i: (alloc[i] - quotas[i], i)
+    )
+    for i in order[:leftover]:
+        alloc[i] += 1
+    return alloc
+
+
+def even_split(total: int, bins: int) -> List[int]:
+    """The static policy: ``total`` spread evenly over ``bins``.
+
+    Largest-remainder over the bin index — the first ``total % bins``
+    bins get the extra token — so the shares sum to ``total`` exactly
+    (the satellite fix for the old per-node ``tokens_per_period``
+    truncation, which could lose up to ``bins - 1`` tokens).
+    """
+    return largest_remainder(total, [1.0] * bins)
+
+
+def bounded_apportion(
+    total: int, weights: Sequence[float], bounds: Sequence[int]
+) -> Optional[List[int]]:
+    """Largest-remainder apportionment under per-bin upper bounds.
+
+    Bins that would exceed their bound are frozen at it and the excess
+    re-apportioned over the rest.  Returns ``None`` when ``total``
+    exceeds ``sum(bounds)`` (no feasible assignment).
+    """
+    n = len(weights)
+    if len(bounds) != n:
+        raise ConfigError("weights and bounds must have equal length")
+    if total > sum(bounds):
+        return None
+    alloc = [0] * n
+    frozen = [False] * n
+    remaining = total
+    while remaining > 0:
+        active = [i for i in range(n) if not frozen[i]]
+        part = largest_remainder(
+            remaining, [weights[i] for i in active]
+        )
+        overflowed = False
+        remaining = 0
+        for i, extra in zip(active, part):
+            room = bounds[i] - alloc[i]
+            if extra > room:
+                alloc[i] = bounds[i]
+                frozen[i] = True
+                remaining += extra - room
+                overflowed = True
+            else:
+                alloc[i] += extra
+        if not overflowed:
+            break
+        # Any bin that received its full quota this round keeps its
+        # weight for the redistribution; only saturated bins drop out.
+    return alloc
+
+
+def waterfill_splits(
+    aggregates: Dict[int, int],
+    demands: Dict[int, Sequence[int]],
+    node_caps: Sequence[int],
+    current: Dict[int, Sequence[int]],
+    max_split: Sequence[int],
+) -> Dict[int, List[int]]:
+    """Water-fill per-client demand against per-node headroom.
+
+    ``aggregates[c]`` is client ``c``'s aggregate reservation (tokens/
+    period); ``demands[c][n]`` its observed demand on node ``n``;
+    ``node_caps[n]`` the reservation capacity available to these
+    clients on node ``n``; ``max_split[n]`` the node's per-client local
+    capacity ``C_L``.  ``current[c]`` is the split in force, used as
+    the fallback when a client's demand cannot be placed feasibly.
+
+    Each returned split sums to ``aggregates[c]`` exactly.  Node
+    overloads are resolved by cutting back the clients on the hot node
+    proportionally (largest remainder again) and moving the cut tokens
+    to that client's next-most-demanded nodes with headroom; a client
+    whose tokens cannot be placed anywhere reverts to ``current[c]``
+    (feasible by induction — it was admitted).
+    """
+    num_nodes = len(node_caps)
+    ids = sorted(aggregates)
+    splits: Dict[int, List[int]] = {}
+    for cid in ids:
+        weights = list(demands[cid])
+        if len(weights) != num_nodes:
+            raise ConfigError(
+                f"client {cid}: demand vector has {len(weights)} entries, "
+                f"expected {num_nodes}"
+            )
+        desire = bounded_apportion(aggregates[cid], weights, max_split)
+        splits[cid] = (
+            list(current[cid]) if desire is None else desire
+        )
+
+    for _ in range(2 * num_nodes + 2):
+        load = [
+            sum(splits[cid][n] for cid in ids) for n in range(num_nodes)
+        ]
+        over = [n for n in range(num_nodes) if load[n] > node_caps[n]]
+        if not over:
+            break
+        pending = {cid: 0 for cid in ids}
+        for n in over:
+            excess = load[n] - node_caps[n]
+            shares = [splits[cid][n] for cid in ids]
+            cuts = largest_remainder(excess, shares)
+            for cid, cut in zip(ids, cuts):
+                splits[cid][n] -= cut
+                pending[cid] += cut
+                load[n] -= cut
+        for cid in ids:
+            need = pending[cid]
+            if need <= 0:
+                continue
+            # Prefer the client's own hottest nodes; node index breaks
+            # ties so the placement is deterministic.
+            order = sorted(
+                range(num_nodes),
+                key=lambda n: (-demands[cid][n], n),
+            )
+            for n in order:
+                room = min(
+                    node_caps[n] - load[n],
+                    max_split[n] - splits[cid][n],
+                )
+                if room <= 0:
+                    continue
+                take = min(need, room)
+                splits[cid][n] += take
+                load[n] += take
+                need -= take
+                if need == 0:
+                    break
+            if need > 0:
+                # Nowhere to place this client's tokens: undo its moves
+                # and keep the split already in force.
+                for n in range(num_nodes):
+                    load[n] += current[cid][n] - splits[cid][n]
+                splits[cid] = list(current[cid])
+
+    for cid in ids:
+        if sum(splits[cid]) != aggregates[cid]:
+            splits[cid] = list(current[cid])
+    return splits

@@ -76,6 +76,25 @@ class TokenLedger:
             "residual_sum": residual_sum, "source": source,
         })
 
+    def rebalance(self, epoch: int, client, aggregate: int,
+                  old_splits, new_splits, time: float,
+                  source: Optional[str] = None) -> None:
+        """The global coordinator shifted a client's per-node splits.
+
+        ``old_splits``/``new_splits`` are the per-node reservation
+        vectors (tokens/period).  Conservation — the new vector summing
+        to the client's aggregate reservation exactly — is auditable
+        per epoch via :meth:`check_split_conservation`.  Coordinator-
+        free runs never emit this event, so their ledger streams are
+        byte-identical to the pre-coordinator ones.
+        """
+        self.events.append({
+            "event": "rebalance", "time": time, "epoch": epoch,
+            "client": client, "aggregate": aggregate,
+            "old": list(old_splits), "new": list(new_splits),
+            "source": source,
+        })
+
     # ------------------------------------------------------------------
     # Client-side account lifecycle
     # ------------------------------------------------------------------
@@ -156,6 +175,27 @@ class TokenLedger:
                 f"{self.open_account_count} account(s) never closed "
                 "(missing ledger flush)"
             )
+        return violations
+
+    def check_split_conservation(self) -> List[str]:
+        """Audit every rebalance event: splits must sum to the aggregate.
+
+        The coordinator's invariant — moving a reservation between
+        nodes never creates or destroys a token — checked per shift
+        (and hence per epoch).  Empty means every recorded split
+        conserved its client's aggregate exactly.
+        """
+        violations = []
+        for event in self.events:
+            if event.get("event") != "rebalance":
+                continue
+            total = sum(event["new"])
+            if total != event["aggregate"]:
+                violations.append(
+                    f"client {event['client']} epoch {event['epoch']}: "
+                    f"splits {event['new']} sum to {total}, aggregate "
+                    f"reservation is {event['aggregate']}"
+                )
         return violations
 
     def totals(self) -> Dict[str, int]:

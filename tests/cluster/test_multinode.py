@@ -63,8 +63,60 @@ class TestWiring:
             build_multinode_cluster(2, 2, [1000], scale=SCALE)
         with pytest.raises(ConfigError):
             build_multinode_cluster(
+                2, 1, [1000, 2000], scale=SCALE  # list longer than clients
+            )
+        with pytest.raises(ConfigError):
+            build_multinode_cluster(
                 2, 1, [1000], scale=SCALE, qos_mode=QoSMode.BASIC_HAECHI
             )
+
+    def test_aggregate_split_conserves_tokens(self):
+        # 101K ops/s at 2 ms periods is 202 tokens over 3 nodes: the
+        # largest-remainder split keeps all 202 ([68, 67, 67]) where the
+        # old per-node truncation would have kept 3 x 67 = 201.
+        cluster = build_multinode_cluster(
+            3, 1, reservations_ops=[101_000], scale=SCALE
+        )
+        client = cluster.clients[0]
+        aggregate = cluster.config.tokens_per_period(101_000)
+        assert sum(client.splits) == aggregate == 202
+        assert sorted(client.splits, reverse=True) == [68, 67, 67]
+        assert client.aggregate_reservation == aggregate
+        assert [n.monitor.total_reserved for n in cluster.nodes] \
+            == client.splits
+
+    def test_node_submitted_tracks_routing(self):
+        cluster = build_multinode_cluster(
+            2, 1, reservations_ops=[100_000], scale=SCALE
+        )
+        client = cluster.clients[0]
+        cluster.start()
+        cluster.sim.run(until=0.1 * cluster.config.period)
+        for key in (0, 2, 4, 1):  # three even keys, one odd
+            client.submit(key, lambda ok, v, l: None)
+        assert client.node_submitted == [3, 1]
+
+    def test_key_gen_drives_burst_app_routing(self):
+        class OnlyNodeOne:
+            def __init__(self):
+                self._k = 0
+
+            def next(self):
+                self._k += 2
+                return self._k + 1  # odd keys: always node 1 of 2
+
+        cluster = build_multinode_cluster(
+            2, 1, reservations_ops=[100_000], scale=SCALE
+        )
+        client = cluster.clients[0]
+        cluster.attach_burst_app(
+            client, demand_ops=150_000, key_gen=OnlyNodeOne()
+        )
+        cluster.start()
+        cluster.sim.run(until=2 * cluster.config.period)
+        assert client.node_submitted[0] == 0
+        assert client.node_submitted[1] > 0
+        assert client.engines[1].total_completed > 0
 
 
 class TestAggregateGuarantees:

@@ -102,3 +102,37 @@ def test_constructor_validation():
         AdmissionController(0, 10)
     with pytest.raises(AdmissionError):
         AdmissionController(10, 0)
+
+
+def test_resize_moves_a_reservation():
+    ac = make()
+    ac.admit(0, 300_000)
+    ac.admit(1, 300_000)
+    ac.resize(0, 380_000)
+    assert ac.admitted[0] == 380_000
+    assert ac.total_reserved == 680_000
+
+
+def test_resize_enforces_both_capacities():
+    ac = make()
+    ac.admit(0, 300_000)
+    with pytest.raises(AdmissionError, match="local capacity"):
+        ac.resize(0, 400_001)
+    for i in range(1, 5):
+        ac.admit(i, 300_000)  # others hold 1_200_000
+    with pytest.raises(AdmissionError, match="aggregate capacity"):
+        ac.resize(0, 380_000)
+    # A rejected resize leaves the old reservation in force.
+    assert ac.admitted[0] == 300_000
+    assert ac.total_reserved == 1_500_000
+
+
+def test_resize_validation():
+    ac = make()
+    with pytest.raises(AdmissionError, match="not admitted"):
+        ac.resize(9, 1000)
+    ac.admit(0, 1000)
+    with pytest.raises(AdmissionError, match=">= 0"):
+        ac.resize(0, -1)
+    ac.resize(0, 0)  # shrinking to zero keeps the client admitted
+    assert ac.admitted[0] == 0

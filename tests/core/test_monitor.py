@@ -277,3 +277,41 @@ class TestMidPeriodDeparture:
         assert cluster.monitor.period_records[0]["per_client"][0] == 100
         assert cluster.monitor.clamped_reports == 0
         assert leaver.reports_written > 0  # it really was writing
+
+
+class TestMidPeriodResize:
+    def test_update_reservation_resizes_in_place(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.5)
+        old = cluster.monitor._clients[1].reservation
+        grant = cluster.monitor.update_reservation(1, old + 50)
+        assert grant["reservation"] == old + 50
+        assert grant["period_id"] == cluster.monitor.period_id
+        assert grant["generation"] == cluster.monitor.generation
+        # Pro-rated to the ~half period remaining.
+        assert 0 <= grant["tokens_now"] <= old + 50
+        assert cluster.monitor._clients[1].reservation == old + 50
+        assert cluster.monitor.admission.admitted[1] == old + 50
+        record = cluster.monitor.rebalances[-1]
+        assert record["client"] == 1
+        assert record["previous"] == old
+        assert record["granted"] == old + 50
+
+    def test_update_reservation_clamps_to_headroom(self):
+        cluster = make_qos_cluster([300_000, 100_000])
+        cluster.start()
+        drain(cluster, 0.2)
+        admission = cluster.monitor.admission
+        # Ask for more than C_L: the grant is clamped, never rejected.
+        grant = cluster.monitor.update_reservation(
+            1, admission.local_capacity + 100
+        )
+        assert grant["reservation"] == admission.local_capacity
+        assert cluster.monitor.rebalance_clamped == 1
+
+    def test_update_reservation_requires_registration(self):
+        cluster = make_qos_cluster([300_000])
+        cluster.start()
+        with pytest.raises(QoSError, match="not registered"):
+            cluster.monitor.update_reservation(7, 100)

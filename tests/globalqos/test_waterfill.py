@@ -1,0 +1,134 @@
+"""Split arithmetic: integer-exact, conserving, deterministic."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.globalqos.waterfill import (
+    bounded_apportion,
+    even_split,
+    largest_remainder,
+    waterfill_splits,
+)
+
+
+class TestLargestRemainder:
+    def test_sums_exactly(self):
+        for total in (0, 1, 7, 202, 1571):
+            for weights in ([1, 1, 1], [5, 3, 2], [0.9, 0.05, 0.05]):
+                alloc = largest_remainder(total, weights)
+                assert sum(alloc) == total
+
+    def test_proportionality(self):
+        assert largest_remainder(100, [3, 1]) == [75, 25]
+
+    def test_ties_break_by_lowest_index(self):
+        # Two equal fractional parts, one leftover unit: index 0 wins.
+        assert largest_remainder(1, [1, 1]) == [1, 0]
+
+    def test_all_zero_weights_degrade_to_even(self):
+        assert largest_remainder(10, [0, 0, 0]) == [4, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            largest_remainder(-1, [1])
+        with pytest.raises(ConfigError):
+            largest_remainder(10, [])
+        with pytest.raises(ConfigError):
+            largest_remainder(10, [1, -1])
+
+
+class TestEvenSplit:
+    def test_exact_division(self):
+        assert even_split(200, 2) == [100, 100]
+
+    def test_remainder_goes_to_first_bins(self):
+        assert even_split(202, 3) == [68, 67, 67]
+
+    def test_never_loses_tokens(self):
+        # The satellite fix: per-node truncation lost up to bins-1.
+        for total in range(0, 50):
+            for bins in (1, 2, 3, 7):
+                assert sum(even_split(total, bins)) == total
+
+
+class TestBoundedApportion:
+    def test_respects_bounds(self):
+        alloc = bounded_apportion(100, [9, 1], [60, 100])
+        assert alloc == [60, 40]
+
+    def test_infeasible_returns_none(self):
+        assert bounded_apportion(101, [1, 1], [50, 50]) is None
+
+    def test_unbounded_case_matches_largest_remainder(self):
+        assert (bounded_apportion(100, [3, 1], [1000, 1000])
+                == largest_remainder(100, [3, 1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            bounded_apportion(10, [1, 1], [10])
+
+
+class TestWaterfillSplits:
+    def _args(self):
+        # Two clients on two nodes: client 0 hot on node 0, client 1
+        # even.  Plenty of headroom everywhere.
+        aggregates = {0: 680, 1: 760}
+        demands = {0: [684, 76], 1: [440, 440]}
+        node_caps = [1500, 1500]
+        current = {0: [340, 340], 1: [380, 380]}
+        max_split = [800, 800]
+        return aggregates, demands, node_caps, current, max_split
+
+    def test_moves_reservation_toward_demand(self):
+        aggregates, demands, caps, current, max_split = self._args()
+        splits = waterfill_splits(aggregates, demands, caps, current,
+                                  max_split)
+        assert splits[0][0] > splits[0][1]  # follows the 90/10 demand
+        assert splits[1] == [380, 380]      # even demand stays even
+
+    def test_conserves_every_aggregate(self):
+        aggregates, demands, caps, current, max_split = self._args()
+        splits = waterfill_splits(aggregates, demands, caps, current,
+                                  max_split)
+        for cid, aggregate in aggregates.items():
+            assert sum(splits[cid]) == aggregate
+
+    def test_node_caps_respected(self):
+        # Both clients want node 0, but it only has room for 700.
+        aggregates = {0: 400, 1: 400}
+        demands = {0: [400, 0], 1: [400, 0]}
+        node_caps = [700, 700]
+        current = {0: [200, 200], 1: [200, 200]}
+        splits = waterfill_splits(aggregates, demands, node_caps, current,
+                                  [700, 700])
+        load0 = splits[0][0] + splits[1][0]
+        assert load0 <= 700
+        for cid in (0, 1):
+            assert sum(splits[cid]) == 400
+
+    def test_max_split_caps_single_client(self):
+        # One client demands everything on node 0 but C_L caps it.
+        splits = waterfill_splits(
+            {0: 500}, {0: [500, 0]}, [1000, 1000], {0: [250, 250]},
+            [300, 300],
+        )
+        assert splits[0][0] <= 300
+        assert sum(splits[0]) == 500
+
+    def test_infeasible_client_reverts_to_current(self):
+        # Demand nowhere placeable: max_split too tight for the shift.
+        splits = waterfill_splits(
+            {0: 700}, {0: [700, 0]}, [100, 100], {0: [350, 350]},
+            [350, 350],
+        )
+        assert splits[0] == [350, 350]
+
+    def test_deterministic(self):
+        args = self._args()
+        assert (waterfill_splits(*args)
+                == waterfill_splits(*self._args()))
+
+    def test_demand_vector_length_checked(self):
+        with pytest.raises(ConfigError):
+            waterfill_splits({0: 10}, {0: [10]}, [50, 50],
+                             {0: [5, 5]}, [50, 50])

@@ -21,8 +21,10 @@ import pytest
 
 from repro.cluster.determinism import (
     CANONICAL_SEEDS,
+    GLOBALQOS_SEEDS,
     SEED_FAULTS,
     determinism_digest,
+    globalqos_digest,
 )
 
 REFERENCE = (
@@ -54,4 +56,30 @@ def test_digest_matches_committed_reference(seed, reference):
         assert digest[part] == expected[part], (
             f"seed {seed}: {part} digest changed -- simulated behaviour "
             f"is no longer bit-identical to the committed reference"
+        )
+
+
+@pytest.fixture(scope="module")
+def globalqos_reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["globalqos"]
+
+
+def test_globalqos_reference_covers_every_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["globalqos"]
+    assert sorted(seeds) == sorted(str(s) for s in GLOBALQOS_SEEDS)
+
+
+@pytest.mark.parametrize("seed", GLOBALQOS_SEEDS)
+def test_globalqos_digest_matches_committed_reference(
+    seed, globalqos_reference
+):
+    digest = globalqos_digest(seed)
+    expected = globalqos_reference[str(seed)]
+    for part in ("kind", "metrics", "ledger", "results", "combined"):
+        assert digest[part] == expected[part], (
+            f"globalqos seed {seed}: {part} digest changed -- the "
+            f"coordinator scenario is no longer bit-identical to the "
+            f"committed reference"
         )

@@ -85,3 +85,30 @@ class TestAuditStream:
         event = ledger.events[0]
         assert event["event"] == "convert"
         assert event["pool_after"] - event["pool_before"] == 140
+
+
+class TestSplitConservation:
+    def test_conserving_rebalance_is_clean(self):
+        ledger = TokenLedger()
+        ledger.rebalance(3, client=1, aggregate=680,
+                         old_splits=[340, 340], new_splits=[612, 68],
+                         time=0.05, source="coord")
+        assert ledger.check_split_conservation() == []
+        event = ledger.events[0]
+        assert event["event"] == "rebalance"
+        assert event["old"] == [340, 340]
+        assert event["new"] == [612, 68]
+
+    def test_leaky_rebalance_is_reported(self):
+        ledger = TokenLedger()
+        ledger.rebalance(2, client=4, aggregate=680,
+                         old_splits=[340, 340], new_splits=[612, 67],
+                         time=0.05, source="coord")
+        violations = ledger.check_split_conservation()
+        assert len(violations) == 1
+        assert "client 4" in violations[0] and "epoch 2" in violations[0]
+
+    def test_coordinator_free_stream_has_no_rebalance_events(self):
+        ledger = make_balanced_ledger()
+        assert ledger.check_split_conservation() == []
+        assert all(e["event"] != "rebalance" for e in ledger.events)

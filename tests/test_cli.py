@@ -130,3 +130,24 @@ def test_telemetry_chaos_seed_passes(capsys):
 
 def test_telemetry_rejects_negative_sample(capsys):
     assert main(["telemetry", "--sample", "-1"]) == 2
+
+
+def test_globalqos_chaos_writes_report(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "globalqos.json"
+    assert main(["globalqos", "--chaos", "--seeds", "11",
+                 "--report", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "1/1 seeds passed" in out
+    payload = json.loads(report.read_text())
+    assert payload["mode"] == "chaos"
+    assert payload["failed"] == 0
+    seed = payload["seeds"]["11"]
+    assert seed["violations"] == []
+    assert seed["fallbacks"] >= 1 and seed["rebalances"] >= 2
+
+
+def test_globalqos_rejects_short_chaos(capsys):
+    assert main(["globalqos", "--chaos", "--seeds", "11",
+                 "--periods", "3"]) == 2
