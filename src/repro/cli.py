@@ -14,6 +14,9 @@ Subcommands::
     python -m repro figures
     python -m repro bench     [--workers N] [--cache DIR]
                               [--distribution uniform|zipf|both]
+    python -m repro hunt      [--budget N] [--seed N] [--no-minimize]
+                              [--report out.json] [--reproducers DIR]
+                              [--replay repro.json]
 
 ``run`` prints the per-client reservation-vs-served table for the
 chosen configuration, the bread-and-butter view of the paper's
@@ -27,6 +30,7 @@ tables/figures.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -197,6 +201,33 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="print the canonical merged JSON instead of "
                             "the table")
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="search the scenario space for oracle violations "
+             "(docs/HUNT.md)",
+    )
+    hunt.add_argument("--budget", type=int, default=40,
+                      help="candidate runs in the search phase")
+    hunt.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed (same seed + budget = "
+                           "byte-identical report)")
+    hunt.add_argument("--batch", type=int, default=8,
+                      help="candidates per runner fan-out")
+    hunt.add_argument("--minimize", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="delta-debug each finding to a minimal spec")
+    hunt.add_argument("--workers", type=int, default=1,
+                      help="worker processes for candidate fan-out")
+    hunt.add_argument("--cache", default=None, metavar="DIR",
+                      help="runner result-cache directory")
+    hunt.add_argument("--report", default=None, metavar="PATH",
+                      help="write the campaign report JSON here")
+    hunt.add_argument("--reproducers", default=None, metavar="DIR",
+                      help="write one reproducer file per finding here")
+    hunt.add_argument("--replay", default=None, metavar="PATH",
+                      help="replay one reproducer file instead of "
+                           "searching; exit 0 iff it still reproduces")
     return parser
 
 
@@ -695,6 +726,75 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_hunt(args) -> int:
+    from repro.common.errors import ConfigError
+    from repro.hunt import HuntConfig, replay_file, run_hunt
+    from repro.hunt.reproducer import write_reproducers
+
+    if args.replay is not None:
+        try:
+            outcome = replay_file(args.replay)
+        except (ConfigError, FileNotFoundError, json.JSONDecodeError) as err:
+            print(err, file=sys.stderr)
+            return 2
+        if outcome.reproduced:
+            print(f"{args.replay}: {outcome.kind!r} reproduced "
+                  f"(kinds: {', '.join(outcome.kinds)})")
+            return 0
+        print(f"{args.replay}: {outcome.kind!r} did NOT reproduce "
+              f"(replay kinds: {', '.join(outcome.kinds) or 'none'})",
+              file=sys.stderr)
+        return 1
+
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    config = HuntConfig(
+        budget=args.budget, seed=args.seed, batch=args.batch,
+        minimize=args.minimize, workers=args.workers,
+        cache_dir=args.cache,
+    )
+    campaign = run_hunt(config, log=print)
+
+    rows = []
+    for finding in sorted(campaign.findings, key=lambda f: f.kind):
+        spec = finding.minimized_spec or finding.spec
+        rows.append([
+            finding.kind, finding.oracle or "?", str(finding.found_at),
+            str(finding.sightings), str(finding.minimize_steps),
+            f"{spec.num_clients}c/{spec.periods}p/"
+            f"{len(spec.faults)} fault(s)",
+        ])
+    if rows:
+        for line in format_table(
+            ["kind", "oracle", "found@", "seen", "dd-steps", "minimal"],
+            rows,
+        ):
+            print(line)
+    else:
+        print("no oracle violations found")
+    print("counters: " + "  ".join(
+        f"{k}={v}" for k, v in sorted(campaign.counters.items())
+    ))
+
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            fh.write(campaign.to_json())
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    if args.reproducers is not None:
+        import os
+
+        os.makedirs(args.reproducers, exist_ok=True)
+        paths = write_reproducers(args.reproducers, campaign)
+        print(f"{len(paths)} reproducer(s) written to {args.reproducers}")
+    if not campaign.ok:
+        print("ERROR: finding(s) failed to re-reproduce during "
+              "minimization (nondeterminism?)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_figures(_args) -> int:
     for line in format_table(["artifact", "benchmark", "regenerates"],
                              _FIGURES):
@@ -724,6 +824,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "hunt":
+        return _cmd_hunt(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

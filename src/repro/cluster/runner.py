@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import importlib
 import json
 import multiprocessing
 import os
@@ -42,6 +43,12 @@ Scenario = Callable[[Mapping[str, Any], int], dict]
 
 _SCENARIOS: Dict[str, Scenario] = {}
 
+# Scenarios that register on import of the named module: looking one up
+# imports it first, so cells resolve without the caller pre-importing.
+_LAZY_SCENARIOS: Dict[str, str] = {
+    "hunt-candidate": "repro.hunt.scenario",
+}
+
 
 def register_scenario(name: str, fn: Optional[Scenario] = None):
     """Register ``fn`` to run cells named ``name`` (usable as decorator).
@@ -60,7 +67,10 @@ def register_scenario(name: str, fn: Optional[Scenario] = None):
 
 
 def get_scenario(name: str) -> Scenario:
-    """Look up a registered scenario by name."""
+    """Look up a registered scenario by name (importing lazily-bound
+    scenario modules on first use)."""
+    if name not in _SCENARIOS and name in _LAZY_SCENARIOS:
+        importlib.import_module(_LAZY_SCENARIOS[name])
     try:
         return _SCENARIOS[name]
     except KeyError:
@@ -231,7 +241,8 @@ def run_cells(
 
     pending: List[int] = []
     for i, cell in enumerate(cells):
-        if cell.scenario not in _SCENARIOS:
+        if (cell.scenario not in _SCENARIOS
+                and cell.scenario not in _LAZY_SCENARIOS):
             raise ConfigError(f"unknown scenario {cell.scenario!r} (cell {i})")
         cached = cache.get(cell_key(cell)) if cache is not None else None
         if cached is not None:

@@ -20,12 +20,17 @@ on:
 The checker is a *test instrument*: violations are collected (not
 raised) so a test can run a whole scenario and assert the list is
 empty, getting every violation at once instead of the first.
+Violations are structured :class:`~repro.core.violations.Violation`
+records (``str()`` of one reproduces the historical text) so the hunt
+minimizer can classify findings by ``kind``.
 """
 
 from __future__ import annotations
 
 import math
 from typing import List
+
+from repro.core.violations import Violation
 
 
 class InvariantChecker:
@@ -35,12 +40,24 @@ class InvariantChecker:
         self.cluster = cluster
         self.sim = cluster.sim
         self.interval = interval or cluster.config.check_interval
-        self.violations: List[str] = []
+        self.violations: List[Violation] = []
         self.checks_run = 0
         self.sim.schedule(self.interval, self._tick)
 
-    def _note(self, message: str) -> None:
-        self.violations.append(f"t={self.sim.now:.6f}: {message}")
+    def _note(self, kind: str, message: str, subject=None,
+              observed=None, expected=None) -> None:
+        self.violations.append(Violation(
+            kind=kind, message=message, time=self.sim.now,
+            subject=subject, observed=observed, expected=expected,
+        ))
+
+    def kinds(self) -> List[str]:
+        """The distinct violation kinds recorded, in first-seen order."""
+        seen: List[str] = []
+        for violation in self.violations:
+            if violation.kind not in seen:
+                seen.append(violation.kind)
+        return seen
 
     def _tick(self) -> None:
         self.checks_run += 1
@@ -56,33 +73,53 @@ class InvariantChecker:
                 continue
             tokens = engine.tokens
             if tokens.xi_res < 0:
-                self._note(f"{client.name}: xi_res negative ({tokens.xi_res})")
+                self._note(
+                    "tokens-negative",
+                    f"{client.name}: xi_res negative ({tokens.xi_res})",
+                    subject=client.name, observed=tokens.xi_res, expected=0,
+                )
             if tokens.local_global < 0:
                 self._note(
+                    "tokens-negative",
                     f"{client.name}: local_global negative "
-                    f"({tokens.local_global})"
+                    f"({tokens.local_global})",
+                    subject=client.name, observed=tokens.local_global,
+                    expected=0,
                 )
             if tokens.x_bound < 0:
-                self._note(f"{client.name}: X negative ({tokens.x_bound})")
+                self._note(
+                    "tokens-negative",
+                    f"{client.name}: X negative ({tokens.x_bound})",
+                    subject=client.name, observed=tokens.x_bound, expected=0,
+                )
             bound = math.ceil(tokens.x_bound - 1e-9)
             # one tick of grace: the clamp runs on the management tick
             slack = math.ceil(tokens.rate * self.cluster.config.mgmt_interval) + 1
             if tokens.xi_res > bound + slack:
                 self._note(
+                    "reservation-clamp",
                     f"{client.name}: xi_res {tokens.xi_res} above "
-                    f"entitlement bound {bound} (+{slack} slack)"
+                    f"entitlement bound {bound} (+{slack} slack)",
+                    subject=client.name, observed=tokens.xi_res,
+                    expected=bound + slack,
                 )
             if engine.inflight_tokened < 0:
                 self._note(
+                    "inflight-negative",
                     f"{client.name}: negative in-flight count "
-                    f"({engine.inflight_tokened})"
+                    f"({engine.inflight_tokened})",
+                    subject=client.name, observed=engine.inflight_tokened,
+                    expected=0,
                 )
             if engine.limit is not None and (
                 engine.issued_this_period > engine.limit
             ):
                 self._note(
+                    "limit-exceeded",
                     f"{client.name}: issued {engine.issued_this_period} "
-                    f"past limit {engine.limit}"
+                    f"past limit {engine.limit}",
+                    subject=client.name, observed=engine.issued_this_period,
+                    expected=engine.limit,
                 )
 
     def _check_pool(self) -> None:
@@ -94,7 +131,11 @@ class InvariantChecker:
         batch = self.cluster.config.batch_size
         engines = [c.engine for c in self.cluster.clients if c.engine]
         if pool > omega:
-            self._note(f"pool {pool} exceeds capacity estimate {omega}")
+            self._note(
+                "pool-over-capacity",
+                f"pool {pool} exceeds capacity estimate {omega}",
+                observed=pool, expected=omega,
+            )
         # Worst-case negative excursion: every client retries a batched
         # FAA each retry interval for a whole period against an empty,
         # never-refreshed pool (Basic Haechi).  Anything below that is a
@@ -105,7 +146,11 @@ class InvariantChecker:
         ) + 1
         floor = -batch * max(1, len(engines)) * retries_per_period
         if pool < floor:
-            self._note(f"pool {pool} below the {floor} retry-storm floor")
+            self._note(
+                "pool-runaway",
+                f"pool {pool} below the {floor} retry-storm floor",
+                observed=pool, expected=floor,
+            )
         # The paper's token invariant: *unspent* tokens (global pool plus
         # tokens held at clients) never exceed the capacity remaining in
         # the period.  In-flight I/Os are spent tokens and excluded —
@@ -123,16 +168,19 @@ class InvariantChecker:
         if monitor.config.token_conversion and monitor._reporting_triggered:
             if max(pool, 0) + unspent > capacity_left + slack:
                 self._note(
+                    "tokens-overbooked",
                     f"unspent tokens overbooked: pool {pool} + held "
                     f"{unspent} > capacity left {capacity_left:.0f} "
-                    f"(+slack {slack:.0f})"
+                    f"(+slack {slack:.0f})",
+                    observed=max(pool, 0) + unspent,
+                    expected=capacity_left + slack,
                 )
 
     # ------------------------------------------------------------------
     def assert_clean(self) -> None:
         """Raise AssertionError listing every recorded violation."""
         if self.violations:
-            summary = "\n".join(self.violations[:20])
+            summary = "\n".join(str(v) for v in self.violations[:20])
             raise AssertionError(
                 f"{len(self.violations)} invariant violations:\n{summary}"
             )

@@ -1,0 +1,67 @@
+"""Structured invariant-violation records.
+
+Every oracle in the stack — the per-tick :class:`~repro.core.invariants.
+InvariantChecker`, the chaos harnesses' end-of-run checks, and the hunt
+subsystem's liveness oracles — reports findings as :class:`Violation`
+records instead of bare strings.  A record carries the machine-readable
+fields the anomaly-hunt minimizer classifies on (``kind``, subject,
+observed/expected values) while ``__str__`` reproduces the exact text
+the pre-existing string-based assertions and reports were built on, so
+``assert checker.violations == []`` and CLI output are unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One invariant violation, classified and attributable.
+
+    ``kind`` is a stable machine-readable identifier (e.g.
+    ``"reservation-unmet"``); ``subject`` names the client/node/host the
+    violation is about (None for cluster-wide properties).  ``time`` is
+    the simulated time of detection for tick-based checkers and None
+    for end-of-run oracles.  ``message`` is the human-readable text;
+    ``__str__`` prefixes it with ``t=<time>:`` exactly as the old
+    string-based records did when a time is present.
+    """
+
+    kind: str
+    message: str
+    time: Optional[float] = None
+    subject: Optional[str] = None
+    observed: Any = None
+    expected: Any = None
+
+    def __str__(self) -> str:
+        if self.time is not None:
+            return f"t={self.time:.6f}: {self.message}"
+        return self.message
+
+    def to_dict(self) -> dict:
+        """A JSON-ready dict (for campaign reports and reproducers)."""
+        payload = {"kind": self.kind, "message": self.message}
+        if self.time is not None:
+            payload["time"] = self.time
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        if self.observed is not None:
+            payload["observed"] = self.observed
+        if self.expected is not None:
+            payload["expected"] = self.expected
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Violation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=payload["kind"],
+            message=payload["message"],
+            time=payload.get("time"),
+            subject=payload.get("subject"),
+            observed=payload.get("observed"),
+            expected=payload.get("expected"),
+        )

@@ -19,6 +19,7 @@ degraded service instead of deadlock; see docs/FAULTS.md.
 
 from repro.faults.injector import FaultInjector, FaultVerdict
 from repro.faults.plan import (
+    PLAN_SCHEMA_VERSION,
     Brownout,
     CrashWindow,
     DelayRule,
@@ -37,5 +38,6 @@ __all__ = [
     "FaultPlan",
     "FaultVerdict",
     "OpFilter",
+    "PLAN_SCHEMA_VERSION",
     "QPCloseFault",
 ]

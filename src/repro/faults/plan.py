@@ -15,11 +15,30 @@ helpers convert from period indices.  Probabilities are per-op.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 from typing import Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.types import OpType
+
+# Bump when the serialized plan shape changes; ``FaultPlan.from_json``
+# refuses versions it does not understand, so committed reproducer
+# files fail loudly instead of silently mis-deserializing.
+PLAN_SCHEMA_VERSION = 1
+
+
+def _enc_time(value: float):
+    """JSON-safe float: ``inf`` (open-ended windows) as the string
+    ``"inf"`` — ``json.dumps`` would otherwise emit the non-standard
+    ``Infinity`` literal that strict parsers reject."""
+    return "inf" if value == math.inf else value
+
+
+def _dec_time(value):
+    # Leave finite numbers untouched: JSON round-trips int/float values
+    # (and their exact bits) by itself, so no coercion is needed.
+    return math.inf if value == "inf" else value
 
 
 def _check_window(start: float, end: float, what: str) -> None:
@@ -68,6 +87,30 @@ class OpFilter:
             return False
         return True
 
+    def to_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "control_only": self.control_only,
+            "opcodes": (None if self.opcodes is None
+                        else [op.name for op in self.opcodes]),
+            "start": _enc_time(self.start),
+            "end": _enc_time(self.end),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OpFilter":
+        opcodes = payload.get("opcodes")
+        return cls(
+            src=payload.get("src"),
+            dst=payload.get("dst"),
+            control_only=payload.get("control_only", False),
+            opcodes=(None if opcodes is None
+                     else tuple(OpType[name] for name in opcodes)),
+            start=_dec_time(payload.get("start", 0.0)),
+            end=_dec_time(payload.get("end", "inf")),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class DropRule:
@@ -79,6 +122,16 @@ class DropRule:
 
     def __post_init__(self) -> None:
         _check_rate(self.rate, "drop")
+
+    def to_dict(self) -> dict:
+        return {"rate": self.rate, "where": self.where.to_dict(),
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DropRule":
+        return cls(rate=payload["rate"],
+                   where=OpFilter.from_dict(payload["where"]),
+                   label=payload.get("label", "drop"))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +153,18 @@ class DelayRule:
                 f"delay/jitter must be >= 0, got {self.delay}/{self.jitter}"
             )
 
+    def to_dict(self) -> dict:
+        return {"rate": self.rate, "delay": self.delay,
+                "jitter": self.jitter, "where": self.where.to_dict(),
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DelayRule":
+        return cls(rate=payload["rate"], delay=payload["delay"],
+                   jitter=payload.get("jitter", 0.0),
+                   where=OpFilter.from_dict(payload["where"]),
+                   label=payload.get("label", "delay"))
+
 
 @dataclasses.dataclass(frozen=True)
 class Brownout:
@@ -117,6 +182,15 @@ class Brownout:
                 f"brownout factor must be in (0, 1), got {self.factor}"
             )
 
+    def to_dict(self) -> dict:
+        return {"host": self.host, "start": _enc_time(self.start),
+                "end": _enc_time(self.end), "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Brownout":
+        return cls(host=payload["host"], start=_dec_time(payload["start"]),
+                   end=_dec_time(payload["end"]), factor=payload["factor"])
+
 
 @dataclasses.dataclass(frozen=True)
 class QPCloseFault:
@@ -132,6 +206,15 @@ class QPCloseFault:
         if self.time < 0:
             raise ConfigError(f"close time must be >= 0, got {self.time}")
 
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst,
+                "time": _enc_time(self.time)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QPCloseFault":
+        return cls(src=payload["src"], dst=payload["dst"],
+                   time=_dec_time(payload["time"]))
+
 
 @dataclasses.dataclass(frozen=True)
 class CrashWindow:
@@ -146,6 +229,15 @@ class CrashWindow:
 
     def __post_init__(self) -> None:
         _check_window(self.start, self.end, "CrashWindow")
+
+    def to_dict(self) -> dict:
+        return {"host": self.host, "start": _enc_time(self.start),
+                "end": _enc_time(self.end)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashWindow":
+        return cls(host=payload["host"], start=_dec_time(payload["start"]),
+                   end=_dec_time(payload.get("end", "inf")))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,3 +280,54 @@ class FaultPlan:
             names.add(q.src)
             names.add(q.dst)
         return names
+
+    # ------------------------------------------------------------------
+    # Serialization: plans round-trip to JSON with full fidelity
+    # (float times bit-exact, open-ended ``inf`` windows, OpType enum
+    # members by name) so reproducer files and mutation logs can carry
+    # a plan as data.  ``plan == FaultPlan.from_json(plan.to_json())``
+    # holds for every valid plan.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "drops": [r.to_dict() for r in self.drops],
+            "delays": [r.to_dict() for r in self.delays],
+            "brownouts": [b.to_dict() for b in self.brownouts],
+            "qp_closes": [q.to_dict() for q in self.qp_closes],
+            "crashes": [c.to_dict() for c in self.crashes],
+            "drop_fail_after": self.drop_fail_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        version = payload.get("schema_version")
+        if version != PLAN_SCHEMA_VERSION:
+            raise ConfigError(
+                f"unsupported fault-plan schema version {version!r} "
+                f"(this build reads version {PLAN_SCHEMA_VERSION})"
+            )
+        return cls(
+            drops=tuple(DropRule.from_dict(r) for r in payload["drops"]),
+            delays=tuple(DelayRule.from_dict(r) for r in payload["delays"]),
+            brownouts=tuple(
+                Brownout.from_dict(b) for b in payload["brownouts"]
+            ),
+            qp_closes=tuple(
+                QPCloseFault.from_dict(q) for q in payload["qp_closes"]
+            ),
+            crashes=tuple(
+                CrashWindow.from_dict(c) for c in payload["crashes"]
+            ),
+            drop_fail_after=payload["drop_fail_after"],
+        )
+
+    def to_json(self) -> str:
+        """Canonical JSON text (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json` (also accepts indented JSON)."""
+        return cls.from_dict(json.loads(text))

@@ -40,6 +40,12 @@ from repro.faults.plan import CrashWindow, DropRule, FaultPlan, OpFilter
 from repro.globalqos.coordinator import COORD_HOST_NAME
 from repro.globalqos.scenario import build_skewed_cluster
 from repro.globalqos.waterfill import even_split
+from repro.hunt.oracles import (
+    check_ledger_conservation,
+    check_no_lost_acked_put,
+    check_reservations_met,
+    check_split_conservation,
+)
 
 # CI's globalqos-smoke job runs the first seed; the full suite and
 # `python -m repro globalqos --chaos` run all of them.
@@ -226,39 +232,40 @@ def _check_invariants(cluster, plan: FaultPlan, drivers,
             f"(rebalances={coordinator.rebalances_computed})"
         )
 
-    # 3. No lost acknowledged PUT.
+    # 3. No lost acknowledged PUT (shared oracle; see repro.hunt.oracles).
+    put_entries = []
     for striped, driver in zip(cluster.clients, drivers):
         for (node, node_key), version in driver.acked.items():
             store = cluster.nodes[node].data_node.store
             client_id = striped.kv_clients[node].name
             durable = store.applied_versions.get((client_id, node_key), 0)
-            if durable < version:
-                violations.append(
-                    f"lost acked PUT: {striped.name} node {node} "
-                    f"key={node_key} acked v{version}, durable v{durable}"
-                )
+            put_entries.append((
+                striped.name,
+                f"{striped.name} node {node} key={node_key}",
+                version, durable,
+            ))
+    violations.extend(str(v) for v in check_no_lost_acked_put(put_entries))
 
     # 4 + 5. Token and split conservation.
     ledger = getattr(cluster.sim.telemetry, "ledger", None)
     ledger_totals: dict = {}
     if ledger is not None:
         violations.extend(
-            f"token ledger: {v}" for v in ledger.check_conservation()
+            str(v) for v in check_ledger_conservation(ledger)
         )
         violations.extend(
-            f"split ledger: {v}" for v in ledger.check_split_conservation()
+            str(v) for v in check_split_conservation(ledger)
         )
         ledger_totals = ledger.totals()
 
     # 6. Reservations met in the final, fault-free period.
-    for striped in cluster.clients:
-        counts = cluster.metrics.clients[striped.name].period_counts
-        target = striped.aggregate_reservation
-        if counts and counts[-1] < 0.9 * target:
-            violations.append(
-                f"reservation unmet after settle: {striped.name} "
-                f"completed {counts[-1]}/{target} in the final period"
-            )
+    violations.extend(str(v) for v in check_reservations_met([
+        (striped.name,
+         (cluster.metrics.clients[striped.name].period_counts[-1]
+          if cluster.metrics.clients[striped.name].period_counts else None),
+         striped.aggregate_reservation)
+        for striped in cluster.clients
+    ]))
 
     # Sanity: the fallback target was the even split (not garbage).
     for agent in agents:

@@ -1,0 +1,231 @@
+"""Delta-debugging: shrink a finding to its smallest reproducing spec.
+
+Three generic reducers and one driver:
+
+- :func:`ddmin` — Zeller's classic 1-minimal subset reduction over a
+  list (here: the fault-gene genome).  Works for non-monotone
+  predicates too; the result is 1-minimal (no single element can be
+  removed), not globally minimal.
+- :func:`shrink_int` / :func:`shrink_float` — boundary bisection of a
+  scalar toward its floor, assuming the usual monotone shape (simpler
+  values stop reproducing at some threshold).  If the floor itself
+  still reproduces, the floor wins immediately — which also covers
+  non-monotone predicates gracefully.
+- :func:`minimize_spec` — the driver: ddmin the fault list, floor the
+  choice genes, bisect every scalar gene (spec-level and per remaining
+  fault gene), all through :func:`~repro.hunt.space.clamp_spec` so
+  every probe is a valid point of the space.
+
+The predicate is "this spec still reproduces the finding" — one full
+DES run per probe — so probes are cached by canonical spec JSON and
+the driver reports how many real evaluations minimization cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.hunt.space import (
+    CHOICE_GENES,
+    FLOAT_GENES,
+    INT_GENES,
+    FaultGene,
+    ScenarioSpec,
+    clamp_spec,
+)
+
+# Scalar floors for the per-fault-gene shrink pass.
+GENE_FLOAT_FLOORS = {"duration": 0.25, "rate": 0.01, "start": 0.5}
+
+# Stop bisecting a float once the bracket is this tight (the space
+# rounds genes to 4 decimals anyway).
+FLOAT_TOLERANCE = 0.05
+
+
+def ddmin(items: Sequence, test: Callable[[list], bool]) -> list:
+    """Zeller's ddmin: a 1-minimal sublist still satisfying ``test``.
+
+    ``test(list(items))`` must be true on entry; the result is a
+    sublist (order preserved) from which no single element can be
+    dropped without losing the property.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            complement = [x for j, s in enumerate(subsets) if j != i
+                          for x in s]
+            if test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(granularity * 2, len(items))
+    if len(items) == 1 and test([]):
+        return []
+    return items
+
+
+def shrink_int(value: int, floor: int,
+               test: Callable[[int], bool]) -> int:
+    """Smallest ``v`` in [floor, value] with ``test(v)``, by bisection.
+
+    ``test(value)`` must be true on entry.  Tries the floor first, then
+    bisects the failing/passing boundary.
+    """
+    if value <= floor:
+        return value
+    if test(floor):
+        return floor
+    lo, hi = floor, value  # test(lo) false, test(hi) true
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if test(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def shrink_float(value: float, floor: float, test: Callable[[float], bool],
+                 tolerance: float = FLOAT_TOLERANCE) -> float:
+    """Float analogue of :func:`shrink_int` with a bracket tolerance."""
+    if value <= floor:
+        return value
+    probe = round(floor, 4)
+    if test(probe):
+        return probe
+    lo, hi = floor, value
+    while hi - lo > tolerance:
+        mid = round((lo + hi) / 2, 4)
+        if test(mid):
+            hi = mid
+        else:
+            lo = mid
+    return round(hi, 4)
+
+
+@dataclasses.dataclass
+class MinimizeResult:
+    """Outcome of one minimization."""
+
+    spec: ScenarioSpec
+    steps: int          # real predicate evaluations (cache misses)
+    reproduced: bool    # the input spec itself satisfied the predicate
+
+
+def minimize_spec(
+    spec: ScenarioSpec,
+    predicate: Callable[[ScenarioSpec], bool],
+    max_steps: int = 200,
+) -> MinimizeResult:
+    """Shrink ``spec`` while ``predicate`` (finding still reproduces)
+    holds.  Every probe is clamped into the valid space and cached, so
+    the DES only runs once per distinct candidate; ``max_steps`` bounds
+    the total number of runs."""
+    cache = {}
+    steps = 0
+
+    def probe(candidate: ScenarioSpec) -> bool:
+        nonlocal steps
+        key = candidate.to_json()
+        if key not in cache:
+            if steps >= max_steps:
+                return False  # budget exhausted: treat as non-reproducing
+            steps += 1
+            cache[key] = bool(predicate(candidate))
+        return cache[key]
+
+    current = clamp_spec(spec)
+    if not probe(current):
+        return MinimizeResult(spec=current, steps=steps, reproduced=False)
+
+    def try_replace(**changes) -> bool:
+        """Probe one simplification; adopt it if it still reproduces."""
+        nonlocal current
+        candidate = clamp_spec(dataclasses.replace(current, **changes))
+        if candidate == current:
+            return False
+        if probe(candidate):
+            current = candidate
+            return True
+        return False
+
+    # 1. ddmin the fault-gene list.
+    if current.faults:
+        kept = ddmin(
+            list(current.faults),
+            lambda genes: probe(clamp_spec(
+                dataclasses.replace(current, faults=tuple(genes))
+            )),
+        )
+        current = clamp_spec(
+            dataclasses.replace(current, faults=tuple(kept))
+        )
+
+    # 2. Floor the choice genes and drop the limit.
+    for name, (_choices, floor) in sorted(CHOICE_GENES.items()):
+        if getattr(current, name) != floor:
+            try_replace(**{name: floor})
+    if current.limit_factor is not None:
+        try_replace(limit_factor=None)
+
+    # 3. Bisect the spec-level scalars toward their floors.
+    for name, (_lo, _hi, floor) in sorted(INT_GENES.items()):
+        value = shrink_int(
+            getattr(current, name), floor,
+            lambda v, name=name: probe(clamp_spec(
+                dataclasses.replace(current, **{name: v})
+            )),
+        )
+        try_replace(**{name: value})
+    for name, (_lo, _hi, floor) in sorted(FLOAT_GENES.items()):
+        value = shrink_float(
+            getattr(current, name), floor,
+            lambda v, name=name: probe(clamp_spec(
+                dataclasses.replace(current, **{name: v})
+            )),
+        )
+        try_replace(**{name: value})
+
+    # 4. Simplify each surviving fault gene: un-permanent it, zero its
+    # victim index, bisect its scalars.
+    for idx in range(len(current.faults)):
+        def gene_probe(**changes) -> bool:
+            genes = list(current.faults)
+            genes[idx] = dataclasses.replace(genes[idx], **changes)
+            return probe(clamp_spec(
+                dataclasses.replace(current, faults=tuple(genes))
+            ))
+
+        def gene_adopt(**changes) -> None:
+            nonlocal current
+            genes = list(current.faults)
+            genes[idx] = dataclasses.replace(genes[idx], **changes)
+            candidate = clamp_spec(
+                dataclasses.replace(current, faults=tuple(genes))
+            )
+            if candidate != current and probe(candidate):
+                current = candidate
+
+        gene = current.faults[idx]
+        if gene.permanent:
+            gene_adopt(permanent=False)
+        if gene.client != 0:
+            gene_adopt(client=0)
+        for field, floor in sorted(GENE_FLOAT_FLOORS.items()):
+            gene = current.faults[idx]
+            value = shrink_float(
+                getattr(gene, field), floor,
+                lambda v, field=field: gene_probe(**{field: v}),
+            )
+            gene_adopt(**{field: value})
+
+    return MinimizeResult(spec=current, steps=steps, reproduced=True)

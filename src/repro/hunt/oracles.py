@@ -1,0 +1,279 @@
+"""The unified oracle registry: every end-of-run correctness check.
+
+Before the hunt subsystem existed, each chaos harness carried its own
+copy of the end-of-run invariant checks (``recovery/chaos.py`` and
+``globalqos/chaos.py`` had near-identical no-lost-acked-PUT /
+reservations-met / ledger blocks).  This module is the single home for
+those checks: each is a pure function from run evidence to a list of
+structured :class:`~repro.core.violations.Violation` records, and both
+chaos harnesses and the anomaly search call the same code.  ``str()``
+of a returned record reproduces the harnesses' historical message text
+exactly (pinned by ``tests/hunt/test_chaos_pin.py``), so refactored
+reports stay field-for-field identical.
+
+The :data:`ORACLES` registry names every oracle the hunt evaluates,
+with a one-line description each — the campaign report and
+``docs/HUNT.md`` list violations by these names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.violations import Violation
+
+# Fraction of the reservation the settle-period completions must reach
+# for "reservations eventually met" (both chaos harnesses' historical
+# threshold).
+SETTLE_ATTAINMENT = 0.9
+
+
+# ---------------------------------------------------------------------------
+# Safety oracles (shared by the chaos harnesses)
+# ---------------------------------------------------------------------------
+def check_no_lost_acked_put(
+    entries: Iterable[Tuple[str, str, int, int]],
+) -> List[Violation]:
+    """No acknowledged PUT may be lost.
+
+    ``entries`` are ``(subject, desc, acked_version, durable_version)``
+    — ``desc`` is the caller's slot description (e.g. ``"C1 key=3"`` or
+    ``"G1 node 2 key=7"``) so each harness keeps its exact message
+    shape.
+    """
+    violations = []
+    for subject, desc, acked, durable in entries:
+        if durable < acked:
+            violations.append(Violation(
+                kind="lost-acked-put",
+                message=(f"lost acked PUT: {desc} acked v{acked}, "
+                         f"durable v{durable}"),
+                subject=subject, observed=durable, expected=acked,
+            ))
+    return violations
+
+
+def check_no_duplicate_apply(
+    entries: Iterable[Tuple[str, str, int, int, int]],
+) -> List[Violation]:
+    """No store may apply the same (client, key, version) twice.
+
+    ``entries`` are ``(store_label, client, key, version, count)``.
+    """
+    violations = []
+    for label, client, key, version, count in entries:
+        if count > 1:
+            violations.append(Violation(
+                kind="duplicate-apply",
+                message=(f"duplicate apply on {label}: {client} key={key} "
+                         f"v{version} applied {count}x"),
+                subject=str(client), observed=count, expected=1,
+            ))
+    return violations
+
+
+def check_reservations_met(
+    rows: Iterable[Tuple[str, Optional[int], int]],
+    threshold: float = SETTLE_ATTAINMENT,
+) -> List[Violation]:
+    """Settle-period completions reach ``threshold`` of the reservation.
+
+    ``rows`` are ``(name, final_period_count, target)``; pass ``None``
+    for the count to skip a client (no samples), and pre-filter clients
+    with no reservation or an excused outage.
+    """
+    violations = []
+    for name, count, target in rows:
+        if count is None:
+            continue
+        if count < threshold * target:
+            violations.append(Violation(
+                kind="reservation-unmet",
+                message=(f"reservation unmet after settle: {name} completed "
+                         f"{count}/{target} in the final period"),
+                subject=name, observed=count, expected=target,
+            ))
+    return violations
+
+
+def check_bounded_failover(
+    entries: Iterable[Tuple[str, float]],
+    bound_periods: float,
+    period: float,
+) -> List[Violation]:
+    """Every failover window closes within the configured bound.
+
+    ``entries`` are ``(name, duration_seconds)``.
+    """
+    bound = bound_periods * period
+    violations = []
+    for name, duration in entries:
+        if duration > bound:
+            violations.append(Violation(
+                kind="failover-unbounded",
+                message=(f"failover exceeded bound: {name} took "
+                         f"{duration / period:.2f} periods (bound "
+                         f"{bound_periods})"),
+                subject=name, observed=duration, expected=bound,
+            ))
+    return violations
+
+
+def check_ledger_conservation(ledger) -> List[Violation]:
+    """Per-account token conservation from the telemetry ledger."""
+    if ledger is None:
+        return []
+    return [
+        Violation(kind="ledger-conservation",
+                  message=f"token ledger: {text}")
+        for text in ledger.check_conservation()
+    ]
+
+
+def check_split_conservation(ledger) -> List[Violation]:
+    """Rebalance splits sum to the aggregate reservation exactly."""
+    if ledger is None:
+        return []
+    return [
+        Violation(kind="split-conservation",
+                  message=f"split ledger: {text}")
+        for text in ledger.check_split_conservation()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Liveness oracles (new with the hunt)
+# ---------------------------------------------------------------------------
+def check_progress(
+    rows: Iterable[Tuple[str, Sequence[int], float]],
+    stall_periods: int = 2,
+) -> List[Violation]:
+    """A client with standing demand keeps completing work.
+
+    ``rows`` are ``(name, period_counts, demand_ops)``; a client whose
+    demand is positive but whose last ``stall_periods`` periods all
+    completed zero ops has stalled.  Callers exclude clients that are
+    legitimately dark (inside a crash window at run end).
+    """
+    violations = []
+    for name, counts, demand in rows:
+        if demand <= 0 or len(counts) < stall_periods:
+            continue
+        tail = list(counts[-stall_periods:])
+        if all(c == 0 for c in tail):
+            violations.append(Violation(
+                kind="progress-stall",
+                message=(f"progress stall: {name} completed 0 ops over the "
+                         f"final {stall_periods} periods despite demand "
+                         f"{demand:.0f} ops/s"),
+                subject=name, observed=0, expected=demand,
+            ))
+    return violations
+
+
+def check_queue_growth(
+    rows: Iterable[Tuple[str, int, int]],
+) -> List[Violation]:
+    """Engine submit queues stay bounded.
+
+    ``rows`` are ``(name, queue_depth_at_end, bound)``; a queue still
+    deeper than its bound after the settle tail is growing without
+    limit (tokens never arrive, or arrive slower than demand forever).
+    """
+    violations = []
+    for name, depth, bound in rows:
+        if depth > bound:
+            violations.append(Violation(
+                kind="queue-growth",
+                message=(f"unbounded queue growth: {name} still has "
+                         f"{depth} queued submissions after settle "
+                         f"(bound {bound})"),
+                subject=name, observed=depth, expected=bound,
+            ))
+    return violations
+
+
+def checker_violations(checker) -> List[Violation]:
+    """Adopt an :class:`~repro.core.invariants.InvariantChecker`'s
+    per-tick findings into an oracle result list."""
+    return list(checker.violations)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Oracle:
+    """One named correctness property the hunt evaluates."""
+
+    name: str
+    kinds: Tuple[str, ...]
+    description: str
+    check: Callable
+
+
+ORACLES: Dict[str, Oracle] = {}
+
+
+def _register(name: str, kinds: Tuple[str, ...], description: str,
+              check: Callable) -> None:
+    ORACLES[name] = Oracle(name, kinds, description, check)
+
+
+_register(
+    "invariant-checker", ("tokens-negative", "reservation-clamp",
+                          "inflight-negative", "limit-exceeded",
+                          "pool-over-capacity", "pool-runaway",
+                          "tokens-overbooked"),
+    "per-tick safety properties from core.invariants.InvariantChecker",
+    checker_violations,
+)
+_register(
+    "no-lost-acked-put", ("lost-acked-put",),
+    "every acknowledged PUT is durable on at least one store",
+    check_no_lost_acked_put,
+)
+_register(
+    "no-duplicate-apply", ("duplicate-apply",),
+    "no store applies the same (client, key, version) twice",
+    check_no_duplicate_apply,
+)
+_register(
+    "reservations-met", ("reservation-unmet",),
+    "settle-period completions reach 90% of the granted reservation",
+    check_reservations_met,
+)
+_register(
+    "bounded-failover", ("failover-unbounded",),
+    "every failover completes within the configured period bound",
+    check_bounded_failover,
+)
+_register(
+    "ledger-conservation", ("ledger-conservation",),
+    "per-account token conservation balances exactly",
+    check_ledger_conservation,
+)
+_register(
+    "split-conservation", ("split-conservation",),
+    "rebalance splits sum to the aggregate reservation exactly",
+    check_split_conservation,
+)
+_register(
+    "progress", ("progress-stall",),
+    "clients with standing demand keep completing work",
+    check_progress,
+)
+_register(
+    "queue-bounded", ("queue-growth",),
+    "engine submit queues drain once faults clear",
+    check_queue_growth,
+)
+
+
+def kind_to_oracle(kind: str) -> Optional[str]:
+    """The registry name owning a violation ``kind`` (None if unknown)."""
+    for oracle in ORACLES.values():
+        if kind in oracle.kinds:
+            return oracle.name
+    return None

@@ -1,0 +1,121 @@
+"""Self-contained JSON reproducers for hunt findings.
+
+A reproducer file carries everything needed to re-trigger one finding
+bit-identically: the (minimized) scenario spec, the simulation seed,
+the violation kind to expect, and provenance (which campaign found it,
+at which candidate, and how many delta-debug steps the shrink took).
+``hunt replay <file>`` re-runs the exact DES and checks the recorded
+kind appears again; files committed under ``tests/regress/`` run as
+permanent regression scenarios in the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.hunt.scenario import run_spec
+from repro.hunt.search import Campaign, Finding
+from repro.hunt.space import ScenarioSpec
+
+REPRO_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Outcome of replaying one reproducer."""
+
+    reproduced: bool      # the recorded kind showed up again
+    kind: str             # what the file expects
+    kinds: list           # what the replay actually produced
+    result: dict          # the full run_spec verdict
+
+
+def reproducer_dict(finding: Finding, campaign_seed: int) -> dict:
+    """The serializable reproducer payload for one finding.
+
+    Uses the minimized spec when minimization succeeded, the original
+    otherwise, so the file always reproduces as written.
+    """
+    spec = finding.spec
+    if finding.minimized_spec is not None and not finding.unminimizable:
+        spec = finding.minimized_spec
+    return {
+        "schema_version": REPRO_SCHEMA_VERSION,
+        "kind": finding.kind,
+        "oracle": finding.oracle,
+        "seed": finding.seed,
+        "spec": spec.to_dict(),
+        "violation": finding.violation,
+        "provenance": {
+            "campaign_seed": campaign_seed,
+            "found_at": finding.found_at,
+            "sightings": finding.sightings,
+            "minimize_steps": finding.minimize_steps,
+        },
+    }
+
+
+def write_reproducer(path, finding: Finding, campaign_seed: int) -> dict:
+    """Write one finding's reproducer file; returns the payload."""
+    payload = reproducer_dict(finding, campaign_seed)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def write_reproducers(directory, campaign: Campaign) -> list:
+    """One file per finding, named ``repro-<kind>.json``; returns paths."""
+    paths = []
+    for finding in sorted(campaign.findings, key=lambda f: f.kind):
+        path = f"{directory}/repro-{finding.kind}.json"
+        write_reproducer(path, finding, campaign.config.seed)
+        paths.append(path)
+    return paths
+
+
+def load_reproducer(path) -> dict:
+    """Read and validate a reproducer file."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    version = payload.get("schema_version")
+    if version != REPRO_SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported reproducer schema version {version!r} "
+            f"(this build reads version {REPRO_SCHEMA_VERSION})"
+        )
+    for field in ("kind", "seed", "spec"):
+        if field not in payload:
+            raise ConfigError(f"reproducer {path} is missing {field!r}")
+    return payload
+
+
+def replay(payload: dict) -> ReplayResult:
+    """Re-run a reproducer's exact scenario and check its finding."""
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    result = run_spec(spec, payload["seed"])
+    return ReplayResult(
+        reproduced=payload["kind"] in result["kinds"],
+        kind=payload["kind"],
+        kinds=list(result["kinds"]),
+        result=result,
+    )
+
+
+def replay_file(path) -> ReplayResult:
+    """:func:`load_reproducer` + :func:`replay` in one step."""
+    return replay(load_reproducer(path))
+
+
+def check_regression(path) -> Optional[str]:
+    """Test-suite helper: None if the file still reproduces, else a
+    human-readable failure description."""
+    payload = load_reproducer(path)
+    outcome = replay(payload)
+    if outcome.reproduced:
+        return None
+    return (f"{path}: recorded kind {outcome.kind!r} did not reproduce "
+            f"(replay produced {outcome.kinds})")

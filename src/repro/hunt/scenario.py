@@ -1,0 +1,177 @@
+"""Execute one scenario-space candidate and evaluate every oracle.
+
+``run_spec`` is the hunt's measurement kernel: build the cluster a
+:class:`~repro.hunt.space.ScenarioSpec` describes, attach the per-tick
+:class:`~repro.core.invariants.InvariantChecker` and a ledger-only
+telemetry hub, install the compiled fault plan, run the exact DES, and
+return a JSON-serializable verdict — structured violations from the
+full oracle registry plus headline counters.  Same (spec, seed) in,
+same verdict out, bit for bit: the search loop, the minimizer, and
+``hunt replay`` all trust this.
+
+The module registers itself with :mod:`repro.cluster.runner` as the
+``"hunt-candidate"`` scenario, so search batches fan out through the
+same parallel cell runner (and result cache) the evaluation suite uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.core.invariants import InvariantChecker
+from repro.core.violations import Violation
+from repro.cluster.runner import register_scenario
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+from repro.hunt.oracles import (
+    check_ledger_conservation,
+    check_progress,
+    check_queue_growth,
+    check_reservations_met,
+)
+from repro.hunt.space import (
+    CAPACITY_OPS,
+    PER_CLIENT_RESERVATION_CAP,
+    ScenarioSpec,
+)
+from repro.telemetry import TelemetryConfig, attach_telemetry
+from repro.workloads.patterns import RequestPattern
+from repro.workloads.reservations import zipf_group_distribution
+
+# Same dilation as the chaos harnesses: 1 ms periods, 20 us ticks —
+# fast enough that a search budget of hundreds is cheap.
+HUNT_SCALE = SimScale(factor=1000, interval_divisor=50)
+
+_PATTERNS = {
+    "burst": RequestPattern.BURST,
+    "constant-rate": RequestPattern.CONSTANT_RATE,
+}
+
+
+def spec_workload(spec: ScenarioSpec):
+    """The (reservations, demands, limits) a spec resolves to, in ops/s.
+
+    Demand follows Experiment 2A's rule (reservation plus an even pool
+    share), scaled by the spec's ``demand_factor``; limits are a
+    multiple of each reservation so they can never contradict it.
+    """
+    total = spec.total_reserved_ops()
+    if spec.distribution == "zipf":
+        # One group per client: the paper's 5-group shape requires the
+        # client count to divide evenly, which the search space doesn't.
+        base = zipf_group_distribution(total, spec.num_clients,
+                                       num_groups=spec.num_clients)
+    else:
+        base = reservation_set(spec.distribution, total, spec.num_clients)
+    # Elementwise cap keeps skewed distributions inside the admission
+    # controller's local (single-client) capacity limit.
+    reservations = [min(r, int(PER_CLIENT_RESERVATION_CAP)) for r in base]
+    pool_share = (CAPACITY_OPS - sum(reservations)) / spec.num_clients
+    demands = [
+        d * spec.demand_factor
+        for d in paper_demands(reservations, pool_share)
+    ]
+    limits = None
+    if spec.limit_factor is not None:
+        limits = [spec.limit_factor * r for r in reservations]
+    return reservations, demands, limits
+
+
+def run_spec(spec: ScenarioSpec, seed: int) -> dict:
+    """Run one candidate; return its oracle verdict and counters."""
+    reservations, demands, limits = spec_workload(spec)
+    cluster = qos_cluster(
+        reservations=reservations,
+        demands=demands,
+        pattern=_PATTERNS[spec.pattern],
+        scale=HUNT_SCALE,
+        limits_ops=limits,
+        master_seed=seed,
+    )
+    config = cluster.config
+    checker = InvariantChecker(cluster)
+    hub = attach_telemetry(
+        cluster, TelemetryConfig(sample_every=0, control_spans=False)
+    )
+    plan = spec.compile_plan(config)
+    if not plan.empty:
+        cluster.inject_faults(plan, seed=seed)
+
+    cluster.start()
+    T = config.period
+    cluster.sim.run(until=spec.periods * T + T * 1e-6)
+    for ctx in cluster.clients:
+        if ctx.engine is not None:
+            ctx.engine.ledger_flush()
+
+    violations = _evaluate_oracles(cluster, spec, checker, hub, demands)
+    injector = cluster.fault_injector
+    return {
+        "violations": [v.to_dict() for v in violations],
+        "kinds": sorted({v.kind for v in violations}),
+        "counters": {
+            "checks_run": checker.checks_run,
+            "completions_total": sum(
+                m.completed.total for m in cluster.metrics.clients.values()
+            ),
+            "faults_dropped": (
+                sum(injector.dropped.values()) if injector else 0
+            ),
+            "faults_delayed": (
+                sum(injector.delayed.values()) if injector else 0
+            ),
+            "qps_closed": injector.qps_closed if injector else 0,
+        },
+    }
+
+
+def _evaluate_oracles(cluster, spec: ScenarioSpec, checker, hub,
+                      demands) -> List[Violation]:
+    """The full oracle registry over one finished run."""
+    violations: List[Violation] = list(checker.violations)
+    violations.extend(check_ledger_conservation(hub.ledger))
+
+    dark = set(spec.dark_at_end())
+    reservation_rows = []
+    progress_rows = []
+    queue_rows = []
+    for i, ctx in enumerate(cluster.clients):
+        if ctx.name in dark or ctx.engine is None:
+            continue
+        counts = cluster.metrics.clients[ctx.name].period_counts
+        granted = ctx.engine.tokens.reservation
+        if counts and granted > 0:
+            reservation_rows.append((ctx.name, counts[-1], granted))
+        progress_rows.append((ctx.name, counts, demands[i]))
+        # Over-demand necessarily backlogs the excess of demand over
+        # what the system can actually deliver to this client: the
+        # promised rate (reservation + pool share = demand /
+        # demand_factor), capped by the single-client local capacity
+        # C_L and by the client's own limit L_i.  Anomalous growth is
+        # a queue beyond that expected backlog plus slack.
+        demand_tokens = cluster.config.tokens_per_period(demands[i])
+        deliverable = cluster.config.tokens_per_period(
+            demands[i] / spec.demand_factor
+        )
+        if cluster.admission is not None:
+            deliverable = min(deliverable, cluster.admission.local_capacity)
+        if ctx.engine.limit is not None:
+            deliverable = min(deliverable, ctx.engine.limit)
+        # Two periods of full demand as slack absorbs ramp-up and
+        # in-flight accounting transients.
+        bound = int(
+            spec.periods * max(0, demand_tokens - deliverable)
+            + 2 * demand_tokens
+        )
+        queue_rows.append((ctx.name, ctx.engine.queue_depth, bound))
+
+    violations.extend(check_reservations_met(reservation_rows))
+    violations.extend(check_progress(progress_rows))
+    violations.extend(check_queue_growth(queue_rows))
+    return violations
+
+
+@register_scenario("hunt-candidate")
+def _hunt_candidate(params: Mapping, seed: int) -> dict:
+    """Runner cell: ``params = {"spec": ScenarioSpec.to_dict()}``."""
+    return run_spec(ScenarioSpec.from_dict(dict(params["spec"])), seed)

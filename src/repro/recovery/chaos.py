@@ -33,6 +33,13 @@ from repro.core.config import HaechiConfig
 from repro.cluster.experiment import attach_app
 from repro.cluster.scale import SimScale
 from repro.faults.plan import CrashWindow, DropRule, FaultPlan, OpFilter, QPCloseFault
+from repro.hunt.oracles import (
+    check_bounded_failover,
+    check_ledger_conservation,
+    check_no_duplicate_apply,
+    check_no_lost_acked_put,
+    check_reservations_met,
+)
 from repro.recovery.cluster import ReplicatedCluster, build_replicated_cluster
 from repro.recovery.failover import FailoverState
 from repro.telemetry import TelemetryConfig, attach_telemetry, write_perfetto
@@ -193,8 +200,8 @@ def run_chaos(
     report = _check_invariants(cluster, plan, seed, periods)
     if hub.ledger is not None:
         report.violations.extend(
-            f"token ledger: {violation}"
-            for violation in hub.ledger.check_conservation()
+            str(violation)
+            for violation in check_ledger_conservation(hub.ledger)
         )
         report.ledger_totals = hub.ledger.totals()
     if trace_path is not None:
@@ -204,37 +211,41 @@ def run_chaos(
 
 def _check_invariants(cluster: ReplicatedCluster, plan: FaultPlan,
                       seed: int, periods: int) -> ChaosReport:
+    """End-of-run verdict, built entirely from the shared oracle
+    registry (:mod:`repro.hunt.oracles`) — the globalqos chaos harness
+    runs the same code paths."""
     violations: List[str] = []
     stores = cluster.stores
     recovery = cluster.recovery
     T = cluster.config.period
 
     # 1. No lost acknowledged PUT.
+    put_entries = []
     for ctx in cluster.clients:
-        manager = ctx.failover
-        for key, version in manager.acked_puts.items():
+        for key, version in ctx.failover.acked_puts.items():
             durable = max(
                 store.applied_versions.get((ctx.name, key), 0)
                 for store in stores
             )
-            if durable < version:
-                violations.append(
-                    f"lost acked PUT: {ctx.name} key={key} acked v{version}, "
-                    f"durable v{durable}"
-                )
+            put_entries.append(
+                (ctx.name, f"{ctx.name} key={key}", version, durable)
+            )
+    violations.extend(str(v) for v in check_no_lost_acked_put(put_entries))
 
     # 2. No duplicate apply (per store, per client-version).
-    for label, store in zip(("primary", "replica"), stores):
-        for (client, key, version), count in store.apply_counts.items():
-            if count > 1:
-                violations.append(
-                    f"duplicate apply on {label}: {client} key={key} "
-                    f"v{version} applied {count}x"
-                )
+    apply_entries = [
+        (label, client, key, version, count)
+        for label, store in zip(("primary", "replica"), stores)
+        for (client, key, version), count in store.apply_counts.items()
+    ]
+    violations.extend(
+        str(v) for v in check_no_duplicate_apply(apply_entries)
+    )
 
     # 3. Reservations eventually met: the last (settle) period's
     # completions reach 90% of the granted reservation for every
     # client that is still live (not FAILED).
+    reservation_rows = []
     for ctx in cluster.clients:
         manager = ctx.failover
         if manager.state is FailoverState.FAILED:
@@ -242,24 +253,26 @@ def _check_invariants(cluster: ReplicatedCluster, plan: FaultPlan,
             continue
         counts = cluster.metrics.clients[ctx.name].period_counts
         granted = manager.granted_reservation
-        if counts and granted > 0 and counts[-1] < 0.9 * granted:
-            violations.append(
-                f"reservation unmet after settle: {ctx.name} completed "
-                f"{counts[-1]}/{granted} in the final period"
-            )
+        if counts and granted > 0:
+            reservation_rows.append((ctx.name, counts[-1], granted))
+    violations.extend(
+        str(v) for v in check_reservations_met(reservation_rows)
+    )
 
     # 4. Bounded unavailability per failover.
-    bound = recovery.failover_bound_periods * T
-    durations: List[float] = []
-    for ctx in cluster.clients:
-        for start, end in ctx.failover.failover_windows:
-            durations.append(end - start)
-            if end - start > bound:
-                violations.append(
-                    f"failover exceeded bound: {ctx.name} took "
-                    f"{(end - start) / T:.2f} periods (bound "
-                    f"{recovery.failover_bound_periods})"
-                )
+    durations: List[float] = [
+        end - start
+        for ctx in cluster.clients
+        for start, end in ctx.failover.failover_windows
+    ]
+    failover_entries = [
+        (ctx.name, end - start)
+        for ctx in cluster.clients
+        for start, end in ctx.failover.failover_windows
+    ]
+    violations.extend(str(v) for v in check_bounded_failover(
+        failover_entries, recovery.failover_bound_periods, T,
+    ))
 
     # The plan always crashes the primary: every client must have
     # completed a failover (the protocol under test actually ran).

@@ -99,3 +99,102 @@ class TestPlan:
             qp_closes=(QPCloseFault("C2", "server", 1.0),),
         )
         assert plan.hosts_named() == {"server", "C1", "C2"}
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip (schema_version 1)
+# ---------------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.faults import PLAN_SCHEMA_VERSION  # noqa: E402
+
+host_names = st.sampled_from(["server", "C1", "C2", "coord"])
+finite_times = st.one_of(
+    st.integers(0, 100),
+    st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+)
+op_filters = st.builds(
+    OpFilter,
+    src=st.none() | host_names,
+    dst=st.none() | host_names,
+    control_only=st.booleans(),
+    opcodes=st.none() | st.lists(
+        st.sampled_from(sorted(OpType, key=lambda o: o.name)),
+        min_size=1, max_size=3, unique=True,
+    ).map(tuple),
+    start=finite_times,
+    end=st.just(math.inf) | st.floats(200.0, 300.0),
+)
+fault_plans = st.builds(
+    FaultPlan,
+    drops=st.lists(st.builds(
+        DropRule, rate=st.floats(0.0, 1.0), where=op_filters,
+        label=st.sampled_from(["drop", "storm"]),
+    ), max_size=3).map(tuple),
+    delays=st.lists(st.builds(
+        DelayRule, rate=st.floats(0.0, 1.0), delay=st.floats(0.0, 1.0),
+        jitter=st.floats(0.0, 1.0), where=op_filters,
+    ), max_size=3).map(tuple),
+    brownouts=st.lists(st.builds(
+        Brownout, host=host_names, start=finite_times,
+        end=st.floats(200.0, 300.0),
+        factor=st.floats(0.05, 0.95),
+    ), max_size=3).map(tuple),
+    qp_closes=st.lists(st.builds(
+        QPCloseFault, src=host_names, dst=host_names,
+        time=finite_times,
+    ), max_size=3).map(tuple),
+    crashes=st.lists(st.builds(
+        CrashWindow, host=host_names, start=finite_times,
+        end=st.just(math.inf) | st.floats(200.0, 300.0),
+    ), max_size=3).map(tuple),
+    drop_fail_after=st.floats(0.0, 1e-3),
+)
+
+
+class TestJSONRoundTrip:
+    @given(plan=fault_plans)
+    @settings(max_examples=200, deadline=None)
+    def test_plan_round_trips_exactly(self, plan):
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_infinite_windows_survive(self):
+        plan = FaultPlan(
+            crashes=(CrashWindow("C1", 1.0),),  # end defaults to inf
+            drops=(DropRule(0.5, OpFilter(start=2.0)),),  # end inf
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        assert math.isinf(back.crashes[0].end)
+        assert math.isinf(back.drops[0].where.end)
+
+    def test_int_float_fidelity(self):
+        # JSON distinguishes 1 from 1.0; the codec must not coerce.
+        plan = FaultPlan(qp_closes=(QPCloseFault("C1", "server", 2),))
+        back = FaultPlan.from_json(plan.to_json())
+        assert isinstance(back.qp_closes[0].time, int)
+
+    def test_opcodes_serialize_by_name(self):
+        plan = FaultPlan(drops=(DropRule(
+            0.5, OpFilter(opcodes=(OpType.FETCH_ADD, OpType.READ)),
+        ),))
+        payload = plan.to_dict()
+        assert (payload["drops"][0]["where"]["opcodes"]
+                == ["FETCH_ADD", "READ"])
+        assert FaultPlan.from_dict(payload) == plan
+
+    def test_schema_version_embedded_and_checked(self):
+        payload = FaultPlan().to_dict()
+        assert payload["schema_version"] == PLAN_SCHEMA_VERSION
+        payload["schema_version"] = PLAN_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict(payload)
+
+    def test_canonical_json_is_stable(self):
+        plan = FaultPlan(
+            delays=(DelayRule(0.2, delay=1e-4, jitter=5e-5,
+                              where=OpFilter(control_only=True)),),
+            brownouts=(Brownout("server", 0.5, 1.5, 0.25),),
+        )
+        assert FaultPlan.from_json(plan.to_json()).to_json() == plan.to_json()

@@ -1,0 +1,187 @@
+"""Delta-debugging reducers: ddmin, scalar shrinking, spec driver.
+
+These tests use synthetic predicates (no DES runs) so the reducer
+logic is exercised exhaustively and fast; end-to-end minimization
+against real simulations is covered by the regression reproducers
+under ``tests/regress/``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hunt.minimize import (
+    ddmin,
+    minimize_spec,
+    shrink_float,
+    shrink_int,
+)
+from repro.hunt.space import FaultGene, ScenarioSpec, clamp_spec
+
+
+class TestDdmin:
+    def test_finds_known_minimal_subset(self):
+        need = {3, 7}
+        out = ddmin(list(range(10)), lambda sub: need <= set(sub))
+        assert sorted(out) == [3, 7]
+
+    def test_single_required_element(self):
+        out = ddmin(list(range(8)), lambda sub: 5 in sub)
+        assert out == [5]
+
+    def test_empty_when_predicate_unconditional(self):
+        assert ddmin([1, 2, 3], lambda _sub: True) == []
+
+    def test_keeps_everything_when_all_needed(self):
+        items = [1, 2, 3, 4]
+        out = ddmin(items, lambda sub: len(sub) == len(items))
+        assert out == items
+
+    def test_preserves_order(self):
+        out = ddmin(list("abcdef"), lambda sub: {"b", "e"} <= set(sub))
+        assert out == ["b", "e"]
+
+    def test_non_monotone_predicate_still_one_minimal(self):
+        # "exactly one even number" is not monotone: supersets of a
+        # passing set can fail.  ddmin must still land on a passing,
+        # 1-minimal set.
+        def exactly_one_even(sub):
+            return sum(1 for x in sub if x % 2 == 0) == 1
+
+        out = ddmin([1, 2, 3, 4, 5, 6], exactly_one_even)
+        assert exactly_one_even(out)
+        for i in range(len(out)):
+            assert not exactly_one_even(out[:i] + out[i + 1:])
+
+    @given(need=st.sets(st.integers(0, 19), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_predicates_reduce_to_exact_need(self, need):
+        out = ddmin(list(range(20)), lambda sub: need <= set(sub))
+        assert sorted(out) == sorted(need)
+
+
+class TestScalarShrink:
+    def test_int_bisection_finds_threshold(self):
+        calls = []
+
+        def test_fn(v):
+            calls.append(v)
+            return v >= 17
+
+        assert shrink_int(1000, 1, test_fn) == 17
+        # bisection, not a linear scan
+        assert len(calls) <= 14
+
+    def test_int_floor_wins_when_passing(self):
+        assert shrink_int(50, 6, lambda v: True) == 6
+
+    def test_int_value_kept_when_nothing_smaller_passes(self):
+        assert shrink_int(9, 1, lambda v: v >= 9) == 9
+
+    def test_int_at_floor_returns_immediately(self):
+        assert shrink_int(4, 4, lambda v: pytest.fail("no probe")) == 4
+
+    def test_float_bisection_converges(self):
+        got = shrink_float(2.0, 1.0, lambda v: v >= 1.37, tolerance=0.01)
+        assert got >= 1.37
+        assert got - 1.37 < 0.02
+
+    def test_float_floor_wins_when_passing(self):
+        assert shrink_float(0.9, 0.3, lambda v: True) == 0.3
+
+
+def spec_with(**kwargs):
+    return clamp_spec(ScenarioSpec(**kwargs))
+
+
+class TestMinimizeSpec:
+    def test_shrinks_fault_list_and_scalars(self):
+        spec = spec_with(
+            num_clients=5, distribution="zipf", reserved_fraction=0.9,
+            demand_factor=1.8, limit_factor=1.5, pattern="constant-rate",
+            periods=11,
+            faults=(
+                FaultGene(kind="control-drop", start=1.5, rate=0.3),
+                FaultGene(kind="qp-close", start=3.0, client=2),
+                FaultGene(kind="delay-spike", start=2.0, rate=0.2),
+            ),
+        )
+
+        def predicate(s):
+            return (any(g.kind == "qp-close" for g in s.faults)
+                    and s.num_clients >= 2)
+
+        result = minimize_spec(spec, predicate)
+        assert result.reproduced
+        assert predicate(result.spec)
+        assert [g.kind for g in result.spec.faults] == ["qp-close"]
+        assert result.spec.num_clients == 2
+        assert result.spec.periods == 6
+        assert result.spec.limit_factor is None
+        assert result.spec.distribution == "uniform"
+        assert result.spec.pattern == "burst"
+        assert result.spec.demand_factor == 1.0
+
+    def test_gene_scalars_shrink_to_floors(self):
+        spec = spec_with(
+            num_clients=3,
+            faults=(FaultGene(kind="client-crash", start=3.0, duration=2.0,
+                              client=2, permanent=True),),
+        )
+        result = minimize_spec(
+            spec, lambda s: any(g.kind == "client-crash" for g in s.faults)
+        )
+        assert result.reproduced
+        gene = result.spec.faults[0]
+        assert not gene.permanent
+        assert gene.client == 0
+        assert gene.start == 0.5
+        assert gene.duration == 0.25
+
+    def test_non_reproducing_input_flagged(self):
+        result = minimize_spec(spec_with(), lambda s: False)
+        assert not result.reproduced
+        assert result.steps == 1  # only the initial probe
+
+    def test_probe_cache_prevents_duplicate_evaluations(self):
+        seen = []
+
+        def predicate(s):
+            seen.append(s.to_json())
+            return True
+
+        minimize_spec(spec_with(num_clients=4, periods=9), predicate)
+        assert len(seen) == len(set(seen))
+
+    def test_deterministic(self):
+        spec = spec_with(
+            num_clients=4, demand_factor=1.7,
+            faults=(FaultGene(kind="brownout", start=2.0, factor=0.3),
+                    FaultGene(kind="control-drop", start=1.0, rate=0.4)),
+        )
+
+        def predicate(s):
+            return any(g.kind == "brownout" and g.factor < 0.5
+                       for g in s.faults)
+
+        r1 = minimize_spec(spec, predicate)
+        r2 = minimize_spec(spec, predicate)
+        assert r1.spec == r2.spec
+        assert r1.steps == r2.steps
+
+    def test_max_steps_bounds_probing(self):
+        spec = spec_with(
+            num_clients=6, periods=12, demand_factor=1.9,
+            faults=tuple(FaultGene(kind="control-drop", start=1.0 + i)
+                         for i in range(4)),
+        )
+        count = 0
+
+        def predicate(s):
+            nonlocal count
+            count += 1
+            return True
+
+        result = minimize_spec(spec, predicate, max_steps=5)
+        assert result.reproduced
+        assert count == result.steps <= 5

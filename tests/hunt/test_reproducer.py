@@ -1,0 +1,117 @@
+"""Reproducer files: round trip, replay determinism, validation."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hunt.reproducer import (
+    REPRO_SCHEMA_VERSION,
+    check_regression,
+    load_reproducer,
+    replay,
+    replay_file,
+    reproducer_dict,
+    write_reproducer,
+    write_reproducers,
+)
+from repro.hunt.search import Finding, HuntConfig, run_hunt
+from repro.hunt.space import FaultGene, ScenarioSpec, clamp_spec
+
+
+def qp_close_finding(minimized=True):
+    spec = clamp_spec(ScenarioSpec(
+        num_clients=3,
+        faults=(FaultGene(kind="qp-close", start=2.0, client=1),),
+    ))
+    return Finding(
+        kind="reservation-unmet", oracle="reservations-met", seed=1,
+        found_at=4, spec=spec, violation={"kind": "reservation-unmet"},
+        minimized_spec=spec if minimized else None,
+    )
+
+
+class TestPayload:
+    def test_uses_minimized_spec_when_available(self):
+        finding = qp_close_finding()
+        big = clamp_spec(ScenarioSpec(num_clients=6, periods=12,
+                                      faults=finding.spec.faults))
+        finding.spec = big
+        payload = reproducer_dict(finding, campaign_seed=7)
+        assert payload["spec"] == finding.minimized_spec.to_dict()
+
+    def test_falls_back_to_original_when_unminimizable(self):
+        finding = qp_close_finding()
+        finding.unminimizable = True
+        payload = reproducer_dict(finding, campaign_seed=7)
+        assert payload["spec"] == finding.spec.to_dict()
+
+    def test_provenance_recorded(self):
+        payload = reproducer_dict(qp_close_finding(), campaign_seed=7)
+        assert payload["provenance"]["campaign_seed"] == 7
+        assert payload["provenance"]["found_at"] == 4
+        assert payload["schema_version"] == REPRO_SCHEMA_VERSION
+
+
+class TestFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "repro.json"
+        written = write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        assert load_reproducer(path) == written
+
+    def test_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "repro.json"
+        payload = write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        payload["schema_version"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError):
+            load_reproducer(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "repro.json"
+        payload = write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        del payload["spec"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError):
+            load_reproducer(path)
+
+
+class TestReplay:
+    def test_replay_retriggers_recorded_kind(self, tmp_path):
+        path = tmp_path / "repro.json"
+        write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        outcome = replay_file(path)
+        assert outcome.reproduced
+        assert outcome.kind in outcome.kinds
+        assert check_regression(path) is None
+
+    def test_replay_is_bit_identical(self, tmp_path):
+        path = tmp_path / "repro.json"
+        write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        a = replay_file(path)
+        b = replay_file(path)
+        assert json.dumps(a.result, sort_keys=True) == json.dumps(
+            b.result, sort_keys=True
+        )
+
+    def test_tampered_reproducer_reports_failure(self, tmp_path):
+        path = tmp_path / "repro.json"
+        payload = write_reproducer(path, qp_close_finding(), campaign_seed=7)
+        payload["spec"]["faults"] = []  # remove the fault: nothing breaks
+        path.write_text(json.dumps(payload))
+        outcome = replay(payload)
+        assert not outcome.reproduced
+        message = check_regression(path)
+        assert message is not None
+        assert "did not reproduce" in message
+
+
+class TestCampaignExport:
+    def test_write_reproducers_one_file_per_finding(self, tmp_path):
+        campaign = run_hunt(HuntConfig(budget=6, seed=7, batch=6,
+                                       minimize=False))
+        assert campaign.findings
+        paths = write_reproducers(tmp_path, campaign)
+        assert len(paths) == len(campaign.findings)
+        for path in paths:
+            assert replay_file(path).reproduced

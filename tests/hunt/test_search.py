@@ -1,0 +1,100 @@
+"""The campaign loop: determinism, finding bookkeeping, telemetry."""
+
+import json
+
+from repro.common.rng import derive_seed
+from repro.hunt.search import (
+    Campaign,
+    Finding,
+    HuntConfig,
+    candidate_seed,
+    run_hunt,
+)
+from repro.hunt.space import ScenarioSpec
+from repro.telemetry.registry import MetricsRegistry
+
+# Small but non-trivial: enough candidates that the frontier engages.
+SMALL = HuntConfig(budget=10, seed=7, batch=5, minimize=False)
+
+
+class TestDeterminism:
+    def test_same_config_same_report_bytes(self):
+        assert (run_hunt(SMALL).to_json()
+                == run_hunt(SMALL).to_json())
+
+    def test_worker_count_does_not_change_the_report(self):
+        parallel = HuntConfig(budget=10, seed=7, batch=5, minimize=False,
+                              workers=4)
+        assert run_hunt(parallel).to_json() == run_hunt(SMALL).to_json()
+
+    def test_different_seed_different_campaign(self):
+        other = HuntConfig(budget=10, seed=8, batch=5, minimize=False)
+        assert run_hunt(other).to_json() != run_hunt(SMALL).to_json()
+
+    def test_candidate_seed_contract(self):
+        assert candidate_seed(7, 3) == derive_seed(7, "hunt-candidate", 3)
+
+    def test_report_carries_no_host_state(self):
+        payload = json.loads(run_hunt(SMALL).to_json())
+        assert "cache_dir" not in payload["config"]
+        assert "workers" not in payload["config"]
+
+
+class TestFindings:
+    def test_findings_dedupe_by_kind_and_count_sightings(self):
+        campaign = run_hunt(SMALL)
+        kinds = [f.kind for f in campaign.findings]
+        assert len(kinds) == len(set(kinds))
+        assert campaign.counters["findings"] == len(kinds)
+        assert (sum(f.sightings for f in campaign.findings)
+                >= campaign.counters["violating_candidates"])
+
+    def test_findings_record_provenance(self):
+        campaign = run_hunt(SMALL)
+        assert campaign.findings  # the space must be searchable
+        for finding in campaign.findings:
+            assert finding.seed == candidate_seed(SMALL.seed,
+                                                  finding.found_at)
+            assert finding.violation["kind"] == finding.kind
+            assert finding.oracle is not None
+            assert finding.minimized_spec is None  # minimize=False
+
+    def test_minimize_phase_shrinks_and_confirms(self):
+        config = HuntConfig(budget=6, seed=7, batch=6, minimize=True,
+                            max_minimize_steps=60)
+        campaign = run_hunt(config)
+        assert campaign.findings
+        assert campaign.ok
+        for finding in campaign.findings:
+            assert finding.minimized_spec is not None
+            assert finding.minimize_steps > 0
+            assert not finding.unminimizable
+        assert campaign.counters["minimize_steps"] == sum(
+            f.minimize_steps for f in campaign.findings
+        )
+
+
+class TestReportShape:
+    def test_campaign_metrics_install_as_gauges(self):
+        campaign = run_hunt(SMALL)
+        registry = MetricsRegistry()
+        campaign.install_metrics(registry)
+        assert (registry.value("hunt_candidates")
+                == campaign.counters["candidates"])
+        assert (registry.value("hunt_findings")
+                == len(campaign.findings))
+
+    def test_findings_sorted_by_kind_in_report(self):
+        payload = json.loads(run_hunt(SMALL).to_json())
+        kinds = [f["kind"] for f in payload["findings"]]
+        assert kinds == sorted(kinds)
+
+    def test_ok_reflects_unminimizable(self):
+        finding = Finding(
+            kind="x", oracle=None, seed=1, found_at=0,
+            spec=ScenarioSpec(), violation={"kind": "x"},
+            unminimizable=True,
+        )
+        campaign = Campaign(config=SMALL, findings=[finding],
+                            counters={"unminimizable": 1})
+        assert not campaign.ok

@@ -1,0 +1,194 @@
+"""Scenario-space genome: operators, clamping, serialization."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.cluster.scale import SimScale
+from repro.hunt.space import (
+    DISTRIBUTIONS,
+    FAULT_KINDS,
+    MAX_FAULT_GENES,
+    MIN_CLIENTS_FOR_SPIKE,
+    PATTERNS,
+    SETTLE_PERIODS,
+    SPEC_SCHEMA_VERSION,
+    FaultGene,
+    ScenarioSpec,
+    clamp_spec,
+    crossover,
+    mutate,
+    random_spec,
+)
+
+SCALE = SimScale(factor=1000, interval_divisor=50)
+
+
+def specs(seed, n):
+    rng = make_rng(seed, "test-specs")
+    return [random_spec(rng) for _ in range(n)]
+
+
+fault_genes = st.builds(
+    FaultGene,
+    kind=st.sampled_from(FAULT_KINDS),
+    start=st.floats(0.0, 20.0),
+    duration=st.floats(0.0, 20.0),
+    client=st.integers(0, 40),
+    rate=st.floats(-1.0, 2.0),
+    factor=st.floats(-1.0, 2.0),
+    permanent=st.booleans(),
+)
+raw_specs = st.builds(
+    ScenarioSpec,
+    num_clients=st.integers(1, 40),
+    distribution=st.sampled_from(DISTRIBUTIONS),
+    reserved_fraction=st.floats(0.0, 2.0),
+    demand_factor=st.floats(0.0, 4.0),
+    limit_factor=st.none() | st.floats(0.5, 4.0),
+    pattern=st.sampled_from(PATTERNS),
+    periods=st.integers(6, 40),
+    faults=st.lists(fault_genes, max_size=8).map(tuple),
+)
+
+
+class TestValidation:
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultGene(kind="meteor-strike")
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(distribution="pareto")
+
+    def test_too_few_periods_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(periods=3)
+
+
+class TestClamp:
+    @given(spec=raw_specs)
+    @settings(max_examples=200, deadline=None)
+    def test_clamp_is_idempotent_projection(self, spec):
+        clamped = clamp_spec(spec)
+        assert clamp_spec(clamped) == clamped
+        # cross-gene constraints hold
+        assert not (clamped.distribution == "spike"
+                    and clamped.num_clients < MIN_CLIENTS_FOR_SPIKE)
+        assert len(clamped.faults) <= MAX_FAULT_GENES
+        fault_end = clamped.periods - SETTLE_PERIODS
+        for gene in clamped.faults:
+            assert 0 <= gene.client < clamped.num_clients
+            assert 0.5 <= gene.start <= fault_end - 0.25
+            assert gene.start + gene.duration <= fault_end + 1e-9
+            assert 0.01 <= gene.rate <= 1.0
+            if gene.permanent:
+                assert gene.kind == "client-crash"
+
+    @given(spec=raw_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_clamped_specs_compile(self, spec):
+        clamped = clamp_spec(spec)
+        plan = clamped.compile_plan(SCALE.config())
+        T = SCALE.config().period
+        fault_end = clamped.fault_end_period() * T
+        for crash in plan.crashes:
+            if not math.isinf(crash.end):
+                assert crash.end <= fault_end + 1e-12
+        for rule in plan.drops + plan.delays:
+            assert rule.where.end <= fault_end + 1e-12
+
+    def test_spike_downgrades_below_min_clients(self):
+        spec = clamp_spec(dataclasses.replace(
+            ScenarioSpec(num_clients=2), distribution="spike"
+        ))
+        assert spec.distribution == "zipf"
+
+
+class TestSerialization:
+    @given(spec=raw_specs)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, spec):
+        clamped = clamp_spec(spec)
+        assert ScenarioSpec.from_json(clamped.to_json()) == clamped
+
+    def test_schema_version_checked(self):
+        payload = ScenarioSpec().to_dict()
+        payload["schema_version"] = SPEC_SCHEMA_VERSION + 1
+        with pytest.raises(ConfigError):
+            ScenarioSpec.from_dict(payload)
+
+    def test_canonical_json_is_stable(self):
+        spec = specs(3, 1)[0]
+        assert spec.to_json() == ScenarioSpec.from_json(spec.to_json()).to_json()
+
+
+class TestOperators:
+    def test_random_spec_is_seed_deterministic(self):
+        assert specs(7, 25) == specs(7, 25)
+        assert specs(7, 25) != specs(8, 25)
+
+    def test_random_specs_are_valid(self):
+        for spec in specs(11, 50):
+            assert clamp_spec(spec) == spec
+
+    def test_mutate_deterministic_and_valid(self):
+        base = specs(5, 1)[0]
+        out1 = [mutate(base, make_rng(9, "m", i)) for i in range(30)]
+        out2 = [mutate(base, make_rng(9, "m", i)) for i in range(30)]
+        assert out1 == out2
+        for spec in out1:
+            assert clamp_spec(spec) == spec
+        # mutation actually moves through the space
+        assert any(spec != base for spec in out1)
+
+    def test_mutation_reaches_every_scalar_gene(self):
+        base = specs(5, 1)[0]
+        changed = set()
+        for i in range(300):
+            mutant = mutate(base, make_rng(13, "reach", i))
+            for field in ("num_clients", "periods", "distribution",
+                          "pattern", "reserved_fraction", "demand_factor",
+                          "limit_factor", "faults"):
+                if getattr(mutant, field) != getattr(base, field):
+                    changed.add(field)
+        assert {"num_clients", "periods", "reserved_fraction",
+                "demand_factor", "limit_factor", "faults"} <= changed
+
+    def test_crossover_deterministic_and_valid(self):
+        a, b = specs(21, 2)
+        kids1 = [crossover(a, b, make_rng(3, "x", i)) for i in range(20)]
+        kids2 = [crossover(a, b, make_rng(3, "x", i)) for i in range(20)]
+        assert kids1 == kids2
+        for kid in kids1:
+            assert clamp_spec(kid) == kid
+
+    def test_crossover_mixes_parents(self):
+        a = ScenarioSpec(num_clients=1, periods=6, demand_factor=1.0)
+        b = ScenarioSpec(num_clients=6, periods=12, demand_factor=2.0)
+        kids = [crossover(a, b, make_rng(17, "mix", i)) for i in range(40)]
+        assert any(k.num_clients == a.num_clients
+                   and k.periods == b.periods for k in kids)
+
+
+class TestDarkAtEnd:
+    def test_permanent_crash_victim_is_dark(self):
+        spec = clamp_spec(ScenarioSpec(
+            num_clients=3,
+            faults=(FaultGene(kind="client-crash", start=2.0, client=1,
+                              permanent=True),),
+        ))
+        assert spec.dark_at_end() == ("C2",)
+
+    def test_windowed_crash_victim_recovers(self):
+        spec = clamp_spec(ScenarioSpec(
+            num_clients=3,
+            faults=(FaultGene(kind="client-crash", start=2.0, duration=1.0,
+                              client=1),),
+        ))
+        assert spec.dark_at_end() == ()

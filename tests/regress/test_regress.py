@@ -1,0 +1,54 @@
+"""Committed hunt reproducers replay as permanent regression scenarios.
+
+Every ``repro-*.json`` in this directory was found by ``python -m repro
+hunt``, delta-debugged to a minimal spec, and committed because it
+documents a real behavior of the simulator under faults.  Each must
+keep re-triggering its recorded violation kind bit-identically; a
+failure here means a code change altered fault-handling behavior the
+reproducer pinned down (fix the regression, or — if the new behavior
+is intended and actually *removes* the anomaly — re-hunt and update
+the file with the new minimal reproducer, explaining why in the
+commit).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.hunt.reproducer import check_regression, load_reproducer, replay
+
+HERE = Path(__file__).parent
+REPRODUCERS = sorted(HERE.glob("repro-*.json"))
+
+
+def test_regression_corpus_is_present():
+    # The suite must never silently pass because the corpus vanished.
+    assert len(REPRODUCERS) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", REPRODUCERS, ids=[p.stem for p in REPRODUCERS]
+)
+def test_reproducer_still_triggers(path):
+    failure = check_regression(path)
+    assert failure is None, failure
+
+
+@pytest.mark.parametrize(
+    "path", REPRODUCERS, ids=[p.stem for p in REPRODUCERS]
+)
+def test_replay_is_deterministic(path):
+    payload = load_reproducer(path)
+    first = replay(payload)
+    second = replay(payload)
+    assert (json.dumps(first.result, sort_keys=True)
+            == json.dumps(second.result, sort_keys=True))
+
+
+@pytest.mark.parametrize(
+    "path", REPRODUCERS, ids=[p.stem for p in REPRODUCERS]
+)
+def test_file_names_match_recorded_kind(path):
+    payload = load_reproducer(path)
+    assert path.name == f"repro-{payload['kind']}.json"

@@ -151,3 +151,42 @@ def test_globalqos_chaos_writes_report(tmp_path, capsys):
 def test_globalqos_rejects_short_chaos(capsys):
     assert main(["globalqos", "--chaos", "--seeds", "11",
                  "--periods", "3"]) == 2
+
+
+def test_hunt_campaign_writes_report_and_reproducers(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "campaign.json"
+    repro_dir = tmp_path / "found"
+    assert main(["hunt", "--budget", "6", "--seed", "7", "--batch", "6",
+                 "--no-minimize", "--report", str(report),
+                 "--reproducers", str(repro_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "counters:" in out
+    payload = json.loads(report.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["findings"]
+    assert len(list(repro_dir.glob("repro-*.json"))) == len(
+        payload["findings"])
+
+
+def test_hunt_replay_committed_reproducer(capsys):
+    import pathlib
+
+    regress = pathlib.Path(__file__).parent / "regress"
+    target = sorted(regress.glob("repro-*.json"))[0]
+    assert main(["hunt", "--replay", str(target)]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_hunt_rejects_zero_budget(capsys):
+    assert main(["hunt", "--budget", "0"]) == 2
+    assert "--budget" in capsys.readouterr().err
+
+
+def test_hunt_replay_invalid_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema_version": 1}')
+    assert main(["hunt", "--replay", str(bad)]) == 2
+    assert "missing" in capsys.readouterr().err
+    assert main(["hunt", "--replay", str(tmp_path / "absent.json")]) == 2
