@@ -8,7 +8,7 @@ Subcommands::
     python -m repro faults    [--kind control-loss|client-crash ...]
     python -m repro chaos     [--seeds 11 23 ...]
     python -m repro globalqos [--seeds 11 23 ...] [--chaos]
-                              [--report out.json]
+                              [--partition-chaos] [--report out.json]
     python -m repro telemetry [--sample N] [--trace out.json]
                               [--chaos-seed N] [--overhead-check]
     python -m repro figures
@@ -122,15 +122,24 @@ def _build_parser() -> argparse.ArgumentParser:
     globalqos = sub.add_parser(
         "globalqos",
         help="multi-node global coordinator: static-vs-coordinated skew "
-             "comparison, or coordinator-crash chaos (--chaos)",
+             "comparison, coordinator-crash chaos (--chaos), or "
+             "partition/failover chaos (--partition-chaos)",
     )
     globalqos.add_argument("--seeds", type=int, nargs="+", default=None,
                            help="seeds to run (default: the documented set)")
     globalqos.add_argument("--chaos", action="store_true",
                            help="run the coordinator-crash chaos invariants "
                                 "instead of the skew comparison")
-    globalqos.add_argument("--periods", type=int, default=18,
-                           help="chaos run length in QoS periods")
+    globalqos.add_argument("--partition-chaos", action="store_true",
+                           help="run the asymmetric-partition / failover / "
+                                "fail-slow chaos invariants (HA build with "
+                                "warm standby and quarantine armed)")
+    globalqos.add_argument("--periods", type=int, default=None,
+                           help="chaos run length in QoS periods (default "
+                                "18, or 36 with --partition-chaos)")
+    globalqos.add_argument("--takeover-after", type=int, default=2,
+                           help="silent epochs before the standby takes "
+                                "over (--partition-chaos only)")
     globalqos.add_argument("--rebalance-periods", type=int, default=2,
                            help="QoS periods per rebalance epoch")
     globalqos.add_argument("--fallback-after", type=int, default=2,
@@ -409,19 +418,63 @@ def _cmd_globalqos(args) -> int:
     from repro.globalqos import (
         DEFAULT_SEEDS,
         run_coord_chaos,
+        run_partition_chaos,
         run_skewed_comparison,
     )
 
+    if args.chaos and args.partition_chaos:
+        print("--chaos and --partition-chaos are mutually exclusive",
+              file=sys.stderr)
+        return 2
     seeds = args.seeds if args.seeds else list(DEFAULT_SEEDS)
-    payload: dict = {"mode": "chaos" if args.chaos else "comparison",
-                     "seeds": {}}
+    mode = ("partition-chaos" if args.partition_chaos
+            else "chaos" if args.chaos else "comparison")
+    payload: dict = {"mode": mode, "seeds": {}}
     failed = 0
     rows = []
-    if args.chaos:
+    if args.partition_chaos:
+        periods = args.periods if args.periods is not None else 36
+        for seed in seeds:
+            try:
+                report = run_partition_chaos(
+                    seed, periods=periods,
+                    rebalance_periods=args.rebalance_periods,
+                    fallback_after=args.fallback_after,
+                    takeover_after=args.takeover_after,
+                )
+            except ConfigError as err:
+                print(err, file=sys.stderr)
+                return 2
+            rows.append([
+                str(seed),
+                "PASS" if report.ok else "FAIL",
+                str(report.takeover_epoch),
+                str(report.fenced_updates),
+                str(report.stale_rejected),
+                f"{report.quarantines}/{report.unquarantines}",
+                str(report.fallbacks),
+                str(report.puts_acked),
+            ])
+            payload["seeds"][str(seed)] = dataclasses.asdict(report)
+            if not report.ok:
+                failed += 1
+                for violation in report.violations:
+                    print(f"seed {seed}: {violation}", file=sys.stderr)
+        for line in format_table(
+            ["seed", "verdict", "takeover epoch", "fenced", "stale",
+             "quar/unquar", "fallbacks", "puts acked"],
+            rows,
+        ):
+            print(line)
+        print(f"{len(seeds) - failed}/{len(seeds)} seeds passed "
+              f"({periods} periods, asymmetric partition + failover + "
+              "fail-slow)")
+    elif args.chaos:
+        periods = args.periods if args.periods is not None else 18
         for seed in seeds:
             try:
                 report = run_coord_chaos(
-                    seed, periods=args.periods,
+                    seed, periods=periods,
                     rebalance_periods=args.rebalance_periods,
                     fallback_after=args.fallback_after,
                 )
@@ -450,7 +503,7 @@ def _cmd_globalqos(args) -> int:
         ):
             print(line)
         print(f"{len(seeds) - failed}/{len(seeds)} seeds passed "
-              f"({args.periods} periods, coordinator crash + drop storm)")
+              f"({periods} periods, coordinator crash + drop storm)")
     else:
         for seed in seeds:
             comparison = run_skewed_comparison(

@@ -191,6 +191,58 @@ def globalqos_digest_all(seeds=GLOBALQOS_SEEDS) -> Dict[str, Dict[str, str]]:
     return {str(seed): globalqos_digest(seed) for seed in seeds}
 
 
+#: Seeds for the partition/failover chaos digest.  Two, matching the
+#: globalqos family: each run covers the asymmetric partition, the
+#: standby takeover, the fencing path, and the fail-slow quarantine
+#: cycle, so two seeds pin every failover code path without doubling
+#: suite cost.
+PARTITION_SEEDS = (11, 23)
+
+
+def partition_digest(seed: int,
+                     scale: Optional[SimScale] = None) -> Dict[str, str]:
+    """Digest the partition/failover chaos family for ``seed``.
+
+    One :func:`~repro.globalqos.chaos.run_partition_chaos` run, hashed
+    the same way as the other families: the HA cluster's metrics
+    stream (leader + standby + quarantine gauges), its ledger stream
+    (``quarantine`` / ``unquarantine`` events included), and the chaos
+    report payload.
+    """
+    import dataclasses
+
+    from repro.globalqos.chaos import _run_partition_chaos
+
+    report, cluster = _run_partition_chaos(
+        seed, periods=36, rebalance_periods=2, fallback_after=2,
+        takeover_after=2, puts_per_period=6, scale=scale,
+    )
+    hub = cluster.sim.telemetry
+
+    metrics_text = metrics_jsonl(hub.period_rows)
+    ledger_text = ledger_jsonl(hub.ledger)
+    results_text = _canonical_json({
+        "chaos": dataclasses.asdict(report),
+    })
+    metrics_hash = _sha256(metrics_text)
+    ledger_hash = _sha256(ledger_text)
+    results_hash = _sha256(results_text)
+    return {
+        "kind": "partition-failover",
+        "metrics": metrics_hash,
+        "ledger": ledger_hash,
+        "results": results_hash,
+        "combined": _sha256(_canonical_json(
+            [metrics_hash, ledger_hash, results_hash]
+        )),
+    }
+
+
+def partition_digest_all(seeds=PARTITION_SEEDS) -> Dict[str, Dict[str, str]]:
+    """``{str(seed): digest}`` for every partition-chaos seed."""
+    return {str(seed): partition_digest(seed) for seed in seeds}
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -206,8 +258,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     digests = digest_all()
     globalqos = globalqos_digest_all()
+    partition = partition_digest_all()
     text = json.dumps(
-        {"seeds": digests, "globalqos": globalqos},
+        {"seeds": digests, "globalqos": globalqos,
+         "partition": partition},
         indent=2, sort_keys=True,
     ) + "\n"
     if args.write:

@@ -163,6 +163,10 @@ def _register_multinode_metrics(cluster, registry) -> None:
     if coordinator is not None:
         for name, getter in coordinator.metrics_items():
             registry.gauge(name, getter, node=coordinator.host.name)
+    standby = getattr(cluster, "standby", None)
+    if standby is not None:
+        for name, getter in standby.metrics_items():
+            registry.gauge(name, getter, node=standby.host.name)
     for agent in getattr(cluster, "client_agents", []):
         for name, getter in agent.metrics_items():
             registry.gauge(name, getter, client=agent.striped.name)
@@ -274,7 +278,9 @@ def robustness_summary(cluster) -> dict:
 def _multinode_summary(cluster) -> dict:
     """The multi-node façade: per-(client, node) engine counters, one
     monitor block per node, and the global-coordinator telemetry
-    (coordinator + client/node agent counters) when one is attached.
+    (coordinator + client/node agent counters) when one is attached —
+    plus a ``standby`` sub-block and failover/quarantine totals when
+    the warm standby is armed.
 
     Reads go through the same registry gauges
     :func:`register_cluster_metrics` exposes to the exporters, so this
@@ -349,6 +355,29 @@ def _multinode_summary(cluster) -> dict:
         block["fallbacks_total"] = sum(
             agent.fallbacks for agent in cluster.client_agents
         )
+        standby = getattr(cluster, "standby", None)
+        if standby is not None:
+            block["standby"] = {
+                name: read(name, node=standby.host.name)
+                for name, _ in standby.metrics_items()
+            }
+            coordinators = (coordinator, standby)
+            agents = cluster.client_agents
+            block["takeovers_total"] = sum(
+                c.takeovers for c in coordinators
+            )
+            block["fenced_updates_total"] = sum(
+                a.updates_fenced for a in agents
+            )
+            block["stale_updates_rejected_total"] = sum(
+                a.updates_rejected_stale for a in agents
+            )
+            block["quarantines_total"] = sum(
+                c.quarantines for c in coordinators
+            )
+            block["unquarantines_total"] = sum(
+                c.unquarantines for c in coordinators
+            )
         summary["globalqos"] = block
     if cluster.fault_injector is not None:
         summary["faults"] = cluster.fault_injector.summary()

@@ -107,8 +107,10 @@ class MultiNodeCluster:
         self.background_jobs = []
         self._started = False
         self.fault_injector = None
-        # Populated by repro.globalqos.attach_coordinator.
+        # Populated by repro.globalqos.attach_coordinator; ``standby``
+        # by repro.globalqos.attach_standby (HA failover wiring).
         self.coordinator = None
+        self.standby = None
         self.client_agents = []
         self.node_agents = []
 

@@ -6,7 +6,8 @@ brownouts — must be survived by the client engines and the monitor
 alone.  This package makes those failures first-class and reproducible:
 
 - :class:`FaultPlan` declares *what* goes wrong and when (drops, delay
-  spikes, brownouts, QP closes, crash windows),
+  spikes, brownouts, QP closes, crash windows, directional partitions,
+  fail-slow slowdowns),
 - :class:`FaultInjector` applies the plan to a live fabric through the
   drop/delay decision point in ``QueuePair.post_send`` and the capacity
   modifier on the NIC pipelines, using per-link RNG streams so the same
@@ -26,7 +27,9 @@ from repro.faults.plan import (
     DropRule,
     FaultPlan,
     OpFilter,
+    PartitionRule,
     QPCloseFault,
+    SlowdownRule,
 )
 
 __all__ = [
@@ -39,5 +42,7 @@ __all__ = [
     "FaultVerdict",
     "OpFilter",
     "PLAN_SCHEMA_VERSION",
+    "PartitionRule",
     "QPCloseFault",
+    "SlowdownRule",
 ]

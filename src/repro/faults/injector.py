@@ -60,6 +60,8 @@ class FaultInjector:
         self.brownouts_applied = 0
         self.qps_closed = 0
         self.qp_close_misses = 0
+        self.partitions_cut = 0
+        self.slowdowns_applied = 0
 
     # ------------------------------------------------------------------
     def install(self, fabric) -> "FaultInjector":
@@ -79,6 +81,9 @@ class FaultInjector:
             sim.schedule_at(b.end, self._brownout_end, b)
         for q in self.plan.qp_closes:
             sim.schedule_at(q.time, self._close_qp, q)
+        for s in self.plan.slowdowns:
+            sim.schedule_at(s.start, self._slowdown_begin, s)
+            sim.schedule_at(s.end, self._slowdown_end, s)
         return self
 
     # ------------------------------------------------------------------
@@ -100,6 +105,18 @@ class FaultInjector:
                 drop=True, fail_after=plan.drop_fail_after,
                 reason=f"host crash window ({src}->{dst})",
             )
+        # Partitions are deterministic cuts — no RNG draw, so adding a
+        # partition to a plan never perturbs the drop/delay sequences.
+        for rule in plan.partitions:
+            if rule.matches(src, dst, now):
+                self.partitions_cut += 1
+                self.dropped[rule.label] += 1
+                self.tracer.emit("fault", "drop", src=src, dst=dst,
+                                 opcode=wr.opcode.name, reason=rule.label)
+                return FaultVerdict(
+                    drop=True, fail_after=plan.drop_fail_after,
+                    reason=f"injected {rule.label} ({src}->{dst})",
+                )
         for rule in plan.drops:
             if (rule.where.matches(src, dst, wr, now)
                     and self._rng(src, dst).random() < rule.rate):
@@ -139,6 +156,24 @@ class FaultInjector:
         self.fabric.hosts[b.host].nic.set_capacity_factor(1.0)
         self.tracer.emit("fault", "brownout_end", host=b.host)
 
+    def _slowdown_begin(self, s) -> None:
+        host = self.fabric.hosts[s.host]
+        host.nic.set_slowdown(s.factor)
+        cpu = getattr(host, "cpu", None)
+        if cpu is not None:
+            cpu.set_slowdown(s.factor)
+        self.slowdowns_applied += 1
+        self.tracer.emit("fault", "slowdown_begin", host=s.host,
+                         factor=s.factor)
+
+    def _slowdown_end(self, s) -> None:
+        host = self.fabric.hosts[s.host]
+        host.nic.set_slowdown(1.0)
+        cpu = getattr(host, "cpu", None)
+        if cpu is not None:
+            cpu.set_slowdown(1.0)
+        self.tracer.emit("fault", "slowdown_end", host=s.host)
+
     def _close_qp(self, q) -> None:
         for qp_ab, qp_ba in self.fabric.connections:
             if qp_ab.src.name == q.src and qp_ab.dst.name == q.dst:
@@ -174,11 +209,13 @@ class FaultInjector:
             "delay_injected_seconds": self.delay_injected_total,
             "brownouts_applied": self.brownouts_applied,
             "qps_closed": self.qps_closed,
+            "partitions_cut": self.partitions_cut,
+            "slowdowns_applied": self.slowdowns_applied,
         }
 
     def metrics_items(self):
         """``(name, getter)`` pairs for the telemetry metrics registry."""
-        return [
+        items = [
             ("faults_dropped_total", lambda: sum(self.dropped.values())),
             ("faults_delayed_total", lambda: sum(self.delayed.values())),
             ("faults_delay_injected_seconds",
@@ -187,3 +224,12 @@ class FaultInjector:
             ("faults_qps_closed", lambda: self.qps_closed),
             ("faults_qp_close_misses", lambda: self.qp_close_misses),
         ]
+        # Gated on the plan so runs without the new fault families keep
+        # their committed metric-row digests byte-identical.
+        if self.plan.partitions or self.plan.slowdowns:
+            items.extend([
+                ("faults_partitions_cut", lambda: self.partitions_cut),
+                ("faults_slowdowns_applied",
+                 lambda: self.slowdowns_applied),
+            ])
+        return items

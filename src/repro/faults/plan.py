@@ -24,8 +24,11 @@ from repro.common.types import OpType
 
 # Bump when the serialized plan shape changes; ``FaultPlan.from_json``
 # refuses versions it does not understand, so committed reproducer
-# files fail loudly instead of silently mis-deserializing.
-PLAN_SCHEMA_VERSION = 1
+# files fail loudly instead of silently mis-deserializing.  Version 2
+# adds partitions and slowdowns; version-1 payloads (no such keys) are
+# still readable, since every other field kept its shape.
+PLAN_SCHEMA_VERSION = 2
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 
 
 def _enc_time(value: float):
@@ -193,6 +196,82 @@ class Brownout:
 
 
 @dataclasses.dataclass(frozen=True)
+class PartitionRule:
+    """Cut the directional ``src -> dst`` link during [start, end).
+
+    Every op posted from ``src`` to ``dst`` in the window is lost on the
+    wire (the initiator sees RETRY_EXC after ``drop_fail_after``), while
+    the reverse ``dst -> src`` direction is untouched — so a pair of
+    rules models a full partition and a single rule an *asymmetric* one,
+    the control-plane poison where a deposed leader can still transmit
+    but never hears anyone else (or vice versa).
+    """
+
+    src: str
+    dst: str
+    start: float = 0.0
+    end: float = math.inf
+    label: str = "partition"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "PartitionRule")
+        if self.src == self.dst:
+            raise ConfigError(
+                f"partition src and dst must differ, got {self.src!r}"
+            )
+
+    def matches(self, src: str, dst: str, now: float) -> bool:
+        """True when an op on link ``src -> dst`` at ``now`` is cut."""
+        return (src == self.src and dst == self.dst
+                and self.start <= now < self.end)
+
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst,
+                "start": _enc_time(self.start), "end": _enc_time(self.end),
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PartitionRule":
+        return cls(src=payload["src"], dst=payload["dst"],
+                   start=_dec_time(payload.get("start", 0.0)),
+                   end=_dec_time(payload.get("end", "inf")),
+                   label=payload.get("label", "partition"))
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowdownRule:
+    """Fail-slow a host during [start, end): every NIC issue/target cost
+    and CPU RPC cost is multiplied by ``factor`` (> 1).
+
+    Distinct from :class:`Brownout`, which cuts data-path *capacity* to
+    a fraction of nominal: a slowdown is the gray-failure mode where the
+    component still answers everything — just late — so only latency
+    outliers betray it, not hard errors or lost capacity signals.
+    """
+
+    host: str
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "SlowdownRule")
+        if not self.factor > 1.0:
+            raise ConfigError(
+                f"slowdown factor must be > 1, got {self.factor}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"host": self.host, "start": _enc_time(self.start),
+                "end": _enc_time(self.end), "factor": self.factor}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SlowdownRule":
+        return cls(host=payload["host"], start=_dec_time(payload["start"]),
+                   end=_dec_time(payload["end"]), factor=payload["factor"])
+
+
+@dataclasses.dataclass(frozen=True)
 class QPCloseFault:
     """Abruptly close the ``src -> dst`` connection (both directions) at
     ``time``.  In-flight WRs flush; later posts raise ``QPError``, which
@@ -255,6 +334,8 @@ class FaultPlan:
     brownouts: Tuple[Brownout, ...] = ()
     qp_closes: Tuple[QPCloseFault, ...] = ()
     crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionRule, ...] = ()
+    slowdowns: Tuple[SlowdownRule, ...] = ()
     drop_fail_after: float = 50e-6
 
     def __post_init__(self) -> None:
@@ -267,7 +348,8 @@ class FaultPlan:
     def empty(self) -> bool:
         """True when the plan schedules no faults at all."""
         return not (self.drops or self.delays or self.brownouts
-                    or self.qp_closes or self.crashes)
+                    or self.qp_closes or self.crashes
+                    or self.partitions or self.slowdowns)
 
     def hosts_named(self) -> set:
         """Every host name the plan refers to (for install-time checks)."""
@@ -279,6 +361,11 @@ class FaultPlan:
         for q in self.qp_closes:
             names.add(q.src)
             names.add(q.dst)
+        for p in self.partitions:
+            names.add(p.src)
+            names.add(p.dst)
+        for s in self.slowdowns:
+            names.add(s.host)
         return names
 
     # ------------------------------------------------------------------
@@ -296,16 +383,18 @@ class FaultPlan:
             "brownouts": [b.to_dict() for b in self.brownouts],
             "qp_closes": [q.to_dict() for q in self.qp_closes],
             "crashes": [c.to_dict() for c in self.crashes],
+            "partitions": [p.to_dict() for p in self.partitions],
+            "slowdowns": [s.to_dict() for s in self.slowdowns],
             "drop_fail_after": self.drop_fail_after,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultPlan":
         version = payload.get("schema_version")
-        if version != PLAN_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMA_VERSIONS:
             raise ConfigError(
                 f"unsupported fault-plan schema version {version!r} "
-                f"(this build reads version {PLAN_SCHEMA_VERSION})"
+                f"(this build reads versions {_READABLE_SCHEMA_VERSIONS})"
             )
         return cls(
             drops=tuple(DropRule.from_dict(r) for r in payload["drops"]),
@@ -318,6 +407,15 @@ class FaultPlan:
             ),
             crashes=tuple(
                 CrashWindow.from_dict(c) for c in payload["crashes"]
+            ),
+            # Version-1 payloads predate these rule families.
+            partitions=tuple(
+                PartitionRule.from_dict(p)
+                for p in payload.get("partitions", ())
+            ),
+            slowdowns=tuple(
+                SlowdownRule.from_dict(s)
+                for s in payload.get("slowdowns", ())
             ),
             drop_fail_after=payload["drop_fail_after"],
         )

@@ -18,7 +18,13 @@ their own.  Everything is deterministic: reports, recomputation, and
 application all ride simulator events with no wall-clock input.
 """
 
-from repro.globalqos.coordinator import GlobalCoordinator, attach_coordinator
+from repro.globalqos.coordinator import (
+    COORD_HOST_NAME,
+    STANDBY_HOST_NAME,
+    GlobalCoordinator,
+    attach_coordinator,
+    attach_standby,
+)
 from repro.globalqos.waterfill import (
     even_split,
     largest_remainder,
@@ -31,7 +37,9 @@ from repro.globalqos.waterfill import (
 _LAZY = {
     "DEFAULT_SEEDS": "repro.globalqos.chaos",
     "CoordChaosReport": "repro.globalqos.chaos",
+    "PartitionChaosReport": "repro.globalqos.chaos",
     "run_coord_chaos": "repro.globalqos.chaos",
+    "run_partition_chaos": "repro.globalqos.chaos",
     "build_skewed_cluster": "repro.globalqos.scenario",
     "run_skewed": "repro.globalqos.scenario",
     "run_skewed_comparison": "repro.globalqos.scenario",
@@ -49,14 +57,19 @@ def __getattr__(name):
     return getattr(importlib.import_module(module), name)
 
 __all__ = [
+    "COORD_HOST_NAME",
     "CoordChaosReport",
     "DEFAULT_SEEDS",
     "GlobalCoordinator",
+    "PartitionChaosReport",
+    "STANDBY_HOST_NAME",
     "attach_coordinator",
+    "attach_standby",
     "build_skewed_cluster",
     "even_split",
     "largest_remainder",
     "run_coord_chaos",
+    "run_partition_chaos",
     "run_skewed",
     "run_skewed_comparison",
     "waterfill_splits",

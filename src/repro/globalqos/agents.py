@@ -20,7 +20,7 @@ registry/robustness-summary exports like every other component's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import QoSError, QPError
 from repro.common.types import OpType
@@ -43,6 +43,18 @@ from repro.rdma.verbs import WorkRequest
 REPORT_MARGIN = 0.25
 COMPUTE_MARGIN = 0.125
 
+# When the acting leader quarantines a node as fail-slow, every client
+# caps its per-period issue rate toward that node at split / DIV (via
+# the engine's ``limit`` throttle).  Deranking the water-filling
+# headroom alone cannot help a saturated cluster — there is nowhere to
+# move the reservations — and a gray NIC served at full token rate
+# builds a standing queue that outlives the fault by tens of periods.
+# Shedding load is what lets the queue drain so the node can prove
+# itself healthy again.  The coordinator judges a quarantined node's
+# completion ratio against this reduced duty (same constant), so
+# detection and actuation stay consistent.
+QUARANTINE_THROTTLE_DIV = 8
+
 
 def _control_wr(message, num_nodes: int) -> WorkRequest:
     return WorkRequest(
@@ -63,6 +75,11 @@ class NodeAgent:
         self.monitor = node.monitor
         self.sim = node.host.sim
         self.coord_qp = coord_qp
+        # All coordinators (leader + any standby) get every report, so a
+        # standby's soft state is warm the epoch it takes over.
+        self.coord_qps = [coord_qp]
+        self.ha = False
+        self.term_seen = 1
         self.epoch_len = epoch_len
         self.num_nodes = num_nodes
         self.reports_sent = 0
@@ -70,6 +87,11 @@ class NodeAgent:
         self.applies_served = 0
         self.applies_rejected = 0
         node.data_node.dispatcher.register(SplitApply, self._on_apply)
+
+    def add_coordinator(self, qp) -> None:
+        """Also report to a standby coordinator (HA wiring)."""
+        self.coord_qps.append(qp)
+        self.ha = True
 
     def start(self) -> None:
         self._schedule_report(1)
@@ -90,15 +112,21 @@ class NodeAgent:
                       else monitor.total_reserved),
             local_capacity=(admission.local_capacity
                             if admission is not None else 0),
+            term=self.term_seen,
         )
-        try:
-            self.coord_qp.post_send(_control_wr(message, self.num_nodes))
-            self.reports_sent += 1
-        except QPError:
-            self.report_sends_failed += 1
+        # A fresh WR per destination: WorkRequest objects carry per-post
+        # completion state and are not reusable across QPs.
+        for qp in self.coord_qps:
+            try:
+                qp.post_send(_control_wr(message, self.num_nodes))
+                self.reports_sent += 1
+            except QPError:
+                self.report_sends_failed += 1
         self._schedule_report(epoch + 1)
 
     def _on_apply(self, msg: SplitApply, reply_qp) -> None:
+        if msg.term > self.term_seen:
+            self.term_seen = msg.term
         try:
             grant = self.monitor.update_reservation(
                 msg.client_id, msg.reservation
@@ -129,7 +157,7 @@ class NodeAgent:
 
     def metrics_items(self):
         """``(name, getter)`` pairs for the telemetry metrics registry."""
-        return [
+        items = [
             ("globalqos_node_reports_sent", lambda: self.reports_sent),
             ("globalqos_node_report_sends_failed",
              lambda: self.report_sends_failed),
@@ -141,6 +169,13 @@ class NodeAgent:
             ("globalqos_node_rebalance_clamped",
              lambda: self.monitor.rebalance_clamped),
         ]
+        # Gated on HA wiring so single-coordinator runs keep their
+        # committed metric-row digests byte-identical.
+        if self.ha:
+            items.append(
+                ("globalqos_node_term_seen", lambda: self.term_seen)
+            )
+        return items
 
 
 class ClientAgent:
@@ -152,6 +187,8 @@ class ClientAgent:
         self.config = config
         self.sim = striped.host.sim
         self.coord_qp = coord_qp
+        self.coord_qps = [coord_qp]
+        self.ha = False
         self.epoch_len = epoch_len
         self.fallback_after = fallback_after
         num_nodes = len(striped.engines)
@@ -160,12 +197,28 @@ class ClientAgent:
         self._last_completed = [0] * num_nodes
         self._last_report_time = 0.0
         self._epoch = 0
+        # Fencing state: the (term, epoch) of the last applied update.
+        # An update is applied only when its key is lexicographically
+        # newer — duplicates, stale epochs, and deposed-leader terms are
+        # all rejected at this one comparison.
         self.last_update_epoch = 0
+        self.last_update_term = 0
+        self.term_seen = 1
+        # The applied keys in arrival order, for the no-stale-split
+        # oracle (monotonicity is the invariant fencing guarantees).
+        self.update_keys_applied: List[Tuple[int, int]] = []
         # node -> epoch of the SplitApply still awaiting its grant.
         self._pending: Dict[int, int] = {}
         self.reports_sent = 0
         self.report_sends_failed = 0
         self.updates_received = 0
+        self.updates_rejected_stale = 0
+        self.updates_fenced = 0
+        # Nodes currently issue-throttled on the leader's quarantine
+        # verdict (engine.limit = split / QUARANTINE_THROTTLE_DIV).
+        self._throttled_nodes: set = set()
+        self.quarantine_throttles = 0
+        self.quarantine_unthrottles = 0
         self.splits_applied = 0
         self.applies_clamped = 0
         self.applies_failed = 0
@@ -174,6 +227,12 @@ class ClientAgent:
         coord_dispatcher.register(SplitUpdate, self._on_update)
         for dispatcher in striped.dispatchers:
             dispatcher.register(SplitGrant, self._on_grant)
+
+    def add_coordinator(self, qp, dispatcher) -> None:
+        """Also report to (and accept updates from) a standby (HA)."""
+        self.coord_qps.append(qp)
+        self.ha = True
+        dispatcher.register(SplitUpdate, self._on_update)
 
     # ------------------------------------------------------------------
     # Per-epoch reporting + the fallback timer
@@ -213,12 +272,16 @@ class ClientAgent:
             demand=tuple(demand),
             completed=tuple(completed),
             splits=tuple(striped.splits),
+            term=self.term_seen,
         )
-        try:
-            self.coord_qp.post_send(_control_wr(message, self.num_nodes))
-            self.reports_sent += 1
-        except QPError:
-            self.report_sends_failed += 1
+        # A fresh WR per destination: WorkRequest objects carry per-post
+        # completion state and are not reusable across QPs.
+        for qp in self.coord_qps:
+            try:
+                qp.post_send(_control_wr(message, self.num_nodes))
+                self.reports_sent += 1
+            except QPError:
+                self.report_sends_failed += 1
         self._maybe_fall_back(epoch)
         self._schedule_report(epoch + 1)
 
@@ -246,9 +309,47 @@ class ClientAgent:
     # ------------------------------------------------------------------
     def _on_update(self, msg: SplitUpdate, _reply_qp) -> None:
         self.updates_received += 1
-        if msg.epoch > self.last_update_epoch:
-            self.last_update_epoch = msg.epoch
+        key = (msg.term, msg.epoch)
+        if key <= (self.last_update_term, self.last_update_epoch):
+            # Not newer than what is already in force: a duplicate or
+            # stale epoch (same term), or a deposed leader still
+            # transmitting from behind an asymmetric partition (lower
+            # term) — fenced, never applied.
+            if msg.term < self.last_update_term:
+                self.updates_fenced += 1
+            else:
+                self.updates_rejected_stale += 1
+            return
+        self.last_update_term, self.last_update_epoch = key
+        if msg.term > self.term_seen:
+            self.term_seen = msg.term
+        self.update_keys_applied.append(key)
         self._apply_splits(list(msg.splits), msg.epoch)
+        self._apply_quarantine(msg.quarantined)
+
+    def _apply_quarantine(self, quarantined) -> None:
+        """Throttle issue toward quarantined nodes; lift on recovery.
+
+        The cap is recomputed from the current split on every update so
+        it tracks rebalances while the quarantine lasts.  Lifting
+        restores the engine's unlimited default (multi-node engines are
+        built without a limit), never a lower value than the fault-free
+        configuration had.
+        """
+        q = set(quarantined)
+        engines = self.striped.engines
+        for n in range(self.num_nodes):
+            if n in q:
+                engines[n].limit = max(
+                    1, self.striped.splits[n] // QUARANTINE_THROTTLE_DIV
+                )
+                if n not in self._throttled_nodes:
+                    self._throttled_nodes.add(n)
+                    self.quarantine_throttles += 1
+            elif n in self._throttled_nodes:
+                engines[n].limit = None
+                self._throttled_nodes.discard(n)
+                self.quarantine_unthrottles += 1
 
     def _apply_splits(self, target: List[int], epoch: int) -> None:
         """Send SplitApply for every node whose share changes.
@@ -275,6 +376,7 @@ class ClientAgent:
             client_id=self.striped.index,
             reservation=reservation,
             epoch=epoch,
+            term=self.term_seen,
         )
         qp = self.striped.kv_clients[node].qp
         try:
@@ -318,7 +420,7 @@ class ClientAgent:
 
     def metrics_items(self):
         """``(name, getter)`` pairs for the telemetry metrics registry."""
-        return [
+        items = [
             ("globalqos_reports_sent", lambda: self.reports_sent),
             ("globalqos_report_sends_failed",
              lambda: self.report_sends_failed),
@@ -331,3 +433,18 @@ class ClientAgent:
             ("globalqos_last_update_epoch",
              lambda: self.last_update_epoch),
         ]
+        # Gated on HA wiring so single-coordinator runs keep their
+        # committed metric-row digests byte-identical.
+        if self.ha:
+            items.extend([
+                ("globalqos_updates_rejected_stale",
+                 lambda: self.updates_rejected_stale),
+                ("globalqos_updates_fenced", lambda: self.updates_fenced),
+                ("globalqos_last_update_term",
+                 lambda: self.last_update_term),
+                ("globalqos_quarantine_throttles",
+                 lambda: self.quarantine_throttles),
+                ("globalqos_quarantine_unthrottles",
+                 lambda: self.quarantine_unthrottles),
+            ])
+        return items

@@ -31,18 +31,30 @@ Same seed, same schedule, same verdict: failures are replayable.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
 from repro.cluster.scale import SimScale
-from repro.faults.plan import CrashWindow, DropRule, FaultPlan, OpFilter
-from repro.globalqos.coordinator import COORD_HOST_NAME
+from repro.faults.plan import (
+    CrashWindow,
+    DelayRule,
+    DropRule,
+    FaultPlan,
+    OpFilter,
+    PartitionRule,
+    SlowdownRule,
+)
+from repro.globalqos.agents import COMPUTE_MARGIN
+from repro.globalqos.coordinator import COORD_HOST_NAME, STANDBY_HOST_NAME
 from repro.globalqos.scenario import build_skewed_cluster
 from repro.globalqos.waterfill import even_split
 from repro.hunt.oracles import (
     check_ledger_conservation,
     check_no_lost_acked_put,
+    check_no_stale_split,
+    check_quarantine_audit,
     check_reservations_met,
     check_split_conservation,
 )
@@ -294,5 +306,341 @@ def _check_invariants(cluster, plan: FaultPlan, drivers,
             engine.re_registrations
             for striped in cluster.clients for engine in striped.engines
         ),
+        ledger_totals=ledger_totals,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partition + fail-slow chaos (HA failover invariants)
+# ---------------------------------------------------------------------------
+# The failover harness runs on the HA build (leader + warm standby with
+# quarantine armed) and checks the *fencing* story, not just graceful
+# degradation:
+#
+# 1. **Bounded takeover** — an asymmetric partition cuts the leader's
+#    heartbeats to the standby (leader -> standby only; the reverse
+#    direction and every data link stay up), and the standby promotes
+#    itself within ``takeover_after + 1`` epochs of the first cut
+#    heartbeat.  Exactly once: the deposed leader must not flap back.
+# 2. **Epoch fencing holds** — the deposed leader keeps computing for
+#    one epoch (it hears no one telling it otherwise); a control-plane
+#    lag rule makes its last SplitUpdate arrive *after* the new
+#    leader's, so every client must fence it by term.  Zero stale
+#    applications (``check_no_stale_split`` over the agents' applied
+#    fencing keys) and at least one fenced update observed.
+# 3. **Fail-slow quarantined and re-admitted** — after the partition
+#    heals, one data node turns gray (every NIC/CPU cost x ``factor``);
+#    the acting leader must quarantine it within ``quarantine_after``
+#    epochs of bad scores, and un-quarantine it after the slowdown
+#    lifts.  Both transitions audited in the ledger
+#    (``check_quarantine_audit``).
+# 4. **Conservation + durability throughout** — token and split
+#    conservation, no lost acked PUT, reservations met in the final
+#    fault-free period (same oracles as the coordinator-crash harness).
+
+# Fraction of a period the deposed leader's control sends lag during the
+# partition window.  Anything > COMPUTE_MARGIN - STANDBY_MARGIN (an
+# eighth of a period) guarantees the old leader's takeover-epoch update
+# arrives after the new leader's, making the fencing path observable on
+# every seed; 0.21 also clears transit-time noise with margin.
+DEPOSED_LAG_FRACTION = 0.21
+
+# The gray node's fail-slow multiplier and how many epochs it stays
+# slow.  Factor 3 pushes its health scores (latency, capacity and
+# completion ratio all degrade ~3x against the healthy peer) well under
+# the 0.55 quarantine threshold; 2 epochs exactly cover the
+# ``quarantine_after`` streak, so the throttle lands as the slowdown
+# lifts and the harness measures pure backlog drain.
+FAILSLOW_FACTOR = 3.0
+FAILSLOW_EPOCHS = 2.0
+
+# Healthy-streak epochs before the acting leader re-admits the
+# quarantined node (the harness's ``recover_after``).  At factor 3 the
+# standing queue booked during the slow window takes ~4 epochs to drain
+# through the //QUARANTINE_THROTTLE_DIV throttle; a 4-epoch streak
+# means re-admission happens with the backlog essentially gone, so the
+# node does not flap straight back into quarantine.
+RECOVER_EPOCHS = 4
+
+
+@dataclasses.dataclass
+class PartitionChaosReport:
+    """One partition/failover-chaos run's verdict and counters."""
+
+    seed: int
+    periods: int
+    violations: List[str]
+    takeovers: int
+    takeover_epoch: int
+    stepdowns: int
+    fenced_updates: int
+    stale_rejected: int
+    quarantines: int
+    unquarantines: int
+    fallbacks: int
+    rebalances: int
+    tokens_shifted: int
+    updates_received: int
+    puts_acked: int
+    partitions_cut: int
+    slowdowns_applied: int
+    ledger_totals: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def partition_chaos_plan(seed: int, config, periods: int,
+                         rebalance_periods: int,
+                         takeover_after: int) -> FaultPlan:
+    """A deterministic partition + fail-slow schedule.
+
+    Timeline (in epochs): the leader->standby link is cut somewhere in
+    the third epoch and stays cut for ``takeover_after + 2`` epochs —
+    long enough that the lease lapses and the takeover, step-down and
+    fencing all happen *inside* the window (the asymmetric case).  A
+    full-rate control-lag rule on the deposed leader's sends spans the
+    same window so its dying SplitUpdate loses the race to the new
+    leader's.  After the heal, ``server2`` turns gray for
+    ``FAILSLOW_EPOCHS`` epochs, then recovers; the tail leaves room for
+    the backlog drain, the ``RECOVER_EPOCHS`` re-admission streak and
+    the settle periods.
+    """
+    # Worst-case epochs: 2.5 (latest cut start) + takeover_after + 2
+    # (partition) + 1.5 (latest fail-slow gap) + FAILSLOW_EPOCHS + 1
+    # (detection lag) + RECOVER_EPOCHS + 1 (margin).
+    worst_epochs = (8.0 + takeover_after + FAILSLOW_EPOCHS
+                    + RECOVER_EPOCHS)
+    min_periods = (int(math.ceil(worst_epochs * rebalance_periods))
+                   + SETTLE_PERIODS)
+    if periods < min_periods:
+        raise ConfigError(
+            f"partition chaos needs >= {min_periods} periods "
+            f"(got {periods}): partition, takeover, heal, fail-slow, "
+            f"re-admission and a {SETTLE_PERIODS}-period settle tail "
+            "must all fit"
+        )
+    rng = make_rng(seed, "partition-chaos-plan")
+    T = config.period
+    epoch = rebalance_periods * T
+
+    part_start = epoch * (2.0 + 0.5 * rng.random())
+    part_end = part_start + (takeover_after + 2.0) * epoch
+    partitions = (PartitionRule(
+        src=COORD_HOST_NAME, dst=STANDBY_HOST_NAME,
+        start=part_start, end=part_end,
+        label="leader-standby-cut",
+    ),)
+
+    delays = (DelayRule(
+        rate=1.0, delay=DEPOSED_LAG_FRACTION * T,
+        where=OpFilter(src=COORD_HOST_NAME, control_only=True,
+                       start=part_start, end=part_end),
+        label="deposed-leader-lag",
+    ),)
+
+    slow_start = part_end + epoch * (1.0 + 0.5 * rng.random())
+    slowdowns = (SlowdownRule(
+        host="server2",
+        start=slow_start, end=slow_start + FAILSLOW_EPOCHS * epoch,
+        factor=FAILSLOW_FACTOR,
+    ),)
+
+    return FaultPlan(
+        delays=delays,
+        partitions=partitions,
+        slowdowns=slowdowns,
+        drop_fail_after=config.check_interval,
+    )
+
+
+def run_partition_chaos(
+    seed: int,
+    periods: int = 36,
+    rebalance_periods: int = 2,
+    fallback_after: int = 2,
+    takeover_after: int = 2,
+    puts_per_period: int = 6,
+    scale: Optional[SimScale] = None,
+) -> PartitionChaosReport:
+    """One seeded partition/failover-chaos run; returns the verdict."""
+    report, _cluster = _run_partition_chaos(
+        seed, periods=periods, rebalance_periods=rebalance_periods,
+        fallback_after=fallback_after, takeover_after=takeover_after,
+        puts_per_period=puts_per_period, scale=scale,
+    )
+    return report
+
+
+def _run_partition_chaos(seed, periods, rebalance_periods, fallback_after,
+                         takeover_after, puts_per_period, scale):
+    """The harness body; also hands back the cluster (digest guard)."""
+    cluster = build_skewed_cluster(
+        seed, coordinated=True, scale=scale,
+        rebalance_periods=rebalance_periods,
+        fallback_after=fallback_after,
+        standby=True, takeover_after=takeover_after,
+        quarantine=True, quarantine_recover_after=RECOVER_EPOCHS,
+    )
+    config = cluster.config
+    T = config.period
+    plan = partition_chaos_plan(
+        seed, config, periods, rebalance_periods, takeover_after
+    )
+    cluster.inject_faults(plan, seed=seed)
+
+    drivers = [
+        _PutDriver(cluster, striped, puts_per_period,
+                   stop_time=(periods - 1) * T, seed=seed)
+        for striped in cluster.clients
+    ]
+
+    cluster.start()
+    cluster.sim.run(until=periods * T + T * 1e-6)
+    for striped in cluster.clients:
+        for engine in striped.engines:
+            engine.ledger_flush()
+
+    report = _check_partition_invariants(
+        cluster, plan, drivers, seed, periods, takeover_after
+    )
+    return report, cluster
+
+
+def _check_partition_invariants(cluster, plan: FaultPlan, drivers,
+                                seed: int, periods: int,
+                                takeover_after: int) -> PartitionChaosReport:
+    violations: List[str] = []
+    leader = cluster.coordinator
+    standby = cluster.standby
+    agents = cluster.client_agents
+    T = cluster.config.period
+    epoch_len = leader.epoch_len
+    cut = plan.partitions[0]
+
+    # 1. Bounded takeover, exactly once, and the old leader stood down.
+    # The last heartbeat through the link belongs to the last epoch
+    # whose compute tick preceded the cut; the lease then lapses
+    # takeover_after + 1 watch ticks later.
+    last_hb_epoch = int(
+        (cut.start + COMPUTE_MARGIN * T) / epoch_len
+    )
+    takeover_bound = last_hb_epoch + takeover_after + 1
+    if standby.takeovers != 1:
+        violations.append(
+            f"expected exactly one takeover, got {standby.takeovers} "
+            f"(partition {cut.start / T:.1f}..{cut.end / T:.1f} periods)"
+        )
+    elif standby.takeover_epoch > takeover_bound:
+        violations.append(
+            f"takeover unbounded: standby promoted at epoch "
+            f"{standby.takeover_epoch}, bound {takeover_bound} "
+            f"(last heartbeat epoch {last_hb_epoch} + "
+            f"takeover_after {takeover_after} + 1)"
+        )
+    if leader.stepdowns < 1:
+        violations.append(
+            "deposed leader never stepped down despite the standby's "
+            f"term {standby.term} heartbeats on the live reverse link"
+        )
+    if leader.takeovers:
+        violations.append(
+            f"deposed leader reclaimed leadership {leader.takeovers}x "
+            "(flapping) — the standby's lease should have held"
+        )
+
+    # 2. Epoch fencing: no stale/deposed update applied, and the race
+    # the lag rule engineers was actually observed (>= 1 fenced).
+    violations.extend(str(v) for v in check_no_stale_split([
+        (agent.striped.name, agent.update_keys_applied)
+        for agent in agents
+    ]))
+    fenced = sum(agent.updates_fenced for agent in agents)
+    if fenced < 1:
+        violations.append(
+            "no client ever fenced a deposed-leader update — the "
+            "term check never fired despite the engineered lag race"
+        )
+
+    # 3. Fail-slow quarantine on the acting (post-takeover) leader:
+    # entered during the slowdown, audited, and re-admitted after it.
+    slow = plan.slowdowns[0]
+    if standby.quarantines < 1:
+        violations.append(
+            f"gray node never quarantined: {slow.host} ran "
+            f"{slow.factor}x slow over "
+            f"{slow.start / T:.1f}..{slow.end / T:.1f} periods"
+        )
+    if standby.unquarantines < standby.quarantines:
+        violations.append(
+            f"quarantined node never re-admitted (quarantines="
+            f"{standby.quarantines}, unquarantines="
+            f"{standby.unquarantines})"
+        )
+    if standby.quarantined:
+        violations.append(
+            f"nodes still quarantined at run end: "
+            f"{sorted(standby.quarantined)}"
+        )
+
+    # 4a. No lost acknowledged PUT.
+    put_entries = []
+    for striped, driver in zip(cluster.clients, drivers):
+        for (node, node_key), version in driver.acked.items():
+            store = cluster.nodes[node].data_node.store
+            client_id = striped.kv_clients[node].name
+            durable = store.applied_versions.get((client_id, node_key), 0)
+            put_entries.append((
+                striped.name,
+                f"{striped.name} node {node} key={node_key}",
+                version, durable,
+            ))
+    violations.extend(str(v) for v in check_no_lost_acked_put(put_entries))
+
+    # 4b. Token, split and quarantine-audit conservation.
+    ledger = getattr(cluster.sim.telemetry, "ledger", None)
+    ledger_totals: dict = {}
+    if ledger is not None:
+        violations.extend(
+            str(v) for v in check_ledger_conservation(ledger)
+        )
+        violations.extend(
+            str(v) for v in check_split_conservation(ledger)
+        )
+        violations.extend(
+            str(v) for v in check_quarantine_audit(ledger)
+        )
+        ledger_totals = ledger.totals()
+
+    # 4c. Reservations met in the final, fault-free period.
+    violations.extend(str(v) for v in check_reservations_met([
+        (striped.name,
+         (cluster.metrics.clients[striped.name].period_counts[-1]
+          if cluster.metrics.clients[striped.name].period_counts else None),
+         striped.aggregate_reservation)
+        for striped in cluster.clients
+    ]))
+
+    injector = cluster.fault_injector
+    return PartitionChaosReport(
+        seed=seed,
+        periods=periods,
+        violations=violations,
+        takeovers=standby.takeovers,
+        takeover_epoch=standby.takeover_epoch,
+        stepdowns=leader.stepdowns,
+        fenced_updates=fenced,
+        stale_rejected=sum(a.updates_rejected_stale for a in agents),
+        quarantines=standby.quarantines,
+        unquarantines=standby.unquarantines,
+        fallbacks=sum(agent.fallbacks for agent in agents),
+        rebalances=(leader.rebalances_computed
+                    + standby.rebalances_computed),
+        tokens_shifted=leader.tokens_shifted + standby.tokens_shifted,
+        updates_received=sum(a.updates_received for a in agents),
+        puts_acked=sum(d.puts_acked for d in drivers),
+        partitions_cut=injector.partitions_cut,
+        slowdowns_applied=injector.slowdowns_applied,
         ledger_totals=ledger_totals,
     )

@@ -20,6 +20,26 @@ Every computed shift is recorded in the token ledger as a
 ``rebalance`` event, so conservation — per-node splits summing to the
 client's aggregate, per epoch — is auditable offline via
 :meth:`~repro.telemetry.ledger.TokenLedger.check_split_conservation`.
+
+High availability (:func:`attach_standby`): a second, warm-standby
+coordinator receives every report (soft state stays current for free)
+and watches a per-epoch :class:`~repro.globalqos.protocol.LeaderHeartbeat`
+lease from the leader.  ``takeover_after`` epochs of heartbeat silence
+and the standby promotes itself with a higher *term* and computes from
+the reports it already holds — no checkpoint transfer, deterministic
+timing.  Every ``SplitUpdate`` carries the monotonic ``(term, epoch)``
+fencing token, so a deposed leader behind an *asymmetric* partition
+(it can still transmit; it just hears nothing) cannot move a split:
+agents reject its lower term, and it steps down as soon as the new
+term echoes back through any report or heartbeat.
+
+Fail-slow defense: with quarantine enabled the acting leader scores
+each node's health every epoch (:class:`~repro.telemetry.health.
+HealthTracker` over NodeReport arrival lag, capacity estimate, and
+completion ratio) and *deranks* persistently unhealthy nodes in the
+water-filling headroom, steering reservations toward healthy peers;
+recovery is symmetric and both transitions are ledger events audited
+by :meth:`~repro.telemetry.ledger.TokenLedger.check_quarantine_audit`.
 """
 
 from __future__ import annotations
@@ -29,18 +49,32 @@ from typing import Dict, List, Optional
 from repro.common.errors import ConfigError, QPError
 from repro.globalqos.agents import (
     COMPUTE_MARGIN,
+    QUARANTINE_THROTTLE_DIV,
+    REPORT_MARGIN,
     ClientAgent,
     NodeAgent,
     _control_wr,
 )
-from repro.globalqos.protocol import DemandReport, NodeReport, SplitUpdate
+from repro.globalqos.protocol import (
+    DemandReport,
+    LeaderHeartbeat,
+    NodeReport,
+    SplitUpdate,
+)
 from repro.globalqos.waterfill import waterfill_splits
 from repro.rdma.cpu import CPUProfile
 from repro.rdma.dispatch import TypeDispatcher
 from repro.rdma.node import Host
 from repro.sim.trace import NULL_TRACER
+from repro.telemetry.health import HealthTracker
 
 COORD_HOST_NAME = "coord"
+STANDBY_HOST_NAME = "coord2"
+
+# The standby checks the heartbeat lease a little after the leader's
+# compute tick (COMPUTE_MARGIN before each epoch boundary), so a
+# healthy leader's heartbeat for epoch N always lands before watch(N).
+STANDBY_MARGIN = COMPUTE_MARGIN / 2
 
 
 class GlobalCoordinator:
@@ -48,7 +82,17 @@ class GlobalCoordinator:
 
     def __init__(self, cluster, epoch_len: float,
                  min_shift_fraction: float = 0.05,
-                 tracer=NULL_TRACER):
+                 tracer=NULL_TRACER,
+                 host_name: str = COORD_HOST_NAME,
+                 role: str = "leader",
+                 takeover_after: int = 2,
+                 quarantine: bool = False,
+                 quarantine_threshold: float = 0.55,
+                 quarantine_after: int = 2,
+                 recover_after: int = 2,
+                 quarantine_derank: float = 0.25):
+        if role not in ("leader", "standby"):
+            raise ConfigError(f"unknown coordinator role {role!r}")
         self.cluster = cluster
         self.sim = cluster.sim
         self.config = cluster.config
@@ -57,13 +101,44 @@ class GlobalCoordinator:
         self.tracer = tracer
         self.num_nodes = len(cluster.nodes)
         self.host = cluster.fabric.add_host(Host(
-            cluster.sim, COORD_HOST_NAME,
+            cluster.sim, host_name,
             cluster.nodes[0].host.nic.profile, CPUProfile(),
         ))
         self.dispatcher = TypeDispatcher()
         self.host.set_rpc_handler(self.dispatcher)
         self.dispatcher.register(DemandReport, self._on_demand)
         self.dispatcher.register(NodeReport, self._on_node_report)
+        self.dispatcher.register(LeaderHeartbeat, self._on_heartbeat)
+        # Leadership state.  ``term`` is the leadership generation this
+        # coordinator serves (or last served); it only ever increases,
+        # and a takeover claims max(seen)+1 so the fencing keys
+        # ``(term, epoch)`` on SplitUpdates are globally monotonic.
+        self.role = role
+        self.term = 1
+        self.takeover_after = takeover_after
+        self.peer_qp = None
+        self.ha_enabled = False
+        self.max_term_seen = 1
+        self._last_peer_hb_epoch = 0
+        self._last_peer_hb_term = 0
+        self._next_epoch = 1
+        self.takeovers = 0
+        self.stepdowns = 0
+        self.takeover_epoch = 0
+        self.heartbeats_sent = 0
+        self.heartbeat_sends_failed = 0
+        self.heartbeats_received = 0
+        # Fail-slow quarantine state (None = detection disabled).
+        self.health = HealthTracker() if quarantine else None
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_after = quarantine_after
+        self.recover_after = recover_after
+        self.quarantine_derank = quarantine_derank
+        self.quarantined: set = set()
+        self._unhealthy_streak: Dict[int, int] = {}
+        self._healthy_streak: Dict[int, int] = {}
+        self.quarantines = 0
+        self.unquarantines = 0
         # Coordinator-side QP toward each client host, filled in by
         # attach_coordinator as it wires the connections.
         self.client_qps: Dict[int, object] = {}
@@ -97,23 +172,116 @@ class GlobalCoordinator:
         self._demand[msg.client_id] = msg
         self._splits[msg.client_id] = list(msg.splits)
         self._aggregates[msg.client_id] = msg.aggregate
+        self._observe_term(msg.term)
 
     def _on_node_report(self, msg: NodeReport, _reply_qp) -> None:
         self.node_reports_received += 1
         self._nodes[msg.node_index] = msg
+        if self.health is not None:
+            # Report arrival lag against its scheduled send time: the
+            # fail-slow signal a gray NIC cannot hide, because its own
+            # control sends serialize through the slowed pipeline.
+            expected = (msg.epoch * self.epoch_len
+                        - REPORT_MARGIN * self.config.period)
+            self.health.observe(
+                msg.node_index, msg.epoch,
+                latency=max(self.sim.now - expected, 0.0),
+                capacity=float(msg.capacity),
+            )
+        self._observe_term(msg.term)
+
+    # ------------------------------------------------------------------
+    # Leadership: heartbeats, lease watch, takeover, step-down
+    # ------------------------------------------------------------------
+    def _observe_term(self, term: int) -> None:
+        """Track the highest term seen; a deposed leader steps down."""
+        if term > self.max_term_seen:
+            self.max_term_seen = term
+        if term > self.term and self.role == "leader":
+            self._step_down(term)
+
+    def _on_heartbeat(self, msg: LeaderHeartbeat, _reply_qp) -> None:
+        self.heartbeats_received += 1
+        if msg.term < self.term:
+            return  # a deposed leader's stale lease — ignore
+        if msg.epoch > self._last_peer_hb_epoch:
+            self._last_peer_hb_epoch = msg.epoch
+        self._last_peer_hb_term = msg.term
+        self._observe_term(msg.term)
+
+    def _send_heartbeat(self, epoch: int) -> None:
+        if self.peer_qp is None:
+            return
+        message = LeaderHeartbeat(term=self.term, epoch=epoch)
+        try:
+            self.peer_qp.post_send(_control_wr(message, self.num_nodes))
+            self.heartbeats_sent += 1
+        except QPError:
+            self.heartbeat_sends_failed += 1
+
+    def _schedule_watch(self, epoch: int) -> None:
+        at = epoch * self.epoch_len - STANDBY_MARGIN * self.config.period
+        self.sim.schedule_at(at, self._watch, epoch)
+
+    def _watch(self, epoch: int) -> None:
+        if self.role != "standby":
+            return
+        if epoch - max(self._last_peer_hb_epoch, 0) > self.takeover_after:
+            self._take_over(epoch)
+            return
+        self._schedule_watch(epoch + 1)
+
+    def _take_over(self, epoch: int) -> None:
+        """Lease expired: promote and compute from the warm soft state.
+
+        The reports for this epoch already arrived (REPORT_MARGIN >
+        STANDBY_MARGIN), so the first computation happens in the very
+        epoch the lease lapses — takeover is bounded by
+        ``takeover_after`` epochs of silence plus this one.
+        """
+        self.role = "leader"
+        self.term = max(self.term, self.max_term_seen,
+                        self._last_peer_hb_term) + 1
+        self.takeovers += 1
+        self.takeover_epoch = epoch
+        self.tracer.emit("globalqos", "takeover", epoch=epoch,
+                         term=self.term)
+        self._compute(epoch)
+
+    def _step_down(self, term: int) -> None:
+        """A higher term is live: stop leading, return to watching.
+
+        Crediting the lease as freshly renewed (``_next_epoch``) gives
+        the new leader a full ``takeover_after`` epochs of grace before
+        this coordinator would reclaim leadership.
+        """
+        self.role = "standby"
+        self.stepdowns += 1
+        self.tracer.emit("globalqos", "stepdown", term=term,
+                         was_term=self.term)
+        if self._next_epoch > self._last_peer_hb_epoch:
+            self._last_peer_hb_epoch = self._next_epoch
+        self._schedule_watch(self._next_epoch + 1)
 
     # ------------------------------------------------------------------
     # The per-epoch compute tick
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self._schedule_compute(1)
+        if self.role == "leader":
+            self._schedule_compute(1)
+        else:
+            self._schedule_watch(1)
 
     def _schedule_compute(self, epoch: int) -> None:
+        self._next_epoch = epoch
         at = epoch * self.epoch_len - COMPUTE_MARGIN * self.config.period
         self.sim.schedule_at(at, self._compute, epoch)
 
     def _compute(self, epoch: int) -> None:
+        if self.role != "leader":
+            return  # deposed between scheduling and firing
         self.epochs_run += 1
+        self._send_heartbeat(epoch)
         participants = sorted(
             cid for cid, r in self._demand.items() if r.epoch == epoch
         )
@@ -128,6 +296,7 @@ class GlobalCoordinator:
             self._schedule_compute(epoch + 1)
             return
 
+        self._assess_health(epoch, participants)
         current = {cid: self._splits[cid] for cid in participants}
         aggregates = {cid: self._aggregates[cid] for cid in participants}
         demands = {
@@ -171,6 +340,76 @@ class GlobalCoordinator:
             self._send_update(cid, epoch, new)
         self._schedule_compute(epoch + 1)
 
+    # ------------------------------------------------------------------
+    # Fail-slow detection + quarantine policy
+    # ------------------------------------------------------------------
+    def _assess_health(self, epoch: int, participants: List[int]) -> None:
+        """Score every node, advance streaks, (un)quarantine on runs.
+
+        A single bad epoch never quarantines (transients are normal
+        under load shifts); ``quarantine_after`` consecutive unhealthy
+        epochs do, and ``recover_after`` consecutive healthy ones
+        reverse it.  At least one node always stays un-quarantined —
+        deranking everything would just be a slower even split.
+        """
+        if self.health is None:
+            return
+        for n in range(self.num_nodes):
+            # Completions against the node's current *duty* — per
+            # client min(demand, split), with the split capped at the
+            # quarantine throttle while the node is quarantined — not
+            # raw demand.  Judging a quarantined node against load this
+            # very policy steered away from it would keep it unhealthy
+            # forever (a self-fulfilling quarantine); against its
+            # reduced duty, a recovered node scores ~1 and re-admission
+            # can happen.
+            expected = 0
+            for cid in participants:
+                duty = self._splits[cid][n]
+                if n in self.quarantined:
+                    duty = max(1, duty // QUARANTINE_THROTTLE_DIV)
+                expected += min(self._demand[cid].demand[n], duty)
+            completed = sum(self._demand[cid].completed[n]
+                            for cid in participants)
+            self.health.observe(
+                n, epoch,
+                throughput=(completed / expected
+                            if expected > 0 else None),
+            )
+        scores = self.health.scores(epoch)
+        ledger = getattr(
+            getattr(self.sim, "telemetry", None), "ledger", None
+        )
+        for n in range(self.num_nodes):
+            score = scores.get(n, 1.0)
+            if score < self.quarantine_threshold:
+                self._unhealthy_streak[n] = (
+                    self._unhealthy_streak.get(n, 0) + 1
+                )
+                self._healthy_streak[n] = 0
+            else:
+                self._healthy_streak[n] = self._healthy_streak.get(n, 0) + 1
+                self._unhealthy_streak[n] = 0
+            if (n not in self.quarantined
+                    and self._unhealthy_streak[n] >= self.quarantine_after
+                    and len(self.quarantined) < self.num_nodes - 1):
+                self.quarantined.add(n)
+                self.quarantines += 1
+                if ledger is not None:
+                    ledger.quarantine(epoch, n, score, self.sim.now,
+                                      source=self.host.name)
+                self.tracer.emit("globalqos", "quarantine", node=n,
+                                 epoch=epoch, score=score)
+            elif (n in self.quarantined
+                    and self._healthy_streak[n] >= self.recover_after):
+                self.quarantined.discard(n)
+                self.unquarantines += 1
+                if ledger is not None:
+                    ledger.unquarantine(epoch, n, score, self.sim.now,
+                                        source=self.host.name)
+                self.tracer.emit("globalqos", "unquarantine", node=n,
+                                 epoch=epoch, score=score)
+
     def _headroom(self, participants: List[int]):
         """Per-node capacity available to the reporting clients.
 
@@ -192,7 +431,13 @@ class GlobalCoordinator:
             )
             others = max(0, report.reserved - part_reserved)
             ceiling = max(report.capacity, report.reserved)
-            node_caps.append(max(0, ceiling - others))
+            cap = max(0, ceiling - others)
+            if n in self.quarantined:
+                # Derank, don't zero: the node still serves what it
+                # must, but water-filling steers every shiftable token
+                # toward healthy peers until the streak heals.
+                cap = int(cap * self.quarantine_derank)
+            node_caps.append(cap)
             max_split.append(report.local_capacity)
         return node_caps, max_split
 
@@ -201,7 +446,9 @@ class GlobalCoordinator:
         if qp is None:
             return
         message = SplitUpdate(
-            client_id=cid, epoch=epoch, splits=tuple(splits)
+            client_id=cid, epoch=epoch, splits=tuple(splits),
+            term=self.term,
+            quarantined=tuple(sorted(self.quarantined)),
         )
         try:
             qp.post_send(_control_wr(message, self.num_nodes))
@@ -211,7 +458,7 @@ class GlobalCoordinator:
 
     def metrics_items(self):
         """``(name, getter)`` pairs for the telemetry metrics registry."""
-        return [
+        items = [
             ("globalqos_epochs_run", lambda: self.epochs_run),
             ("globalqos_epochs_skipped_no_quorum",
              lambda: self.epochs_skipped_no_quorum),
@@ -228,6 +475,27 @@ class GlobalCoordinator:
             ("globalqos_update_sends_failed",
              lambda: self.update_sends_failed),
         ]
+        # Gated so pre-HA single-coordinator runs keep their committed
+        # metric-row digests byte-identical.
+        if self.ha_enabled:
+            items.extend([
+                ("globalqos_term", lambda: self.term),
+                ("globalqos_takeovers", lambda: self.takeovers),
+                ("globalqos_stepdowns", lambda: self.stepdowns),
+                ("globalqos_takeover_epoch", lambda: self.takeover_epoch),
+                ("globalqos_heartbeats_sent",
+                 lambda: self.heartbeats_sent),
+                ("globalqos_heartbeats_received",
+                 lambda: self.heartbeats_received),
+            ])
+        if self.health is not None:
+            items.extend([
+                ("globalqos_quarantines", lambda: self.quarantines),
+                ("globalqos_unquarantines", lambda: self.unquarantines),
+                ("globalqos_quarantined_nodes",
+                 lambda: len(self.quarantined)),
+            ])
+        return items
 
 
 def attach_coordinator(
@@ -236,6 +504,11 @@ def attach_coordinator(
     fallback_after: int = 2,
     min_shift_fraction: float = 0.05,
     tracer=NULL_TRACER,
+    quarantine: bool = False,
+    quarantine_threshold: float = 0.55,
+    quarantine_after: int = 2,
+    recover_after: int = 2,
+    quarantine_derank: float = 0.25,
 ) -> GlobalCoordinator:
     """Wire a global coordinator into a multi-node cluster.
 
@@ -273,6 +546,11 @@ def attach_coordinator(
     coordinator = GlobalCoordinator(
         cluster, epoch_len,
         min_shift_fraction=min_shift_fraction, tracer=tracer,
+        quarantine=quarantine,
+        quarantine_threshold=quarantine_threshold,
+        quarantine_after=quarantine_after,
+        recover_after=recover_after,
+        quarantine_derank=quarantine_derank,
     )
 
     for striped in cluster.clients:
@@ -303,3 +581,74 @@ def attach_coordinator(
     coordinator.start()
     cluster.coordinator = coordinator
     return coordinator
+
+
+def attach_standby(
+    cluster,
+    takeover_after: int = 2,
+    fallback_after: int = 2,
+    tracer=NULL_TRACER,
+) -> GlobalCoordinator:
+    """Wire a warm-standby coordinator beside an attached leader.
+
+    Adds the ``coord2`` host, subscribes it to every client and node
+    report (the agents fan their per-epoch reports out to both
+    coordinators, so the standby's soft state is always one epoch warm),
+    and connects the leader <-> standby peer link that carries the
+    per-epoch :class:`~repro.globalqos.protocol.LeaderHeartbeat` lease.
+    After ``takeover_after`` epochs of heartbeat silence the standby
+    promotes itself with a fenced higher term.  Quarantine settings
+    mirror the leader's, so the fail-slow policy survives failover.
+
+    Call after :func:`attach_coordinator` and before faults/start.
+    """
+    if cluster.coordinator is None:
+        raise ConfigError("attach a leader coordinator first")
+    if getattr(cluster, "standby", None) is not None:
+        raise ConfigError("standby coordinator already attached")
+    if takeover_after < 1:
+        raise ConfigError(
+            f"takeover_after must be >= 1, got {takeover_after}"
+        )
+
+    leader = cluster.coordinator
+    standby = GlobalCoordinator(
+        cluster, leader.epoch_len,
+        min_shift_fraction=leader.min_shift_fraction, tracer=tracer,
+        host_name=STANDBY_HOST_NAME, role="standby",
+        takeover_after=takeover_after,
+        quarantine=leader.health is not None,
+        quarantine_threshold=leader.quarantine_threshold,
+        quarantine_after=leader.quarantine_after,
+        recover_after=leader.recover_after,
+        quarantine_derank=leader.quarantine_derank,
+    )
+    leader.ha_enabled = True
+    standby.ha_enabled = True
+
+    for striped in cluster.clients:
+        qp_standby_client, qp_client_standby = cluster.fabric.connect(
+            standby.host, striped.host
+        )
+        standby.client_qps[striped.index] = qp_standby_client
+        dispatcher = striped.router.register_connection(qp_client_standby)
+        agent = next(
+            a for a in cluster.client_agents if a.striped is striped
+        )
+        agent.add_coordinator(qp_client_standby, dispatcher)
+
+    for node, agent in zip(cluster.nodes, cluster.node_agents):
+        qp_node_standby, _qp_standby_node = cluster.fabric.connect(
+            node.host, standby.host
+        )
+        agent.add_coordinator(qp_node_standby)
+
+    qp_leader_standby, qp_standby_leader = cluster.fabric.connect(
+        leader.host, standby.host
+    )
+    leader.peer_qp = qp_leader_standby
+    standby.peer_qp = qp_standby_leader
+
+    standby.start()
+    cluster.standby = standby
+    return standby

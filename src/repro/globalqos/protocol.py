@@ -32,6 +32,11 @@ class DemandReport:
     demand: Tuple[int, ...]
     completed: Tuple[int, ...]
     splits: Tuple[int, ...]
+    # Highest leadership term the sender has observed.  Reports reach
+    # every coordinator (leader and warm standby), so a deposed leader
+    # hears the new term echoed here and steps down without needing the
+    # (possibly partitioned) peer link.
+    term: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,6 +53,8 @@ class NodeReport:
     capacity: int
     reserved: int
     local_capacity: int
+    # Highest leadership term the sender has observed (see DemandReport).
+    term: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,11 +64,24 @@ class SplitUpdate:
     Sent every epoch to every reporting client — unchanged splits
     included — so the message doubles as the coordinator's liveness
     heartbeat for the client-side fallback timer.
+
+    ``(term, epoch)`` is the fencing token: agents apply an update only
+    when it is lexicographically newer than the last one applied, so a
+    deposed leader behind an asymmetric partition can keep transmitting
+    without ever moving a split (no split-brain).
+
+    ``quarantined`` lists the node indices the acting leader has
+    quarantined as fail-slow: agents throttle their issue rate toward
+    those nodes (see ``repro.globalqos.agents.QUARANTINE_THROTTLE_DIV``)
+    so a gray node's standing queue can drain instead of growing
+    without bound.
     """
 
     client_id: int
     epoch: int
     splits: Tuple[int, ...]
+    term: int = 1
+    quarantined: Tuple[int, ...] = ()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,6 +90,23 @@ class SplitApply:
 
     client_id: int
     reservation: int
+    epoch: int
+    # Term of the update that triggered the resize; node agents echo the
+    # max term they have seen back in their NodeReports.
+    term: int = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaderHeartbeat:
+    """Leader coordinator -> standby: I am alive and own ``term``.
+
+    Sent once per epoch alongside the split computation.  The standby's
+    lease is ``takeover_after`` epochs of silence on this channel; the
+    message also carries the leader's term so a deposed ex-leader that
+    hears a *higher* term steps down immediately.
+    """
+
+    term: int
     epoch: int
 
 

@@ -46,7 +46,7 @@ from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
 from repro.cluster.multinode import MultiNodeCluster, build_multinode_cluster
 from repro.cluster.scale import SimScale
-from repro.globalqos.coordinator import attach_coordinator
+from repro.globalqos.coordinator import attach_coordinator, attach_standby
 from repro.telemetry.hub import TelemetryConfig, attach_telemetry
 from repro.workloads.ycsb import ZipfianGenerator
 
@@ -114,15 +114,23 @@ def build_skewed_cluster(
     fallback_after: int = 2,
     num_slots: int = 4096,
     telemetry: bool = True,
+    standby: bool = False,
+    takeover_after: int = 2,
+    quarantine: bool = False,
+    quarantine_recover_after: int = 2,
 ) -> MultiNodeCluster:
     """Build the entitled-vs-commodity scenario, un-started.
 
     Entitled client ``i`` directs 90% of its ops at node ``i % 2``
     (zipfian within the node); commodity clients spread evenly.  With
     ``coordinated`` the global coordinator is attached before
-    telemetry, so its gauges land in the metric snapshots.
+    telemetry, so its gauges land in the metric snapshots; ``standby``
+    adds the warm-standby coordinator (requires ``coordinated``) and
+    ``quarantine`` arms fail-slow detection on both coordinators.
     """
     scale = scale or SKEW_SCALE
+    if standby and not coordinated:
+        raise ConfigError("standby requires coordinated=True")
     reservations = (
         [ENTITLED_RESERVATION_OPS] * NUM_ENTITLED
         + [COMMODITY_RESERVATION_OPS] * NUM_COMMODITY
@@ -136,7 +144,15 @@ def build_skewed_cluster(
             cluster,
             rebalance_periods=rebalance_periods,
             fallback_after=fallback_after,
+            quarantine=quarantine,
+            recover_after=quarantine_recover_after,
         )
+        if standby:
+            attach_standby(
+                cluster,
+                takeover_after=takeover_after,
+                fallback_after=fallback_after,
+            )
     if telemetry:
         # Metrics snapshots + the token ledger the rebalance audit
         # writes to; spans off to keep the digest payload small.
@@ -222,6 +238,15 @@ def run_skewed(seed: int, coordinated: bool,
         )
         result["fallbacks"] = sum(
             agent.fallbacks for agent in cluster.client_agents
+        )
+    standby = getattr(cluster, "standby", None)
+    if standby is not None:
+        # Only present in HA builds, so coordinator-only results (and
+        # their committed digests) keep their exact key set.
+        result["takeovers"] = standby.takeovers + coordinator.takeovers
+        result["stepdowns"] = standby.stepdowns + coordinator.stepdowns
+        result["updates_fenced"] = sum(
+            agent.updates_fenced for agent in cluster.client_agents
         )
     result["_cluster"] = cluster
     return result

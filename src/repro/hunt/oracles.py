@@ -120,6 +120,32 @@ def check_bounded_failover(
     return violations
 
 
+def check_no_stale_split(
+    entries: Iterable[Tuple[str, Sequence[Tuple[int, int]]]],
+) -> List[Violation]:
+    """Applied split updates are strictly newer than their predecessor.
+
+    ``entries`` are ``(name, applied_keys)`` where ``applied_keys`` is
+    the agent's ``(term, epoch)`` fencing keys in application order.  A
+    non-increasing pair means a duplicate, a stale epoch, or a deposed
+    leader's update was applied — the split-brain the fencing exists to
+    prevent.
+    """
+    violations = []
+    for name, keys in entries:
+        prev = None
+        for key in keys:
+            if prev is not None and key <= prev:
+                violations.append(Violation(
+                    kind="stale-split-applied",
+                    message=(f"stale split applied: {name} applied "
+                             f"(term, epoch) {key} after {prev}"),
+                    subject=name, observed=list(key), expected=list(prev),
+                ))
+            prev = key
+    return violations
+
+
 def check_ledger_conservation(ledger) -> List[Violation]:
     """Per-account token conservation from the telemetry ledger."""
     if ledger is None:
@@ -139,6 +165,17 @@ def check_split_conservation(ledger) -> List[Violation]:
         Violation(kind="split-conservation",
                   message=f"split ledger: {text}")
         for text in ledger.check_split_conservation()
+    ]
+
+
+def check_quarantine_audit(ledger) -> List[Violation]:
+    """Quarantine enter/leave events pair up correctly in the ledger."""
+    if ledger is None:
+        return []
+    return [
+        Violation(kind="quarantine-audit",
+                  message=f"quarantine ledger: {text}")
+        for text in ledger.check_quarantine_audit()
     ]
 
 
@@ -250,6 +287,12 @@ _register(
     check_bounded_failover,
 )
 _register(
+    "no-stale-split", ("stale-split-applied",),
+    "agents apply split updates in strictly increasing (term, epoch) "
+    "order (epoch fencing holds)",
+    check_no_stale_split,
+)
+_register(
     "ledger-conservation", ("ledger-conservation",),
     "per-account token conservation balances exactly",
     check_ledger_conservation,
@@ -258,6 +301,11 @@ _register(
     "split-conservation", ("split-conservation",),
     "rebalance splits sum to the aggregate reservation exactly",
     check_split_conservation,
+)
+_register(
+    "quarantine-audit", ("quarantine-audit",),
+    "quarantine and un-quarantine ledger events pair up correctly",
+    check_quarantine_audit,
 )
 _register(
     "progress", ("progress-stall",),

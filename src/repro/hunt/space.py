@@ -35,7 +35,9 @@ from repro.faults.plan import (
     DropRule,
     FaultPlan,
     OpFilter,
+    PartitionRule,
     QPCloseFault,
+    SlowdownRule,
 )
 
 SPEC_SCHEMA_VERSION = 1
@@ -59,6 +61,8 @@ FAULT_KINDS = (
     "brownout",       # server NIC capacity reduction
     "qp-close",       # abrupt client<->server connection loss
     "client-crash",   # client dark for a window (or forever)
+    "partition",      # directional victim->server link cut
+    "fail-slow",      # server gray failure (every op costs more)
 )
 
 DISTRIBUTIONS = ("uniform", "zipf", "spike")
@@ -163,6 +167,8 @@ class ScenarioSpec:
         brownouts: List[Brownout] = []
         qp_closes: List[QPCloseFault] = []
         crashes: List[CrashWindow] = []
+        partitions: List[PartitionRule] = []
+        slowdowns: List[SlowdownRule] = []
         for gene in self.faults:
             start = min(gene.start * T, fault_end - config.check_interval)
             end = min(start + gene.duration * T, fault_end)
@@ -193,10 +199,23 @@ class ScenarioSpec:
                 crashes.append(CrashWindow(
                     host=self.victim(gene), start=start, end=crash_end,
                 ))
+            elif gene.kind == "partition":
+                partitions.append(PartitionRule(
+                    src=self.victim(gene), dst="server",
+                    start=start, end=end, label="hunt-partition",
+                ))
+            elif gene.kind == "fail-slow":
+                # gene.factor is a capacity fraction (brownout idiom);
+                # the slowdown rule wants a cost multiplier >= 1.
+                slowdowns.append(SlowdownRule(
+                    host="server", start=start, end=end,
+                    factor=round(1.0 / gene.factor, 4),
+                ))
         return FaultPlan(
             drops=tuple(drops), delays=tuple(delays),
             brownouts=tuple(brownouts), qp_closes=tuple(qp_closes),
             crashes=tuple(crashes),
+            partitions=tuple(partitions), slowdowns=tuple(slowdowns),
             drop_fail_after=config.check_interval,
         )
 

@@ -41,11 +41,27 @@ class CPU:
         self.profile = profile
         self.pipeline = Pipeline(sim, f"{name}.cpu")
         self.requests_served = 0
+        # Fail-slow hook: a multiplier (>= 1) on every RPC's service
+        # cost while a SlowdownRule window is active.  Guarded by a
+        # branch so the common case costs nothing and stays bit-exact.
+        self.slowdown_factor = 1.0
 
     def submit_rpc(self, response_size: int) -> float:
         """Serialize one RPC's service; returns absolute finish time."""
         self.requests_served += 1
-        return self.pipeline.submit(self.profile.rpc_cost(response_size))
+        cost = self.profile.rpc_cost(response_size)
+        factor = self.slowdown_factor
+        if factor != 1.0:
+            cost = cost * factor
+        return self.pipeline.submit(cost)
+
+    def set_slowdown(self, multiplier: float) -> None:
+        """Enter/leave a fail-slow episode (1.0 restores nominal)."""
+        if multiplier < 1.0:
+            raise ValueError(
+                f"slowdown multiplier must be >= 1, got {multiplier}"
+            )
+        self.slowdown_factor = multiplier
 
     def submit_work(self, cost: float) -> float:
         """Serialize arbitrary CPU work of ``cost`` seconds."""

@@ -155,7 +155,8 @@ class RNIC:
     """
 
     __slots__ = ("sim", "name", "profile", "issue", "target",
-                 "capacity_factor", "_issued_counts", "_handled_counts",
+                 "capacity_factor", "_brownout_factor", "_slowdown_factor",
+                 "_issued_counts", "_handled_counts",
                  "control_issue_cost_total", "control_target_cost_total",
                  "_issue_flat", "_target_flat")
 
@@ -172,7 +173,13 @@ class RNIC:
         # Fault injection lowers it temporarily; every op's service cost
         # is divided by it, which models a NIC processing ops slower
         # (pause storms, PCIe pressure) without reordering anything.
+        # A fail-slow injection stacks on top as a cost *multiplier*;
+        # the hot path reads the single combined ``capacity_factor``,
+        # kept bit-identical to the brownout-only value whenever no
+        # slowdown is active (see _recompute_factor).
         self.capacity_factor = 1.0
+        self._brownout_factor = 1.0
+        self._slowdown_factor = 1.0
         # op accounting, indexed by opcode.index, for overhead reporting
         # (see issued_ops/handled_ops for the dict view)
         self._issued_counts = [0] * len(OpType)
@@ -263,7 +270,32 @@ class RNIC:
         """
         if not 0.0 < factor <= 1.0:
             raise ValueError(f"capacity factor must be in (0, 1], got {factor}")
-        self.capacity_factor = factor
+        self._brownout_factor = factor
+        self._recompute_factor()
+
+    def set_slowdown(self, multiplier: float) -> None:
+        """Enter/leave a fail-slow episode: every op cost is multiplied
+        by ``multiplier`` (>= 1; 1.0 restores nominal speed).  Composes
+        with a concurrent brownout; like a brownout, it never rewrites
+        work a pipeline has already accepted.
+        """
+        if multiplier < 1.0:
+            raise ValueError(
+                f"slowdown multiplier must be >= 1, got {multiplier}"
+            )
+        self._slowdown_factor = multiplier
+        self._recompute_factor()
+
+    def _recompute_factor(self) -> None:
+        # When no slowdown is active the combined factor must be the
+        # brownout factor *verbatim* (not brownout / 1.0, which is equal
+        # but would re-derive the float) so existing brownout-only runs
+        # stay bit-identical.
+        slow = self._slowdown_factor
+        if slow == 1.0:
+            self.capacity_factor = self._brownout_factor
+        else:
+            self.capacity_factor = self._brownout_factor / slow
 
     def control_overhead_fraction(self, periods: float,
                                   paper_period: float = 1.0) -> dict:

@@ -14,6 +14,7 @@ from repro.telemetry.exporters import (
     write_metrics_jsonl,
     write_perfetto,
 )
+from repro.telemetry.health import HealthTracker
 from repro.telemetry.hub import TelemetryConfig, TelemetryHub, attach_telemetry
 from repro.telemetry.ledger import LedgerAccount, TokenLedger
 from repro.telemetry.overhead import measure_overhead, run_saturated
@@ -28,6 +29,7 @@ from repro.telemetry.spans import Span, SpanStore
 __all__ = [
     "CounterMetric",
     "GaugeMetric",
+    "HealthTracker",
     "HistogramMetric",
     "LedgerAccount",
     "MetricsRegistry",

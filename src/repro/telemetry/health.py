@@ -1,0 +1,103 @@
+"""Fail-slow ("gray failure") detection from control-plane telemetry.
+
+A fail-slow component is the nastiest RDMA failure mode: it answers
+everything — just late — so no hard error, lost heartbeat, or capacity
+alarm ever fires.  The only tell is *relative*: its report latency,
+capacity estimate, and completion ratio drift away from its peers'.
+
+:class:`HealthTracker` turns the per-epoch observations the coordinator
+already receives (NodeReport arrival lag, the node's adaptive capacity
+estimate, aggregate completed/demand ratio) into one score per
+component in (0, 1]: the minimum over available signals of
+``own / peer-median`` (or its reciprocal for latency), clipped to 1.0.
+A healthy symmetric cluster scores ~1.0 on every signal; a component
+3x slower than its peers scores ~1/3 — comfortably below any sane
+quarantine threshold — while cluster-wide load swings (which move every
+peer together) leave the relative scores untouched.
+
+The tracker is pure bookkeeping: deterministic, no simulator access,
+no RNG.  The coordinator owns the quarantine *policy* (streak lengths,
+derank factor, ledger events); this module only answers "how healthy
+does component ``i`` look at epoch ``e``?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+# Epochs of history kept per component; older observations are pruned
+# so a long chaos run's tracker stays O(components).
+KEEP_EPOCHS = 8
+
+
+def _median(values: List[float]) -> float:
+    """Deterministic median (average of middle pair for even counts)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class HealthTracker:
+    """Per-component, per-epoch health scores from peer comparison."""
+
+    def __init__(self) -> None:
+        # signal -> epoch -> component -> value
+        self._signals: Dict[str, Dict[int, Dict[int, float]]] = {
+            "latency": {}, "capacity": {}, "throughput": {},
+        }
+        self.observations = 0
+
+    def observe(self, component: int, epoch: int,
+                latency: Optional[float] = None,
+                capacity: Optional[float] = None,
+                throughput: Optional[float] = None) -> None:
+        """Record one epoch's signals for ``component`` (None = absent)."""
+        for name, value in (("latency", latency), ("capacity", capacity),
+                            ("throughput", throughput)):
+            if value is None:
+                continue
+            self._signals[name].setdefault(epoch, {})[component] = value
+            self.observations += 1
+        self._prune(epoch)
+
+    def _prune(self, epoch: int) -> None:
+        floor = epoch - KEEP_EPOCHS
+        for per_epoch in self._signals.values():
+            for e in [e for e in per_epoch if e < floor]:
+                del per_epoch[e]
+
+    # ------------------------------------------------------------------
+    def scores(self, epoch: int) -> Dict[int, float]:
+        """Score every component observed at ``epoch`` (1.0 = healthy).
+
+        Per signal: the component's value against the *median of its
+        peers* (excluding itself), clipped to 1.0 so being better than
+        the median never masks being worse on another signal; the
+        component's score is the minimum over signals with at least two
+        observers (one peer to compare against).
+        """
+        out: Dict[int, float] = {}
+        for name, per_epoch in self._signals.items():
+            values = per_epoch.get(epoch)
+            if not values or len(values) < 2:
+                continue
+            for component, own in values.items():
+                peers = [v for c, v in values.items() if c != component]
+                score = self._ratio(name, own, _median(peers))
+                out[component] = min(out.get(component, 1.0), score)
+        return out
+
+    @staticmethod
+    def _ratio(name: str, own: float, peer_median: float) -> float:
+        if name == "latency":
+            # Higher latency is worse: compare the peers' lag to ours.
+            if own <= 0.0:
+                return 1.0
+            return min(1.0, peer_median / own)
+        # Capacity/throughput: lower is worse.
+        if peer_median <= 0.0:
+            return 1.0
+        return min(1.0, own / peer_median)

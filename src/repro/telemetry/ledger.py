@@ -95,6 +95,22 @@ class TokenLedger:
             "source": source,
         })
 
+    def quarantine(self, epoch: int, node: int, score: float, time: float,
+                   source: Optional[str] = None) -> None:
+        """The coordinator deranked a fail-slow node in water-filling."""
+        self.events.append({
+            "event": "quarantine", "time": time, "epoch": epoch,
+            "node": node, "score": score, "source": source,
+        })
+
+    def unquarantine(self, epoch: int, node: int, score: float, time: float,
+                     source: Optional[str] = None) -> None:
+        """The coordinator re-admitted a previously quarantined node."""
+        self.events.append({
+            "event": "unquarantine", "time": time, "epoch": epoch,
+            "node": node, "score": score, "source": source,
+        })
+
     # ------------------------------------------------------------------
     # Client-side account lifecycle
     # ------------------------------------------------------------------
@@ -196,6 +212,34 @@ class TokenLedger:
                     f"splits {event['new']} sum to {total}, aggregate "
                     f"reservation is {event['aggregate']}"
                 )
+        return violations
+
+    def check_quarantine_audit(self) -> List[str]:
+        """Audit the quarantine stream: well-paired enter/leave events.
+
+        A node must not be quarantined twice without an intervening
+        un-quarantine, and never un-quarantined while healthy — the
+        derank decision is stateful, so a mispaired stream means the
+        coordinator's quarantine set and the ledger disagreed.
+        """
+        violations = []
+        quarantined = set()
+        for event in self.events:
+            kind = event.get("event")
+            if kind == "quarantine":
+                if event["node"] in quarantined:
+                    violations.append(
+                        f"node {event['node']} epoch {event['epoch']}: "
+                        "quarantined while already quarantined"
+                    )
+                quarantined.add(event["node"])
+            elif kind == "unquarantine":
+                if event["node"] not in quarantined:
+                    violations.append(
+                        f"node {event['node']} epoch {event['epoch']}: "
+                        "un-quarantined while not quarantined"
+                    )
+                quarantined.discard(event["node"])
         return violations
 
     def totals(self) -> Dict[str, int]:

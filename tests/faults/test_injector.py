@@ -12,7 +12,9 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     OpFilter,
+    PartitionRule,
     QPCloseFault,
+    SlowdownRule,
 )
 from repro.rdma import Fabric, Host, NICProfile
 from repro.rdma.cpu import CPUProfile
@@ -188,6 +190,107 @@ class TestQPClose:
         with pytest.raises(QPError):
             pair.qp_rev.post_send(WorkRequest(
                 opcode=OpType.READ, size=8, remote_addr=0, rkey=0))
+
+
+class TestPartition:
+    def test_cut_direction_drops_with_retry_exc(self):
+        pair = Pair()
+        injector = install(pair, FaultPlan(
+            partitions=(PartitionRule("a", "b"),), drop_fail_after=1e-4))
+        pair.qp.post_send(pair.read())
+        pair.run()
+        (wc,) = pair.completions
+        assert wc.status is WCStatus.RETRY_EXC_ERROR
+        assert injector.partitions_cut == 1
+        assert injector.dropped["partition"] == 1
+
+    def test_reverse_direction_stays_up(self):
+        # Cutting b->a must not touch a->b ops: the asymmetric case.
+        pair = Pair()
+        injector = install(pair, FaultPlan(
+            partitions=(PartitionRule("b", "a"),)))
+        pair.qp.post_send(pair.read())
+        pair.run()
+        assert pair.completions[0].ok
+        assert injector.partitions_cut == 0
+
+    def test_window_heals(self):
+        pair = Pair()
+        install(pair, FaultPlan(
+            partitions=(PartitionRule("a", "b", start=5e-3, end=10e-3),),
+            drop_fail_after=1e-4))
+        for t in (0.0, 6e-3, 12e-3):
+            pair.sim.schedule_at(t, lambda: pair.qp.post_send(pair.read()))
+        pair.run()
+        assert [wc.ok for wc in pair.completions] == [True, False, True]
+
+    def test_partition_does_not_perturb_drop_rng(self):
+        # Partitions are deterministic cuts with no RNG draw, so adding
+        # one to a plan must leave probabilistic decisions on unrelated
+        # links bit-identical.
+        def run(extra_partitions):
+            pair = Pair()
+            install(pair, FaultPlan(
+                drops=(DropRule(0.3),), partitions=extra_partitions,
+                drop_fail_after=1e-4), seed=7)
+            for _ in range(50):
+                pair.qp.post_send(pair.read())
+            pair.run(until=0.2)
+            return [wc.ok for wc in pair.completions]
+
+        assert run(()) == run((PartitionRule("b", "a"),))
+
+
+class TestSlowdown:
+    def latency(self, plan, at=1e-3):
+        pair = Pair()
+        if plan is not None:
+            install(pair, plan)
+        pair.sim.schedule_at(at, lambda: pair.qp.post_send(pair.read()))
+        pair.run()
+        return pair.completions[0].latency
+
+    def test_slowdown_inflates_latency_then_heals(self):
+        clean = self.latency(None)
+        plan = FaultPlan(slowdowns=(SlowdownRule("b", 0.0, 5e-3, 4.0),))
+        assert self.latency(plan, at=1e-3) > clean
+        # After the window the host answers at nominal speed again.
+        assert self.latency(plan, at=6e-3) == pytest.approx(clean)
+
+    def test_slowdown_counter_and_factor_restored(self):
+        pair = Pair()
+        injector = install(pair, FaultPlan(
+            slowdowns=(SlowdownRule("b", 1e-3, 2e-3, 3.0),)))
+        pair.run(until=1.5e-3)
+        assert injector.slowdowns_applied == 1
+        assert pair.b.nic.capacity_factor == pytest.approx(1.0 / 3.0)
+        pair.run(until=3e-3)
+        assert pair.b.nic.capacity_factor == 1.0
+
+    def test_composes_with_brownout(self):
+        pair = Pair()
+        install(pair, FaultPlan(
+            brownouts=(Brownout("b", 0.0, 1.0, 0.5),),
+            slowdowns=(SlowdownRule("b", 0.0, 1.0, 2.0),)))
+        pair.run(until=1e-4)
+        assert pair.b.nic.capacity_factor == pytest.approx(0.25)
+
+    def test_gated_metrics_keep_legacy_rows_stable(self):
+        # A plan without the new families must export exactly the
+        # historical metric names (digest guard); with them, the two
+        # new counters appear.
+        pair = Pair()
+        legacy = install(pair, FaultPlan(drops=(DropRule(0.1),)))
+        names = [name for name, _ in legacy.metrics_items()]
+        assert "faults_partitions_cut" not in names
+        assert "faults_slowdowns_applied" not in names
+
+        pair2 = Pair()
+        new = install(pair2, FaultPlan(
+            slowdowns=(SlowdownRule("b", 0.0, 1.0, 2.0),)))
+        names2 = [name for name, _ in new.metrics_items()]
+        assert "faults_partitions_cut" in names2
+        assert "faults_slowdowns_applied" in names2
 
 
 class TestDeterminism:

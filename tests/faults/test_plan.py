@@ -13,7 +13,9 @@ from repro.faults import (
     DropRule,
     FaultPlan,
     OpFilter,
+    PartitionRule,
     QPCloseFault,
+    SlowdownRule,
 )
 from repro.rdma.verbs import WorkRequest
 
@@ -57,6 +59,36 @@ class TestValidation:
         with pytest.raises(ConfigError):
             FaultPlan(drop_fail_after=-1e-6)
 
+    def test_partition_endpoints_must_differ(self):
+        with pytest.raises(ConfigError):
+            PartitionRule(src="coord", dst="coord")
+
+    def test_partition_window_must_be_nonempty(self):
+        with pytest.raises(ConfigError):
+            PartitionRule(src="a", dst="b", start=2.0, end=2.0)
+
+    def test_slowdown_factor_must_slow_things_down(self):
+        for bad in (0.5, 1.0, 0.0, -2.0):
+            with pytest.raises(ConfigError):
+                SlowdownRule("server", start=0.0, end=1.0, factor=bad)
+        with pytest.raises(ConfigError):
+            SlowdownRule("server", start=3.0, end=1.0, factor=2.0)
+
+
+class TestPartitionMatching:
+    def test_directional(self):
+        rule = PartitionRule(src="coord", dst="coord2",
+                             start=1.0, end=2.0)
+        assert rule.matches("coord", "coord2", 1.5)
+        # The reverse direction stays up: asymmetric by construction.
+        assert not rule.matches("coord2", "coord", 1.5)
+
+    def test_window_half_open(self):
+        rule = PartitionRule(src="a", dst="b", start=1.0, end=2.0)
+        assert rule.matches("a", "b", 1.0)
+        assert not rule.matches("a", "b", 2.0)
+        assert not rule.matches("a", "b", 0.999)
+
 
 class TestOpFilter:
     def test_default_matches_everything(self):
@@ -97,8 +129,19 @@ class TestPlan:
             brownouts=(Brownout("server", 0.0, 1.0, 0.5),),
             crashes=(CrashWindow("C1", 0.0, math.inf),),
             qp_closes=(QPCloseFault("C2", "server", 1.0),),
+            partitions=(PartitionRule("coord", "coord2"),),
+            slowdowns=(SlowdownRule("server2", 0.0, 1.0, 3.0),),
         )
-        assert plan.hosts_named() == {"server", "C1", "C2"}
+        assert plan.hosts_named() == {"server", "C1", "C2",
+                                      "coord", "coord2", "server2"}
+
+    def test_partitions_and_slowdowns_count_as_nonempty(self):
+        assert not FaultPlan(
+            partitions=(PartitionRule("a", "b"),)
+        ).empty
+        assert not FaultPlan(
+            slowdowns=(SlowdownRule("a", 0.0, 1.0, 2.0),)
+        ).empty
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +192,18 @@ fault_plans = st.builds(
         CrashWindow, host=host_names, start=finite_times,
         end=st.just(math.inf) | st.floats(200.0, 300.0),
     ), max_size=3).map(tuple),
+    partitions=st.lists(st.builds(
+        PartitionRule,
+        src=st.just("coord"), dst=st.just("coord2"),
+        start=finite_times,
+        end=st.just(math.inf) | st.floats(200.0, 300.0),
+        label=st.sampled_from(["partition", "leader-standby-cut"]),
+    ), max_size=3).map(tuple),
+    slowdowns=st.lists(st.builds(
+        SlowdownRule, host=host_names, start=finite_times,
+        end=st.floats(200.0, 300.0),
+        factor=st.one_of(st.floats(1.01, 10.0), st.integers(2, 10)),
+    ), max_size=3).map(tuple),
     drop_fail_after=st.floats(0.0, 1e-3),
 )
 
@@ -190,6 +245,51 @@ class TestJSONRoundTrip:
         payload["schema_version"] = PLAN_SCHEMA_VERSION + 1
         with pytest.raises(ConfigError):
             FaultPlan.from_dict(payload)
+
+    def test_version1_payloads_still_load(self):
+        # A pre-partition/slowdown plan file: version 1, no
+        # ``partitions``/``slowdowns`` arrays at all.
+        payload = FaultPlan(
+            drops=(DropRule(0.3, OpFilter(control_only=True)),),
+            crashes=(CrashWindow("C1", 1.0),),
+        ).to_dict()
+        payload["schema_version"] = 1
+        del payload["partitions"]
+        del payload["slowdowns"]
+        plan = FaultPlan.from_dict(payload)
+        assert plan.partitions == ()
+        assert plan.slowdowns == ()
+        assert plan.drops[0].rate == 0.3
+        # Re-serialising writes the current version with the new
+        # (empty) rule families present.
+        assert plan.to_dict()["schema_version"] == PLAN_SCHEMA_VERSION
+
+    @given(plan=fault_plans)
+    @settings(max_examples=100, deadline=None)
+    def test_version1_reader_equivalence(self, plan):
+        # Any v2 plan with no partitions/slowdowns is readable as v1
+        # and as v2, and both reads agree.
+        if plan.partitions or plan.slowdowns:
+            plan = FaultPlan.from_dict({
+                **plan.to_dict(), "partitions": [], "slowdowns": [],
+            })
+        payload = plan.to_dict()
+        v1 = dict(payload, schema_version=1)
+        del v1["partitions"]
+        del v1["slowdowns"]
+        assert FaultPlan.from_dict(v1) == FaultPlan.from_dict(payload)
+
+    def test_new_rules_round_trip_values(self):
+        plan = FaultPlan(
+            partitions=(PartitionRule("coord", "coord2",
+                                      start=0.004, end=0.016,
+                                      label="leader-standby-cut"),),
+            slowdowns=(SlowdownRule("server2", 0.02, 0.028, 3.0),),
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+        assert back.partitions[0].label == "leader-standby-cut"
+        assert back.slowdowns[0].factor == 3.0
 
     def test_canonical_json_is_stable(self):
         plan = FaultPlan(

@@ -114,6 +114,25 @@ class TestRebalancing:
         }
         assert "engines" in summary and "monitors" in summary
 
+    def test_summary_ha_block_absent_without_standby(self, skewed_run):
+        gq = robustness_summary(skewed_run["_cluster"])["globalqos"]
+        for key in ("standby", "takeovers_total", "fenced_updates_total",
+                    "stale_updates_rejected_total", "quarantines_total",
+                    "unquarantines_total"):
+            assert key not in gq
+
+    def test_summary_ha_block_present_with_standby(self):
+        cluster = build_skewed_cluster(
+            11, coordinated=True, standby=True, quarantine=True,
+        )
+        gq = robustness_summary(cluster)["globalqos"]
+        assert isinstance(gq["standby"], dict) and gq["standby"]
+        assert gq["takeovers_total"] == 0
+        assert gq["fenced_updates_total"] == 0
+        assert gq["stale_updates_rejected_total"] == 0
+        assert gq["quarantines_total"] == 0
+        assert gq["unquarantines_total"] == 0
+
 
 class TestFallback:
     def test_clients_restore_even_split_on_silence(self):

@@ -1,0 +1,110 @@
+"""Epoch fencing on the client agents: the split-brain firewall.
+
+Every ``SplitUpdate`` carries a ``(term, epoch)`` key and an agent
+applies it only when the key is lexicographically newer than the last
+one applied.  These tests drive ``_on_update`` directly with crafted
+messages — duplicates, stale epochs, deposed-leader terms, and the
+quarantine payload — against an un-started HA cluster, so the fencing
+comparison is pinned at the unit level independently of the chaos
+harness's end-to-end timing.
+"""
+
+import pytest
+
+from repro.globalqos.agents import QUARANTINE_THROTTLE_DIV
+from repro.globalqos.protocol import SplitUpdate
+from repro.globalqos.scenario import build_skewed_cluster
+
+
+@pytest.fixture
+def agent():
+    cluster = build_skewed_cluster(
+        11, coordinated=True, standby=True, quarantine=True
+    )
+    return cluster.client_agents[0]
+
+
+def update(agent, term, epoch, quarantined=()):
+    # Same splits as in force: application never schedules a rebind,
+    # so the fencing decision is the only observable.
+    return SplitUpdate(
+        client_id=agent.striped.index, epoch=epoch,
+        splits=tuple(agent.striped.splits), term=term,
+        quarantined=quarantined,
+    )
+
+
+class TestFencing:
+    def test_newer_key_applies(self, agent):
+        agent._on_update(update(agent, 1, 1), None)
+        assert agent.update_keys_applied == [(1, 1)]
+        assert (agent.last_update_term, agent.last_update_epoch) == (1, 1)
+        assert agent.updates_rejected_stale == 0
+        assert agent.updates_fenced == 0
+
+    def test_duplicate_rejected(self, agent):
+        agent._on_update(update(agent, 1, 1), None)
+        agent._on_update(update(agent, 1, 1), None)
+        assert agent.update_keys_applied == [(1, 1)]
+        assert agent.updates_rejected_stale == 1
+
+    def test_stale_epoch_rejected(self, agent):
+        agent._on_update(update(agent, 1, 3), None)
+        agent._on_update(update(agent, 1, 2), None)
+        assert agent.update_keys_applied == [(1, 3)]
+        assert agent.updates_rejected_stale == 1
+
+    def test_deposed_leader_fenced_by_term(self, agent):
+        # The new leader's first update wins...
+        agent._on_update(update(agent, 2, 5), None)
+        # ...then the deposed leader's late update for a *later* epoch
+        # arrives.  Epoch alone would apply it; the term fences it.
+        agent._on_update(update(agent, 1, 6), None)
+        assert agent.update_keys_applied == [(2, 5)]
+        assert agent.updates_fenced == 1
+        assert agent.updates_rejected_stale == 0
+
+    def test_new_term_resumes_from_any_epoch(self, agent):
+        # A takeover's term bump outranks any epoch the old leader
+        # reached: (2, 1) > (1, 9) lexicographically.
+        agent._on_update(update(agent, 1, 9), None)
+        agent._on_update(update(agent, 2, 1), None)
+        assert agent.update_keys_applied == [(1, 9), (2, 1)]
+
+    def test_term_seen_echoes_forward(self, agent):
+        agent._on_update(update(agent, 3, 2), None)
+        assert agent.term_seen == 3
+        # A fenced message never advances the echoed term.
+        agent._on_update(update(agent, 2, 8), None)
+        assert agent.term_seen == 3
+
+    def test_applied_keys_stay_strictly_increasing(self, agent):
+        for term, epoch in [(1, 1), (1, 2), (1, 1), (2, 1), (1, 5),
+                            (2, 2), (2, 2)]:
+            agent._on_update(update(agent, term, epoch), None)
+        keys = agent.update_keys_applied
+        assert keys == sorted(set(keys))
+        assert keys == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+
+class TestQuarantinePayload:
+    def test_quarantine_throttles_the_engine(self, agent):
+        agent._on_update(update(agent, 1, 1, quarantined=(1,)), None)
+        split = agent.striped.splits[1]
+        assert (agent.striped.engines[1].limit
+                == max(1, split // QUARANTINE_THROTTLE_DIV))
+        assert agent.striped.engines[0].limit is None
+        assert agent.quarantine_throttles == 1
+
+    def test_unquarantine_restores_unlimited(self, agent):
+        agent._on_update(update(agent, 1, 1, quarantined=(1,)), None)
+        agent._on_update(update(agent, 1, 2, quarantined=()), None)
+        assert agent.striped.engines[1].limit is None
+        assert agent.quarantine_unthrottles == 1
+
+    def test_fenced_update_never_changes_throttles(self, agent):
+        agent._on_update(update(agent, 2, 1, quarantined=()), None)
+        agent._on_update(update(agent, 1, 5, quarantined=(0, 1)), None)
+        assert agent.striped.engines[0].limit is None
+        assert agent.striped.engines[1].limit is None
+        assert agent.quarantine_throttles == 0

@@ -176,6 +176,46 @@ class TestOperators:
                    and k.periods == b.periods for k in kids)
 
 
+class TestNewGeneLowering:
+    def test_partition_gene_lowers_to_directional_cut(self):
+        spec = clamp_spec(ScenarioSpec(
+            num_clients=3,
+            faults=(FaultGene(kind="partition", start=2.0, duration=1.5,
+                              client=1),),
+        ))
+        plan = spec.compile_plan(SCALE.config())
+        (rule,) = plan.partitions
+        assert (rule.src, rule.dst) == ("C2", "server")
+        assert rule.label == "hunt-partition"
+        assert rule.end <= spec.fault_end_period() * SCALE.config().period
+
+    def test_fail_slow_gene_inverts_capacity_fraction(self):
+        # gene.factor keeps the brownout idiom (fraction of capacity
+        # left); the lowering turns 0.25 into a 4x cost multiplier.
+        spec = clamp_spec(ScenarioSpec(
+            num_clients=2,
+            faults=(FaultGene(kind="fail-slow", start=2.0, duration=2.0,
+                              factor=0.25),),
+        ))
+        plan = spec.compile_plan(SCALE.config())
+        (rule,) = plan.slowdowns
+        assert rule.host == "server"
+        assert rule.factor == 4.0
+
+    @given(spec=raw_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_clamped_fail_slow_always_slows(self, spec):
+        # The factor clamp [0.05, 0.95] guarantees every lowered
+        # SlowdownRule multiplier lands strictly above 1.
+        plan = clamp_spec(spec).compile_plan(SCALE.config())
+        for rule in plan.slowdowns:
+            assert rule.factor > 1.0
+
+    def test_new_kinds_reachable_by_random_search(self):
+        kinds = {g.kind for s in specs(29, 200) for g in s.faults}
+        assert {"partition", "fail-slow"} <= kinds
+
+
 class TestDarkAtEnd:
     def test_permanent_crash_victim_is_dark(self):
         spec = clamp_spec(ScenarioSpec(

@@ -22,9 +22,11 @@ import pytest
 from repro.cluster.determinism import (
     CANONICAL_SEEDS,
     GLOBALQOS_SEEDS,
+    PARTITION_SEEDS,
     SEED_FAULTS,
     determinism_digest,
     globalqos_digest,
+    partition_digest,
 )
 
 REFERENCE = (
@@ -81,5 +83,31 @@ def test_globalqos_digest_matches_committed_reference(
         assert digest[part] == expected[part], (
             f"globalqos seed {seed}: {part} digest changed -- the "
             f"coordinator scenario is no longer bit-identical to the "
+            f"committed reference"
+        )
+
+
+@pytest.fixture(scope="module")
+def partition_reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["partition"]
+
+
+def test_partition_reference_covers_every_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["partition"]
+    assert sorted(seeds) == sorted(str(s) for s in PARTITION_SEEDS)
+
+
+@pytest.mark.parametrize("seed", PARTITION_SEEDS)
+def test_partition_digest_matches_committed_reference(
+    seed, partition_reference
+):
+    digest = partition_digest(seed)
+    expected = partition_reference[str(seed)]
+    for part in ("kind", "metrics", "ledger", "results", "combined"):
+        assert digest[part] == expected[part], (
+            f"partition seed {seed}: {part} digest changed -- the "
+            f"failover scenario is no longer bit-identical to the "
             f"committed reference"
         )
