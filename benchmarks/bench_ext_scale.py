@@ -1,0 +1,93 @@
+"""Extension (scale): fluid-approximation fast path vs the exact DES.
+
+The clients-vs-wall-clock curve that justifies the fluid engine
+(docs/SCALE.md): the exact DES pays per-op event costs, so its wall
+time grows with the client population; the fluid engine aggregates
+same-class clients into rate flows, so its wall time tracks the *flow*
+count and stays near-constant from 10^3 to 10^6 simulated clients.
+The bench times both, checks the issue's <60 s bound at 10^5 clients,
+and confirms the speed did not cost the answers by running the
+down-scaled fluid-vs-DES equivalence check.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster.experiment import run_experiment
+from repro.cluster.scale import SimScale
+from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
+from repro.fluid.scenario import run_fluid_scale
+from repro.fluid.validate import run_equivalence
+
+# Same dilation as the chaos/hunt harnesses: 1 ms periods, 20 us ticks.
+DES_SCALE = SimScale(factor=1000, interval_divisor=50)
+DES_CLIENTS = (2, 4, 8)
+FLUID_CLIENTS = (1_000, 10_000, 100_000, 1_000_000)
+PERIODS = 10
+CAPACITY = 1_570_000  # C_G, one-sided, ops/s
+RESERVED_FRACTION = 0.7
+
+
+def time_des(num_clients: int) -> float:
+    """Wall seconds for one exact-DES run of ``num_clients`` clients."""
+    # Stay under the per-client C_L admission cap for small counts.
+    total = min(RESERVED_FRACTION * CAPACITY, num_clients * 350_000)
+    reservations = reservation_set("uniform", total, num_clients)
+    demands = paper_demands(reservations, CAPACITY - total)
+    cluster = qos_cluster(
+        reservations=reservations, demands=demands, scale=DES_SCALE,
+    )
+    started = time.perf_counter()
+    run_experiment(cluster, warmup_periods=0, measure_periods=PERIODS)
+    return time.perf_counter() - started
+
+
+def time_fluid(num_clients: int) -> float:
+    """Wall seconds for one fluid run of ``num_clients`` clients."""
+    started = time.perf_counter()
+    run_fluid_scale(
+        num_clients=num_clients, periods=PERIODS, seed=11,
+        brownout=False, resize=False,
+    )
+    return time.perf_counter() - started
+
+
+def run():
+    des = [(n, time_des(n)) for n in DES_CLIENTS]
+    fluid = [(n, time_fluid(n)) for n in FLUID_CLIENTS]
+    equivalence = run_equivalence(11)
+    return des, fluid, equivalence
+
+
+def test_ext_scale_curve(benchmark, report):
+    des, fluid, equivalence = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Per-client-period DES cost, from the largest measured DES run.
+    n_des, wall_des = des[-1]
+    des_unit = wall_des / (n_des * PERIODS)
+    rows = []
+    for n, wall in des:
+        rows.append(["DES (exact)", f"{n}", f"{wall:.3f}", "-"])
+    for n, wall in fluid:
+        extrapolated = des_unit * n * PERIODS
+        rows.append(["fluid", f"{n}", f"{wall:.3f}",
+                     f"{extrapolated / max(wall, 1e-9):.0f}x"])
+    report.line(f"clients vs wall-clock, {PERIODS} periods "
+                "(speedup = extrapolated DES time / fluid time)")
+    report.table(["mode", "clients", "wall (s)", "speedup"], rows)
+    report.line(f"equivalence seed 11: max attainment error "
+                f"{equivalence['max_error']:.4f} "
+                f"(tier {equivalence['tolerance_tier']:.2f}), "
+                f"{len(equivalence['who_wins_reversals'])} who-wins "
+                "reversal(s)")
+
+    fluid_wall = dict(fluid)
+    # The issue's headline bound: >= 10^5 clients in < 60 s, with slack
+    # to spare even on slow CI runners.
+    assert fluid_wall[100_000] < 60.0
+    # The fluid path must beat the DES's extrapolated cost at scale by
+    # orders of magnitude (the curve is the point of the subsystem).
+    assert des_unit * 100_000 * PERIODS > 100 * fluid_wall[100_000]
+    # And the speed cannot cost the answers.
+    assert equivalence["ok"], equivalence

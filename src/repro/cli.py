@@ -17,6 +17,8 @@ Subcommands::
     python -m repro hunt      [--budget N] [--seed N] [--no-minimize]
                               [--report out.json] [--reproducers DIR]
                               [--replay repro.json]
+    python -m repro scale     [--clients N] [--tenants N] [--periods N]
+                              [--seed N] [--validate] [--report out.json]
 
 ``run`` prints the per-client reservation-vs-served table for the
 chosen configuration, the bread-and-butter view of the paper's
@@ -237,6 +239,37 @@ def _build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--replay", default=None, metavar="PATH",
                       help="replay one reproducer file instead of "
                            "searching; exit 0 iff it still reproduces")
+
+    scale = sub.add_parser(
+        "scale",
+        help="fluid-approximation scale run: 10^4-10^6 simulated "
+             "clients in seconds (docs/SCALE.md), with the optional "
+             "down-scaled fluid-vs-DES equivalence check",
+    )
+    scale.add_argument("--clients", type=int, default=100_000,
+                       help="simulated client population")
+    scale.add_argument("--tenants", type=int, default=4)
+    scale.add_argument("--groups-per-tenant", type=int, default=4)
+    scale.add_argument("--periods", type=int, default=30)
+    scale.add_argument("--seed", type=int, default=11,
+                       help="hierarchy-shape seed (the engine itself "
+                            "has no RNG)")
+    scale.add_argument("--brownout", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="inject the mid-run 60%% capacity brownout")
+    scale.add_argument("--resize", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="apply the two-thirds-mark coordinator "
+                            "resize (decrease-before-increase)")
+    scale.add_argument("--validate", action="store_true",
+                       help="also run the down-scaled fluid-vs-exact-DES "
+                            "equivalence check on the same seed")
+    scale.add_argument("--report", metavar="PATH", default=None,
+                       help="write the full run (and validation) report "
+                            "as JSON")
+    scale.add_argument("--json", action="store_true",
+                       help="print the canonical report JSON instead of "
+                            "the tables")
     return parser
 
 
@@ -848,6 +881,86 @@ def _cmd_hunt(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    import time
+
+    from repro.common.errors import ConfigError
+    from repro.fluid.scenario import run_fluid_scale
+    from repro.fluid.validate import run_equivalence
+
+    started = time.perf_counter()
+    try:
+        report = run_fluid_scale(
+            num_clients=args.clients,
+            tenants=args.tenants,
+            groups_per_tenant=args.groups_per_tenant,
+            periods=args.periods,
+            seed=args.seed,
+            brownout=args.brownout,
+            resize=args.resize,
+        )
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - started
+
+    problems = list(report["hierarchy_violations"])
+    problems += list(report["ledger_conservation"])
+    payload: dict = {"scale": report, "wall_seconds": round(wall, 3)}
+
+    if not args.json:
+        rows = []
+        for name in sorted(report["tenant_rollup"]):
+            entry = report["tenant_rollup"][name]
+            attainment = entry["attainment"]
+            rows.append([
+                name,
+                str(entry["clients"]),
+                str(entry["reservation"]),
+                str(entry["completed"]),
+                "-" if attainment is None else f"{attainment:.3f}",
+            ])
+        for line in format_table(
+            ["tenant", "clients", "reservation (tokens/T)",
+             "completed", "attainment"],
+            rows,
+        ):
+            print(line)
+        print(f"{report['num_clients']} clients / {report['flows']} flows "
+              f"across {report['tenants']} tenants, "
+              f"{report['periods']} periods in {wall:.2f}s wall-clock  "
+              f"(conversions={report['conversions']}, "
+              f"faa_batches={report['faa_batches']}, "
+              f"resize_ops={len(report['resize_ops'])})")
+        for problem in problems:
+            print(problem, file=sys.stderr)
+
+    failed = bool(problems)
+    if args.validate:
+        equivalence = run_equivalence(args.seed)
+        payload["equivalence"] = equivalence
+        if not args.json:
+            print(f"equivalence (seed {args.seed}): "
+                  f"{'PASS' if equivalence['ok'] else 'FAIL'}  "
+                  f"max attainment error {equivalence['max_error']:.4f} "
+                  f"(tier {equivalence['tolerance_tier']:.2f}), "
+                  f"{len(equivalence['who_wins_reversals'])} who-wins "
+                  f"reversal(s)")
+            for pair in equivalence["who_wins_reversals"]:
+                print(f"who-wins reversal: {pair}", file=sys.stderr)
+        failed = failed or not equivalence["ok"]
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"report written to {args.report}")
+    return 1 if failed else 0
+
+
 def _cmd_figures(_args) -> int:
     for line in format_table(["artifact", "benchmark", "regenerates"],
                              _FIGURES):
@@ -879,6 +992,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "hunt":
         return _cmd_hunt(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

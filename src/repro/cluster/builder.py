@@ -49,6 +49,10 @@ class ClientContext:
     # and the failover state machine driving it.
     kv_replica: Optional[KVClient] = None
     failover: Optional[object] = None
+    # Hierarchical tenancy (repro.tenancy): set when a hierarchy is
+    # bound; None for flat deployments.
+    tenant: Optional[str] = None
+    group: Optional[str] = None
 
     def submitter(self, access: AccessMode = AccessMode.ONE_SIDED,
                   touch_memory: bool = False):

@@ -243,6 +243,47 @@ def partition_digest_all(seeds=PARTITION_SEEDS) -> Dict[str, Dict[str, str]]:
     return {str(seed): partition_digest(seed) for seed in seeds}
 
 
+#: Seeds for the hierarchical-tenancy / fluid-scale digest family.
+SCALE_SEEDS = (11, 23)
+
+
+def scale_digest(seed: int) -> Dict[str, object]:
+    """Digest the fluid-scale family for ``seed``.
+
+    Two parts: a 10^4-client fluid run (the ``fluid-scale`` cell's full
+    report — completions, rollups, resize ops, ledger verdicts) and the
+    fluid-vs-exact-DES equivalence report on the down-scaled config
+    (:func:`~repro.fluid.validate.run_equivalence`).  Alongside the
+    digests the entry records the documented attainment tolerance tier
+    and the equivalence verdict, so the pinned reference file carries
+    the validation contract, not just opaque hashes.
+    """
+    from repro.fluid.scenario import run_fluid_scale
+    from repro.fluid.validate import TOLERANCE_TIER, run_equivalence
+
+    scale_report = run_fluid_scale(num_clients=10_000, seed=seed)
+    equivalence = run_equivalence(seed)
+
+    scale_hash = _sha256(_canonical_json(scale_report))
+    equivalence_hash = _sha256(_canonical_json(equivalence))
+    return {
+        "kind": "fluid-scale",
+        "fluid": scale_hash,
+        "equivalence": equivalence_hash,
+        "tolerance_tier": TOLERANCE_TIER,
+        "max_error": round(equivalence["max_error"], 6),
+        "equivalence_ok": equivalence["ok"],
+        "combined": _sha256(_canonical_json(
+            [scale_hash, equivalence_hash]
+        )),
+    }
+
+
+def scale_digest_all(seeds=SCALE_SEEDS) -> Dict[str, Dict[str, object]]:
+    """``{str(seed): digest}`` for every fluid-scale seed."""
+    return {str(seed): scale_digest(seed) for seed in seeds}
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -259,9 +300,10 @@ def main(argv=None) -> int:
     digests = digest_all()
     globalqos = globalqos_digest_all()
     partition = partition_digest_all()
+    scale = scale_digest_all()
     text = json.dumps(
         {"seeds": digests, "globalqos": globalqos,
-         "partition": partition},
+         "partition": partition, "scale": scale},
         indent=2, sort_keys=True,
     ) + "\n"
     if args.write:

@@ -136,6 +136,13 @@ def register_cluster_metrics(cluster, registry) -> None:
     if cluster.fault_injector is not None:
         for name, getter in cluster.fault_injector.metrics_items():
             registry.gauge(name, getter)
+    # Hierarchical tenancy: gauges exist only when a hierarchy is bound
+    # (the PR 5 conditional idiom — unbound clusters keep their pinned
+    # metric-row digests byte-identical).
+    binding = getattr(cluster, "tenancy", None)
+    if binding is not None:
+        for name, getter in binding.metrics_items():
+            registry.gauge(name, getter)
 
 
 def _register_multinode_metrics(cluster, registry) -> None:
@@ -270,6 +277,17 @@ def robustness_summary(cluster) -> dict:
             "duplicate_suppressed_replica":
                 read("server_duplicate_suppressed", node=replica),
         }
+    binding = getattr(cluster, "tenancy", None)
+    if binding is not None:
+        tenancy = {
+            name: read(name) for name, _ in binding.metrics_items()
+        }
+        tenancy["tenants"] = binding.tenant_rollup()
+        tenancy["rollup_conservation"] = binding.rollup_conservation()
+        ledger_rollup = binding.ledger_rollup()
+        if ledger_rollup:
+            tenancy["ledger"] = ledger_rollup
+        summary["tenancy"] = tenancy
     if cluster.fault_injector is not None:
         summary["faults"] = cluster.fault_injector.summary()
     return summary

@@ -47,6 +47,7 @@ _SCENARIOS: Dict[str, Scenario] = {}
 # imports it first, so cells resolve without the caller pre-importing.
 _LAZY_SCENARIOS: Dict[str, str] = {
     "hunt-candidate": "repro.hunt.scenario",
+    "fluid-scale": "repro.fluid.scenario",
 }
 
 

@@ -149,6 +149,12 @@ class QoSMonitor:
         # coordinator-free runs keep their metric streams byte-stable.
         self.rebalances: List[dict] = []
         self.rebalance_clamped = 0
+        # Hierarchical tenancy (see docs/SCALE.md): a bound hierarchy
+        # installs a guard that caps resizes at the client's group
+        # ceiling.  Plain attributes, surfaced only through the tenancy
+        # facade block, so unbound runs keep byte-stable metric streams.
+        self.reservation_guard = None
+        self.hierarchy_clamped = 0
 
     # ------------------------------------------------------------------
     # Client admission / wiring (step T1 prerequisites)
@@ -293,6 +299,11 @@ class QoSMonitor:
         if slot is None:
             raise QoSError(f"client {client_id} is not registered")
         granted = reservation
+        if self.reservation_guard is not None:
+            allowed = self.reservation_guard(client_id, granted)
+            if allowed < granted:
+                self.hierarchy_clamped += 1
+                granted = allowed
         if self.admission is not None:
             others = (self.admission.total_reserved
                       - self.admission.admitted[client_id])

@@ -44,6 +44,35 @@ def _dec_time(value):
     return math.inf if value == "inf" else value
 
 
+def overlap_fraction(w0: float, w1: float,
+                     start: float, end: float) -> float:
+    """Fraction of the window ``[w0, w1)`` covered by ``[start, end)``.
+
+    The fluid engine's bridge from event windows to rate multipliers:
+    a fault active for 40% of a period scales that period's flow by
+    the corresponding factor instead of gating individual ops.
+    """
+    if w1 <= w0:
+        raise ConfigError(f"empty window [{w0}, {w1})")
+    covered = min(w1, end) - max(w0, start)
+    return max(0.0, covered) / (w1 - w0)
+
+
+def _union_fraction(w0: float, w1: float, intervals) -> float:
+    """Fraction of ``[w0, w1)`` covered by the union of ``intervals``."""
+    clipped = sorted(
+        (max(w0, s), min(w1, e)) for s, e in intervals if e > w0 and s < w1
+    )
+    covered = 0.0
+    cursor = w0
+    for s, e in clipped:
+        s = max(s, cursor)
+        if e > s:
+            covered += e - s
+            cursor = e
+    return covered / (w1 - w0)
+
+
 def _check_window(start: float, end: float, what: str) -> None:
     if start < 0:
         raise ConfigError(f"{what} start must be >= 0, got {start}")
@@ -367,6 +396,53 @@ class FaultPlan:
         for s in self.slowdowns:
             names.add(s.host)
         return names
+
+    # ------------------------------------------------------------------
+    # Fluid-mode projections (see docs/SCALE.md): the fluid engine
+    # evaluates flows per period, so event-granular windows project to
+    # per-period rate multipliers.  Deterministic, pure arithmetic.
+    # ------------------------------------------------------------------
+    def fluid_capacity_factor(self, host: str, w0: float, w1: float) -> float:
+        """Effective capacity multiplier for ``host`` over ``[w0, w1)``.
+
+        Brownouts scale capacity by their factor for their overlap
+        fraction, slowdowns by ``1/factor`` (a fail-slow host serves
+        that much less per unit time), crash windows by zero.  Multiple
+        overlapping windows compose multiplicatively — a conservative,
+        deterministic approximation of their event-level interaction.
+        """
+        factor = 1.0
+        for b in self.brownouts:
+            if b.host == host:
+                frac = overlap_fraction(w0, w1, b.start, b.end)
+                factor *= 1.0 - frac * (1.0 - b.factor)
+        for s in self.slowdowns:
+            if s.host == host:
+                frac = overlap_fraction(w0, w1, s.start, s.end)
+                factor *= 1.0 - frac * (1.0 - 1.0 / s.factor)
+        for c in self.crashes:
+            if c.host == host:
+                factor *= 1.0 - overlap_fraction(w0, w1, c.start, c.end)
+        return factor
+
+    def fluid_outage_fraction(self, host: str, peer: str,
+                              w0: float, w1: float) -> float:
+        """Fraction of ``[w0, w1)`` with no usable ``host <-> peer`` path.
+
+        The union of partition windows cutting either direction and
+        crash windows on either endpoint — one-sided I/O needs both the
+        request and the completion direction alive.
+        """
+        intervals = []
+        for p in self.partitions:
+            if {p.src, p.dst} == {host, peer}:
+                intervals.append((p.start, p.end))
+        for c in self.crashes:
+            if c.host in (host, peer):
+                intervals.append((c.start, c.end))
+        if not intervals:
+            return 0.0
+        return _union_fraction(w0, w1, intervals)
 
     # ------------------------------------------------------------------
     # Serialization: plans round-trip to JSON with full fidelity

@@ -1,0 +1,25 @@
+"""Fluid-approximation fast path: token QoS at 10^4-10^6 clients.
+
+The exact DES spends events on every I/O, every FAA, every control
+SEND; at a million clients a single period would cost billions of
+events.  The fluid engine keeps the *control plane* discrete — periods,
+capacity estimation, coordinator resizes, fault windows — and replaces
+the *data plane* with closed-form per-flow token arithmetic: clients of
+the same :class:`~repro.tenancy.hierarchy.ClientGroup` aggregate into
+one :class:`~repro.fluid.flows.FlowClass`, and the mint / grant /
+claim / expire math is evaluated once per flow per period instead of
+once per op.  Cost per period is O(flows), independent of client count.
+
+The exact DES stays the validated reference:
+:mod:`repro.fluid.validate` runs both modes on down-scaled configs and
+checks who-wins relations and per-class attainment against the
+documented tolerance tier (see ``docs/SCALE.md``).
+"""
+
+from repro.fluid.engine import FluidEngine  # noqa: F401
+from repro.fluid.flows import FlowClass, flows_from_hierarchy  # noqa: F401
+from repro.fluid.scenario import (  # noqa: F401
+    build_scale_hierarchy,
+    run_fluid_scale,
+)
+from repro.fluid.validate import run_equivalence  # noqa: F401

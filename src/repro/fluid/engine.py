@@ -1,0 +1,271 @@
+"""The fluid engine: per-flow per-period token arithmetic.
+
+One period of the exact DES, re-derived as closed-form flow math (the
+symbols are the paper's; see ``docs/SCALE.md`` for the derivation):
+
+- **mint** — the monitor estimates capacity ``Omega`` (the same
+  Algorithm-1 estimator instance the DES uses) and pools what is not
+  reserved.  Fault windows project onto the period as multiplicative
+  capacity factors (:meth:`~repro.faults.plan.FaultPlan.
+  fluid_capacity_factor`).
+- **reserve** — each flow spends ``min(demand, reservation)`` from its
+  guaranteed grant; partitions and crash windows scale a flow's demand
+  by its connectivity fraction for the period.
+- **convert** — with token conversion on, the pool is what the
+  effective capacity leaves after *used* reservations (unused
+  reservation tokens convert); Basic Haechi pools only capacity minus
+  *total reserved* (unused tokens are wasted) — exactly the DES
+  ablation switch.
+- **claim** — leftover demand draws on the pool, water-filled
+  equal-per-client across flows (``bounded_apportion`` weighted by
+  client count, bounded by each flow's remaining want under its
+  limit + burst ceiling), capped by physical capacity.  Claims model
+  the batched FAAs: the implied batch count is recorded per period.
+- **expire/account** — every flow closes an exact ledger account per
+  period: ``granted + claimed == spent + expired`` with zero balance
+  *by construction*, so the conservation audit is as strict as the
+  DES's.
+
+No RNG anywhere: the engine is deterministic given (flows, config,
+estimator seedings, plan), which is what lets the determinism guard pin
+fluid digests next to the DES families.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.core.capacity import AdaptiveCapacityEstimator
+from repro.core.config import HaechiConfig
+from repro.fluid.flows import FlowClass, sync_flows
+from repro.globalqos.waterfill import bounded_apportion
+from repro.tenancy.hierarchy import TenantHierarchy
+
+
+class FluidEngine:
+    """Evaluates flows period by period; O(flows) per period."""
+
+    def __init__(
+        self,
+        flows: List[FlowClass],
+        config: HaechiConfig,
+        estimator: AdaptiveCapacityEstimator,
+        physical_capacity: Optional[int] = None,
+        plan=None,
+        ledger=None,
+        server_host: str = "server",
+    ):
+        if not flows:
+            raise ConfigError("fluid engine needs at least one flow")
+        names = [f.name for f in flows]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate flow names {names}")
+        self.flows = list(flows)
+        self.config = config
+        self.estimator = estimator
+        # Physical ceiling (tokens/period): what the hardware absorbs
+        # regardless of the estimator's optimism.  Defaults to 2x the
+        # profiled mean — generous, like the DES's NIC pipelines.
+        if physical_capacity is None:
+            physical_capacity = int(round(2 * estimator.profiled.mean))
+        self.physical = physical_capacity
+        self.plan = plan
+        self.ledger = ledger
+        self.server_host = server_host
+
+        self.period_id = 0
+        self.now = 0.0
+        self.period_records: List[dict] = []
+        self.flow_completions: Dict[str, List[int]] = {
+            f.name: [] for f in self.flows
+        }
+        self.burst_buckets: Dict[str, int] = {
+            f.name: f.burst for f in self.flows
+        }
+        self.conversions = 0
+        self.faa_batches = 0
+        self.resize_log: List[dict] = []
+        self.snapshots: List[dict] = []
+
+    @property
+    def total_reserved(self) -> int:
+        return sum(f.reservation for f in self.flows)
+
+    @property
+    def total_clients(self) -> int:
+        return sum(f.clients for f in self.flows)
+
+    # ------------------------------------------------------------------
+    def run(self, periods: int) -> None:
+        """Advance ``periods`` QoS periods."""
+        if periods < 1:
+            raise ConfigError(f"periods must be >= 1, got {periods}")
+        for _ in range(periods):
+            self._step()
+
+    def _step(self) -> None:
+        config = self.config
+        self.period_id += 1
+        w0 = self.now
+        w1 = w0 + config.period
+        omega = self.estimator.current
+
+        cap_factor = 1.0
+        if self.plan is not None:
+            cap_factor = self.plan.fluid_capacity_factor(
+                self.server_host, w0, w1
+            )
+        effective = int(round(omega * cap_factor))
+        physical = int(round(self.physical * cap_factor))
+
+        # Reserve phase: guaranteed tokens against faulted demand.
+        demands: Dict[str, int] = {}
+        used_res: Dict[str, int] = {}
+        for flow in self.flows:
+            avail = 1.0
+            if self.plan is not None:
+                avail = 1.0 - self.plan.fluid_outage_fraction(
+                    flow.host, self.server_host, w0, w1
+                )
+            demand = int(round(flow.demand * avail))
+            demands[flow.name] = demand
+            used_res[flow.name] = min(demand, flow.reservation)
+        res_spent = sum(used_res.values())
+
+        # Mint/convert: the pool the claim phase draws on.
+        if config.token_conversion:
+            pool = max(0, effective - res_spent)
+            if pool > max(0, effective - self.total_reserved):
+                self.conversions += 1
+        else:
+            pool = max(0, effective - self.total_reserved)
+        if self.ledger is not None:
+            self.ledger.mint(
+                self.period_id, pool, self.total_reserved, w0,
+                source="fluid",
+            )
+
+        # Claim phase: equal-per-client water-fill of the pool.
+        wants: List[int] = []
+        for flow in self.flows:
+            want = max(0, demands[flow.name] - used_res[flow.name])
+            if flow.limit is not None:
+                ceiling = flow.limit + self.burst_buckets[flow.name]
+                want = min(want, max(0, ceiling - used_res[flow.name]))
+            wants.append(want)
+        spendable = min(pool, sum(wants), max(0, physical - res_spent))
+        if spendable > 0:
+            grants = bounded_apportion(
+                spendable,
+                [float(f.clients) for f in self.flows],
+                wants,
+            )
+        else:
+            grants = [0] * len(self.flows)
+
+        # Spend/expire and exact per-flow accounting.
+        total_completed = 0
+        per_flow: Dict[str, int] = {}
+        for i, (flow, grant) in enumerate(zip(self.flows, grants)):
+            completed = used_res[flow.name] + grant
+            per_flow[flow.name] = completed
+            self.flow_completions[flow.name].append(completed)
+            total_completed += completed
+            self.faa_batches += math.ceil(grant / config.batch_size)
+            if flow.limit is not None:
+                over = max(0, completed - flow.limit)
+                slack = max(0, flow.limit - completed)
+                bucket = self.burst_buckets[flow.name]
+                self.burst_buckets[flow.name] = min(
+                    flow.burst, bucket - over + slack
+                )
+            if self.ledger is not None:
+                account = self.ledger.open(
+                    flow.name, self.period_id, flow.reservation, w0
+                )
+                if grant or wants[i]:
+                    self.ledger.pool_claim(
+                        account, requested=wants[i],
+                        granted=grant, prior_pool=pool, time=w1,
+                    )
+                self.ledger.close(
+                    account, spent=completed, yielded=0,
+                    residual=flow.reservation - used_res[flow.name],
+                    reason="fluid-period", time=w1,
+                )
+
+        self.period_records.append({
+            "period": self.period_id,
+            "estimate": omega,
+            "capacity_factor": cap_factor,
+            "effective": effective,
+            "pool": pool,
+            "completed": total_completed,
+            "per_flow": per_flow,
+        })
+        self.estimator.update(total_completed)
+        self.now = w1
+
+    # ------------------------------------------------------------------
+    # Control-plane hooks (the hybrid runner's discrete events)
+    # ------------------------------------------------------------------
+    def apply_hierarchy(self, hierarchy: TenantHierarchy) -> List[dict]:
+        """Adopt a resized hierarchy's envelopes (decrease-before-
+        increase already happened inside the hierarchy ops); snapshot
+        the state for the ``hierarchy-conservation`` oracle."""
+        hierarchy.epoch = self.period_id
+        changes = sync_flows(self.flows, hierarchy)
+        for change in changes:
+            self.resize_log.append(dict(change, period=self.period_id))
+        self.snapshots.append(hierarchy.snapshot())
+        return changes
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+    def attainment(self) -> Dict[str, Optional[float]]:
+        """Per-flow mean attainment: mean per-period completions over
+        the flow's reservation (``None`` for zero reservations)."""
+        out: Dict[str, Optional[float]] = {}
+        for flow in self.flows:
+            counts = self.flow_completions[flow.name]
+            if not counts or flow.reservation <= 0:
+                out[flow.name] = None
+                continue
+            out[flow.name] = (sum(counts) / len(counts)) / flow.reservation
+        return out
+
+    def tenant_rollup(self) -> Dict[str, dict]:
+        """Per-tenant reservation/completed/attainment, exact sums."""
+        tenants: Dict[str, dict] = {}
+        for flow in self.flows:
+            entry = tenants.setdefault(flow.tenant, {
+                "reservation": 0, "clients": 0, "completed": 0,
+            })
+            entry["reservation"] += flow.reservation
+            entry["clients"] += flow.clients
+            entry["completed"] += sum(self.flow_completions[flow.name])
+        periods = self.period_id
+        for entry in tenants.values():
+            if periods and entry["reservation"] > 0:
+                entry["attainment"] = (
+                    entry["completed"] / periods / entry["reservation"]
+                )
+            else:
+                entry["attainment"] = None
+        return tenants
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs — registered only for fluid runs
+        (the PR 5 conditional idiom)."""
+        return [
+            ("fluid_period_id", lambda: self.period_id),
+            ("fluid_flows", lambda: len(self.flows)),
+            ("fluid_clients", lambda: self.total_clients),
+            ("fluid_total_reserved", lambda: self.total_reserved),
+            ("fluid_conversions", lambda: self.conversions),
+            ("fluid_faa_batches", lambda: self.faa_batches),
+            ("fluid_capacity_estimate", lambda: self.estimator.current),
+        ]

@@ -1,0 +1,110 @@
+"""Flow classes: same-class clients aggregated into one rate flow.
+
+A flow is the fluid image of one :class:`~repro.tenancy.hierarchy.
+ClientGroup`: ``clients`` identical endpoints sharing one reservation
+envelope, one effective limit, one burst bucket, and one demand rate.
+Everything is integer tokens per (dilated) period, the same units the
+DES monitor uses, so ledger accounting stays exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.tenancy.hierarchy import TenantHierarchy
+
+
+@dataclasses.dataclass
+class FlowClass:
+    """One aggregated client class (the fluid unit of enforcement)."""
+
+    name: str  # "tenant/group"
+    tenant: str
+    group: str
+    clients: int
+    reservation: int  # group-total tokens/period
+    demand: int  # group-total tokens/period the clients want
+    limit: Optional[int] = None  # effective usage ceiling (tokens/period)
+    burst: int = 0  # burst-bucket capacity above the limit
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigError(
+                f"flow {self.name!r}: clients must be >= 1, "
+                f"got {self.clients}"
+            )
+        for field in ("reservation", "demand", "burst"):
+            if getattr(self, field) < 0:
+                raise ConfigError(
+                    f"flow {self.name!r}: {field} must be >= 0"
+                )
+        if self.limit is not None and self.limit < 0:
+            raise ConfigError(f"flow {self.name!r}: limit must be >= 0")
+
+    @property
+    def host(self) -> str:
+        """The symbolic host name fault windows address this flow by."""
+        return self.name
+
+
+def flows_from_hierarchy(
+    hierarchy: TenantHierarchy,
+    demand_of: Optional[Callable] = None,
+    demand_factor: float = 1.5,
+) -> List[FlowClass]:
+    """One flow per (tenant, group), in hierarchy order.
+
+    ``demand_of(tenant, group) -> tokens`` sets each flow's demand;
+    without it, demand defaults to ``demand_factor`` times the group
+    reservation (every class wants more than its guarantee, the
+    Experiment-2A shape).  Limits are the hierarchy's effective limits,
+    so ancestor ceilings land on the flows that enforce them.
+    """
+    flows = []
+    for tenant, group in hierarchy.groups():
+        if demand_of is not None:
+            demand = int(demand_of(tenant, group))
+        else:
+            demand = int(round(group.reservation * demand_factor))
+        flows.append(FlowClass(
+            name=f"{tenant.name}/{group.name}",
+            tenant=tenant.name,
+            group=group.name,
+            clients=group.clients,
+            reservation=group.reservation,
+            demand=demand,
+            limit=hierarchy.effective_limit(tenant, group),
+            burst=group.burst,
+        ))
+    return flows
+
+
+def sync_flows(flows: List[FlowClass],
+               hierarchy: TenantHierarchy) -> List[dict]:
+    """Re-read reservations/limits from the hierarchy after a resize.
+
+    Returns the ``{"flow", "field", "old", "new"}`` change records, in
+    flow order — the fluid image of the monitor's rebalance log.
+    """
+    by_name = {f.name: f for f in flows}
+    changes = []
+    for tenant, group in hierarchy.groups():
+        flow = by_name.get(f"{tenant.name}/{group.name}")
+        if flow is None:
+            continue
+        limit = hierarchy.effective_limit(tenant, group)
+        if flow.reservation != group.reservation:
+            changes.append({
+                "flow": flow.name, "field": "reservation",
+                "old": flow.reservation, "new": group.reservation,
+            })
+            flow.reservation = group.reservation
+        if flow.limit != limit:
+            changes.append({
+                "flow": flow.name, "field": "limit",
+                "old": flow.limit, "new": limit,
+            })
+            flow.limit = limit
+    return changes

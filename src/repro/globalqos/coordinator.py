@@ -44,7 +44,7 @@ by :meth:`~repro.telemetry.ledger.TokenLedger.check_quarantine_audit`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.common.errors import ConfigError, QPError
 from repro.globalqos.agents import (
@@ -90,7 +90,8 @@ class GlobalCoordinator:
                  quarantine_threshold: float = 0.55,
                  quarantine_after: int = 2,
                  recover_after: int = 2,
-                 quarantine_derank: float = 0.25):
+                 quarantine_derank: float = 0.25,
+                 tenant_of: Optional[Mapping[int, str]] = None):
         if role not in ("leader", "standby"):
             raise ConfigError(f"unknown coordinator role {role!r}")
         self.cluster = cluster
@@ -139,6 +140,13 @@ class GlobalCoordinator:
         self._healthy_streak: Dict[int, int] = {}
         self.quarantines = 0
         self.unquarantines = 0
+        # Tenant-granularity mode (see docs/SCALE.md): with a client-id
+        # -> tenant-name map the per-epoch water-fill runs over tenant
+        # aggregates and a transportation fill hands placements back to
+        # members — O(tenants) solver work instead of O(clients).  None
+        # keeps the flat per-client path byte-identical.
+        self.tenant_of = dict(tenant_of) if tenant_of else None
+        self.tenant_epochs = 0
         # Coordinator-side QP toward each client host, filled in by
         # attach_coordinator as it wires the connections.
         self.client_qps: Dict[int, object] = {}
@@ -303,9 +311,18 @@ class GlobalCoordinator:
             cid: list(self._demand[cid].demand) for cid in participants
         }
         node_caps, max_split = self._headroom(participants)
-        targets = waterfill_splits(
-            aggregates, demands, node_caps, current, max_split
-        )
+        if self.tenant_of is not None:
+            from repro.tenancy.rebalance import tenant_splits
+
+            self.tenant_epochs += 1
+            targets = tenant_splits(
+                aggregates, demands, node_caps, current, max_split,
+                self.tenant_of,
+            )
+        else:
+            targets = waterfill_splits(
+                aggregates, demands, node_caps, current, max_split
+            )
         threshold = {
             cid: max(1, int(self.min_shift_fraction * aggregates[cid]))
             for cid in participants
@@ -495,6 +512,12 @@ class GlobalCoordinator:
                 ("globalqos_quarantined_nodes",
                  lambda: len(self.quarantined)),
             ])
+        if self.tenant_of is not None:
+            items.extend([
+                ("globalqos_tenant_epochs", lambda: self.tenant_epochs),
+                ("globalqos_tenants",
+                 lambda: len(set(self.tenant_of.values()))),
+            ])
         return items
 
 
@@ -509,6 +532,7 @@ def attach_coordinator(
     quarantine_after: int = 2,
     recover_after: int = 2,
     quarantine_derank: float = 0.25,
+    tenant_of: Optional[Mapping[int, str]] = None,
 ) -> GlobalCoordinator:
     """Wire a global coordinator into a multi-node cluster.
 
@@ -522,6 +546,11 @@ def attach_coordinator(
     ``fallback_after`` is the client-side degradation knob: that many
     epochs without a coordinator heartbeat and a client restores its
     static even split on its own.
+
+    ``tenant_of`` (client index -> tenant name, covering every client)
+    switches the per-epoch solve to tenant granularity
+    (:func:`~repro.tenancy.rebalance.tenant_splits`); omitted, the flat
+    per-client water-fill runs exactly as before.
     """
     if rebalance_periods < 1:
         raise ConfigError(
@@ -541,6 +570,13 @@ def attach_coordinator(
         )
     if cluster.coordinator is not None:
         raise ConfigError("coordinator already attached")
+    if tenant_of is not None:
+        missing = [c.index for c in cluster.clients
+                   if c.index not in tenant_of]
+        if missing:
+            raise ConfigError(
+                f"tenant_of misses client indices {missing}"
+            )
 
     epoch_len = rebalance_periods * cluster.config.period
     coordinator = GlobalCoordinator(
@@ -551,6 +587,7 @@ def attach_coordinator(
         quarantine_after=quarantine_after,
         recover_after=recover_after,
         quarantine_derank=quarantine_derank,
+        tenant_of=tenant_of,
     )
 
     for striped in cluster.clients:
@@ -622,6 +659,7 @@ def attach_standby(
         quarantine_after=leader.quarantine_after,
         recover_after=leader.recover_after,
         quarantine_derank=leader.quarantine_derank,
+        tenant_of=leader.tenant_of,
     )
     leader.ha_enabled = True
     standby.ha_enabled = True

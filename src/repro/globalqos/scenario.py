@@ -118,6 +118,7 @@ def build_skewed_cluster(
     takeover_after: int = 2,
     quarantine: bool = False,
     quarantine_recover_after: int = 2,
+    tenant_of=None,
 ) -> MultiNodeCluster:
     """Build the entitled-vs-commodity scenario, un-started.
 
@@ -127,6 +128,8 @@ def build_skewed_cluster(
     telemetry, so its gauges land in the metric snapshots; ``standby``
     adds the warm-standby coordinator (requires ``coordinated``) and
     ``quarantine`` arms fail-slow detection on both coordinators.
+    ``tenant_of`` (client index -> tenant name) switches the attached
+    coordinator to tenant-granularity rebalancing.
     """
     scale = scale or SKEW_SCALE
     if standby and not coordinated:
@@ -146,6 +149,7 @@ def build_skewed_cluster(
             fallback_after=fallback_after,
             quarantine=quarantine,
             recover_after=quarantine_recover_after,
+            tenant_of=tenant_of,
         )
         if standby:
             attach_standby(

@@ -176,6 +176,11 @@ def minimize_spec(
             try_replace(**{name: floor})
     if current.limit_factor is not None:
         try_replace(limit_factor=None)
+    # The exact DES is the simpler execution mode: drop fluid if the
+    # anomaly survives (clamp_spec then pulls the client count back
+    # under the DES ceiling in the same step).
+    if current.fluid_mode:
+        try_replace(fluid_mode=False)
 
     # 3. Bisect the spec-level scalars toward their floors.
     for name, (_lo, _hi, floor) in sorted(INT_GENES.items()):

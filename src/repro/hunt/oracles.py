@@ -168,6 +168,26 @@ def check_split_conservation(ledger) -> List[Violation]:
     ]
 
 
+def check_hierarchy_conservation(
+    problems: Iterable[str],
+) -> List[Violation]:
+    """Nested reservations conserve: child sums fit the parent at every
+    level, every epoch.
+
+    ``problems`` are the audit strings from
+    :meth:`~repro.tenancy.hierarchy.TenantHierarchy.conservation_violations`
+    (structural: group sums vs tenant envelopes, tenant sums vs
+    capacity) or :meth:`~repro.tenancy.binding.HierarchyBinding.
+    rollup_conservation` (as-enforced: live monitor grants vs group
+    ceilings); callers collect them per epoch and at run end.
+    """
+    return [
+        Violation(kind="hierarchy-conservation",
+                  message=f"hierarchy: {text}")
+        for text in problems
+    ]
+
+
 def check_quarantine_audit(ledger) -> List[Violation]:
     """Quarantine enter/leave events pair up correctly in the ledger."""
     if ledger is None:
@@ -306,6 +326,12 @@ _register(
     "quarantine-audit", ("quarantine-audit",),
     "quarantine and un-quarantine ledger events pair up correctly",
     check_quarantine_audit,
+)
+_register(
+    "hierarchy-conservation", ("hierarchy-conservation",),
+    "child reservations sum within their parent at every level, every "
+    "epoch (tenant hierarchy nesting invariant)",
+    check_hierarchy_conservation,
 )
 _register(
     "progress", ("progress-stall",),

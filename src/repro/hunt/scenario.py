@@ -24,6 +24,7 @@ from repro.cluster.runner import register_scenario
 from repro.cluster.scale import SimScale
 from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
 from repro.hunt.oracles import (
+    check_hierarchy_conservation,
     check_ledger_conservation,
     check_progress,
     check_queue_growth,
@@ -31,6 +32,7 @@ from repro.hunt.oracles import (
 )
 from repro.hunt.space import (
     CAPACITY_OPS,
+    FLUID_GROUPS_PER_TENANT,
     PER_CLIENT_RESERVATION_CAP,
     ScenarioSpec,
 )
@@ -77,8 +79,47 @@ def spec_workload(spec: ScenarioSpec):
     return reservations, demands, limits
 
 
+def spec_hierarchy(spec: ScenarioSpec, config, reservations_ops):
+    """A DES-mode hierarchy over the spec's *exact* reservations.
+
+    Clients split into ``tenant_count`` contiguous chunks (contiguous
+    so leaf order matches client-index order, which is what
+    ``bind_hierarchy`` assumes); each client is its own leaf group, so
+    binding the hierarchy changes nothing about the workload — it only
+    adds the nesting envelopes the conservation oracle audits.
+    """
+    from repro.globalqos.waterfill import largest_remainder
+    from repro.tenancy.hierarchy import (
+        ClientGroup,
+        Tenant,
+        TenantHierarchy,
+    )
+
+    tokens = [config.tokens_per_period(r) for r in reservations_ops]
+    sizes = largest_remainder(
+        spec.num_clients, [1.0] * spec.tenant_count
+    )
+    tenants = []
+    index = 0
+    for t, size in enumerate(sizes):
+        groups = [
+            ClientGroup(name=f"c{index + k + 1}",
+                        reservation=tokens[index + k], clients=1)
+            for k in range(size)
+        ]
+        index += size
+        tenants.append(Tenant(
+            name=f"T{t + 1}",
+            reservation=sum(g.reservation for g in groups),
+            groups=groups,
+        ))
+    return TenantHierarchy(tenants)
+
+
 def run_spec(spec: ScenarioSpec, seed: int) -> dict:
     """Run one candidate; return its oracle verdict and counters."""
+    if spec.fluid_mode:
+        return _run_fluid_spec(spec, seed)
     reservations, demands, limits = spec_workload(spec)
     cluster = qos_cluster(
         reservations=reservations,
@@ -89,6 +130,10 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
         master_seed=seed,
     )
     config = cluster.config
+    if spec.tenant_count > 0:
+        from repro.tenancy.binding import bind_hierarchy
+
+        bind_hierarchy(cluster, spec_hierarchy(spec, config, reservations))
     checker = InvariantChecker(cluster)
     hub = attach_telemetry(
         cluster, TelemetryConfig(sample_every=0, control_spans=False)
@@ -130,6 +175,11 @@ def _evaluate_oracles(cluster, spec: ScenarioSpec, checker, hub,
     """The full oracle registry over one finished run."""
     violations: List[Violation] = list(checker.violations)
     violations.extend(check_ledger_conservation(hub.ledger))
+    binding = getattr(cluster, "tenancy", None)
+    if binding is not None:
+        violations.extend(check_hierarchy_conservation(
+            binding.rollup_conservation()
+        ))
 
     dark = set(spec.dark_at_end())
     reservation_rows = []
@@ -169,6 +219,103 @@ def _evaluate_oracles(cluster, spec: ScenarioSpec, checker, hub,
     violations.extend(check_progress(progress_rows))
     violations.extend(check_queue_growth(queue_rows))
     return violations
+
+
+def _run_fluid_spec(spec: ScenarioSpec, seed: int) -> dict:
+    """Fluid-mode candidate: the aggregated flow engine under the
+    spec's fault genome.
+
+    The hierarchy shape is seeded from ``(spec, seed)`` via the scale
+    scenario's generator; the spec's ``demand_factor`` scales every
+    class demand and its fault genes compile onto fluid rates (victims
+    are flow classes — see :meth:`ScenarioSpec.victim`).  Control-plane
+    drop/delay genes have no fluid analogue (the engine has no per-op
+    control messages) and are inert here by design.
+    """
+    from repro.core.capacity import (
+        AdaptiveCapacityEstimator,
+        ProfiledCapacity,
+    )
+    from repro.fluid.engine import FluidEngine
+    from repro.fluid.flows import flows_from_hierarchy
+    from repro.fluid.scenario import PROFILE_RSD, build_scale_hierarchy
+    from repro.rdma.nic import NICProfile
+    from repro.telemetry.ledger import TokenLedger
+
+    config = HUNT_SCALE.config()
+    rate = NICProfile.chameleon().onesided_saturation_rate()
+    capacity_tokens = config.tokens_per_period(rate)
+    hierarchy, demand_map = build_scale_hierarchy(
+        spec.num_clients,
+        tenants=spec.tenant_count,
+        groups_per_tenant=FLUID_GROUPS_PER_TENANT,
+        config=config,
+        capacity_tokens=capacity_tokens,
+        seed=seed,
+        reserved_fraction=spec.reserved_fraction,
+    )
+    flows = flows_from_hierarchy(
+        hierarchy,
+        demand_of=lambda t, g: int(round(
+            demand_map[f"{t.name}/{g.name}"] * spec.demand_factor
+        )),
+    )
+    estimator = AdaptiveCapacityEstimator(
+        profiled=ProfiledCapacity(
+            mean=float(capacity_tokens),
+            stddev=PROFILE_RSD * capacity_tokens,
+        ),
+        eta=config.eta,
+        history_window=config.history_window,
+        saturation_tolerance=config.saturation_tolerance,
+    )
+    ledger = TokenLedger()
+    engine = FluidEngine(
+        flows, config, estimator,
+        physical_capacity=capacity_tokens,
+        plan=spec.compile_plan(config),
+        ledger=ledger,
+    )
+    engine.run(spec.periods)
+
+    violations: List[Violation] = []
+    violations.extend(check_ledger_conservation(ledger))
+    violations.extend(check_hierarchy_conservation(
+        hierarchy.conservation_violations()
+    ))
+    dark = set(spec.dark_at_end())
+    reservation_rows = []
+    progress_rows = []
+    for flow in engine.flows:
+        if flow.name in dark:
+            continue
+        counts = engine.flow_completions[flow.name]
+        # A flow can never complete more than it demands, so the
+        # settle target is the reservation capped by demand.
+        target = min(flow.reservation, flow.demand)
+        if counts and target > 0:
+            reservation_rows.append((flow.name, counts[-1], target))
+        progress_rows.append((flow.name, counts, float(flow.demand)))
+    violations.extend(check_reservations_met(reservation_rows))
+    violations.extend(check_progress(progress_rows))
+
+    return {
+        "violations": [v.to_dict() for v in violations],
+        "kinds": sorted({v.kind for v in violations}),
+        "counters": {
+            "checks_run": 0,
+            "completions_total": sum(
+                sum(counts)
+                for counts in engine.flow_completions.values()
+            ),
+            "faults_dropped": 0,
+            "faults_delayed": 0,
+            "qps_closed": 0,
+            "fluid_flows": len(engine.flows),
+            "fluid_clients": engine.total_clients,
+            "fluid_conversions": engine.conversions,
+        },
+    }
 
 
 @register_scenario("hunt-candidate")

@@ -40,7 +40,12 @@ from repro.faults.plan import (
     SlowdownRule,
 )
 
-SPEC_SCHEMA_VERSION = 1
+SPEC_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ScenarioSpec.from_dict` still reads.  v1
+#: specs (pre-tenancy) load with ``tenant_count=0, fluid_mode=False``,
+#: which reproduces their exact historical behaviour.
+COMPAT_SCHEMA_VERSIONS = (1, SPEC_SCHEMA_VERSION)
 
 # Liveness oracles need a fault-free tail to converge in; probabilistic
 # and windowed faults are clamped to end before it.  (Permanent events
@@ -72,6 +77,19 @@ PATTERNS = ("burst", "constant-rate")
 MIN_CLIENTS_FOR_SPIKE = 4
 
 MIN_PERIODS = 6
+
+# Client-count ceilings are *mode-dependent*: exact-DES candidates pay
+# per-op event costs, so the ceiling stays small; fluid-mode candidates
+# aggregate same-class clients into flows (O(flows) per period), so the
+# hunt can search the 10^2-10^4 client regime the hierarchy exists for.
+# (The old single hard-coded ceiling of 6 silently clamped any larger
+# genome back into the DES range.)
+MAX_CLIENTS_DES = 6
+MAX_CLIENTS_FLUID = 20_000
+MAX_TENANTS = 4
+# Fluid-mode candidates use a fixed two-groups-per-tenant shape, so a
+# victim index maps deterministically onto a flow class.
+FLUID_GROUPS_PER_TENANT = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -124,6 +142,12 @@ class ScenarioSpec:
     pattern: str = "burst"
     periods: int = 8
     faults: Tuple[FaultGene, ...] = ()
+    # Tenancy genes (schema v2): ``tenant_count == 0`` means flat (no
+    # hierarchy, the v1 behaviour); with a hierarchy, DES candidates
+    # bind it to the exact cluster while ``fluid_mode`` switches the
+    # executor to the aggregated flow engine.
+    tenant_count: int = 0
+    fluid_mode: bool = False
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -131,6 +155,13 @@ class ScenarioSpec:
             raise ConfigError(
                 f"num_clients must be >= 1, got {self.num_clients}"
             )
+        if self.tenant_count < 0:
+            raise ConfigError(
+                f"tenant_count must be >= 0, got {self.tenant_count}"
+            )
+        # fluid_mode with tenant_count == 0 is repaired (not rejected)
+        # by clamp_spec, so shrink/mutate operators may build the
+        # intermediate value freely.
         if self.distribution not in DISTRIBUTIONS:
             raise ConfigError(
                 f"unknown distribution {self.distribution!r}"
@@ -151,7 +182,18 @@ class ScenarioSpec:
         )
 
     def victim(self, gene: FaultGene) -> str:
-        """The host name a fault gene targets."""
+        """The host name a fault gene targets.
+
+        DES candidates target client hosts (``C<k>``); fluid-mode
+        candidates target flow classes, so the victim index wraps onto
+        the ``T<t>/g<g>`` flow-name grid instead.
+        """
+        if self.fluid_mode:
+            flows = max(1, self.tenant_count) * FLUID_GROUPS_PER_TENANT
+            idx = gene.client % flows
+            tenant = idx // FLUID_GROUPS_PER_TENANT + 1
+            group = idx % FLUID_GROUPS_PER_TENANT + 1
+            return f"T{tenant}/g{group}"
         return f"C{gene.client % self.num_clients + 1}"
 
     def fault_end_period(self) -> float:
@@ -245,15 +287,17 @@ class ScenarioSpec:
             "pattern": self.pattern,
             "periods": self.periods,
             "faults": [gene.to_dict() for gene in self.faults],
+            "tenant_count": self.tenant_count,
+            "fluid_mode": self.fluid_mode,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ScenarioSpec":
         version = payload.get("schema_version")
-        if version != SPEC_SCHEMA_VERSION:
+        if version not in COMPAT_SCHEMA_VERSIONS:
             raise ConfigError(
                 f"unsupported scenario-spec schema version {version!r} "
-                f"(this build reads version {SPEC_SCHEMA_VERSION})"
+                f"(this build reads versions {COMPAT_SCHEMA_VERSIONS})"
             )
         return cls(
             num_clients=payload["num_clients"],
@@ -266,6 +310,10 @@ class ScenarioSpec:
             faults=tuple(
                 FaultGene.from_dict(g) for g in payload["faults"]
             ),
+            # v1 payloads carry neither key: flat, exact-DES — their
+            # historical semantics, bit for bit.
+            tenant_count=payload.get("tenant_count", 0),
+            fluid_mode=payload.get("fluid_mode", False),
         )
 
     def to_json(self) -> str:
@@ -281,9 +329,11 @@ class ScenarioSpec:
 # Gene table: bounds and floors (what the minimizer shrinks toward)
 # ---------------------------------------------------------------------------
 INT_GENES = {
-    # name: (lo, hi, floor)
-    "num_clients": (1, 6, 1),
+    # name: (lo, hi, floor) — num_clients' hi is the DES ceiling; fluid
+    # mode raises it to MAX_CLIENTS_FLUID in clamp_spec.
+    "num_clients": (1, MAX_CLIENTS_DES, 1),
     "periods": (MIN_PERIODS, 12, MIN_PERIODS),
+    "tenant_count": (0, MAX_TENANTS, 0),
 }
 FLOAT_GENES = {
     # name: (lo, hi, floor)
@@ -309,8 +359,26 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
     Single choke point for cross-gene constraints, applied after every
     random sample / mutation / crossover so operators can be sloppy.
     """
+    # The client-count ceiling depends on the execution mode: the old
+    # unconditional clamp to the DES ceiling made every large genome
+    # collapse back to <= 6 clients, which is exactly the space the
+    # fluid engine exists to search.
+    fluid_mode = bool(spec.fluid_mode)
+    tenant_count = min(max(spec.tenant_count, 0), MAX_TENANTS)
+    if fluid_mode:
+        tenant_count = max(1, tenant_count)
+    ceiling = MAX_CLIENTS_FLUID if fluid_mode else MAX_CLIENTS_DES
     num_clients = min(max(spec.num_clients, INT_GENES["num_clients"][0]),
-                      INT_GENES["num_clients"][1])
+                      ceiling)
+    if fluid_mode:
+        # Every (tenant, group) class needs at least one client.
+        num_clients = max(
+            num_clients, tenant_count * FLUID_GROUPS_PER_TENANT
+        )
+    else:
+        # A DES hierarchy puts each client in its own leaf group, so a
+        # tenant with zero members is meaningless.
+        tenant_count = min(tenant_count, num_clients)
     periods = min(max(spec.periods, INT_GENES["periods"][0]),
                   INT_GENES["periods"][1])
     distribution = spec.distribution
@@ -347,6 +415,8 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
         pattern=spec.pattern,
         periods=periods,
         faults=tuple(genes),
+        tenant_count=tenant_count,
+        fluid_mode=fluid_mode,
     )
 
 
@@ -370,14 +440,26 @@ def random_fault_gene(rng, periods: int) -> FaultGene:
 
 
 def random_spec(rng) -> ScenarioSpec:
-    """One uniformly-drawn point of the scenario space."""
-    lo, hi = INT_GENES["num_clients"][:2]
-    num_clients = rng.randint(lo, hi)
+    """One uniformly-drawn point of the scenario space.
+
+    A quarter of the draws land in fluid mode, where the client count
+    is log-uniform over 10^2-10^4 — the hierarchical regime the DES
+    ceiling used to make unreachable.
+    """
+    fluid_mode = rng.random() < 0.25
+    tenant_count = rng.randint(1 if fluid_mode else 0, MAX_TENANTS)
+    if fluid_mode:
+        num_clients = int(round(10 ** rng.uniform(2.0, 4.0)))
+    else:
+        lo, hi = INT_GENES["num_clients"][:2]
+        num_clients = rng.randint(lo, hi)
     lo, hi = INT_GENES["periods"][:2]
     periods = rng.randint(lo, hi)
     num_faults = rng.randint(0, MAX_FAULT_GENES)
     return clamp_spec(ScenarioSpec(
         num_clients=num_clients,
+        tenant_count=tenant_count,
+        fluid_mode=fluid_mode,
         distribution=rng.choice(DISTRIBUTIONS),
         reserved_fraction=FLOAT_GENES["reserved_fraction"][0] + rng.random()
         * (FLOAT_GENES["reserved_fraction"][1]
@@ -437,9 +519,21 @@ def mutate(spec: ScenarioSpec, rng) -> ScenarioSpec:
         return clamp_spec(dataclasses.replace(spec, faults=faults))
 
     name = rng.choice(sorted(INT_GENES) + sorted(FLOAT_GENES)
-                      + sorted(CHOICE_GENES) + ["limit_factor"])
+                      + sorted(CHOICE_GENES)
+                      + ["limit_factor", "fluid_mode"])
+    if name == "fluid_mode":
+        return clamp_spec(dataclasses.replace(
+            spec, fluid_mode=not spec.fluid_mode
+        ))
     if name in INT_GENES:
-        value = getattr(spec, name) + rng.choice((-2, -1, 1, 2))
+        if name == "num_clients" and spec.fluid_mode:
+            # Additive +/-2 steps cannot traverse a 10^2-10^4 range;
+            # fluid client counts mutate multiplicatively.
+            value = max(1, int(round(
+                spec.num_clients * rng.choice((0.3, 0.5, 2.0, 3.0))
+            )))
+        else:
+            value = getattr(spec, name) + rng.choice((-2, -1, 1, 2))
         return clamp_spec(dataclasses.replace(spec, **{name: max(
             value, INT_GENES[name][0])}))
     if name in FLOAT_GENES:
@@ -467,8 +561,13 @@ def crossover(a: ScenarioSpec, b: ScenarioSpec, rng) -> ScenarioSpec:
 
     cut_a = rng.randint(0, len(a.faults))
     cut_b = rng.randint(0, len(b.faults))
+    # fluid_mode and tenant_count travel together: a fluid client count
+    # only makes sense next to the mode flag that licensed it.
+    mode_parent = a if rng.random() < 0.5 else b
     return clamp_spec(ScenarioSpec(
-        num_clients=pick("num_clients"),
+        num_clients=mode_parent.num_clients,
+        tenant_count=mode_parent.tenant_count,
+        fluid_mode=mode_parent.fluid_mode,
         distribution=pick("distribution"),
         reserved_fraction=pick("reserved_fraction"),
         demand_factor=pick("demand_factor"),

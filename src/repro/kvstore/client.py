@@ -51,6 +51,11 @@ class KVClient:
         # None disables sweeping (trusted fault-free deployments only).
         self.rpc_deadline = rpc_deadline
         self.rpcs_timed_out = 0
+        # Tenancy attribution tag: a bound TenantHierarchy stamps the
+        # owning tenant here so traces and rollups can attribute
+        # one-sided I/O without a per-op lookup.  None when no
+        # hierarchy is configured.
+        self.tenant: Optional[str] = None
         self._req_ids = itertools.count(1)
         self._pending_rpcs: Dict[int, tuple] = {}  # req_id -> (callback, posted_at)
         dispatcher.register(protocol.GetResponse, self._on_get_response)

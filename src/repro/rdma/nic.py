@@ -128,6 +128,18 @@ class NICProfile:
             }
         )
 
+    def onesided_saturation_rate(self, size: int = 4096) -> float:
+        """Target-pipeline saturation rate for one-sided ops (ops/s).
+
+        The analytic knee of the data node's serial target pipeline:
+        ``1 / (base + size * per_byte)``.  For the Chameleon profile at
+        4 KB this is the paper's C_G (~1.57 M ops/s).  The fluid engine
+        uses it as the physical capacity ceiling, so both execution
+        modes derive their hardware limit from the same cost table.
+        """
+        cost = self.onesided_target_base + size * self.onesided_target_per_byte
+        return 1.0 / cost
+
     # ------------------------------------------------------------------
     def issue_cost(self, wr: WorkRequest) -> float:
         """Initiator-side serialization cost of posting ``wr``."""

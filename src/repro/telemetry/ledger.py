@@ -252,3 +252,25 @@ class TokenLedger:
                 out[k] += rec[k]
         out["accounts"] = len(self.closed_accounts)
         return out
+
+    def totals_by(self, group_of) -> Dict[str, Dict[str, int]]:
+        """Per-group aggregate token flow over the closed accounts.
+
+        ``group_of`` maps an account's client key to a group name —
+        tenant, flow class, whatever the caller rolls up by; accounts
+        it maps to ``None`` are skipped.  Exactness carries over: each
+        group's flows are sums of exactly-balanced accounts, so the
+        tenancy facade's per-tenant ledger view needs no re-audit.
+        """
+        keys = ("granted_reservation", "granted_pool", "spent", "yielded",
+                "expired")
+        out: Dict[str, Dict[str, int]] = {}
+        for rec in self.closed_accounts:
+            group = group_of(rec["client"])
+            if group is None:
+                continue
+            entry = out.setdefault(group, {k: 0 for k in keys})
+            for k in keys:
+                entry[k] += rec[k]
+            entry["accounts"] = entry.get("accounts", 0) + 1
+        return out

@@ -1,0 +1,143 @@
+"""Tenant-level cross-node rebalancing for the global coordinator.
+
+The flat coordinator water-fills each client's demand independently, which
+scales linearly in clients — fine for tens, wrong for the RDMAvisor
+regime where thousands of endpoints share state.  Here the water-fill
+runs at *tenant* granularity: member demands aggregate into one tenant
+demand vector, :func:`~repro.globalqos.waterfill.waterfill_splits`
+places the tenant aggregates against node headroom, and the tenant's
+per-node totals are handed back down to its members by a greedy
+transportation fill that conserves **both** marginals exactly — every
+member's split still sums to its own aggregate reservation (the ledger
+audit's invariant, unchanged) and the members' per-node shares sum to
+the tenant's placement.
+
+Infeasibility (a member that cannot absorb its aggregate under the
+per-node ``max_split`` caps within the tenant's placement) falls back
+to the splits currently in force for the whole tenant — the same
+"feasible by induction" escape hatch the flat water-filling uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.common.errors import ConfigError
+from repro.globalqos.waterfill import waterfill_splits
+
+
+def _member_fill(
+    members: List[int],
+    aggregates: Mapping[int, int],
+    demands: Mapping[int, Sequence[int]],
+    tenant_totals: List[int],
+    max_split: Sequence[int],
+) -> Dict[int, List[int]]:
+    """Distribute a tenant's per-node totals to its members.
+
+    Greedy transportation fill: members in sorted id order, each taking
+    from its own most-demanded nodes first (node index breaks ties),
+    bounded by the node's remaining tenant total and ``max_split``.
+    Raises ``ConfigError`` on infeasibility — the caller catches it and
+    keeps the splits in force.
+    """
+    num_nodes = len(tenant_totals)
+    remaining = list(tenant_totals)
+    out: Dict[int, List[int]] = {}
+    for cid in members:
+        split = [0] * num_nodes
+        need = aggregates[cid]
+        order = sorted(
+            range(num_nodes), key=lambda n: (-demands[cid][n], n)
+        )
+        for n in order:
+            if need == 0:
+                break
+            take = min(need, remaining[n], max_split[n])
+            split[n] += take
+            remaining[n] -= take
+            need -= take
+        if need > 0:
+            raise ConfigError(
+                f"member {cid}: {need} tokens unplaceable in tenant fill"
+            )
+        out[cid] = split
+    return out
+
+
+def tenant_splits(
+    aggregates: Dict[int, int],
+    demands: Dict[int, Sequence[int]],
+    node_caps: Sequence[int],
+    current: Dict[int, Sequence[int]],
+    max_split: Sequence[int],
+    tenant_of: Mapping[int, str],
+) -> Dict[int, List[int]]:
+    """Water-fill at tenant granularity, then fill members.
+
+    Same signature as :func:`waterfill_splits` plus ``tenant_of``
+    (client id -> tenant name; every id in ``aggregates`` must be
+    mapped).  Returns per-*client* splits: each sums to the client's
+    aggregate exactly, so the coordinator's apply path, hysteresis,
+    ledger events, and conservation audit all work unchanged.
+    """
+    num_nodes = len(node_caps)
+    members_of: Dict[str, List[int]] = {}
+    for cid in sorted(aggregates):
+        if cid not in tenant_of:
+            raise ConfigError(f"client {cid} has no tenant mapping")
+        members_of.setdefault(tenant_of[cid], []).append(cid)
+
+    tenant_ids = sorted(members_of)
+    # Tenant-level aggregation.  Index tenants by their sorted position
+    # so the waterfill sees plain integer ids.
+    t_aggregates = {}
+    t_demands = {}
+    t_current = {}
+    for i, tname in enumerate(tenant_ids):
+        members = members_of[tname]
+        t_aggregates[i] = sum(aggregates[cid] for cid in members)
+        t_demands[i] = [
+            sum(demands[cid][n] for cid in members)
+            for n in range(num_nodes)
+        ]
+        t_current[i] = [
+            sum(current[cid][n] for cid in members)
+            for n in range(num_nodes)
+        ]
+    # A tenant may legitimately hold more than one client's worth of
+    # reservation on a node, so the per-bin cap for the tenant fill is
+    # the member count times the per-client cap (still node-capped by
+    # node_caps inside the waterfill).
+    t_max_split = [
+        [min(max_split[n] * len(members_of[t]),
+             max(max_split[n], t_current[i][n]))
+         for n in range(num_nodes)]
+        for i, t in enumerate(tenant_ids)
+    ]
+    # waterfill_splits takes one max_split vector for all clients; use
+    # the elementwise max so no tenant's feasible desire is rejected,
+    # then enforce the per-member cap in the member fill below.
+    merged_max = [
+        max(t_max_split[i][n] for i in range(len(tenant_ids)))
+        for n in range(num_nodes)
+    ]
+    placements = waterfill_splits(
+        t_aggregates, t_demands, node_caps, t_current, merged_max
+    )
+
+    out: Dict[int, List[int]] = {}
+    for i, tname in enumerate(tenant_ids):
+        members = members_of[tname]
+        try:
+            filled = _member_fill(
+                members, aggregates, demands, placements[i], max_split
+            )
+        except ConfigError:
+            filled = {cid: list(current[cid]) for cid in members}
+        out.update(filled)
+
+    for cid in sorted(aggregates):
+        if sum(out[cid]) != aggregates[cid]:
+            out[cid] = list(current[cid])
+    return out

@@ -1,0 +1,160 @@
+"""The fluid engine's token arithmetic, determinism, and accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
+from repro.core.config import HaechiConfig
+from repro.fluid.engine import FluidEngine
+from repro.fluid.flows import FlowClass, flows_from_hierarchy, sync_flows
+from repro.fluid.scenario import build_scale_hierarchy, run_fluid_scale
+from repro.telemetry.ledger import TokenLedger
+from repro.tenancy.hierarchy import ClientGroup, Tenant, TenantHierarchy
+
+CAPACITY = 10_000
+
+
+def make_engine(flows, token_conversion=True, ledger=None, plan=None):
+    config = HaechiConfig.paper(token_conversion=token_conversion)
+    estimator = AdaptiveCapacityEstimator(
+        profiled=ProfiledCapacity(mean=float(CAPACITY), stddev=0.0),
+        eta=config.eta,
+        history_window=config.history_window,
+        saturation_tolerance=config.saturation_tolerance,
+    )
+    return FluidEngine(
+        flows, config, estimator, physical_capacity=2 * CAPACITY,
+        ledger=ledger, plan=plan,
+    )
+
+
+def two_flows(d1=3_000, d2=9_000):
+    return [
+        FlowClass(name="T1/g1", tenant="T1", group="g1", clients=10,
+                  reservation=4_000, demand=d1),
+        FlowClass(name="T2/g1", tenant="T2", group="g1", clients=30,
+                  reservation=3_000, demand=d2),
+    ]
+
+
+def test_reservation_phase_spends_min_of_demand_and_reservation():
+    engine = make_engine(two_flows())
+    engine.run(1)
+    record = engine.period_records[0]
+    # Flow 1 under-demands (3000 < 4000): spends its demand from the
+    # reservation.  Flow 2 over-demands: reservation plus a pool claim.
+    assert engine.flow_completions["T1/g1"] == [3_000]
+    assert engine.flow_completions["T2/g1"][0] >= 3_000
+    assert record["completed"] <= CAPACITY
+
+
+def test_token_conversion_recovers_unused_reservation():
+    # With conversion, flow 1's 1000 unused reservation tokens join
+    # the pool; Basic Haechi wastes them.
+    on = make_engine(two_flows())
+    on.run(1)
+    off = make_engine(two_flows(), token_conversion=False)
+    off.run(1)
+    pool_on = on.period_records[0]["pool"]
+    pool_off = off.period_records[0]["pool"]
+    assert pool_on == pool_off + 1_000
+    assert on.conversions == 1
+    assert off.conversions == 0
+    assert (on.flow_completions["T2/g1"][0]
+            > off.flow_completions["T2/g1"][0])
+
+
+def test_claim_phase_respects_limit_plus_burst_ceiling():
+    flows = [
+        FlowClass(name="T1/g1", tenant="T1", group="g1", clients=10,
+                  reservation=2_000, demand=8_000, limit=3_000, burst=500),
+        FlowClass(name="T2/g1", tenant="T2", group="g1", clients=10,
+                  reservation=2_000, demand=2_000),
+    ]
+    engine = make_engine(flows)
+    engine.run(3)
+    for completed in engine.flow_completions["T1/g1"]:
+        assert completed <= 3_500  # limit + burst, never beyond
+    # The burst bucket drains and refills deterministically within
+    # [0, burst].
+    assert 0 <= engine.burst_buckets["T1/g1"] <= 500
+
+
+def test_ledger_accounts_balance_exactly():
+    ledger = TokenLedger()
+    engine = make_engine(two_flows(), ledger=ledger)
+    engine.run(5)
+    assert ledger.check_conservation() == []
+    totals = ledger.totals()
+    assert totals["accounts"] == 2 * 5
+
+
+def test_engine_is_deterministic():
+    ledger_a, ledger_b = TokenLedger(), TokenLedger()
+    a = make_engine(two_flows(), ledger=ledger_a)
+    b = make_engine(two_flows(), ledger=ledger_b)
+    a.run(10)
+    b.run(10)
+    assert a.flow_completions == b.flow_completions
+    assert a.period_records == b.period_records
+    assert ledger_a.totals() == ledger_b.totals()
+
+
+def test_apply_hierarchy_adopts_resize_decrease_before_increase():
+    config = HaechiConfig.paper()
+    hierarchy = TenantHierarchy([
+        Tenant(name="T1", reservation=4_000,
+               groups=[ClientGroup(name="g1", reservation=4_000,
+                                   clients=10)]),
+        Tenant(name="T2", reservation=3_000,
+               groups=[ClientGroup(name="g1", reservation=3_000,
+                                   clients=30)]),
+    ], capacity=CAPACITY)
+    flows = flows_from_hierarchy(hierarchy)
+    engine = make_engine(flows)
+    engine.run(2)
+
+    # Decrease before increase: shrink T1 (cascades to its group),
+    # grow T2's envelope, then grow its group into the new headroom.
+    ops = hierarchy.resize_tenant("T1", 3_000)
+    ops += hierarchy.resize_tenant("T2", 4_000)
+    ops.append(hierarchy.resize_group("T2", "g1", 4_000))
+    changes = engine.apply_hierarchy(hierarchy)
+    assert {c["flow"] for c in changes} == {"T1/g1", "T2/g1"}
+    assert engine.total_reserved == 7_000
+    assert hierarchy.conservation_violations() == []
+    assert engine.resize_log
+    assert ops
+
+    engine.run(2)
+    # The resized envelopes are live in the reserve phase.
+    assert engine.flow_completions["T2/g1"][-1] >= 3_000
+
+
+def test_run_fluid_scale_is_deterministic_and_conserving():
+    a = run_fluid_scale(num_clients=5_000, periods=12, seed=11)
+    b = run_fluid_scale(num_clients=5_000, periods=12, seed=11)
+    assert a == b
+    assert a["ledger_conservation"] == []
+    assert a["hierarchy_violations"] == []
+    assert a["num_clients"] == 5_000
+    assert a["resize_ops"]
+    other_seed = run_fluid_scale(num_clients=5_000, periods=12, seed=23)
+    assert other_seed != a
+
+
+def test_build_scale_hierarchy_rejects_too_few_clients():
+    with pytest.raises(ConfigError):
+        build_scale_hierarchy(3, tenants=4, groups_per_tenant=4)
+
+
+def test_engine_rejects_empty_and_duplicate_flows():
+    with pytest.raises(ConfigError):
+        make_engine([])
+    flows = two_flows()
+    flows[1] = FlowClass(
+        name="T1/g1", tenant="T1", group="g1", clients=1,
+        reservation=1, demand=1,
+    )
+    with pytest.raises(ConfigError):
+        make_engine(flows)

@@ -23,10 +23,12 @@ from repro.cluster.determinism import (
     CANONICAL_SEEDS,
     GLOBALQOS_SEEDS,
     PARTITION_SEEDS,
+    SCALE_SEEDS,
     SEED_FAULTS,
     determinism_digest,
     globalqos_digest,
     partition_digest,
+    scale_digest,
 )
 
 REFERENCE = (
@@ -111,3 +113,32 @@ def test_partition_digest_matches_committed_reference(
             f"failover scenario is no longer bit-identical to the "
             f"committed reference"
         )
+
+
+@pytest.fixture(scope="module")
+def scale_reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["scale"]
+
+
+def test_scale_reference_covers_every_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["scale"]
+    assert sorted(seeds) == sorted(str(s) for s in SCALE_SEEDS)
+
+
+@pytest.mark.parametrize("seed", SCALE_SEEDS)
+def test_scale_digest_matches_committed_reference(seed, scale_reference):
+    digest = scale_digest(seed)
+    expected = scale_reference[str(seed)]
+    for part in ("kind", "fluid", "equivalence", "combined"):
+        assert digest[part] == expected[part], (
+            f"scale seed {seed}: {part} digest changed -- the fluid "
+            f"fast path is no longer bit-identical to the committed "
+            f"reference"
+        )
+    # The recorded approximation quality holds, not just the hash: the
+    # equivalence check passed inside the committed tolerance tier.
+    assert digest["equivalence_ok"] is True
+    assert digest["tolerance_tier"] == expected["tolerance_tier"]
+    assert digest["max_error"] <= digest["tolerance_tier"]

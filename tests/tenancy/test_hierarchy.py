@@ -1,0 +1,178 @@
+"""Nesting semantics: construction clamping and runtime resizes."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.tenancy.hierarchy import ClientGroup, Tenant, TenantHierarchy
+
+
+def two_group_tenant(name="T1", reservation=100, g1=80, g2=60, **kwargs):
+    return Tenant(
+        name=name, reservation=reservation,
+        groups=[
+            ClientGroup(name="g1", reservation=g1, clients=2),
+            ClientGroup(name="g2", reservation=g2, clients=1),
+        ],
+        **kwargs,
+    )
+
+
+class TestConstructionClamp:
+    def test_child_sum_exceeding_parent_is_clamped_proportionally(self):
+        # 80 + 60 = 140 asked, 100 available: proportional, integer,
+        # sums exactly.
+        h = TenantHierarchy([two_group_tenant()])
+        tenant = h.tenant("T1")
+        assert tenant.child_sum == tenant.reservation == 100
+        assert [g.reservation for g in tenant.groups] == [57, 43]
+        # The originals are auditable.
+        assert [g.requested for g in tenant.groups] == [80, 60]
+        assert [e["subject"] for e in h.clamp_events] == ["T1/g1", "T1/g2"]
+        assert all(e["at"] == "construction" for e in h.clamp_events)
+
+    def test_clamp_never_exceeds_a_request(self):
+        # Proportional shrink: every group ends at or below what it
+        # asked for, and the clamped sums still land exactly.
+        tenant = Tenant(
+            name="T1", reservation=100,
+            groups=[
+                ClientGroup(name="g1", reservation=5),
+                ClientGroup(name="g2", reservation=200),
+            ],
+        )
+        h = TenantHierarchy([tenant])
+        g1, g2 = h.tenant("T1").groups
+        assert g1.reservation + g2.reservation == 100
+        assert g1.reservation <= g1.requested
+        assert g2.reservation <= g2.requested
+
+    def test_capacity_clamp_cascades_to_groups(self):
+        tenants = [
+            two_group_tenant("T1", reservation=100, g1=50, g2=50),
+            two_group_tenant("T2", reservation=100, g1=50, g2=50),
+        ]
+        h = TenantHierarchy(tenants, capacity=150)
+        assert h.total_reserved == 150
+        for tenant in h.tenants:
+            assert tenant.child_sum <= tenant.reservation
+        assert h.conservation_violations() == []
+        levels = {e["level"] for e in h.clamp_events}
+        assert levels == {"tenant", "group"}
+
+    def test_fitting_hierarchy_records_no_clamps(self):
+        h = TenantHierarchy(
+            [two_group_tenant(reservation=200, g1=80, g2=60)],
+            capacity=500,
+        )
+        assert h.clamp_events == []
+        assert h.conservation_violations() == []
+
+    def test_leaf_reservations_sum_exactly(self):
+        group = ClientGroup(name="g", reservation=101, clients=3)
+        leaves = group.leaf_reservations()
+        assert sum(leaves) == 101
+        assert max(leaves) - min(leaves) <= 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            ClientGroup(name="g", reservation=10, clients=0)
+        with pytest.raises(ConfigError):
+            ClientGroup(name="g", reservation=10, limit=5)
+        with pytest.raises(ConfigError):
+            Tenant(name="T", reservation=10, groups=[])
+        with pytest.raises(ConfigError):
+            TenantHierarchy([])
+
+
+class TestResize:
+    def test_shrink_applies_group_decreases_before_tenant(self):
+        h = TenantHierarchy(
+            [two_group_tenant(reservation=200, g1=120, g2=80)]
+        )
+        ops = h.resize_tenant("T1", 100)
+        # Every group decrease precedes the tenant-level op, so a
+        # caller replaying the ops in order keeps the invariant at
+        # every step.
+        assert ops[-1]["level"] == "tenant"
+        assert all(op["level"] == "group" for op in ops[:-1])
+        for op in ops[:-1]:
+            assert op["new"] < op["old"]
+        tenant = h.tenant("T1")
+        assert tenant.reservation == 100
+        assert tenant.child_sum <= 100
+        assert h.conservation_violations() == []
+
+    def test_midstream_shrink_then_grow_conserves_at_each_step(self):
+        # The coordinator's decrease-before-increase pair: shrink the
+        # rich tenant, grow the poor one by the freed amount.
+        h = TenantHierarchy(
+            [
+                two_group_tenant("T1", reservation=120, g1=70, g2=50),
+                two_group_tenant("T2", reservation=80, g1=40, g2=40),
+            ],
+            capacity=200,
+        )
+        ops = h.resize_tenant("T1", 90)
+        assert h.total_reserved <= 200
+        ops += h.resize_tenant("T2", 110)
+        assert h.total_reserved == 200
+        assert h.conservation_violations() == []
+        assert [e["tenant"] for e in h.resize_events] == ["T1", "T2"]
+        assert ops
+
+    def test_grow_is_clamped_at_capacity(self):
+        h = TenantHierarchy(
+            [
+                two_group_tenant("T1", reservation=100, g1=50, g2=50),
+                two_group_tenant("T2", reservation=80, g1=40, g2=40),
+            ],
+            capacity=200,
+        )
+        ops = h.resize_tenant("T1", 500)  # only 120 is available
+        assert ops[-1]["new"] == 120
+        assert h.total_reserved == 200
+        assert h.conservation_violations() == []
+
+    def test_group_resize_clamped_to_tenant_headroom(self):
+        h = TenantHierarchy(
+            [two_group_tenant(reservation=200, g1=80, g2=60)]
+        )
+        op = h.resize_group("T1", "g1", 1_000)
+        assert op["new"] == 140  # 200 - 60 headroom, never rejected
+        assert h.clamp_events[-1]["requested"] == 1_000
+        assert h.conservation_violations() == []
+
+
+class TestEffectiveLimit:
+    def test_explicit_group_limit_wins(self):
+        tenant = Tenant(
+            name="T1", reservation=100,
+            groups=[ClientGroup(name="g1", reservation=100, limit=150)],
+        )
+        h = TenantHierarchy([tenant])
+        assert h.effective_limit(tenant, tenant.groups[0]) == 150
+
+    def test_group_limit_capped_by_tenant_limit(self):
+        tenant = Tenant(
+            name="T1", reservation=100, limit=120,
+            groups=[ClientGroup(name="g1", reservation=100, limit=150)],
+        )
+        h = TenantHierarchy([tenant])
+        assert h.effective_limit(tenant, tenant.groups[0]) == 120
+
+    def test_inherited_shares_sum_to_ancestor_limit(self):
+        tenant = Tenant(
+            name="T1", reservation=100, limit=151,
+            groups=[
+                ClientGroup(name="g1", reservation=60),
+                ClientGroup(name="g2", reservation=40),
+            ],
+        )
+        h = TenantHierarchy([tenant])
+        shares = [h.effective_limit(tenant, g) for g in tenant.groups]
+        assert sum(shares) == 151
+
+    def test_no_limits_means_uncapped(self):
+        tenant = two_group_tenant(reservation=200, g1=80, g2=60)
+        h = TenantHierarchy([tenant])
+        assert h.effective_limit(tenant, tenant.groups[0]) is None
