@@ -1,0 +1,155 @@
+"""Extension: the verb-diverse NIC + congestion-controlled fabric.
+
+Three demonstrations on the opt-in fabric model (docs/FABRIC.md):
+
+- **doorbell amortization** — ``post_chain``'s calibrated posting-cost
+  advantage over single posts, measured on live QPs against the
+  model's closed-form ``burst_advantage``;
+- **8:1 incast, DCQCN on/off** — ECN marks become CNPs become
+  multiplicative decrease: rate control trades a slightly longer
+  makespan for a visibly calmer port (fewer marks and PFC pauses per
+  second), while with CC off PFC pause is the only backstop;
+- **tokens vs. fabric** — the same Haechi QoS cluster at two
+  reservation levels: low reservations are token/demand-bound (every
+  reservation met with headroom, total far under the port), high
+  reservations push entitlement to the port knee and the *fabric*
+  becomes the operative limiter under the token envelope.
+"""
+
+import pytest
+
+from repro.cluster.fabric_scenarios import (
+    THROTTLE_HIGH_OPS,
+    THROTTLE_LOW_OPS,
+    run_incast,
+    run_throttle_vs_cc,
+)
+from repro.rdma.cc import FabricModel
+
+SEED = 11
+INCAST_OPS = 4000
+
+
+def _measured_posting_spans(n):
+    """Actual posting-timeline spans of n chained vs n single posts."""
+    from repro.common.types import OpType
+    from repro.kvstore import DataNode, KVClient
+    from repro.rdma import Fabric, Host, NICProfile
+    from repro.rdma.cpu import CPUProfile
+    from repro.rdma.dispatch import TypeDispatcher
+    from repro.rdma.verbs import WorkRequest
+    from repro.sim import Simulator
+
+    spans = []
+    for chained in (True, False):
+        sim = Simulator()
+        fabric = Fabric(sim, model=FabricModel.chameleon(), seed=SEED)
+        profile = NICProfile.chameleon()
+        server = fabric.add_host(Host(sim, "server", profile, CPUProfile()))
+        node = DataNode(server, num_slots=64)
+        host = fabric.add_host(Host(sim, "c0", profile, CPUProfile()))
+        qp, _ = fabric.connect(host, server)
+        host.set_rpc_handler(TypeDispatcher())
+        kv = KVClient("c0", qp, TypeDispatcher(),
+                      layout=node.store.layout,
+                      data_rkey=node.store.region.rkey)
+        wrs = [WorkRequest(opcode=OpType.READ, size=4096,
+                           remote_addr=kv.layout.slot_addr(0),
+                           rkey=kv.data_rkey, touch_memory=False)
+               for _ in range(n)]
+        if chained:
+            qp.post_chain(wrs)
+        else:
+            for wr in wrs:
+                qp.post_send(wr)
+        spans.append(qp.fab.post_ready_at)
+    return spans  # (chained_span, single_span)
+
+
+def test_ext_fabric(report):
+    model = FabricModel.chameleon()
+
+    # --- doorbell amortization -----------------------------------------
+    report.line("Doorbell amortization: host posting cost, chained vs "
+                "single (desc 0.15 us, doorbell 0.85 us, batch 16)")
+    rows = []
+    for n in (1, 4, 16, 64):
+        chained_span, single_span = _measured_posting_spans(n)
+        advantage = single_span / chained_span
+        # The satellite pin: live QPs reproduce the closed-form costs.
+        assert chained_span == pytest.approx(model.chained_post_cost(n))
+        assert single_span == pytest.approx(n * model.single_post_cost())
+        assert advantage == pytest.approx(model.burst_advantage(n))
+        rows.append([n, round(single_span * 1e6, 2),
+                     round(chained_span * 1e6, 2), round(advantage, 2)])
+    report.table(["chain n", "single us", "chained us", "advantage"], rows)
+
+    # --- 8:1 incast, DCQCN on/off --------------------------------------
+    report.line()
+    report.line(f"8:1 incast, 4 KB READs, {INCAST_OPS} ops/client "
+                f"(seed {SEED}); line rate 6250 MB/s, fair share 781")
+    on = run_incast(SEED, cc_enabled=True, ops_per_client=INCAST_OPS)
+    off = run_incast(SEED, cc_enabled=False, ops_per_client=INCAST_OPS)
+    rows = []
+    for label, r in (("DCQCN on", on), ("DCQCN off", off)):
+        assert r["all_finished"]
+        port = r["cc"]["ports"]["server"]
+        mk = r["makespan"]
+        rows.append([
+            label, round(mk * 1e3, 2),
+            round(port["ecn_marks"] / mk / 1e3), r["cc"]["qps"]["cnps_sent"],
+            round(port["pfc_pause_events"] / mk / 1e3, 1),
+        ])
+    report.table(
+        ["mode", "makespan ms", "marks K/s", "CNPs", "pauses K/s"], rows,
+    )
+    rates = sorted(round(q["rate_bps"] / 1e6) for q in on["qps"])
+    report.line(f"  final DCQCN rates (MB/s): {rates}")
+
+    # Rate control engaged only when enabled ...
+    assert on["cc"]["qps"]["cnps_sent"] > 0
+    assert off["cc"]["qps"]["cnps_sent"] == 0
+    # ... and buys a calmer port (fewer marks and pauses per second)
+    # at a small makespan cost: the DCQCN utilization trade-off.
+    on_port, off_port = on["cc"]["ports"]["server"], off["cc"]["ports"]["server"]
+    assert (on_port["ecn_marks"] / on["makespan"]
+            < off_port["ecn_marks"] / off["makespan"])
+    assert (on_port["pfc_pause_events"] / on["makespan"]
+            < off_port["pfc_pause_events"] / off["makespan"])
+    # Every sender converged well below line rate, near the fair share.
+    line_mbps = model.link_bytes_per_sec / 1e6
+    assert all(200 < r < line_mbps / 4 for r in rates)
+
+    # --- Haechi tokens vs. fabric congestion ---------------------------
+    report.line()
+    report.line("Haechi QoS on the modeled fabric: who throttles, "
+                "tokens or the port?  (8 clients, demand = 2x reservation)")
+    rows = []
+    results = {}
+    for label, res in (("token-bound", THROTTLE_LOW_OPS),
+                       ("fabric-bound", THROTTLE_HIGH_OPS)):
+        r = run_throttle_vs_cc(SEED, res, measure=6)
+        results[label] = r
+        att = list(r["attainment"].values())
+        rows.append([
+            label, res // 1000, round(r["total_kiops"]),
+            round(min(att), 3), round(max(att), 3),
+            r["cc"]["qps"]["cnps_sent"],
+            r["cc"]["ports"]["server"]["pfc_pause_events"],
+        ])
+    report.table(
+        ["regime", "res K/client", "total KIOPS", "att min", "att max",
+         "CNPs", "PFC pauses"], rows,
+    )
+
+    low, high = results["token-bound"], results["fabric-bound"]
+    # Token-bound: every reservation met with work-conserving headroom;
+    # the total sits far below what the port could carry.
+    assert min(low["attainment"].values()) >= 1.0
+    assert low["total_kiops"] < 600
+    # Fabric-bound: entitlement (8 x 190 K = 1.52 M ops/s) reaches the
+    # ~1.5 M ops/s port knee; the fabric caps the total there and some
+    # clients fall measurably short of full attainment.
+    assert 1_400 < high["total_kiops"] < 1_600
+    assert min(high["attainment"].values()) < 1.0
+    assert high["total_kiops"] > 2.5 * low["total_kiops"]

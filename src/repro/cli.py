@@ -270,6 +270,24 @@ def _build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--json", action="store_true",
                        help="print the canonical report JSON instead of "
                             "the tables")
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="congestion-controlled fabric smoke: incast with DCQCN "
+             "on/off plus the fabric determinism digests (docs/FABRIC.md)",
+    )
+    fabric.add_argument("--seed", type=int, default=11,
+                        help="scenario seed (ECN marks and verb mixes "
+                             "derive private streams from it)")
+    fabric.add_argument("--ops", type=int, default=1200,
+                        help="ops per incast sender")
+    fabric.add_argument("--digests", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="also recompute the fabric digest family "
+                             "and compare against the committed "
+                             "reference")
+    fabric.add_argument("--report", metavar="PATH", default=None,
+                        help="write the smoke report JSON here")
     return parser
 
 
@@ -969,6 +987,80 @@ def _cmd_figures(_args) -> int:
     return 0
 
 
+def _cmd_fabric(args) -> int:
+    import json as _json
+
+    from repro.cluster.fabric_scenarios import run_incast
+    from repro.common.errors import ConfigError
+
+    rows = []
+    runs = {}
+    try:
+        for label, cc in (("DCQCN on", True), ("DCQCN off", False)):
+            r = run_incast(args.seed, cc_enabled=cc,
+                           ops_per_client=args.ops)
+            runs["cc_on" if cc else "cc_off"] = r
+            port = r["cc"]["ports"]["server"]
+            rows.append([
+                label, "yes" if r["all_finished"] else "NO",
+                round(r["makespan"] * 1e3, 3) if r["makespan"] else "-",
+                port["ecn_marks"], r["cc"]["qps"]["cnps_sent"],
+                port["pfc_pause_events"],
+            ])
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+    print(f"{runs['cc_on']['num_clients']}:1 incast, 4 KB READs, "
+          f"{args.ops} ops/client, seed {args.seed}")
+    for line in format_table(
+        ["mode", "finished", "makespan ms", "ECN marks", "CNPs",
+         "PFC pauses"], rows,
+    ):
+        print(line)
+
+    ok = all(r["all_finished"] for r in runs.values())
+    on = runs["cc_on"]
+    if on["cc"]["qps"]["cnps_sent"] == 0:
+        print("FAIL: DCQCN run produced no CNPs (no rate feedback)",
+              file=sys.stderr)
+        ok = False
+    if runs["cc_off"]["cc"]["qps"]["cnps_sent"] != 0:
+        print("FAIL: CC-disabled run generated CNPs", file=sys.stderr)
+        ok = False
+
+    digest_report = None
+    if args.digests:
+        import pathlib
+
+        from repro.cluster.determinism import FABRIC_SEEDS, fabric_digest
+
+        reference_path = pathlib.Path(
+            "benchmarks/results/determinism_hashes.json"
+        )
+        reference = _json.loads(reference_path.read_text())["fabric"]
+        digest_report = {}
+        for seed in FABRIC_SEEDS:
+            digest = fabric_digest(seed)
+            expected = reference[str(seed)]
+            matched = digest["combined"] == expected["combined"]
+            digest_report[str(seed)] = {
+                "combined": digest["combined"], "matched": matched,
+            }
+            status = "ok" if matched else "MISMATCH"
+            print(f"fabric digest seed {seed}: {status} "
+                  f"({digest['combined'][:16]}...)")
+            ok = ok and matched
+
+    if args.report:
+        payload = {"seed": args.seed, "ops": args.ops, "ok": ok,
+                   "incast": runs, "digests": digest_report}
+        with open(args.report, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -994,6 +1086,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_hunt(args)
     if args.command == "scale":
         return _cmd_scale(args)
+    if args.command == "fabric":
+        return _cmd_fabric(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -165,6 +165,7 @@ def build_cluster(
     config: Optional[HaechiConfig] = None,
     tracer=NULL_TRACER,
     master_seed: int = 0,
+    fabric_model=None,
 ) -> Cluster:
     """Build the testbed.
 
@@ -173,6 +174,12 @@ def build_cluster(
     period internally.  ``profiled`` seeds the capacity estimator
     (tokens per dilated period); when omitted it defaults to the
     calibrated system capacity with a small assumed standard deviation.
+
+    ``fabric_model`` (a :class:`repro.rdma.cc.FabricModel`) upgrades
+    every connection to the congestion-controlled datapath — PCIe
+    posting costs, per-verb buckets, bounded SQ, DCQCN, PFC (see
+    docs/FABRIC.md).  ``None`` keeps the historical NIC-only contention
+    model, byte-identical to previous builds.
     """
     if num_clients < 1:
         raise ConfigError(f"num_clients must be >= 1, got {num_clients}")
@@ -196,7 +203,7 @@ def build_cluster(
             raise ConfigError("limits_ops must match num_clients")
 
     sim = Simulator()
-    fabric = Fabric(sim)
+    fabric = Fabric(sim, model=fabric_model, seed=master_seed)
     nic_profile = NICProfile.chameleon()
     cpu_profile = CPUProfile()
     server_host = fabric.add_host(Host(sim, "server", nic_profile, cpu_profile))

@@ -284,6 +284,37 @@ def scale_digest_all(seeds=SCALE_SEEDS) -> Dict[str, Dict[str, object]]:
     return {str(seed): scale_digest(seed) for seed in seeds}
 
 
+#: Seeds for the congestion-controlled-fabric digest family.
+FABRIC_SEEDS = (11, 23)
+
+
+def fabric_digest(seed: int) -> Dict[str, str]:
+    """Digest the fabric scenario family for ``seed``.
+
+    One :func:`~repro.cluster.fabric_scenarios.run_fabric_family` run:
+    incast with CC on and off, the WRITE-heavy / CAS-heavy / mixed-size
+    verb mixes, and the token-vs-congestion throttling pair.  The
+    payload folds in every congestion counter (ECN marks, CNPs, PFC
+    pauses, DCQCN rates, SQ stalls, chain statistics), so a single
+    reordered event or perturbed float anywhere in the modeled datapath
+    moves the hash.
+    """
+    from repro.cluster.fabric_scenarios import run_fabric_family
+
+    family = run_fabric_family(seed)
+    results_hash = _sha256(_canonical_json(family))
+    return {
+        "kind": "fabric-cc",
+        "results": results_hash,
+        "combined": _sha256(_canonical_json([results_hash])),
+    }
+
+
+def fabric_digest_all(seeds=FABRIC_SEEDS) -> Dict[str, Dict[str, str]]:
+    """``{str(seed): digest}`` for every fabric seed."""
+    return {str(seed): fabric_digest(seed) for seed in seeds}
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -301,9 +332,10 @@ def main(argv=None) -> int:
     globalqos = globalqos_digest_all()
     partition = partition_digest_all()
     scale = scale_digest_all()
+    fabric = fabric_digest_all()
     text = json.dumps(
         {"seeds": digests, "globalqos": globalqos,
-         "partition": partition, "scale": scale},
+         "partition": partition, "scale": scale, "fabric": fabric},
         indent=2, sort_keys=True,
     ) + "\n"
     if args.write:

@@ -143,6 +143,19 @@ def register_cluster_metrics(cluster, registry) -> None:
     if binding is not None:
         for name, getter in binding.metrics_items():
             registry.gauge(name, getter)
+    # Fabric model: port + per-QP congestion gauges exist only when a
+    # FabricModel is attached (same conditional idiom), so model-less
+    # clusters keep their pinned metric-row digests byte-identical.
+    fabric = getattr(cluster, "fabric", None)
+    if fabric is not None and getattr(fabric, "model", None) is not None:
+        for port_name in sorted(fabric.ports):
+            for name, getter in fabric.ports[port_name].metrics_items():
+                registry.gauge(name, getter, node=port_name)
+        for ctx in cluster.clients:
+            fab = ctx.kv.qp.fab
+            if fab is not None:
+                for name, getter in fab.metrics_items():
+                    registry.gauge(name, getter, client=ctx.name)
 
 
 def _register_multinode_metrics(cluster, registry) -> None:

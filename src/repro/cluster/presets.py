@@ -209,6 +209,69 @@ def _make_set4_runner(onset: bool, distribution: str):
     return runner
 
 
+def _run_fabric_incast(quick: bool) -> dict:
+    from repro.cluster.fabric_scenarios import run_incast
+
+    ops = 1200 if quick else 4000
+    seed = 11
+    on = run_incast(seed, cc_enabled=True, ops_per_client=ops)
+    off = run_incast(seed, cc_enabled=False, ops_per_client=ops)
+    rows = []
+    for label, r in (("DCQCN on", on), ("DCQCN off", off)):
+        port = r["cc"]["ports"]["server"]
+        mk = r["makespan"]
+        rows.append([
+            label, round(mk * 1e3, 3),
+            port["ecn_marks"], r["cc"]["qps"]["cnps_sent"],
+            port["pfc_pause_events"],
+            round(port["pfc_pause_events"] / mk) if mk else 0,
+        ])
+    min_rate = on["cc"]["min_congested_rate_bps"]
+    return {
+        "title": f"{on['num_clients']}:1 incast, 4 KB READs, "
+                 f"{ops} ops/client (seed {seed})",
+        "header": ["mode", "makespan ms", "ECN marks", "CNPs",
+                   "PFC pauses", "pauses/s"],
+        "rows": rows,
+        "totals": {
+            "line_rate_MBps": 6250,
+            "min_congested_rate_MBps": round(min_rate / 1e6)
+            if min_rate else None,
+        },
+        "series": {
+            "rates_MBps": [round(q["rate_bps"] / 1e6) for q in on["qps"]],
+        },
+    }
+
+
+def _run_fabric_throttle(quick: bool) -> dict:
+    from repro.cluster.fabric_scenarios import (
+        THROTTLE_HIGH_OPS,
+        THROTTLE_LOW_OPS,
+        run_throttle_vs_cc,
+    )
+
+    seed = 11
+    measure = 4 if quick else 8
+    rows = []
+    for label, res in (("token-bound", THROTTLE_LOW_OPS),
+                       ("fabric-bound", THROTTLE_HIGH_OPS)):
+        r = run_throttle_vs_cc(seed, res, measure=measure)
+        att = list(r["attainment"].values())
+        port = r["cc"]["ports"]["server"]
+        rows.append([
+            label, res // 1000, round(r["total_kiops"]),
+            round(min(att), 3), round(max(att), 3),
+            r["cc"]["qps"]["cnps_sent"], port["pfc_pause_events"],
+        ])
+    return {
+        "title": f"Haechi tokens vs fabric congestion (seed {seed})",
+        "header": ["regime", "res KIOPS/client", "total KIOPS",
+                   "att min", "att max", "CNPs", "PFC pauses"],
+        "rows": rows,
+    }
+
+
 REGISTRY: Dict[str, Preset] = {
     "fig7": Preset("fig7", "throughput vs active clients", _run_fig7),
     "fig9-uniform": Preset("fig9-uniform", "Haechi vs bare, uniform",
@@ -223,6 +286,12 @@ REGISTRY: Dict[str, Preset] = {
                          _make_set4_runner(True, "zipf")),
     "fig18": Preset("fig18", "congestion relief timeline (uniform)",
                     _make_set4_runner(False, "uniform")),
+    "fabric-incast": Preset(
+        "fabric-incast", "8:1 incast on the modeled fabric, DCQCN on/off",
+        _run_fabric_incast),
+    "fabric-throttle": Preset(
+        "fabric-throttle", "token-bound vs fabric-bound QoS attainment",
+        _run_fabric_throttle),
 }
 
 

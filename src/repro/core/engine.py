@@ -31,7 +31,7 @@ from repro.core.protocol import ControlLayout, PeriodStart, ReportRequest, Reser
 from repro.core.tokens import ClientTokenState
 from repro.kvstore.client import KVClient
 from repro.rdma.atomics import pack_report, to_signed64
-from repro.rdma.verbs import WorkCompletion, WorkRequest
+from repro.rdma.verbs import WCStatus, WorkCompletion, WorkRequest
 from repro.sim.trace import NULL_TRACER
 
 IOCallback = Callable[[bool, object, float], None]
@@ -90,6 +90,12 @@ class QoSEngine:
         # built once and reused instead of allocated per op.
         self._last_on_complete = None
         self._last_finish = None
+        # Chain mode: when the QP carries fabric-model state, drained
+        # bursts are posted as doorbell-batched chains (post_chain) so
+        # submit_burst's bulk advantage comes from the calibrated
+        # amortized-doorbell cost model.  False = historical path,
+        # byte-identical to pre-model builds.
+        self._chain = kv.qp.fab is not None
 
         # Control-plane fault tolerance (see docs/FAULTS.md): retries
         # after transport failures back off exponentially with
@@ -216,6 +222,7 @@ class QoSEngine:
         self._ledger_roll("rebind")
         self.kv = kv
         self.layout = layout
+        self._chain = kv.qp.fab is not None
         self._active_source = source
         self._generation = generation
         self.tokens = ClientTokenState(reservation, self.config.period)
@@ -380,6 +387,9 @@ class QoSEngine:
     def _drain(self) -> None:
         if self.suspended:
             return  # failover in progress: submissions queue here
+        if self._chain:
+            self._drain_chain()
+            return
         # Locals for the loop: neither the queue/token objects nor the
         # limit are replaced while draining (only at period boundaries),
         # so hoisting the attribute reads is safe.
@@ -437,6 +447,75 @@ class QoSEngine:
             # Dead QP: fail the I/O through the normal completion path
             # (as an event, matching the asynchronous non-fault path).
             self.sim.schedule(0.0, finish, False, str(err), 0.0)
+
+    def _drain_chain(self) -> None:
+        """Chain-mode drain: collect every token-backed op, then post
+        them as one doorbell-batched chain (fabric model active).
+
+        Token/limit/FAA decisions are taken in exactly the order the
+        per-op drain takes them; only the posting is batched, so a
+        burst shares doorbells per ``FabricModel.doorbell_batch_limit``.
+        """
+        queue = self._queue
+        tokens = self.tokens
+        limit = self.limit
+        wrs = []
+        while queue:
+            if limit is not None and self.issued_this_period >= limit:
+                if not self._throttled_this_period:
+                    self._throttled_this_period = True
+                    self.limit_throttle_events += 1
+                break
+            if tokens.try_consume():
+                key, on_complete, span = queue.popleft()
+                wrs.append(self._chain_wr(key, on_complete, span))
+                continue
+            if (not self._faa_inflight and not self._retry_scheduled
+                    and not self.degraded):
+                self._fetch_global_batch()
+            break
+        if not wrs:
+            return
+        try:
+            self.kv.qp.post_chain(wrs)
+        except QPError as err:
+            # Dead QP: fail every collected op through its completion
+            # path (as events, matching the asynchronous non-fault path).
+            now = self.sim.now
+            for wr in wrs:
+                if wr.span is not None:
+                    wr.span.finish(now, ok=False, error=str(err))
+                wc = WorkCompletion(
+                    wr.wr_id, wr.opcode, WCStatus.FLUSH_ERROR,
+                    None, now, now, str(err),
+                )
+                self.sim.schedule(0.0, wr.on_completion, wc)
+
+    def _chain_wr(self, key: int, on_complete: IOCallback, span=None):
+        """Per-op bookkeeping of :meth:`_issue`, returning the unposted
+        WR instead of posting it (chain mode collects these)."""
+        self.issued_this_period += 1
+        self.inflight_tokened += 1
+        if span is not None:
+            span.mark("engine_queue", self.sim.now)
+        if on_complete is self._last_on_complete:
+            finish = self._last_finish
+        else:
+            def finish(ok: bool, value: object, latency: float) -> None:
+                self.inflight_tokened -= 1
+                self.completed_this_period += 1
+                self.total_completed += 1
+                telemetry = self.sim.telemetry
+                if telemetry is not None:
+                    telemetry.observe_latency("onesided_read", latency)
+                self._notify_listener(ok)
+                on_complete(ok, value, latency)
+
+            self._last_on_complete = on_complete
+            self._last_finish = finish
+        return self.kv.get_onesided_wr(
+            key, finish, touch_memory=self.touch_memory, span=span
+        )
 
     def _notify_listener(self, ok: bool) -> None:
         listener = self.failure_listener

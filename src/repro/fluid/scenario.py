@@ -14,10 +14,10 @@ is the seeded shape generator, and the engine itself has no RNG.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Mapping, Optional, Tuple
 
 from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
 from repro.cluster.runner import register_scenario
 from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
 from repro.core.config import HaechiConfig
@@ -62,7 +62,10 @@ def build_scale_hierarchy(
     if capacity_tokens is None:
         rate = NICProfile.chameleon().onesided_saturation_rate()
         capacity_tokens = config.tokens_per_period(rate)
-    rng = random.Random(seed)
+    # A private derived stream, not random.Random(seed): a bare seed
+    # would collide with any other component seeded the same way and
+    # silently couple their draw sequences (see repro.common.rng).
+    rng = make_rng(seed, "fluid", "scale-hierarchy")
 
     reserved = int(reserved_fraction * capacity_tokens)
     tenant_weights = [rng.uniform(0.5, 2.0) for _ in range(tenants)]

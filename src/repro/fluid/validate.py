@@ -20,10 +20,10 @@ time-dilated cluster — nothing bespoke to validate against.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional
 
 from repro.cluster.experiment import run_experiment
+from repro.common.rng import make_rng
 from repro.cluster.scale import SimScale
 from repro.cluster.scenarios import TEST_SCALE, qos_cluster
 from repro.core.capacity import AdaptiveCapacityEstimator, ProfiledCapacity
@@ -59,7 +59,10 @@ def build_validation_hierarchy(
     Burst buckets stay zero here: burst semantics are fluid-only (the
     DES engine has no burst knob), so equivalence configs exclude them.
     """
-    rng = random.Random(seed)
+    # A private derived stream, not random.Random(seed): a bare seed
+    # would collide with any other component seeded the same way and
+    # silently couple their draw sequences (see repro.common.rng).
+    rng = make_rng(seed, "fluid", "validate")
     reserved = int(0.7 * capacity_tokens)
     tenant_res = largest_remainder(
         reserved, [rng.uniform(0.7, 1.6) for _ in range(2)]

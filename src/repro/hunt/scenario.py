@@ -121,6 +121,14 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
     if spec.fluid_mode:
         return _run_fluid_spec(spec, seed)
     reservations, demands, limits = spec_workload(spec)
+    build_kwargs = {}
+    if spec.fabric_mode:
+        # v3 fabric gene: run the candidate on the congestion-controlled
+        # datapath so oracle violations can surface from PCIe posting,
+        # SQ backpressure, DCQCN pacing, and PFC interactions.
+        from repro.rdma.cc import FabricModel
+
+        build_kwargs["fabric_model"] = FabricModel.chameleon()
     cluster = qos_cluster(
         reservations=reservations,
         demands=demands,
@@ -128,6 +136,7 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
         scale=HUNT_SCALE,
         limits_ops=limits,
         master_seed=seed,
+        **build_kwargs,
     )
     config = cluster.config
     if spec.tenant_count > 0:

@@ -40,12 +40,13 @@ from repro.faults.plan import (
     SlowdownRule,
 )
 
-SPEC_SCHEMA_VERSION = 2
+SPEC_SCHEMA_VERSION = 3
 
 #: Schema versions :meth:`ScenarioSpec.from_dict` still reads.  v1
 #: specs (pre-tenancy) load with ``tenant_count=0, fluid_mode=False``,
-#: which reproduces their exact historical behaviour.
-COMPAT_SCHEMA_VERSIONS = (1, SPEC_SCHEMA_VERSION)
+#: v2 specs (pre-fabric) with ``fabric_mode=False`` — both reproduce
+#: their exact historical behaviour.
+COMPAT_SCHEMA_VERSIONS = (1, 2, SPEC_SCHEMA_VERSION)
 
 # Liveness oracles need a fault-free tail to converge in; probabilistic
 # and windowed faults are clamped to end before it.  (Permanent events
@@ -148,6 +149,13 @@ class ScenarioSpec:
     # executor to the aggregated flow engine.
     tenant_count: int = 0
     fluid_mode: bool = False
+    # Fabric gene (schema v3): run the candidate on the congestion-
+    # controlled datapath (repro.rdma.cc) so the hunt can search for
+    # anomalies that only appear under PCIe posting costs, bounded SQs,
+    # DCQCN pacing, and PFC pauses.  Exact-DES only: the fluid engine
+    # has no per-op datapath, so clamp_spec turns it off under
+    # fluid_mode.
+    fabric_mode: bool = False
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -289,6 +297,7 @@ class ScenarioSpec:
             "faults": [gene.to_dict() for gene in self.faults],
             "tenant_count": self.tenant_count,
             "fluid_mode": self.fluid_mode,
+            "fabric_mode": self.fabric_mode,
         }
 
     @classmethod
@@ -310,10 +319,12 @@ class ScenarioSpec:
             faults=tuple(
                 FaultGene.from_dict(g) for g in payload["faults"]
             ),
-            # v1 payloads carry neither key: flat, exact-DES — their
-            # historical semantics, bit for bit.
+            # v1 payloads carry neither tenancy key (flat, exact-DES)
+            # and v2 payloads no fabric key (historical NIC-only
+            # datapath) — both load with their semantics bit for bit.
             tenant_count=payload.get("tenant_count", 0),
             fluid_mode=payload.get("fluid_mode", False),
+            fabric_mode=payload.get("fabric_mode", False),
         )
 
     def to_json(self) -> str:
@@ -364,6 +375,8 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
     # collapse back to <= 6 clients, which is exactly the space the
     # fluid engine exists to search.
     fluid_mode = bool(spec.fluid_mode)
+    # The fabric datapath is per-op, so it only exists in exact DES.
+    fabric_mode = bool(spec.fabric_mode) and not fluid_mode
     tenant_count = min(max(spec.tenant_count, 0), MAX_TENANTS)
     if fluid_mode:
         tenant_count = max(1, tenant_count)
@@ -417,6 +430,7 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
         faults=tuple(genes),
         tenant_count=tenant_count,
         fluid_mode=fluid_mode,
+        fabric_mode=fabric_mode,
     )
 
 
@@ -447,6 +461,8 @@ def random_spec(rng) -> ScenarioSpec:
     ceiling used to make unreachable.
     """
     fluid_mode = rng.random() < 0.25
+    # A quarter of the exact-DES draws run on the modeled fabric.
+    fabric_mode = (not fluid_mode) and rng.random() < 0.25
     tenant_count = rng.randint(1 if fluid_mode else 0, MAX_TENANTS)
     if fluid_mode:
         num_clients = int(round(10 ** rng.uniform(2.0, 4.0)))
@@ -460,6 +476,7 @@ def random_spec(rng) -> ScenarioSpec:
         num_clients=num_clients,
         tenant_count=tenant_count,
         fluid_mode=fluid_mode,
+        fabric_mode=fabric_mode,
         distribution=rng.choice(DISTRIBUTIONS),
         reserved_fraction=FLOAT_GENES["reserved_fraction"][0] + rng.random()
         * (FLOAT_GENES["reserved_fraction"][1]
@@ -520,10 +537,14 @@ def mutate(spec: ScenarioSpec, rng) -> ScenarioSpec:
 
     name = rng.choice(sorted(INT_GENES) + sorted(FLOAT_GENES)
                       + sorted(CHOICE_GENES)
-                      + ["limit_factor", "fluid_mode"])
+                      + ["limit_factor", "fluid_mode", "fabric_mode"])
     if name == "fluid_mode":
         return clamp_spec(dataclasses.replace(
             spec, fluid_mode=not spec.fluid_mode
+        ))
+    if name == "fabric_mode":
+        return clamp_spec(dataclasses.replace(
+            spec, fabric_mode=not spec.fabric_mode
         ))
     if name in INT_GENES:
         if name == "num_clients" and spec.fluid_mode:
@@ -568,6 +589,7 @@ def crossover(a: ScenarioSpec, b: ScenarioSpec, rng) -> ScenarioSpec:
         num_clients=mode_parent.num_clients,
         tenant_count=mode_parent.tenant_count,
         fluid_mode=mode_parent.fluid_mode,
+        fabric_mode=pick("fabric_mode"),
         distribution=pick("distribution"),
         reserved_fraction=pick("reserved_fraction"),
         demand_factor=pick("demand_factor"),

@@ -149,6 +149,46 @@ class KVClient:
         )
         return self.qp.post_send(wr)
 
+    def get_onesided_wr(
+        self, key: int, on_complete: IOCallback, touch_memory: bool = True,
+        span=None,
+    ) -> WorkRequest:
+        """Build (but do not post) the READ work request for ``key``.
+
+        The chain-mode engine path collects these and hands them to
+        ``QueuePair.post_chain`` so a burst shares doorbells; the WR is
+        byte-for-byte what :meth:`get_onesided` would have posted.
+        """
+        layout = self._require_layout()
+        if touch_memory:
+            def finish(wc: WorkCompletion) -> None:
+                latency = wc.completed_at - wc.posted_at
+                if wc.status is not WCStatus.SUCCESS:
+                    on_complete(False, wc.error, latency)
+                    return
+                slot_key, version, payload = decode_record(wc.value)
+                if slot_key not in (key, 0):  # 0 = unmaterialized store
+                    on_complete(False, f"bad slot key {slot_key}", latency)
+                    return
+                on_complete(True, (version, payload), latency)
+        else:
+            def finish(wc: WorkCompletion) -> None:
+                latency = wc.completed_at - wc.posted_at
+                if wc.status is WCStatus.SUCCESS:
+                    on_complete(True, None, latency)
+                else:
+                    on_complete(False, wc.error, latency)
+
+        return WorkRequest(
+            opcode=OpType.READ,
+            size=layout.slot_size,
+            remote_addr=layout.slot_addr(key),
+            rkey=self.data_rkey,
+            touch_memory=touch_memory,
+            span=span,
+            on_completion=finish,
+        )
+
     def put_onesided(
         self,
         key: int,

@@ -248,6 +248,37 @@ class RNIC:
         pipe._busy += cost
         return finish
 
+    def submit_issue_at(self, wr: WorkRequest, at: float) -> float:
+        """Serialize an outbound WR that reaches the NIC at time ``at``.
+
+        The fabric model's variant of :meth:`submit_issue`: host posting
+        (PCIe descriptor + doorbell) finishes at ``at``, which may be in
+        the future relative to ``sim.now``, so the issue pipeline is
+        driven in virtual time (``Pipeline.submit_at``).  Cost tables,
+        capacity factors and the control-lane bypass are identical to
+        the real-time path.
+        """
+        op_index = wr.opcode.index
+        self._issued_counts[op_index] += 1
+        pair = self._issue_flat[op_index * 2 + wr.is_response]
+        if pair is None:
+            raise ValueError(f"opcode {wr.opcode} cannot be issued")
+        base, per_byte = pair
+        cost = base + wr.size * per_byte
+        factor = self.capacity_factor
+        if factor != 1.0:
+            cost = cost / factor
+        if wr.control:
+            self.control_issue_cost_total += cost
+            return at + cost
+        pipe = self.issue
+        free = pipe._free_at
+        start = free if free > at else at
+        finish = start + cost
+        pipe._free_at = finish
+        pipe._busy += cost
+        return finish
+
     def submit_target(self, wr: WorkRequest) -> float:
         """Serialize an inbound WR; returns absolute processing-done time."""
         op_index = wr.opcode.index

@@ -17,12 +17,16 @@ costs two heap events per one-sided operation.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from heapq import heappush
 from typing import Optional
 
 from repro.common.errors import MemoryAccessError, QPError
 from repro.common.types import OpType
-from repro.rdma.verbs import CompletionQueue, WCStatus, WorkCompletion, WorkRequest
+from repro.rdma.verbs import (
+    VERB_CLASS_OF_OPCODE, CompletionQueue, WCStatus, WorkCompletion,
+    WorkRequest,
+)
 
 _wr_ids = itertools.count(1)
 
@@ -56,6 +60,15 @@ class QueuePair:
         # Back-reference set by Fabric.connect; a fault injector installed
         # on the fabric gets a drop/delay decision point on every post.
         self.fabric = None
+        # Per-QP fabric-model state (repro.rdma.cc.QPFabricState), set by
+        # Fabric.connect when the fabric carries a FabricModel.  None =
+        # the historical datapath, byte-identical to pre-model builds.
+        self.fab = None
+        # Closed-QP flush trampoline (see _sq_granted): failing a queued
+        # WR releases its SQ slot, which grants the next waiter
+        # synchronously — the backlog turns that chain into a loop.
+        self._flushing = False
+        self._flush_backlog: deque = deque()
 
     def close(self) -> None:
         """Tear the QP down (client departure, error recovery).
@@ -101,6 +114,13 @@ class QueuePair:
         self.outstanding += 1
         sim = self.sim
         posted_at = sim.now
+        fab = self.fab
+        if fab is not None and not wr.control:
+            # Fabric-model datapath: PCIe posting costs, bounded SQ,
+            # per-verb buckets, DCQCN pacing, congestible port.  Control
+            # ops keep the prioritized lane below, exactly as before.
+            self._post_modeled(fab, wr, posted_at)
+            return wr.wr_id
         wire_time = self.src.nic.submit_issue(wr)
         span = wr.span
         if span is not None:
@@ -128,6 +148,167 @@ class QueuePair:
         heappush(sim._heap, (wire_time + self.prop_delay + extra_delay,
                              sim._seq, self._arrive, (wr, posted_at)))
         return wr.wr_id
+
+    # ------------------------------------------------------------------
+    # Fabric-model datapath (active only when Fabric carries a model)
+    # ------------------------------------------------------------------
+    def post_chain(self, wrs) -> list:
+        """Post a linked chain of WRs with doorbell batching.
+
+        The chained equivalent of ``ibv_post_send`` with a WR list: the
+        host writes one PCIe descriptor per WR but rings one doorbell
+        per ``doorbell_batch_limit`` WRs, so the per-WR posting cost is
+        ``desc + doorbell/limit`` instead of ``desc + doorbell`` — the
+        calibrated amortization that gives ``submit_burst`` its
+        principled bulk advantage (see FabricModel.burst_advantage).
+        All WRs of a doorbell batch become visible to the NIC when that
+        batch's doorbell rings.  Data-plane WRs only (the engine never
+        chains control ops).  Without a fabric model this degrades to
+        per-WR ``post_send`` — same completions, no posting costs.
+        """
+        fab = self.fab
+        if fab is None:
+            return [self.post_send(wr) for wr in wrs]
+        if self.closed:
+            raise QPError(f"QP {self.src.name}->{self.dst.name} is closed")
+        sim = self.sim
+        posted_at = sim.now
+        model = fab.model
+        desc = model.pcie_desc_cost
+        bell = model.pcie_doorbell_cost
+        limit = model.doorbell_batch_limit
+        t = fab.post_ready_at
+        if posted_at > t:
+            t = posted_at
+        n = len(wrs)
+        ids = []
+        sq = fab.sq
+        for start in range(0, n, limit):
+            batch = wrs[start:start + limit]
+            t += len(batch) * desc + bell
+            for wr in batch:
+                if self.outstanding >= self.max_outstanding:
+                    raise QPError(
+                        f"QP {self.src.name}->{self.dst.name} exceeded "
+                        f"{self.max_outstanding} outstanding WRs"
+                    )
+                if wr.wr_id == 0:
+                    wr.wr_id = next(_wr_ids)
+                self.outstanding += 1
+                ids.append(wr.wr_id)
+                ev = sq.acquire()
+                if ev.triggered:
+                    self._issue_modeled(fab, wr, posted_at, t)
+                else:
+                    # SQ full: the WR waits for a completion slot and is
+                    # re-posted then (paying a full single post — its
+                    # doorbell coalescing opportunity is gone).
+                    fab.sq_stall_events += 1
+                    ev.add_callback(
+                        lambda _ev, wr=wr, p=posted_at: self._sq_granted(wr, p)
+                    )
+        fab.post_ready_at = t
+        fab.chain_posts += 1
+        fab.chain_wrs += n
+        return ids
+
+    def _post_modeled(self, fab, wr: WorkRequest, posted_at: float) -> None:
+        """Single-post entry of the fabric-model datapath: acquire an SQ
+        slot, pay the un-amortized PCIe posting cost, then issue."""
+        ev = fab.sq.acquire()
+        if not ev.triggered:
+            fab.sq_stall_events += 1
+            ev.add_callback(
+                lambda _ev, wr=wr, p=posted_at: self._sq_granted(wr, p)
+            )
+            return
+        model = fab.model
+        ready = fab.post_ready_at
+        if posted_at > ready:
+            ready = posted_at
+        ready += model.pcie_desc_cost + model.pcie_doorbell_cost
+        fab.post_ready_at = ready
+        fab.single_posts += 1
+        self._issue_modeled(fab, wr, posted_at, ready)
+
+    def _sq_granted(self, wr: WorkRequest, posted_at: float) -> None:
+        """A waiting WR received its SQ slot (called synchronously from
+        the completion that released it)."""
+        if self.closed:
+            # The connection died while the WR sat in the send queue:
+            # flush it.  _fail releases the slot just granted, which
+            # grants the next waiter synchronously and re-enters this
+            # method — so drain through a FIFO backlog instead of
+            # recursing, or a backlogged SQ at close time blows the
+            # stack (one frame per queued WR).
+            self._flush_backlog.append((wr, posted_at))
+            if self._flushing:
+                return
+            self._flushing = True
+            try:
+                while self._flush_backlog:
+                    w, p = self._flush_backlog.popleft()
+                    self._fail(w, p, WCStatus.FLUSH_ERROR, "QP closed")
+            finally:
+                self._flushing = False
+            return
+        fab = self.fab
+        model = fab.model
+        now = self.sim.now
+        ready = fab.post_ready_at
+        if now > ready:
+            ready = now
+        ready += model.pcie_desc_cost + model.pcie_doorbell_cost
+        fab.post_ready_at = ready
+        fab.single_posts += 1
+        self._issue_modeled(fab, wr, posted_at, ready)
+
+    def _issue_modeled(self, fab, wr: WorkRequest, posted_at: float,
+                       ready: float) -> None:
+        """Drive a posted WR down the modeled datapath.
+
+        ``ready`` is when host posting made the WR visible to the NIC.
+        Stages: per-verb token bucket -> issue pipeline (virtual time)
+        -> DCQCN pacing -> congestible port (ECN/PFC) -> propagation.
+        """
+        model = fab.model
+        verb = VERB_CLASS_OF_OPCODE[wr.opcode.index]
+        if verb is not None:
+            ready = fab.buckets[verb].acquire(1.0, ready)
+        wire = self.src.nic.submit_issue_at(wr, ready)
+        span = wr.span
+        if span is not None:
+            span.mark("resp_nic_issue" if wr.is_response else "nic_issue",
+                      wire)
+        sim = self.sim
+        extra_delay = 0.0
+        fabric = self.fabric
+        if fabric is not None and fabric.injector is not None:
+            verdict = fabric.injector.on_post(self, wr)
+            if verdict.drop:
+                # Lost on the wire before reaching the congested port.
+                sim.schedule_at(
+                    wire + verdict.fail_after, self._fail, wr, posted_at,
+                    WCStatus.RETRY_EXC_ERROR, verdict.reason,
+                )
+                return
+            extra_delay = verdict.delay
+        nbytes = wr.size + model.header_bytes
+        cc = fab.cc
+        if cc is not None:
+            wire = cc.pace(nbytes, wire)
+        deliver, marked = fab.port.admit(nbytes, wire)
+        if marked and cc is not None:
+            # The destination reflects the ECN mark as a CNP one RTT
+            # later, rate-limited per QP (DCQCN's notification point).
+            cnp_at = deliver + 2.0 * self.prop_delay
+            if cnp_at - fab.last_cnp_at >= model.cnp_interval:
+                fab.last_cnp_at = cnp_at
+                fab.cnps_sent += 1
+                sim.schedule_at(cnp_at, cc.on_cnp, cnp_at)
+        sim._seq += 1
+        heappush(sim._heap, (deliver + self.prop_delay + extra_delay,
+                             sim._seq, self._arrive, (wr, posted_at)))
 
     # ------------------------------------------------------------------
     def _arrive(self, wr: WorkRequest, posted_at: float) -> None:
@@ -205,6 +386,12 @@ class QueuePair:
             self._fail(wr, posted_at, WCStatus.FLUSH_ERROR, "QP closed")
             return
         self.outstanding -= 1
+        fab = self.fab
+        if fab is not None and not wr.control:
+            # Return the SQ slot before delivering the WC: a waiting WR
+            # gets it first (FIFO), else the completion handler's next
+            # post finds it free.
+            fab.sq.release()
         now = self.sim.now
         span = wr.span
         if span is not None and wr.opcode is not OpType.SEND:
@@ -232,6 +419,12 @@ class QueuePair:
         self, wr: WorkRequest, posted_at: float, status: WCStatus, error: str
     ) -> None:
         self.outstanding -= 1
+        fab = self.fab
+        if fab is not None and not wr.control:
+            # Faulted paths must return the SQ slot too: a dropped or
+            # qp-close-flushed WR that kept its slot would permanently
+            # shrink the QP's inflight capacity (semaphore leak).
+            fab.sq.release()
         span = wr.span
         if span is not None:
             span.mark("failed", self.sim.now)

@@ -23,6 +23,23 @@ class WCStatus(enum.Enum):
     RETRY_EXC_ERROR = "retry_exc_error"
 
 
+# Verb classes for the fabric model's per-QP posting buckets, indexed
+# by ``OpType.index`` (same dense-index idiom as the NIC cost tables).
+# READs, WRITEs (SENDs ride the WRITE/egress-payload class: both move
+# payload bytes out of the initiator), and atomics each draw from their
+# own bucket, matching the verb-diverse rate limits ConnectX-class NICs
+# expose per QP.  RECV posts consume no bucket (None).
+VERB_READ, VERB_WRITE, VERB_ATOMIC = 0, 1, 2
+VERB_NAMES = ("read", "write", "atomic")
+VERB_CLASS_OF_OPCODE = tuple(
+    VERB_READ if op is OpType.READ
+    else VERB_ATOMIC if op.atomic
+    else None if op is OpType.RECV
+    else VERB_WRITE
+    for op in OpType
+)
+
+
 class WorkRequest:
     """A posted work request.
 

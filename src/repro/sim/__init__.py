@@ -22,7 +22,7 @@ pure Python.
 from repro.sim.core import Simulator
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
-from repro.sim.resources import Pipeline, Semaphore, Store
+from repro.sim.resources import Pipeline, Semaphore, Store, TokenBucket
 from repro.sim.stats import Counter, LatencyHistogram, LatencyReservoir, TimeSeries
 
 __all__ = [
@@ -40,4 +40,5 @@ __all__ = [
     "Store",
     "TimeSeries",
     "Timeout",
+    "TokenBucket",
 ]

@@ -1,6 +1,6 @@
 """Shared-resource primitives for the DES kernel.
 
-Three primitives cover everything the RDMA model needs:
+Four primitives cover everything the RDMA model needs:
 
 - :class:`Pipeline` — a serial FIFO server with O(1) bookkeeping
   ("next-free-time" model).  This is how NIC issue/processing stages and
@@ -10,6 +10,10 @@ Three primitives cover everything the RDMA model needs:
   used for bounded outstanding work requests on a queue pair.
 - :class:`Store` — an unbounded FIFO of items with event-based ``get``,
   used for RPC request queues.
+- :class:`TokenBucket` — a continuous-refill rate limiter evaluated in
+  *virtual* time, used for the fabric model's per-verb posting buckets
+  and anywhere else a deterministic "earliest time n tokens exist"
+  answer is needed without simulator events.
 """
 
 from __future__ import annotations
@@ -68,6 +72,35 @@ class Pipeline:
         self._free_at = max(self._free_at, now) + cost
         self._busy += cost
         return now + cost
+
+    def submit_at(self, at: float, cost: float) -> float:
+        """Enqueue work that *arrives* at virtual time ``at``.
+
+        Like :meth:`submit`, but the work cannot start before ``at``
+        even if the pipeline is free earlier — the fabric model uses
+        this to chain stages whose hand-off times live in the future
+        (host posting finishes at ``at``; the NIC picks the WR up
+        then).  ``at`` may be in the past relative to ``sim.now``; the
+        pipeline's own free time still serializes correctly.
+        """
+        if cost < 0:
+            raise ValueError(f"negative service cost: {cost}")
+        start = self._free_at if self._free_at > at else at
+        finish = start + cost
+        self._free_at = finish
+        self._busy += cost
+        return finish
+
+    def pause_until(self, until: float) -> None:
+        """Forbid new work from starting before ``until`` (PFC pause).
+
+        Pushes the next-free-time out without accruing busy time: work
+        already accepted keeps its completion time (pause does not
+        rewrite history), and a later ``pause_until`` with an earlier
+        time is a no-op — pauses only ever extend.
+        """
+        if until > self._free_at:
+            self._free_at = until
 
     @property
     def free_at(self) -> float:
@@ -176,3 +209,51 @@ class Store:
         if self._items:
             return self._items.popleft()
         return None
+
+
+class TokenBucket:
+    """A continuous-refill token bucket evaluated in virtual time.
+
+    ``acquire(n, at)`` answers "at what absolute time do ``n`` tokens
+    exist, assuming the request is made at time ``at``?" and deducts
+    them.  The bucket refills at ``rate`` tokens/second up to ``burst``;
+    when the balance is short, the returned time is pushed out by the
+    deficit divided by the rate.  Pure arithmetic — no simulator events,
+    no RNG — so it composes with the Pipeline's next-free-time model and
+    stays bit-deterministic.
+
+    Calls must be made with non-decreasing ``at`` per bucket (the
+    fabric's per-QP posting timeline guarantees this); a stale ``at``
+    simply refills nothing.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"token rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ValueError(f"token burst must be positive, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = 0.0
+
+    def acquire(self, n: float, at: float) -> float:
+        """Deduct ``n`` tokens; return the absolute time they exist."""
+        if at > self.stamp:
+            refilled = self.tokens + (at - self.stamp) * self.rate
+            self.tokens = refilled if refilled < self.burst else self.burst
+            self.stamp = at
+        if self.tokens >= n:
+            self.tokens -= n
+            return at
+        # Deficit: the missing tokens accrue from the bucket's own
+        # timeline (``stamp``), not the caller's ``at`` — successive
+        # under-funded acquires therefore serialize at exactly ``rate``
+        # instead of each paying a flat one-token latency.
+        wait = (n - self.tokens) / self.rate
+        self.tokens = 0.0
+        ready = self.stamp + wait
+        self.stamp = ready
+        return ready

@@ -108,7 +108,10 @@ class TestReplay:
 
 class TestCampaignExport:
     def test_write_reproducers_one_file_per_finding(self, tmp_path):
-        campaign = run_hunt(HuntConfig(budget=6, seed=7, batch=6,
+        # Seed re-picked alongside the schema-v3 genome (fabric_mode
+        # shifts the generator draw sequence; seed 7's tiny campaign no
+        # longer violates).
+        campaign = run_hunt(HuntConfig(budget=6, seed=11, batch=6,
                                        minimize=False))
         assert campaign.findings
         paths = write_reproducers(tmp_path, campaign)

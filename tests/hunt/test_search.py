@@ -60,7 +60,10 @@ class TestFindings:
             assert finding.minimized_spec is None  # minimize=False
 
     def test_minimize_phase_shrinks_and_confirms(self):
-        config = HuntConfig(budget=6, seed=7, batch=6, minimize=True,
+        # A seed whose tiny campaign hits violations under the current
+        # genome (the draw sequence shifts whenever the schema grows a
+        # gene, so this seed is re-picked alongside schema bumps).
+        config = HuntConfig(budget=6, seed=11, batch=6, minimize=True,
                             max_minimize_steps=60)
         campaign = run_hunt(config)
         assert campaign.findings

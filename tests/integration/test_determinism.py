@@ -21,11 +21,13 @@ import pytest
 
 from repro.cluster.determinism import (
     CANONICAL_SEEDS,
+    FABRIC_SEEDS,
     GLOBALQOS_SEEDS,
     PARTITION_SEEDS,
     SCALE_SEEDS,
     SEED_FAULTS,
     determinism_digest,
+    fabric_digest,
     globalqos_digest,
     partition_digest,
     scale_digest,
@@ -142,3 +144,27 @@ def test_scale_digest_matches_committed_reference(seed, scale_reference):
     assert digest["equivalence_ok"] is True
     assert digest["tolerance_tier"] == expected["tolerance_tier"]
     assert digest["max_error"] <= digest["tolerance_tier"]
+
+
+@pytest.fixture(scope="module")
+def fabric_reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["fabric"]
+
+
+def test_fabric_reference_covers_every_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["fabric"]
+    assert sorted(seeds) == sorted(str(s) for s in FABRIC_SEEDS)
+
+
+@pytest.mark.parametrize("seed", FABRIC_SEEDS)
+def test_fabric_digest_matches_committed_reference(seed, fabric_reference):
+    digest = fabric_digest(seed)
+    expected = fabric_reference[str(seed)]
+    for part in ("kind", "results", "combined"):
+        assert digest[part] == expected[part], (
+            f"fabric seed {seed}: {part} digest changed -- the "
+            f"congestion-controlled datapath is no longer bit-identical "
+            f"to the committed reference"
+        )
