@@ -19,6 +19,7 @@ Subcommands::
                               [--replay repro.json]
     python -m repro scale     [--clients N] [--tenants N] [--periods N]
                               [--seed N] [--validate] [--report out.json]
+    python -m repro policy    {list,show,validate,diff,apply} ...
 
 ``run`` prints the per-client reservation-vs-served table for the
 chosen configuration, the bread-and-butter view of the paper's
@@ -288,6 +289,52 @@ def _build_parser() -> argparse.ArgumentParser:
                              "reference")
     fabric.add_argument("--report", metavar="PATH", default=None,
                         help="write the smoke report JSON here")
+
+    policy = sub.add_parser(
+        "policy",
+        help="declarative QoS policy control plane: inspect, validate, "
+             "diff, and hot-swap committed policy documents "
+             "(docs/POLICY.md)",
+    )
+    policy_sub = policy.add_subparsers(dest="policy_command", required=True)
+    policy_show = policy_sub.add_parser(
+        "show", help="print one policy document (canonical JSON)"
+    )
+    policy_show.add_argument("name", help="builtin name or JSON path")
+    policy_show.add_argument(
+        "--schema", type=int, default=None,
+        help="down-convert to this schema version before printing "
+             "(what a consumer with that ceiling would receive)")
+    policy_sub.add_parser(
+        "list", help="list the committed builtin policy documents"
+    )
+    policy_validate = policy_sub.add_parser(
+        "validate",
+        help="load, schema-check, and round-trip every named document "
+             "(default: all committed builtins)")
+    policy_validate.add_argument(
+        "names", nargs="*", help="builtin names or JSON paths")
+    policy_diff = policy_sub.add_parser(
+        "diff", help="field-level differences between two documents"
+    )
+    policy_diff.add_argument("old", help="builtin name or JSON path")
+    policy_diff.add_argument("new", help="builtin name or JSON path")
+    policy_apply = policy_sub.add_parser(
+        "apply",
+        help="run the policy-flip failover chaos scenario(s): the "
+             "committed revision-2 flip hot-swapped at the takeover "
+             "epoch, with conservation and fencing audits")
+    policy_apply.add_argument("--seeds", type=int, nargs="+", default=None,
+                              help="seeds to run (default: the "
+                                   "documented set)")
+    policy_apply.add_argument("--periods", type=int, default=36)
+    policy_apply.add_argument("--report", metavar="PATH", default=None,
+                              help="write the per-seed conservation "
+                                   "report JSON here")
+    policy_apply.add_argument(
+        "--digests", action=argparse.BooleanOptionalAction, default=False,
+        help="also recompute the policy digest family and compare "
+             "against the committed reference")
     return parser
 
 
@@ -1061,6 +1108,165 @@ def _cmd_fabric(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_policy(args) -> int:
+    import dataclasses
+    import json as _json
+
+    from repro.common.errors import ConfigError
+    from repro.policy import (
+        SUPPORTED_SCHEMA_VERSIONS,
+        QoSPolicy,
+        list_builtin,
+        load_policy,
+    )
+
+    try:
+        if args.policy_command == "list":
+            rows = []
+            for name in list_builtin():
+                doc = load_policy(name)
+                rows.append([
+                    name, doc.name, str(doc.version),
+                    str(doc.schema_version), str(len(doc.classes)),
+                    str(doc.num_clients()) if doc.classes else "-",
+                ])
+            for line in format_table(
+                ["file", "policy", "revision", "schema", "classes",
+                 "clients"], rows,
+            ):
+                print(line)
+            return 0
+
+        if args.policy_command == "show":
+            doc = load_policy(args.name)
+            if args.schema is not None:
+                doc = doc.downconvert(args.schema)
+            print(doc.to_json(indent=2))
+            return 0
+
+        if args.policy_command == "diff":
+            old = load_policy(args.old)
+            new = load_policy(args.new)
+            lines = old.diff(new)
+            if not lines:
+                print("documents are identical")
+                return 0
+            for line in lines:
+                print(line)
+            return 0
+
+        if args.policy_command == "validate":
+            names = args.names or list_builtin()
+            if not names:
+                print("no policy documents to validate", file=sys.stderr)
+                return 2
+            rows = []
+            for name in names:
+                doc = load_policy(name)
+                # The committed form must survive a canonical
+                # round-trip: what a consumer parses is what the
+                # author validated.
+                if QoSPolicy.from_json(doc.to_json()) != doc:
+                    raise ConfigError(
+                        f"{name}: document does not round-trip through "
+                        "its own canonical JSON"
+                    )
+                floors = sorted(
+                    v for v in SUPPORTED_SCHEMA_VERSIONS
+                    if v <= doc.schema_version
+                )
+                downconverts = []
+                for target in floors[:-1]:
+                    try:
+                        doc.downconvert(target)
+                        downconverts.append(f"v{target}:ok")
+                    except ConfigError:
+                        downconverts.append(f"v{target}:rejected")
+                rows.append([
+                    name, str(doc.version), str(doc.schema_version),
+                    ", ".join(downconverts) or "-", "PASS",
+                ])
+            for line in format_table(
+                ["document", "revision", "schema", "down-convert",
+                 "verdict"], rows,
+            ):
+                print(line)
+            print(f"{len(rows)} document(s) validated")
+            return 0
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+
+    # apply: the policy-flip failover chaos scenario(s).
+    from repro.policy.chaos import DEFAULT_SEEDS, run_policy_chaos
+
+    seeds = args.seeds if args.seeds else list(DEFAULT_SEEDS)
+    payload: dict = {"mode": "policy-flip-chaos", "seeds": {}}
+    rows = []
+    failed = 0
+    try:
+        for seed in seeds:
+            report = run_policy_chaos(seed, periods=args.periods)
+            rows.append([
+                str(seed),
+                "PASS" if report.ok else "FAIL",
+                str(report.flip_epoch),
+                str(report.takeover_epoch),
+                str(report.policy_applies),
+                str(report.policy_fenced),
+                str(report.policy_stale_rejected),
+                str(report.puts_acked),
+            ])
+            payload["seeds"][str(seed)] = dataclasses.asdict(report)
+            if not report.ok:
+                failed += 1
+                for violation in report.violations:
+                    print(f"seed {seed}: {violation}", file=sys.stderr)
+    except ConfigError as err:
+        print(err, file=sys.stderr)
+        return 2
+    for line in format_table(
+        ["seed", "verdict", "flip epoch", "takeover epoch", "applies",
+         "fenced", "stale", "puts acked"], rows,
+    ):
+        print(line)
+    print(f"{len(seeds) - failed}/{len(seeds)} seeds hot-swapped the "
+          f"policy mid-failover with clean conservation audits "
+          f"({args.periods} periods)")
+
+    ok = failed == 0
+    digest_report = None
+    if args.digests:
+        import pathlib
+
+        from repro.cluster.determinism import POLICY_SEEDS, policy_digest
+
+        reference_path = pathlib.Path(
+            "benchmarks/results/determinism_hashes.json"
+        )
+        reference = _json.loads(reference_path.read_text())["policy"]
+        digest_report = {}
+        for seed in POLICY_SEEDS:
+            digest = policy_digest(seed)
+            expected = reference[str(seed)]
+            matched = digest["combined"] == expected["combined"]
+            digest_report[str(seed)] = {
+                "combined": digest["combined"], "matched": matched,
+            }
+            status = "ok" if matched else "MISMATCH"
+            print(f"policy digest seed {seed}: {status} "
+                  f"({digest['combined'][:16]}...)")
+            ok = ok and matched
+    payload["failed"] = failed
+    payload["digests"] = digest_report
+    if args.report:
+        with open(args.report, "w") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1088,6 +1294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scale(args)
     if args.command == "fabric":
         return _cmd_fabric(args)
+    if args.command == "policy":
+        return _cmd_policy(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -243,6 +243,56 @@ def partition_digest_all(seeds=PARTITION_SEEDS) -> Dict[str, Dict[str, str]]:
     return {str(seed): partition_digest(seed) for seed in seeds}
 
 
+#: Seeds for the policy-flip/failover chaos digest family.  Two,
+#: matching the partition family it rides on: each run covers the
+#: mid-failover hot-swap, the three-way policy fencing, and the
+#: ledger's policy_apply audit.
+POLICY_SEEDS = (11, 23)
+
+
+def policy_digest(seed: int,
+                  scale: Optional[SimScale] = None) -> Dict[str, str]:
+    """Digest the policy-flip chaos family for ``seed``.
+
+    One :func:`~repro.policy.chaos.run_policy_chaos` run, hashed the
+    same way as the partition family: the HA cluster's metrics stream
+    (policy counters included), its ledger stream (``policy_apply``
+    events included), and the chaos report payload.
+    """
+    import dataclasses
+
+    from repro.policy.chaos import _run_policy_chaos
+
+    report, cluster = _run_policy_chaos(
+        seed, periods=36, rebalance_periods=2, fallback_after=2,
+        takeover_after=2, puts_per_period=6, scale=scale,
+    )
+    hub = cluster.sim.telemetry
+
+    metrics_text = metrics_jsonl(hub.period_rows)
+    ledger_text = ledger_jsonl(hub.ledger)
+    results_text = _canonical_json({
+        "chaos": dataclasses.asdict(report),
+    })
+    metrics_hash = _sha256(metrics_text)
+    ledger_hash = _sha256(ledger_text)
+    results_hash = _sha256(results_text)
+    return {
+        "kind": "policy-flip",
+        "metrics": metrics_hash,
+        "ledger": ledger_hash,
+        "results": results_hash,
+        "combined": _sha256(_canonical_json(
+            [metrics_hash, ledger_hash, results_hash]
+        )),
+    }
+
+
+def policy_digest_all(seeds=POLICY_SEEDS) -> Dict[str, Dict[str, str]]:
+    """``{str(seed): digest}`` for every policy-chaos seed."""
+    return {str(seed): policy_digest(seed) for seed in seeds}
+
+
 #: Seeds for the hierarchical-tenancy / fluid-scale digest family.
 SCALE_SEEDS = (11, 23)
 
@@ -331,11 +381,13 @@ def main(argv=None) -> int:
     digests = digest_all()
     globalqos = globalqos_digest_all()
     partition = partition_digest_all()
+    policy = policy_digest_all()
     scale = scale_digest_all()
     fabric = fabric_digest_all()
     text = json.dumps(
         {"seeds": digests, "globalqos": globalqos,
-         "partition": partition, "scale": scale, "fabric": fabric},
+         "partition": partition, "policy": policy, "scale": scale,
+         "fabric": fabric},
         indent=2, sort_keys=True,
     ) + "\n"
     if args.write:

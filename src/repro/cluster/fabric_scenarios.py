@@ -34,6 +34,7 @@ from repro.cluster.builder import Cluster, build_cluster
 from repro.cluster.experiment import run_experiment
 from repro.cluster.scale import SimScale
 from repro.cluster.scenarios import TEST_SCALE, qos_cluster
+from repro.policy import load_policy
 from repro.rdma.cc import FabricModel
 from repro.rdma.verbs import WorkRequest
 
@@ -243,11 +244,16 @@ def run_incast(seed: int, cc_enabled: bool = True,
 
 
 #: Reservation levels for the CC-vs-token-throttling comparison, in
-#: unscaled ops/s per client.  ``low`` x 8 = 480 K ops/s — far under the
-#: ~1.5 M ops/s port, so tokens bind.  ``high`` x 8 = 1.52 M ops/s —
-#: right at the port knee, so the fabric binds under the token envelope.
-THROTTLE_LOW_OPS = 60_000
-THROTTLE_HIGH_OPS = 190_000
+#: unscaled ops/s per client, loaded from the committed
+#: ``fabric-throttle`` policy document (pinned against drift by
+#: tests/policy/test_builtin.py).  ``low`` x 8 = 480 K ops/s — far
+#: under the ~1.5 M ops/s port, so tokens bind.  ``high`` x 8 =
+#: 1.52 M ops/s — right at the port knee, so the fabric binds under
+#: the token envelope.
+THROTTLE_POLICY = load_policy("fabric-throttle")
+THROTTLE_LOW_OPS = THROTTLE_POLICY.class_named("token-bound").reservation_ops
+THROTTLE_HIGH_OPS = THROTTLE_POLICY.class_named(
+    "fabric-bound").reservation_ops
 
 
 def run_throttle_vs_cc(seed: int, reservation_ops: int,

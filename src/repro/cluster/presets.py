@@ -27,9 +27,19 @@ from repro.cluster.scenarios import (
     qos_cluster,
     reservation_set,
 )
+from repro.policy import load_policy
 from repro.workloads.patterns import BURST_WINDOW, RequestPattern
 
 CAPACITY = 1_570_000
+
+# Reservation shapes load from the committed policy documents — one
+# source of truth for the capacity split, shared with the CLI's
+# ``policy`` subcommand and pinned by tests/policy/test_builtin.py.
+# ``paper-qos`` reserves 90% of capacity (fig9/fig11/fig13);
+# ``paper-congestion`` reserves 80% and leaves 20% of pool headroom
+# for the background scan (set4 timelines).
+PAPER_QOS_POLICY = load_policy("paper-qos")
+PAPER_CONGESTION_POLICY = load_policy("paper-congestion")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,8 +103,12 @@ def _run_fig7(quick: bool) -> dict:
 def _make_fig9_runner(distribution: str):
     def runner(quick: bool) -> dict:
         scale, warmup, periods = _scales(quick)
-        reservations = reservation_set(distribution, 0.9 * CAPACITY)
-        demands = paper_demands(reservations, 0.1 * CAPACITY)
+        reservations = reservation_set(
+            distribution, PAPER_QOS_POLICY.reserved_fraction * CAPACITY
+        )
+        demands = paper_demands(
+            reservations, PAPER_QOS_POLICY.pool_fraction() * CAPACITY
+        )
         haechi = qos_cluster(reservations=reservations, demands=demands,
                              scale=scale)
         h = run_experiment(haechi, warmup_periods=warmup,
@@ -122,8 +136,12 @@ def _make_fig9_runner(distribution: str):
 
 def _run_fig11(quick: bool) -> dict:
     scale, warmup, periods = _scales(quick)
-    reservations = reservation_set("zipf", 0.9 * CAPACITY)
-    demands = paper_demands(reservations, 0.1 * CAPACITY)
+    reservations = reservation_set(
+        "zipf", PAPER_QOS_POLICY.reserved_fraction * CAPACITY
+    )
+    demands = paper_demands(
+        reservations, PAPER_QOS_POLICY.pool_fraction() * CAPACITY
+    )
     demands[0] = reservations[0] * 0.5
     demands[1] = reservations[1] * 0.5
     totals = {}
@@ -148,8 +166,12 @@ def _run_fig11(quick: bool) -> dict:
 
 def _run_fig13(quick: bool) -> dict:
     scale, warmup, periods = _scales(quick)
-    reservations = reservation_set("spike", 0.9 * CAPACITY)
-    demands = [r / 0.9 for r in reservations]
+    reservations = reservation_set(
+        "spike", PAPER_QOS_POLICY.reserved_fraction * CAPACITY
+    )
+    demands = [
+        r / PAPER_QOS_POLICY.reserved_fraction for r in reservations
+    ]
     out = {}
     for label, pattern, window in (
         ("burst", RequestPattern.BURST, BURST_WINDOW),
@@ -182,10 +204,16 @@ def _make_set4_runner(onset: bool, distribution: str):
         scale, warmup, _ = _scales(quick)
         periods = 16 if quick else 30
         switch = periods // 2
-        reservations = reservation_set(distribution, 0.8 * CAPACITY)
+        reservations = reservation_set(
+            distribution,
+            PAPER_CONGESTION_POLICY.reserved_fraction * CAPACITY,
+        )
         cluster = qos_cluster(
             reservations=reservations,
-            demands=paper_demands(reservations, 0.2 * CAPACITY),
+            demands=paper_demands(
+                reservations,
+                PAPER_CONGESTION_POLICY.pool_fraction() * CAPACITY,
+            ),
             scale=scale,
         )
         schedule = congestion_schedule(

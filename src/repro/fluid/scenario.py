@@ -25,6 +25,7 @@ from repro.faults.plan import Brownout, FaultPlan
 from repro.fluid.engine import FluidEngine
 from repro.fluid.flows import flows_from_hierarchy
 from repro.globalqos.waterfill import largest_remainder
+from repro.policy import load_policy
 from repro.rdma.nic import NICProfile
 from repro.telemetry.ledger import TokenLedger
 from repro.tenancy.hierarchy import ClientGroup, Tenant, TenantHierarchy
@@ -32,8 +33,18 @@ from repro.tenancy.hierarchy import ClientGroup, Tenant, TenantHierarchy
 #: Assumed profiling noise, matching the DES builder's default.
 PROFILE_RSD = 0.06
 
+# The hierarchy shape loads from the committed ``fluid-scale`` policy
+# document (pinned against drift by tests/policy/test_builtin.py):
+# the reserved capacity fraction plus the metered class's limit and
+# burst factors applied to every other tenant/group.
+SCALE_POLICY = load_policy("fluid-scale")
+_METERED_CLASS = SCALE_POLICY.class_named("metered")
+
 #: Fraction of physical capacity handed out as reservations.
-RESERVED_FRACTION = 0.7
+RESERVED_FRACTION = SCALE_POLICY.reserved_fraction
+
+METERED_LIMIT_FACTOR = _METERED_CLASS.limit_factor
+METERED_BURST_FACTOR = _METERED_CLASS.burst_factor
 
 
 def build_scale_hierarchy(
@@ -88,8 +99,8 @@ def build_scale_hierarchy(
             limit = None
             burst = 0
             if g % 2 == 1:
-                limit = int(group_res[g] * 1.5)
-                burst = int(limit * 0.1)
+                limit = int(group_res[g] * METERED_LIMIT_FACTOR)
+                burst = int(limit * METERED_BURST_FACTOR)
             groups.append(ClientGroup(
                 name=name,
                 reservation=group_res[g],
@@ -101,7 +112,8 @@ def build_scale_hierarchy(
                 round(group_res[g] * rng.uniform(0.8, 2.2))
             )
         tname = f"T{t + 1}"
-        limit = int(tenant_res[t] * 1.5) if t % 2 == 1 else None
+        limit = (int(tenant_res[t] * METERED_LIMIT_FACTOR)
+                 if t % 2 == 1 else None)
         tenant_objs.append(Tenant(
             name=tname, reservation=tenant_res[t], groups=groups,
             limit=limit,

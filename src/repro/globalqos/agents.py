@@ -33,7 +33,8 @@ from repro.globalqos.protocol import (
     SplitGrant,
     SplitUpdate,
 )
-from repro.globalqos.waterfill import even_split
+from repro.globalqos.waterfill import even_split, largest_remainder
+from repro.policy.protocol import PolicyUpdate
 from repro.rdma.verbs import WorkRequest
 
 # Epoch-relative offsets, as fractions of one QoS period.  Reports go
@@ -188,6 +189,10 @@ class ClientAgent:
         self.sim = striped.host.sim
         self.coord_qp = coord_qp
         self.coord_qps = [coord_qp]
+        # Dispatchers toward every coordinator, retained so a policy
+        # service enabled after construction can subscribe to
+        # PolicyUpdate on each of them (enable_policy).
+        self.coord_dispatchers = [coord_dispatcher]
         self.ha = False
         self.epoch_len = epoch_len
         self.fallback_after = fallback_after
@@ -224,6 +229,23 @@ class ClientAgent:
         self.applies_failed = 0
         self.applies_timed_out = 0
         self.fallbacks = 0
+        # Policy distribution state (enable_policy).  Fencing extends
+        # the split protocol's (term, epoch) with the document revision:
+        # an update applies only when its term is not behind, its
+        # (term, epoch) key is strictly newer, AND its revision is
+        # strictly above the one in force.
+        self.policy_service = None
+        self.policy_version_applied = 0
+        self.last_policy_term = 0
+        self.last_policy_epoch = 0
+        self.policy_keys_applied: List[Tuple[int, int, int]] = []
+        self.policy_updates_received = 0
+        self.policy_applies = 0
+        self.policy_fenced = 0
+        self.policy_stale_rejected = 0
+        # Per-node limits the active policy imposes; what quarantine
+        # unthrottling restores instead of the unlimited default.
+        self._policy_limits: Dict[int, int] = {}
         coord_dispatcher.register(SplitUpdate, self._on_update)
         for dispatcher in striped.dispatchers:
             dispatcher.register(SplitGrant, self._on_grant)
@@ -231,8 +253,19 @@ class ClientAgent:
     def add_coordinator(self, qp, dispatcher) -> None:
         """Also report to (and accept updates from) a standby (HA)."""
         self.coord_qps.append(qp)
+        self.coord_dispatchers.append(dispatcher)
         self.ha = True
         dispatcher.register(SplitUpdate, self._on_update)
+        if self.policy_service is not None:
+            dispatcher.register(PolicyUpdate, self._on_policy)
+
+    def enable_policy(self, service) -> None:
+        """Accept PolicyUpdate pushes from every known coordinator."""
+        if self.policy_service is not None:
+            return
+        self.policy_service = service
+        for dispatcher in self.coord_dispatchers:
+            dispatcher.register(PolicyUpdate, self._on_policy)
 
     # ------------------------------------------------------------------
     # Per-epoch reporting + the fallback timer
@@ -332,9 +365,10 @@ class ClientAgent:
 
         The cap is recomputed from the current split on every update so
         it tracks rebalances while the quarantine lasts.  Lifting
-        restores the engine's unlimited default (multi-node engines are
-        built without a limit), never a lower value than the fault-free
-        configuration had.
+        restores the limit the active policy imposes — or the engine's
+        unlimited default when no policy holds one (multi-node engines
+        are built without a limit) — never a lower value than the
+        fault-free configuration had.
         """
         q = set(quarantined)
         engines = self.striped.engines
@@ -347,9 +381,82 @@ class ClientAgent:
                     self._throttled_nodes.add(n)
                     self.quarantine_throttles += 1
             elif n in self._throttled_nodes:
-                engines[n].limit = None
+                engines[n].limit = self._policy_limits.get(n)
                 self._throttled_nodes.discard(n)
                 self.quarantine_unthrottles += 1
+
+    # ------------------------------------------------------------------
+    # Policy hot-swap (PolicyService pushes)
+    # ------------------------------------------------------------------
+    def _on_policy(self, msg: PolicyUpdate, _reply_qp) -> None:
+        """Apply a pushed policy revision under three-way fencing.
+
+        A deposed leader behind an asymmetric partition keeps pushing
+        the old revision with its old term — fenced.  The acting
+        leader re-pushes the live revision every epoch so a lost
+        control message self-heals; the duplicates land in
+        ``policy_stale_rejected``.  What survives applies exactly
+        once, through the same decrease-before-increase machinery as
+        a split rebalance, so a reservation raise never transiently
+        over-commits a node.
+        """
+        self.policy_updates_received += 1
+        if msg.term < self.last_policy_term:
+            self.policy_fenced += 1
+            return
+        key = (msg.term, msg.epoch)
+        if (msg.version <= self.policy_version_applied
+                or key <= (self.last_policy_term, self.last_policy_epoch)):
+            self.policy_stale_rejected += 1
+            return
+        self.last_policy_term, self.last_policy_epoch = key
+        self.policy_version_applied = msg.version
+        if msg.term > self.term_seen:
+            self.term_seen = msg.term
+        self.policy_keys_applied.append((msg.term, msg.epoch, msg.version))
+        striped = self.striped
+        old_splits = list(striped.splits)
+        # Preserve the coordinator's placement: the new aggregate is
+        # apportioned across nodes in proportion to the splits in
+        # force, integer-exact (largest remainder), so the ledger's
+        # conservation audit holds to the token.
+        target = largest_remainder(
+            msg.reservation, [float(s) for s in old_splits]
+        )
+        striped.aggregate_reservation = msg.reservation
+        self._set_policy_limits(msg.limit, target)
+        self.policy_applies += 1
+        ledger = getattr(
+            getattr(self.sim, "telemetry", None), "ledger", None
+        )
+        if ledger is not None:
+            ledger.policy_apply(
+                msg.epoch, striped.index, msg.version, old_splits,
+                target, self.sim.now, term=msg.term,
+                policy=msg.policy_name,
+            )
+        self._apply_splits(target, msg.epoch)
+
+    def _set_policy_limits(self, limit_total: int, target_splits) -> None:
+        """Install the policy's aggregate limit as per-node caps.
+
+        Zero means the policy imposes no limit.  Quarantine-throttled
+        nodes keep their (tighter) throttle; the policy cap is what
+        unthrottling restores.
+        """
+        engines = self.striped.engines
+        if limit_total <= 0:
+            self._policy_limits = {}
+        else:
+            shares = largest_remainder(
+                limit_total, [float(s) for s in target_splits]
+            )
+            self._policy_limits = {
+                n: max(1, shares[n]) for n in range(self.num_nodes)
+            }
+        for n in range(self.num_nodes):
+            if n not in self._throttled_nodes:
+                engines[n].limit = self._policy_limits.get(n)
 
     def _apply_splits(self, target: List[int], epoch: int) -> None:
         """Send SplitApply for every node whose share changes.
@@ -446,5 +553,18 @@ class ClientAgent:
                  lambda: self.quarantine_throttles),
                 ("globalqos_quarantine_unthrottles",
                  lambda: self.quarantine_unthrottles),
+            ])
+        # Gated on an attached policy service so every pre-policy run
+        # keeps its committed metric-row digests byte-identical.
+        if self.policy_service is not None:
+            items.extend([
+                ("policy_updates_received",
+                 lambda: self.policy_updates_received),
+                ("policy_applies", lambda: self.policy_applies),
+                ("policy_fenced", lambda: self.policy_fenced),
+                ("policy_stale_rejected",
+                 lambda: self.policy_stale_rejected),
+                ("policy_version_applied",
+                 lambda: self.policy_version_applied),
             ])
         return items

@@ -162,6 +162,9 @@ class GlobalCoordinator:
         self._aggregates: Dict[int, int] = {
             c.index: c.aggregate_reservation for c in cluster.clients
         }
+        # Set by attach_policy_service: when present, _compute pushes
+        # the live policy revision to every client each epoch.
+        self.policy_service = None
         self.epochs_run = 0
         self.epochs_skipped_no_quorum = 0
         self.reports_received = 0
@@ -290,6 +293,12 @@ class GlobalCoordinator:
             return  # deposed between scheduling and firing
         self.epochs_run += 1
         self._send_heartbeat(epoch)
+        if self.policy_service is not None:
+            # Before the quorum check, deliberately: a deposed leader
+            # partitioned away from every report still transmits its
+            # stale-term policy pushes, which is exactly the race the
+            # client-side (term, epoch, version) fencing must win.
+            self.policy_service.push_from(self, epoch)
         participants = sorted(
             cid for cid, r in self._demand.items() if r.epoch == epoch
         )

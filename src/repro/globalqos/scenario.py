@@ -47,6 +47,7 @@ from repro.common.rng import make_rng
 from repro.cluster.multinode import MultiNodeCluster, build_multinode_cluster
 from repro.cluster.scale import SimScale
 from repro.globalqos.coordinator import attach_coordinator, attach_standby
+from repro.policy import load_policy
 from repro.telemetry.hub import TelemetryConfig, attach_telemetry
 from repro.workloads.ycsb import ZipfianGenerator
 
@@ -55,21 +56,30 @@ from repro.workloads.ycsb import ZipfianGenerator
 SKEW_SCALE = SimScale(factor=500, interval_divisor=100)
 
 NUM_NODES = 2
-NUM_ENTITLED = 2
-NUM_COMMODITY = 6
 
-# Ops/s, paper-comparable.  Per node the reservations sum to
-# 2 x 170K + 6 x 190K = 1480K against the 1570K saturated capacity:
-# ~94% subscribed, leaving a pool too thin to paper over a misplaced
-# split.  Each client's *aggregate* stays under the 400K one-sided
-# client ceiling C_L — on this topology that is the client NIC, a
-# global constraint across nodes — and so does every per-node share,
-# including the entitled client's post-rebalance hot share
-# (0.9 x 340K = 306K).
-ENTITLED_RESERVATION_OPS = 340_000.0
+# The entitled/commodity class table lives in the committed policy
+# document; the counts and reservations here are views into it, pinned
+# against drift by tests/policy/test_builtin.py.  Per node the
+# reservations sum to 2 x 170K + 6 x 190K = 1480K against the 1570K
+# saturated capacity: ~94% subscribed, leaving a pool too thin to
+# paper over a misplaced split.  Each client's *aggregate* stays under
+# the 400K one-sided client ceiling C_L — on this topology that is the
+# client NIC, a global constraint across nodes — and so does every
+# per-node share, including the entitled client's post-rebalance hot
+# share (0.9 x 340K = 306K).
+SKEW_POLICY = load_policy("globalqos-skew")
+_ENTITLED_CLASS = SKEW_POLICY.class_named("entitled")
+_COMMODITY_CLASS = SKEW_POLICY.class_named("commodity")
+
+NUM_ENTITLED = _ENTITLED_CLASS.count
+NUM_COMMODITY = _COMMODITY_CLASS.count
+
+# Ops/s, paper-comparable.  Demands and skew stay scenario-local: the
+# policy promises reservations; offered load is the experiment's.
+ENTITLED_RESERVATION_OPS = _ENTITLED_CLASS.reservation_ops
 ENTITLED_DEMAND_OPS = 380_000.0
 ENTITLED_HOT_FRACTION = 0.9
-COMMODITY_RESERVATION_OPS = 380_000.0
+COMMODITY_RESERVATION_OPS = _COMMODITY_CLASS.reservation_ops
 COMMODITY_DEMAND_OPS = 440_000.0
 
 

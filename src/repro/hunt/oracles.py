@@ -146,6 +146,44 @@ def check_no_stale_split(
     return violations
 
 
+def check_no_stale_policy(
+    entries: Iterable[Tuple[str, Sequence[Tuple[int, int, int]]]],
+) -> List[Violation]:
+    """Applied policy revisions are strictly newer than their predecessor.
+
+    ``entries`` are ``(name, applied_keys)`` where ``applied_keys`` is
+    the consumer's ``(term, epoch, version)`` keys in application
+    order.  A non-increasing key — or a version that fails to advance
+    even when the key does — means a duplicate push, a deposed
+    leader's stale revision, or a rollback was applied mid-stream: the
+    hot-swap bug the three-way fencing exists to prevent.
+    """
+    violations = []
+    for name, keys in entries:
+        prev = None
+        for key in keys:
+            if prev is not None and (key <= prev or key[2] <= prev[2]):
+                violations.append(Violation(
+                    kind="stale-policy-applied",
+                    message=(f"stale policy applied: {name} applied "
+                             f"(term, epoch, version) {key} after {prev}"),
+                    subject=name, observed=list(key), expected=list(prev),
+                ))
+            prev = key
+    return violations
+
+
+def check_policy_audit(ledger) -> List[Violation]:
+    """Policy applies are monotone and conserve tokens between revisions."""
+    if ledger is None:
+        return []
+    return [
+        Violation(kind="policy-audit",
+                  message=f"policy ledger: {text}")
+        for text in ledger.check_policy_audit()
+    ]
+
+
 def check_ledger_conservation(ledger) -> List[Violation]:
     """Per-account token conservation from the telemetry ledger."""
     if ledger is None:
@@ -311,6 +349,18 @@ _register(
     "agents apply split updates in strictly increasing (term, epoch) "
     "order (epoch fencing holds)",
     check_no_stale_split,
+)
+_register(
+    "no-stale-policy", ("stale-policy-applied",),
+    "consumers apply policy revisions in strictly increasing "
+    "(term, epoch, version) order (hot-swap fencing holds)",
+    check_no_stale_policy,
+)
+_register(
+    "policy-audit", ("policy-audit",),
+    "policy_apply ledger events are revision-monotone and conserve "
+    "the aggregate between revisions",
+    check_policy_audit,
 )
 _register(
     "ledger-conservation", ("ledger-conservation",),

@@ -16,8 +16,9 @@ same parallel cell runner (and result cache) the evaluation suite uses.
 
 from __future__ import annotations
 
-from typing import List, Mapping
+from typing import Dict, List, Mapping, Tuple
 
+from repro.common.errors import QoSError
 from repro.core.invariants import InvariantChecker
 from repro.core.violations import Violation
 from repro.cluster.runner import register_scenario
@@ -26,6 +27,8 @@ from repro.cluster.scenarios import paper_demands, qos_cluster, reservation_set
 from repro.hunt.oracles import (
     check_hierarchy_conservation,
     check_ledger_conservation,
+    check_no_stale_policy,
+    check_policy_audit,
     check_progress,
     check_queue_growth,
     check_reservations_met,
@@ -116,6 +119,78 @@ def spec_hierarchy(spec: ScenarioSpec, config, reservations_ops):
     return TenantHierarchy(tenants)
 
 
+def _schedule_policy_flips(cluster, spec: ScenarioSpec, reservations,
+                           demands, hub) -> Dict[str, List[Tuple]]:
+    """Arm the v4 policy gene: ``spec.policy_version`` synthesized
+    revisions hot-swapped mid-run through the monitor's resize path.
+
+    Revision ``k`` re-shapes the reservation mix — alternating
+    0.8x / 1.2x by ``(client, k)`` parity, increases capped at each
+    client's demand so the settle oracle keeps meaning — applied
+    decrease-before-increase: shrinks at the flip tick, grows one
+    check interval later, against the headroom the shrinks freed.
+    Every apply lands in the ledger as a ``policy_apply`` event
+    (arming the policy-audit oracle) and records its
+    ``(term, flip, revision)`` key for the no-stale-policy oracle.
+    Evicted clients (crash genes cost leases) are skipped, not
+    errored: resizing a ghost is the monitor's call to refuse.
+    """
+    config = cluster.config
+    T = config.period
+    sim = cluster.sim
+    monitor = cluster.monitor
+    ledger = hub.ledger
+    live = [ctx for ctx in cluster.clients if ctx.engine is not None]
+    current = {
+        ctx.index: config.tokens_per_period(reservations[ctx.index])
+        for ctx in live
+    }
+    demand_tokens = {
+        ctx.index: config.tokens_per_period(demands[ctx.index])
+        for ctx in live
+    }
+    names = {ctx.index: ctx.name for ctx in live}
+    keys: Dict[str, List[Tuple]] = {ctx.name: [] for ctx in live}
+
+    def apply_one(index: int, version: int, target: int) -> None:
+        try:
+            granted = monitor.update_reservation(index, target)["reservation"]
+        except QoSError:
+            return
+        previous = current[index]
+        current[index] = granted
+        ledger.policy_apply(
+            version, names[index], version, [previous], [granted],
+            sim.now, term=1, policy="hunt-synth", source="hunt",
+        )
+        keys[names[index]].append((1, version, version))
+
+    def flip(version: int) -> None:
+        shrinks, grows = [], []
+        for index, tokens in sorted(current.items()):
+            if (index + version) % 2 == 0:
+                target = int(tokens * 0.8)
+            else:
+                target = min(int(tokens * 1.2), demand_tokens[index])
+            (shrinks if target <= tokens else grows).append((index, target))
+        for index, target in shrinks:
+            apply_one(index, version, target)
+        for index, target in grows:
+            sim.schedule_at(sim.now + config.check_interval,
+                            apply_one, index, version, target)
+
+    # Flips spread over (1, fault_end) periods: the last revision still
+    # has the full settle tail to become the reservation the
+    # reservations-met oracle measures against.
+    span = spec.fault_end_period() - 1.0
+    for version in range(1, spec.policy_version + 1):
+        sim.schedule_at(
+            (1.0 + version * span / (spec.policy_version + 1)) * T,
+            flip, version,
+        )
+    return keys
+
+
 def run_spec(spec: ScenarioSpec, seed: int) -> dict:
     """Run one candidate; return its oracle verdict and counters."""
     if spec.fluid_mode:
@@ -150,6 +225,11 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
     plan = spec.compile_plan(config)
     if not plan.empty:
         cluster.inject_faults(plan, seed=seed)
+    policy_keys: Dict[str, List[Tuple]] = {}
+    if spec.policy_version > 0:
+        policy_keys = _schedule_policy_flips(
+            cluster, spec, reservations, demands, hub
+        )
 
     cluster.start()
     T = config.period
@@ -158,7 +238,8 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
         if ctx.engine is not None:
             ctx.engine.ledger_flush()
 
-    violations = _evaluate_oracles(cluster, spec, checker, hub, demands)
+    violations = _evaluate_oracles(cluster, spec, checker, hub, demands,
+                                   policy_keys)
     injector = cluster.fault_injector
     return {
         "violations": [v.to_dict() for v in violations],
@@ -180,10 +261,15 @@ def run_spec(spec: ScenarioSpec, seed: int) -> dict:
 
 
 def _evaluate_oracles(cluster, spec: ScenarioSpec, checker, hub,
-                      demands) -> List[Violation]:
+                      demands, policy_keys=None) -> List[Violation]:
     """The full oracle registry over one finished run."""
     violations: List[Violation] = list(checker.violations)
     violations.extend(check_ledger_conservation(hub.ledger))
+    if spec.policy_version > 0:
+        violations.extend(check_policy_audit(hub.ledger))
+        violations.extend(check_no_stale_policy(
+            sorted((policy_keys or {}).items())
+        ))
     binding = getattr(cluster, "tenancy", None)
     if binding is not None:
         violations.extend(check_hierarchy_conservation(
@@ -222,6 +308,13 @@ def _evaluate_oracles(cluster, spec: ScenarioSpec, checker, hub,
             spec.periods * max(0, demand_tokens - deliverable)
             + 2 * demand_tokens
         )
+        if spec.policy_version > 0:
+            # The policy gene legitimately withholds delivery from
+            # shrunk clients: revisions compound to at most a ~25%
+            # reservation cut (0.8x shrinks, 1.2x demand-capped grows,
+            # alternating over <= MAX_POLICY_VERSION flips), and that
+            # shortfall is expected backlog, not anomalous growth.
+            bound += int(0.25 * deliverable * spec.periods)
         queue_rows.append((ctx.name, ctx.engine.queue_depth, bound))
 
     violations.extend(check_reservations_met(reservation_rows))

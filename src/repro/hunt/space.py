@@ -40,13 +40,14 @@ from repro.faults.plan import (
     SlowdownRule,
 )
 
-SPEC_SCHEMA_VERSION = 3
+SPEC_SCHEMA_VERSION = 4
 
 #: Schema versions :meth:`ScenarioSpec.from_dict` still reads.  v1
 #: specs (pre-tenancy) load with ``tenant_count=0, fluid_mode=False``,
-#: v2 specs (pre-fabric) with ``fabric_mode=False`` — both reproduce
-#: their exact historical behaviour.
-COMPAT_SCHEMA_VERSIONS = (1, 2, SPEC_SCHEMA_VERSION)
+#: v2 specs (pre-fabric) with ``fabric_mode=False``, v3 specs
+#: (pre-policy) with ``policy_version=0`` — all reproduce their exact
+#: historical behaviour.
+COMPAT_SCHEMA_VERSIONS = (1, 2, 3, SPEC_SCHEMA_VERSION)
 
 # Liveness oracles need a fault-free tail to converge in; probabilistic
 # and windowed faults are clamped to end before it.  (Permanent events
@@ -91,6 +92,12 @@ MAX_TENANTS = 4
 # Fluid-mode candidates use a fixed two-groups-per-tenant shape, so a
 # victim index maps deterministically onto a flow class.
 FLUID_GROUPS_PER_TENANT = 2
+
+# Hot-swap genome ceiling: how many mid-run policy revisions the
+# executor will synthesize and apply through the decrease-before-
+# increase path.  Exact-DES only — the fluid engine takes resizes
+# through apply_hierarchy, not per-client policy pushes.
+MAX_POLICY_VERSION = 3
 
 
 @dataclasses.dataclass(frozen=True)
@@ -156,6 +163,14 @@ class ScenarioSpec:
     # has no per-op datapath, so clamp_spec turns it off under
     # fluid_mode.
     fabric_mode: bool = False
+    # Policy gene (schema v4): number of mid-run hot-swapped policy
+    # revisions.  0 (the floor) means no policy traffic — byte-for-byte
+    # the v3 behaviour; k > 0 makes the executor synthesize k revisions
+    # that re-shape the reservation mix mid-stream through the
+    # decrease-before-increase path, arming the policy-audit and
+    # no-stale-policy oracles.  Exact-DES only (clamped to 0 in fluid
+    # mode).
+    policy_version: int = 0
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -166,6 +181,10 @@ class ScenarioSpec:
         if self.tenant_count < 0:
             raise ConfigError(
                 f"tenant_count must be >= 0, got {self.tenant_count}"
+            )
+        if self.policy_version < 0:
+            raise ConfigError(
+                f"policy_version must be >= 0, got {self.policy_version}"
             )
         # fluid_mode with tenant_count == 0 is repaired (not rejected)
         # by clamp_spec, so shrink/mutate operators may build the
@@ -298,6 +317,7 @@ class ScenarioSpec:
             "tenant_count": self.tenant_count,
             "fluid_mode": self.fluid_mode,
             "fabric_mode": self.fabric_mode,
+            "policy_version": self.policy_version,
         }
 
     @classmethod
@@ -319,12 +339,14 @@ class ScenarioSpec:
             faults=tuple(
                 FaultGene.from_dict(g) for g in payload["faults"]
             ),
-            # v1 payloads carry neither tenancy key (flat, exact-DES)
-            # and v2 payloads no fabric key (historical NIC-only
-            # datapath) — both load with their semantics bit for bit.
+            # v1 payloads carry neither tenancy key (flat, exact-DES),
+            # v2 payloads no fabric key (historical NIC-only datapath),
+            # v3 payloads no policy key (no mid-run hot-swaps) — all
+            # load with their semantics bit for bit.
             tenant_count=payload.get("tenant_count", 0),
             fluid_mode=payload.get("fluid_mode", False),
             fabric_mode=payload.get("fabric_mode", False),
+            policy_version=payload.get("policy_version", 0),
         )
 
     def to_json(self) -> str:
@@ -345,6 +367,7 @@ INT_GENES = {
     "num_clients": (1, MAX_CLIENTS_DES, 1),
     "periods": (MIN_PERIODS, 12, MIN_PERIODS),
     "tenant_count": (0, MAX_TENANTS, 0),
+    "policy_version": (0, MAX_POLICY_VERSION, 0),
 }
 FLOAT_GENES = {
     # name: (lo, hi, floor)
@@ -377,6 +400,11 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
     fluid_mode = bool(spec.fluid_mode)
     # The fabric datapath is per-op, so it only exists in exact DES.
     fabric_mode = bool(spec.fabric_mode) and not fluid_mode
+    # Policy pushes address per-client agents; the fluid engine has
+    # none, so the gene collapses to its floor there.
+    policy_version = min(max(spec.policy_version, 0), MAX_POLICY_VERSION)
+    if fluid_mode:
+        policy_version = 0
     tenant_count = min(max(spec.tenant_count, 0), MAX_TENANTS)
     if fluid_mode:
         tenant_count = max(1, tenant_count)
@@ -431,6 +459,7 @@ def clamp_spec(spec: ScenarioSpec) -> ScenarioSpec:
         tenant_count=tenant_count,
         fluid_mode=fluid_mode,
         fabric_mode=fabric_mode,
+        policy_version=policy_version,
     )
 
 
@@ -472,6 +501,13 @@ def random_spec(rng) -> ScenarioSpec:
     lo, hi = INT_GENES["periods"][:2]
     periods = rng.randint(lo, hi)
     num_faults = rng.randint(0, MAX_FAULT_GENES)
+    faults = tuple(
+        random_fault_gene(rng, periods) for _ in range(num_faults)
+    )
+    # Drawn LAST so every pre-v4 gene of a given seed keeps its v3
+    # value — only draws after this point shift across the schema bump.
+    policy_version = (rng.randint(1, MAX_POLICY_VERSION)
+                      if rng.random() < 0.25 else 0)
     return clamp_spec(ScenarioSpec(
         num_clients=num_clients,
         tenant_count=tenant_count,
@@ -488,9 +524,8 @@ def random_spec(rng) -> ScenarioSpec:
                       * (LIMIT_RANGE[1] - LIMIT_RANGE[0])),
         pattern=rng.choice(PATTERNS),
         periods=periods,
-        faults=tuple(
-            random_fault_gene(rng, periods) for _ in range(num_faults)
-        ),
+        faults=faults,
+        policy_version=policy_version,
     ))
 
 
@@ -597,4 +632,5 @@ def crossover(a: ScenarioSpec, b: ScenarioSpec, rng) -> ScenarioSpec:
         pattern=pick("pattern"),
         periods=pick("periods"),
         faults=a.faults[:cut_a] + b.faults[cut_b:],
+        policy_version=pick("policy_version"),
     ))

@@ -1,0 +1,34 @@
+"""Declarative, versioned, hot-swappable QoS policies (docs/POLICY.md).
+
+The document model and store live here; the service half
+(:mod:`repro.policy.service`) and the failover chaos harness
+(:mod:`repro.policy.chaos`) import the heavier globalqos machinery and
+are imported explicitly by their users, keeping this package root
+dependency-light for the scenario modules that only need documents.
+"""
+
+from repro.policy.document import (
+    POLICY_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ClientClass,
+    PolicyBinding,
+    PolicyError,
+    PolicyVersionError,
+    QoSPolicy,
+    bind_in_order,
+)
+from repro.policy.store import list_builtin, load_policy, save_policy
+
+__all__ = [
+    "POLICY_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "ClientClass",
+    "PolicyBinding",
+    "PolicyError",
+    "PolicyVersionError",
+    "QoSPolicy",
+    "bind_in_order",
+    "list_builtin",
+    "load_policy",
+    "save_policy",
+]

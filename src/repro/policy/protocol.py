@@ -1,0 +1,33 @@
+"""Wire messages for policy distribution over the control path.
+
+Frozen dataclasses, same idiom as :mod:`repro.globalqos.protocol`:
+hashable, tuple-valued, and sized by the shared control-message model.
+A :class:`PolicyUpdate` is the *lowered* per-client form of a policy —
+aggregate reservation and limit in tokens/period — stamped with the
+pushing coordinator's ``(term, epoch)`` fencing pair plus the document
+revision, so a consumer can apply exactly the newer-revision /
+newer-term updates and fence everything else (a deposed leader behind
+an asymmetric partition keeps transmitting; its lower term loses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# Serialized cost of the policy payload beyond the base control
+# message: version + reservation + limit words.
+POLICY_ENTRY_SIZE = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyUpdate:
+    """Acting leader -> client agent: apply policy revision ``version``."""
+
+    client_id: int
+    epoch: int
+    version: int          # document revision (hot-swap fencing number)
+    reservation: int      # aggregate tokens/period under the new policy
+    limit: int = 0        # aggregate limit tokens/period; 0 = unlimited
+    term: int = 1
+    policy_name: str = ""
+    schema_version: int = 1

@@ -1,0 +1,299 @@
+"""The policy control plane: negotiation, lowering, distribution.
+
+:class:`PolicyService` holds the live :class:`~repro.policy.document.QoSPolicy`
+revision and serves it to consumers:
+
+- **Version negotiation.**  Every consumer registers the schema range
+  it understands (engines speak only the v1 core triple; monitors,
+  coordinators, and the tenancy hierarchy read v2's tier/replication
+  fields).  ``submit`` down-converts the document to the narrowest
+  registered range — dropping advisory fields, rejecting with
+  :class:`~repro.policy.document.PolicyVersionError` when a required
+  field (replication > 1) cannot survive — before anything is pushed.
+- **Lowering.**  The document speaks ops/s per client class;
+  consumers enforce tokens/period.  ``submit`` lowers each bound
+  client's reservation and limit through ``config.tokens_per_period``
+  once, at submission, so every push of a revision carries identical
+  numbers.
+- **Distribution.**  ``push_from`` rides the coordinator's per-epoch
+  compute tick: the acting leader stamps the lowered targets with its
+  ``(term, epoch)`` and posts a
+  :class:`~repro.policy.protocol.PolicyUpdate` per client over the
+  existing two-sided control path.  Re-pushing every epoch makes lost
+  control messages self-heal; the client agent's
+  ``(term, epoch, version)`` fencing makes the re-pushes (and a
+  deposed leader's stale pushes during failover) harmless.
+
+The service also refreshes the pushing coordinator's soft state
+(``_aggregates`` / ``_splits``) so the same epoch's water-fill plans
+from the post-policy world — otherwise the next rebalance would
+faithfully restore the pre-policy aggregates it remembered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import QPError
+from repro.globalqos.agents import _control_wr
+from repro.globalqos.waterfill import largest_remainder
+from repro.policy.document import (
+    PolicyBinding,
+    PolicyError,
+    PolicyVersionError,
+    QoSPolicy,
+    bind_in_order,
+)
+
+#: Default schema ranges per consumer kind.  Engines predate the
+#: policy layer and only ever see the lowered v1 core triple; the
+#: control-plane components read the full v2 document.
+CONSUMER_RANGES: Dict[str, Tuple[int, int]] = {
+    "engine": (1, 1),
+    "monitor": (1, 2),
+    "coordinator": (1, 2),
+    "hierarchy": (1, 2),
+}
+
+
+class PolicyService:
+    """Versioned policy distribution over the coordinator control path."""
+
+    def __init__(self, config, num_nodes: int):
+        self.config = config
+        self.num_nodes = num_nodes
+        # name -> (min_schema, max_schema) supported.
+        self.consumers: Dict[str, Tuple[int, int]] = {}
+        self.active: Optional[QoSPolicy] = None
+        self.active_version = 0
+        # client id -> (reservation, limit) in tokens/period, lowered
+        # once at submit so every push carries identical numbers.
+        self._targets: Dict[int, Tuple[int, int]] = {}
+        self.submissions = 0
+        self.rejections = 0
+        self.downconversions = 0
+        self.pushes_sent = 0
+        self.push_sends_failed = 0
+
+    # ------------------------------------------------------------------
+    # Consumer registry + version negotiation
+    # ------------------------------------------------------------------
+    def register_consumer(self, name: str, min_schema: int,
+                          max_schema: int) -> None:
+        if min_schema < 1 or max_schema < min_schema:
+            raise PolicyError(
+                f"consumer {name!r}: bad schema range "
+                f"[{min_schema}, {max_schema}]"
+            )
+        self.consumers[name] = (min_schema, max_schema)
+
+    def negotiate(self, policy: QoSPolicy, name: str) -> QoSPolicy:
+        """The document as consumer ``name`` can hold it.
+
+        Down-converts when the consumer's ceiling is below the
+        document's schema; raises :class:`PolicyVersionError` when the
+        document predates the consumer's floor or a required field
+        cannot survive the conversion.
+        """
+        if name not in self.consumers:
+            raise PolicyError(
+                f"unknown consumer {name!r} "
+                f"(registered: {sorted(self.consumers)})"
+            )
+        lo, hi = self.consumers[name]
+        if policy.schema_version < lo:
+            raise PolicyVersionError(
+                f"policy {policy.name!r} schema v{policy.schema_version} "
+                f"predates consumer {name!r} floor v{lo}",
+                offered=policy.schema_version, supported=(lo, hi),
+            )
+        if policy.schema_version <= hi:
+            return policy
+        converted = policy.downconvert(hi)
+        self.downconversions += 1
+        return converted
+
+    # ------------------------------------------------------------------
+    # Submission (validate + lower)
+    # ------------------------------------------------------------------
+    def submit(self, policy: QoSPolicy,
+               binding: Optional[PolicyBinding] = None) -> QoSPolicy:
+        """Make ``policy`` the live revision; returns the narrowest
+        negotiated form.
+
+        The revision number must advance strictly — hot-swap fencing
+        begins here, not at the consumers.  Negotiation runs against
+        *every* registered consumer before the service commits, so a
+        single consumer that cannot hold the document rejects the whole
+        submission atomically (no mixed-version cluster).
+        """
+        if policy.version <= self.active_version:
+            self.rejections += 1
+            raise PolicyError(
+                f"policy {policy.name!r} revision {policy.version} is not "
+                f"newer than the live revision {self.active_version}"
+            )
+        narrowest = policy
+        try:
+            for name in sorted(self.consumers):
+                negotiated = self.negotiate(policy, name)
+                if negotiated.schema_version < narrowest.schema_version:
+                    narrowest = negotiated
+        except PolicyVersionError:
+            self.rejections += 1
+            raise
+        if binding is None and policy.classes:
+            binding = bind_in_order(
+                policy, range(policy.num_clients())
+            )
+        targets: Dict[int, Tuple[int, int]] = {}
+        if binding is not None:
+            for subject, cls in binding.items():
+                reservation = self.config.tokens_per_period(
+                    cls.reservation_ops
+                )
+                limit_ops = cls.limit_for(cls.reservation_ops)
+                limit = (self.config.tokens_per_period(limit_ops)
+                         if limit_ops is not None else 0)
+                targets[int(subject)] = (reservation, limit)
+        self.active = policy
+        self.active_version = policy.version
+        self._targets = targets
+        self.submissions += 1
+        return narrowest
+
+    # ------------------------------------------------------------------
+    # Distribution (the coordinator's per-epoch push)
+    # ------------------------------------------------------------------
+    def push_from(self, coordinator, epoch: int) -> None:
+        """Push the live revision to every bound client, as ``coordinator``.
+
+        Called from the leader's compute tick.  Refreshes the
+        coordinator's soft state first so the same epoch's water-fill
+        (and its hysteresis thresholds) plan against the post-policy
+        aggregates; the refresh apportions the new aggregate over the
+        remembered split proportions exactly like the client agent
+        does, so leader and client converge on the same placement.
+        """
+        if self.active is None:
+            return
+        from repro.policy.protocol import PolicyUpdate
+
+        for cid in sorted(self._targets):
+            reservation, limit = self._targets[cid]
+            if coordinator._aggregates.get(cid) != reservation:
+                old = coordinator._splits.get(
+                    cid, [0] * coordinator.num_nodes
+                )
+                coordinator._splits[cid] = largest_remainder(
+                    reservation, [float(s) for s in old]
+                )
+                coordinator._aggregates[cid] = reservation
+            message = PolicyUpdate(
+                client_id=cid,
+                epoch=epoch,
+                version=self.active_version,
+                reservation=reservation,
+                limit=limit,
+                term=coordinator.term,
+                policy_name=self.active.name,
+                schema_version=self.active.schema_version,
+            )
+            qp = coordinator.client_qps.get(cid)
+            if qp is None:
+                continue
+            try:
+                qp.post_send(_control_wr(message, coordinator.num_nodes))
+                self.pushes_sent += 1
+            except QPError:
+                self.push_sends_failed += 1
+
+    def metrics_items(self):
+        """``(name, getter)`` pairs for the telemetry metrics registry."""
+        return [
+            ("policy_submissions", lambda: self.submissions),
+            ("policy_rejections", lambda: self.rejections),
+            ("policy_downconversions", lambda: self.downconversions),
+            ("policy_pushes_sent", lambda: self.pushes_sent),
+            ("policy_push_sends_failed",
+             lambda: self.push_sends_failed),
+            ("policy_active_version", lambda: self.active_version),
+        ]
+
+
+def attach_policy_service(cluster,
+                          service: Optional[PolicyService] = None
+                          ) -> PolicyService:
+    """Wire a policy service into a coordinated multi-node cluster.
+
+    Registers the standard consumers with their supported schema
+    ranges (every node's monitor, every client's engines, each
+    attached coordinator, and the tenant hierarchy when one is bound),
+    hooks the leader's and any standby's compute ticks, and subscribes
+    every client agent to :class:`~repro.policy.protocol.PolicyUpdate`.
+    Call after :func:`~repro.globalqos.coordinator.attach_coordinator`
+    (and ``attach_standby``, if any) and before ``cluster.start()``.
+    """
+    if cluster.coordinator is None:
+        raise PolicyError(
+            "policy service requires an attached global coordinator"
+        )
+    if service is None:
+        service = PolicyService(cluster.config, len(cluster.nodes))
+    service.register_consumer("coordinator", *CONSUMER_RANGES["coordinator"])
+    for node in cluster.nodes:
+        service.register_consumer(
+            f"monitor:{node.index}", *CONSUMER_RANGES["monitor"]
+        )
+    for striped in cluster.clients:
+        service.register_consumer(
+            f"engine:{striped.index}", *CONSUMER_RANGES["engine"]
+        )
+    if getattr(cluster, "tenant_of", None) or getattr(
+            cluster, "hierarchy", None):
+        service.register_consumer(
+            "hierarchy", *CONSUMER_RANGES["hierarchy"]
+        )
+    cluster.coordinator.policy_service = service
+    standby = getattr(cluster, "standby", None)
+    if standby is not None:
+        standby.policy_service = service
+    for agent in cluster.client_agents:
+        agent.enable_policy(service)
+    cluster.policy_service = service
+    return service
+
+
+def apply_to_hierarchy(binding: PolicyBinding, hierarchy,
+                       config) -> List[dict]:
+    """Apply a policy binding to a tenant hierarchy, hot.
+
+    Subjects name tenants.  Reservation changes go through
+    :meth:`~repro.tenancy.hierarchy.TenantHierarchy.resize_tenant`
+    with all shrinking tenants processed before any growing one — the
+    same decrease-before-increase discipline the split protocol uses,
+    lifted a level: capacity freed by shrinkers is what growers claim,
+    so no intermediate state over-commits the root envelope.  Limits
+    and bursts are per-tenant fields and swap in place.  Returns the
+    ordered resize ops.
+    """
+    def tokens(ops):
+        return None if ops is None else config.tokens_per_period(ops)
+
+    resizes = []
+    for subject, cls in binding.items():
+        tenant = hierarchy.tenant(subject)
+        target = config.tokens_per_period(cls.reservation_ops)
+        resizes.append((subject, cls, tenant, target))
+
+    ops: List[dict] = []
+    shrinks = [r for r in resizes if r[3] < r[2].reservation]
+    grows = [r for r in resizes if r[3] >= r[2].reservation]
+    for subject, cls, tenant, target in shrinks + grows:
+        ops.extend(hierarchy.resize_tenant(subject, target))
+        tenant.limit = tokens(cls.limit_for(cls.reservation_ops))
+        burst = cls.burst_ops
+        if cls.burst_factor is not None:
+            burst = cls.burst_factor * cls.reservation_ops
+        tenant.burst = config.tokens_per_period(burst)
+    return ops

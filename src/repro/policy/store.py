@@ -1,0 +1,55 @@
+"""Committed policy documents: the builtin store and the loader.
+
+The scenario presets, the globalqos skew class table, the fabric
+throttling levels, and the fluid-scale hierarchy shape all load from
+JSON documents committed under ``src/repro/policy/builtin/`` — one
+source of truth, pinned by round-trip tests so code-side tables cannot
+drift from what the documents say (the preset-duplication fix).
+
+``load_policy`` accepts either a builtin name (``"globalqos-skew"``)
+or a filesystem path; unknown names fail with the list of known ones,
+the same affordance :func:`~repro.cluster.presets.get_preset` gives.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+from repro.policy.document import PolicyError, QoSPolicy
+
+BUILTIN_DIR = pathlib.Path(__file__).resolve().parent / "builtin"
+
+
+def list_builtin() -> List[str]:
+    """Names of every committed builtin policy document, sorted."""
+    return sorted(p.stem for p in BUILTIN_DIR.glob("*.json"))
+
+
+def builtin_path(name: str) -> pathlib.Path:
+    path = BUILTIN_DIR / f"{name}.json"
+    if not path.is_file():
+        raise PolicyError(
+            f"unknown policy document {name!r} (know {list_builtin()})"
+        )
+    return path
+
+
+def load_policy(name_or_path) -> QoSPolicy:
+    """Load a policy: a builtin name, or any path to a JSON document."""
+    path = pathlib.Path(name_or_path)
+    if not path.is_file():
+        if path.suffix or "/" in str(name_or_path):
+            raise PolicyError(f"no policy document at {name_or_path!r}")
+        path = builtin_path(str(name_or_path))
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise PolicyError(f"cannot read policy document {path}: {exc}")
+    policy = QoSPolicy.from_json(text)
+    return policy
+
+
+def save_policy(policy: QoSPolicy, path) -> None:
+    """Write a document in the committed on-disk form (sorted, 2-space)."""
+    pathlib.Path(path).write_text(policy.to_json(indent=2) + "\n")

@@ -95,6 +95,29 @@ class TokenLedger:
             "source": source,
         })
 
+    def policy_apply(self, epoch: int, client, version: int,
+                     old_splits, new_splits, time: float,
+                     term: int = 1, policy: str = "",
+                     source: Optional[str] = None) -> None:
+        """A consumer applied policy revision ``version`` mid-stream.
+
+        ``old_splits``/``new_splits`` are the per-node reservation
+        vectors (tokens/period) before and after the hot-swap.  Two
+        invariants are auditable from the stream
+        (:meth:`check_policy_audit`): revisions apply strictly
+        monotonically per client, and each apply starts from the
+        aggregate the previous apply left (rebalances in between move
+        tokens across nodes but conserve the sum, so no tokens appear
+        or vanish between revisions).  Policy-free runs never emit
+        this event, so their ledger streams stay byte-identical.
+        """
+        self.events.append({
+            "event": "policy_apply", "time": time, "epoch": epoch,
+            "client": client, "version": version, "term": term,
+            "old": list(old_splits), "new": list(new_splits),
+            "policy": policy, "source": source,
+        })
+
     def quarantine(self, epoch: int, node: int, score: float, time: float,
                    source: Optional[str] = None) -> None:
         """The coordinator deranked a fail-slow node in water-filling."""
@@ -212,6 +235,41 @@ class TokenLedger:
                     f"splits {event['new']} sum to {total}, aggregate "
                     f"reservation is {event['aggregate']}"
                 )
+        return violations
+
+    def check_policy_audit(self) -> List[str]:
+        """Audit the policy stream: monotone revisions, continuous state.
+
+        Per client, applied revisions must be strictly increasing (a
+        stale revision applying is exactly the hot-swap bug the
+        fencing exists to prevent) and each apply's ``old`` vector
+        must sum to what the previous apply's ``new`` summed to —
+        rebalances in between legitimately reshape the vector but
+        conserve its sum, so a sum mismatch means reservation tokens
+        appeared or vanished between revisions without an audited
+        event.
+        """
+        violations = []
+        last: Dict[Any, Dict[str, Any]] = {}
+        for event in self.events:
+            if event.get("event") != "policy_apply":
+                continue
+            client = event["client"]
+            prev = last.get(client)
+            if prev is not None:
+                if event["version"] <= prev["version"]:
+                    violations.append(
+                        f"client {client} epoch {event['epoch']}: policy "
+                        f"revision {event['version']} applied after "
+                        f"{prev['version']} (non-monotonic)"
+                    )
+                if sum(event["old"]) != sum(prev["new"]):
+                    violations.append(
+                        f"client {client} epoch {event['epoch']}: policy "
+                        f"apply starts from {sum(event['old'])} tokens "
+                        f"but the previous apply left {sum(prev['new'])}"
+                    )
+            last[client] = event
         return violations
 
     def check_quarantine_audit(self) -> List[str]:

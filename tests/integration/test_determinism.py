@@ -24,12 +24,14 @@ from repro.cluster.determinism import (
     FABRIC_SEEDS,
     GLOBALQOS_SEEDS,
     PARTITION_SEEDS,
+    POLICY_SEEDS,
     SCALE_SEEDS,
     SEED_FAULTS,
     determinism_digest,
     fabric_digest,
     globalqos_digest,
     partition_digest,
+    policy_digest,
     scale_digest,
 )
 
@@ -114,6 +116,30 @@ def test_partition_digest_matches_committed_reference(
             f"partition seed {seed}: {part} digest changed -- the "
             f"failover scenario is no longer bit-identical to the "
             f"committed reference"
+        )
+
+
+@pytest.fixture(scope="module")
+def policy_reference():
+    with open(REFERENCE) as fh:
+        return json.load(fh)["policy"]
+
+
+def test_policy_reference_covers_every_seed():
+    with open(REFERENCE) as fh:
+        seeds = json.load(fh)["policy"]
+    assert sorted(seeds) == sorted(str(s) for s in POLICY_SEEDS)
+
+
+@pytest.mark.parametrize("seed", POLICY_SEEDS)
+def test_policy_digest_matches_committed_reference(seed, policy_reference):
+    digest = policy_digest(seed)
+    expected = policy_reference[str(seed)]
+    for part in ("kind", "metrics", "ledger", "results", "combined"):
+        assert digest[part] == expected[part], (
+            f"policy seed {seed}: {part} digest changed -- the "
+            f"policy-flip failover scenario is no longer bit-identical "
+            f"to the committed reference"
         )
 
 

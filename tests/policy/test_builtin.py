@@ -1,0 +1,118 @@
+"""The committed builtin documents: byte-pinned, one source of truth.
+
+The scenario modules derive their class tables from these documents
+(the preset-duplication fix).  Two pins keep that honest:
+
+- every committed file is byte-identical to its own canonical
+  serialisation, so hand edits cannot drift from what ``save_policy``
+  would write; and
+- the constants the scenarios re-export equal the document values, so
+  a document edit *is* a scenario edit (and shows up in the
+  determinism digests).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.policy import QoSPolicy, list_builtin, load_policy
+from repro.policy.document import PolicyError
+from repro.policy.store import builtin_path
+
+EXPECTED_BUILTINS = [
+    "fabric-throttle",
+    "fluid-scale",
+    "globalqos-skew",
+    "paper-congestion",
+    "paper-qos",
+    "policy-chaos",
+]
+
+
+def test_builtin_set_is_exactly_the_committed_one():
+    assert list_builtin() == EXPECTED_BUILTINS
+
+
+@pytest.mark.parametrize("name", EXPECTED_BUILTINS)
+def test_committed_text_is_the_canonical_serialisation(name):
+    text = pathlib.Path(builtin_path(name)).read_text()
+    policy = load_policy(name)
+    assert text == policy.to_json(indent=2) + "\n"
+    # And the loader's round-trip is the identity.
+    assert QoSPolicy.from_json(text) == policy
+
+
+@pytest.mark.parametrize("name", EXPECTED_BUILTINS)
+def test_no_class_reserves_beyond_the_per_client_sla(name):
+    # C_L = 400 KIOPS: the Chameleon single-client one-sided ceiling.
+    policy = load_policy(name)
+    for cls in policy.classes:
+        assert cls.reservation_ops <= 400_000.0, (
+            f"{name}: class {cls.name!r} reserves beyond C_L"
+        )
+
+
+def test_unknown_builtin_lists_the_known_ones():
+    with pytest.raises(PolicyError, match="fabric-throttle"):
+        load_policy("no-such-policy")
+    with pytest.raises(PolicyError, match="no policy document"):
+        load_policy("/no/such/path.json")
+
+
+def test_globalqos_scenario_constants_come_from_the_document():
+    from repro.globalqos import scenario
+
+    policy = load_policy("globalqos-skew")
+    assert scenario.SKEW_POLICY == policy
+    assert scenario.NUM_ENTITLED == policy.class_named("entitled").count == 2
+    assert (scenario.NUM_COMMODITY
+            == policy.class_named("commodity").count == 6)
+    assert scenario.ENTITLED_RESERVATION_OPS == 340_000.0
+    assert scenario.COMMODITY_RESERVATION_OPS == 380_000.0
+
+
+def test_policy_chaos_document_is_revision_two_of_the_skew_policy():
+    skew = load_policy("globalqos-skew")
+    flip = load_policy("policy-chaos")
+    # Same document name, strictly newer revision: exactly what the
+    # hot-swap fencing requires to accept it mid-stream.
+    assert flip.name == skew.name
+    assert flip.version == skew.version + 1 == 2
+    assert flip.num_clients() == skew.num_clients()
+    assert "version: 1 -> 2" in skew.diff(flip)
+
+
+def test_fabric_throttle_levels_come_from_the_document():
+    from repro.cluster import fabric_scenarios
+
+    policy = load_policy("fabric-throttle")
+    low = policy.class_named("token-bound").reservation_ops
+    high = policy.class_named("fabric-bound").reservation_ops
+    assert fabric_scenarios.THROTTLE_LOW_OPS == low == 60_000
+    assert fabric_scenarios.THROTTLE_HIGH_OPS == high == 190_000
+    # The digests depend on these staying ints (int * int arithmetic).
+    assert isinstance(low, int) and isinstance(high, int)
+
+
+def test_preset_fractions_come_from_the_documents():
+    from repro.cluster import presets
+
+    qos = load_policy("paper-qos")
+    congestion = load_policy("paper-congestion")
+    assert presets.PAPER_QOS_POLICY == qos
+    assert presets.PAPER_CONGESTION_POLICY == congestion
+    assert qos.reserved_fraction == 0.9
+    assert qos.pool_fraction() == 0.1
+    assert congestion.reserved_fraction == 0.8
+    assert congestion.pool_fraction() == 0.2
+
+
+def test_fluid_scale_shape_comes_from_the_document():
+    from repro.fluid import scenario
+
+    policy = load_policy("fluid-scale")
+    assert scenario.SCALE_POLICY == policy
+    assert scenario.RESERVED_FRACTION == policy.reserved_fraction == 0.7
+    metered = policy.class_named("metered")
+    assert scenario.METERED_LIMIT_FACTOR == metered.limit_factor == 1.5
+    assert scenario.METERED_BURST_FACTOR == metered.burst_factor == 0.1

@@ -1,0 +1,225 @@
+"""The policy document model: validation, round-trip, conversion."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.policy import (
+    POLICY_SCHEMA_VERSION,
+    ClientClass,
+    PolicyBinding,
+    PolicyError,
+    PolicyVersionError,
+    QoSPolicy,
+    bind_in_order,
+)
+
+
+def two_class_policy(**overrides) -> QoSPolicy:
+    fields = dict(
+        name="test",
+        version=1,
+        schema_version=POLICY_SCHEMA_VERSION,
+        classes=(
+            ClientClass(name="gold", count=2, reservation_ops=300_000.0,
+                        limit_factor=1.5, tier="entitled"),
+            ClientClass(name="bronze", count=3, reservation_ops=100_000.0,
+                        burst_ops=10_000.0),
+        ),
+    )
+    fields.update(overrides)
+    return QoSPolicy(**fields)
+
+
+class TestClientClassValidation:
+    def test_both_limit_forms_rejected(self):
+        with pytest.raises(PolicyError, match="mutually exclusive"):
+            ClientClass(name="c", limit_ops=2.0, limit_factor=1.5)
+
+    def test_limit_below_reservation_rejected(self):
+        with pytest.raises(PolicyError, match="below"):
+            ClientClass(name="c", reservation_ops=100.0, limit_ops=50.0)
+
+    def test_limit_factor_below_one_rejected(self):
+        with pytest.raises(PolicyError, match="limit_factor"):
+            ClientClass(name="c", limit_factor=0.9)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(PolicyError, match="count"):
+            ClientClass(name="c", count=0)
+
+    def test_replication_below_one_rejected(self):
+        with pytest.raises(PolicyError, match="replication"):
+            ClientClass(name="c", replication=0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PolicyError, match="unknown fields"):
+            ClientClass.from_dict({"name": "c", "priority": 3})
+
+    def test_limit_for_prefers_absolute(self):
+        assert ClientClass(name="c", reservation_ops=100.0,
+                           limit_ops=250.0).limit_for(100.0) == 250.0
+        assert ClientClass(name="c", reservation_ops=100.0,
+                           limit_factor=1.5).limit_for(100.0) == 150.0
+        assert ClientClass(name="c").limit_for(100.0) is None
+
+
+class TestPolicyValidation:
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            QoSPolicy(name="p", classes=(
+                ClientClass(name="a"), ClientClass(name="a"),
+            ))
+
+    def test_v1_document_cannot_use_v2_fields(self):
+        with pytest.raises(PolicyError, match="schema-v2"):
+            QoSPolicy(name="p", schema_version=1, classes=(
+                ClientClass(name="a", tier="entitled"),
+            ))
+
+    def test_unsupported_schema_carries_negotiation_attrs(self):
+        with pytest.raises(PolicyVersionError) as err:
+            QoSPolicy(name="p", schema_version=99,
+                      classes=(ClientClass(name="a"),))
+        assert err.value.offered == 99
+        assert err.value.supported == (1, POLICY_SCHEMA_VERSION)
+
+    def test_version_error_is_a_config_error(self):
+        # The CLI maps ConfigError to exit code 2; policy errors ride
+        # that path unchanged.
+        assert issubclass(PolicyVersionError, PolicyError)
+        assert issubclass(PolicyError, ConfigError)
+
+    def test_needs_classes_or_shape(self):
+        with pytest.raises(PolicyError, match="classes or"):
+            QoSPolicy(name="p")
+
+    def test_reserved_fraction_bounds(self):
+        with pytest.raises(PolicyError, match="reserved_fraction"):
+            QoSPolicy(name="p", reserved_fraction=1.5)
+
+    def test_expansion_and_lookup(self):
+        policy = two_class_policy()
+        assert policy.num_clients() == 5
+        assert policy.reservations_ops() == [
+            300_000.0, 300_000.0, 100_000.0, 100_000.0, 100_000.0,
+        ]
+        assert policy.class_named("gold").tier == "entitled"
+        with pytest.raises(PolicyError, match="no class"):
+            policy.class_named("platinum")
+
+    def test_pool_fraction_restores_the_literal(self):
+        # 1.0 - 0.9 is 0.09999999999999998 in bare float arithmetic;
+        # the document API must hand back the exact 0.1 the scenario
+        # constants historically used.
+        policy = QoSPolicy(name="p", reserved_fraction=0.9)
+        assert policy.pool_fraction() == 0.1
+        with pytest.raises(PolicyError, match="reserved_fraction"):
+            two_class_policy().pool_fraction()
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        policy = two_class_policy(description="round trip")
+        assert QoSPolicy.from_json(policy.to_json()) == policy
+        assert QoSPolicy.from_json(policy.to_json(indent=2)) == policy
+
+    def test_numeric_types_survive(self):
+        # JSON distinguishes 60000 from 60000.0; scenario constants
+        # derived from documents rely on that staying intact.
+        policy = QoSPolicy(name="p", classes=(
+            ClientClass(name="int", reservation_ops=60_000),
+            ClientClass(name="float", reservation_ops=340_000.0),
+        ))
+        back = QoSPolicy.from_json(policy.to_json())
+        assert isinstance(back.class_named("int").reservation_ops, int)
+        assert isinstance(back.class_named("float").reservation_ops, float)
+
+    def test_unknown_document_field_rejected(self):
+        payload = two_class_policy().to_dict()
+        payload["color"] = "blue"
+        with pytest.raises(PolicyError, match="unknown fields"):
+            QoSPolicy.from_dict(payload)
+
+    def test_non_json_rejected(self):
+        with pytest.raises(PolicyError, match="not JSON"):
+            QoSPolicy.from_json("{nope")
+        with pytest.raises(PolicyError, match="JSON object"):
+            QoSPolicy.from_json("[1, 2]")
+
+
+class TestDownconvert:
+    def test_drops_advisory_tier(self):
+        converted = two_class_policy().downconvert(1)
+        assert converted.schema_version == 1
+        assert converted.class_named("gold").tier == "standard"
+        # The core triple is untouched.
+        assert converted.class_named("gold").limit_factor == 1.5
+        assert converted.reservations_ops() == (
+            two_class_policy().reservations_ops()
+        )
+
+    def test_rejects_required_replication(self):
+        policy = QoSPolicy(name="p", classes=(
+            ClientClass(name="durable", replication=3),
+        ))
+        with pytest.raises(PolicyVersionError, match="replication"):
+            policy.downconvert(1)
+
+    def test_same_or_newer_target_is_identity(self):
+        policy = two_class_policy()
+        assert policy.downconvert(POLICY_SCHEMA_VERSION) is policy
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(PolicyVersionError, match="unknown schema"):
+            two_class_policy().downconvert(0)
+
+
+class TestDiff:
+    def test_identical_documents_diff_empty(self):
+        assert two_class_policy().diff(two_class_policy()) == []
+
+    def test_field_and_class_changes_named(self):
+        old = two_class_policy()
+        new = dataclasses.replace(
+            old, version=2,
+            classes=(
+                dataclasses.replace(old.classes[0],
+                                    reservation_ops=350_000.0),
+            ),
+        )
+        lines = new and old.diff(new)
+        assert "version: 1 -> 2" in lines
+        assert ("class gold.reservation_ops: 300000.0 -> 350000.0"
+                in lines)
+        assert "class bronze: removed" in lines
+
+
+class TestBinding:
+    def test_bind_in_order_expands_counts(self):
+        policy = two_class_policy()
+        binding = bind_in_order(policy, [f"C{i}" for i in range(5)])
+        assert binding.class_of("C0").name == "gold"
+        assert binding.class_of("C4").name == "bronze"
+        assert [cls.name for _, cls in binding.items()] == [
+            "gold", "gold", "bronze", "bronze", "bronze",
+        ]
+
+    def test_subject_count_mismatch_rejected(self):
+        with pytest.raises(PolicyError, match="covers 5"):
+            bind_in_order(two_class_policy(), ["C0", "C1"])
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(PolicyError, match="unknown class"):
+            PolicyBinding(two_class_policy(), (("C0", "platinum"),))
+
+    def test_duplicate_subject_rejected(self):
+        with pytest.raises(PolicyError, match="bound twice"):
+            PolicyBinding(two_class_policy(),
+                          (("C0", "gold"), ("C0", "bronze")))
+
+    def test_unbound_subject_rejected(self):
+        binding = PolicyBinding(two_class_policy(), (("C0", "gold"),))
+        with pytest.raises(PolicyError, match="not bound"):
+            binding.class_of("C9")

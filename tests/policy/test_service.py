@@ -1,0 +1,189 @@
+"""The policy service: negotiation, fencing, lowering, hot application."""
+
+import pytest
+
+from repro.core.config import HaechiConfig
+from repro.policy import (
+    ClientClass,
+    PolicyError,
+    PolicyVersionError,
+    QoSPolicy,
+    bind_in_order,
+)
+from repro.policy.service import (
+    CONSUMER_RANGES,
+    PolicyService,
+    apply_to_hierarchy,
+)
+from repro.tenancy.hierarchy import ClientGroup, Tenant, TenantHierarchy
+
+
+def make_policy(version=1, schema_version=2, replication=1):
+    return QoSPolicy(
+        name="svc-test",
+        version=version,
+        schema_version=schema_version,
+        classes=(
+            ClientClass(name="gold", count=1, reservation_ops=300_000.0,
+                        limit_factor=1.5,
+                        tier="entitled" if schema_version >= 2 else "standard",
+                        replication=replication),
+            ClientClass(name="bronze", count=2, reservation_ops=100_000.0),
+        ),
+    )
+
+
+@pytest.fixture
+def service():
+    return PolicyService(HaechiConfig(), num_nodes=2)
+
+
+class TestNegotiation:
+    def test_bad_range_rejected(self, service):
+        with pytest.raises(PolicyError, match="bad schema range"):
+            service.register_consumer("broken", 2, 1)
+
+    def test_unknown_consumer_rejected(self, service):
+        with pytest.raises(PolicyError, match="unknown consumer"):
+            service.negotiate(make_policy(), "ghost")
+
+    def test_within_range_passes_through(self, service):
+        service.register_consumer("monitor:0", *CONSUMER_RANGES["monitor"])
+        policy = make_policy()
+        assert service.negotiate(policy, "monitor:0") is policy
+        assert service.downconversions == 0
+
+    def test_above_ceiling_downconverts_and_counts(self, service):
+        service.register_consumer("engine:0", *CONSUMER_RANGES["engine"])
+        negotiated = service.negotiate(make_policy(), "engine:0")
+        assert negotiated.schema_version == 1
+        assert negotiated.class_named("gold").tier == "standard"
+        assert service.downconversions == 1
+
+    def test_below_floor_rejected_with_the_offered_version(self, service):
+        service.register_consumer("future", 2, 2)
+        with pytest.raises(PolicyVersionError) as err:
+            service.negotiate(make_policy(schema_version=1), "future")
+        assert err.value.offered == 1
+        assert err.value.supported == (2, 2)
+
+
+class TestSubmit:
+    def test_revision_must_advance_strictly(self, service):
+        service.submit(make_policy(version=1))
+        with pytest.raises(PolicyError, match="not newer"):
+            service.submit(make_policy(version=1))
+        assert service.rejections == 1
+        assert service.active_version == 1
+
+    def test_rejection_is_atomic(self, service):
+        # One registered engine only speaks v1; a replication
+        # requirement cannot survive the down-conversion, so the whole
+        # submission rejects and the live revision is untouched.
+        service.register_consumer("monitor:0", *CONSUMER_RANGES["monitor"])
+        service.register_consumer("engine:0", *CONSUMER_RANGES["engine"])
+        first = make_policy(version=1)
+        service.submit(first)
+        with pytest.raises(PolicyVersionError, match="replication"):
+            service.submit(make_policy(version=2, replication=3))
+        assert service.active is first
+        assert service.active_version == 1
+        assert service.rejections == 1
+
+    def test_returns_the_narrowest_negotiated_form(self, service):
+        service.register_consumer("monitor:0", *CONSUMER_RANGES["monitor"])
+        service.register_consumer("engine:0", *CONSUMER_RANGES["engine"])
+        narrowest = service.submit(make_policy())
+        assert narrowest.schema_version == 1
+
+    def test_lowers_targets_once_at_submission(self, service):
+        config = service.config
+        service.submit(make_policy())
+        # Default binding covers clients 0..2 in document order.
+        assert sorted(service._targets) == [0, 1, 2]
+        reservation, limit = service._targets[0]
+        assert reservation == config.tokens_per_period(300_000.0)
+        assert limit == config.tokens_per_period(450_000.0)
+        # No limit configured -> 0 on the wire (agents read 0 as none).
+        assert service._targets[1] == (
+            config.tokens_per_period(100_000.0), 0,
+        )
+
+    def test_explicit_binding_overrides_the_default(self, service):
+        policy = make_policy()
+        binding = bind_in_order(policy, ["7", "5", "3"])
+        service.submit(policy, binding)
+        assert sorted(service._targets) == [3, 5, 7]
+        assert service._targets[7][0] == service.config.tokens_per_period(
+            300_000.0
+        )
+
+    def test_metrics_cover_every_counter(self, service):
+        names = [name for name, _ in service.metrics_items()]
+        assert names == [
+            "policy_submissions",
+            "policy_rejections",
+            "policy_downconversions",
+            "policy_pushes_sent",
+            "policy_push_sends_failed",
+            "policy_active_version",
+        ]
+        service.submit(make_policy())
+        metrics = dict(
+            (name, get()) for name, get in service.metrics_items()
+        )
+        assert metrics["policy_submissions"] == 1
+        assert metrics["policy_active_version"] == 1
+
+
+class TestApplyToHierarchy:
+    def build_hierarchy(self):
+        return TenantHierarchy(
+            [
+                Tenant("A", 100, groups=[ClientGroup("a0", 100, clients=2)]),
+                Tenant("B", 100, groups=[ClientGroup("b0", 100)]),
+            ],
+            capacity=250,
+        )
+
+    def test_shrinks_apply_before_grows(self):
+        config = HaechiConfig(period=1.0)
+        hierarchy = self.build_hierarchy()
+        policy = QoSPolicy(
+            name="resize",
+            classes=(
+                # Bound in order B, A below: B grows, A shrinks.  The
+                # service must still run A's shrink first or B's grow
+                # would overshoot the 250-token root envelope.
+                ClientClass(name="grow", reservation_ops=170.0,
+                            limit_factor=2.0, burst_factor=0.1),
+                ClientClass(name="shrink", reservation_ops=60.0),
+            ),
+        )
+        binding = bind_in_order(policy, ["B", "A"])
+        ops = apply_to_hierarchy(binding, hierarchy, config)
+        tenant_ops = [op for op in ops if op["level"] == "tenant"]
+        assert [op["subject"] for op in tenant_ops] == ["A", "B"]
+        assert hierarchy.tenant("A").reservation == 60
+        # Un-clamped: the shrink freed the envelope the grow claims.
+        assert hierarchy.tenant("B").reservation == 170
+        assert hierarchy.total_reserved <= 250
+
+    def test_limits_and_bursts_swap_in_place(self):
+        config = HaechiConfig(period=1.0)
+        hierarchy = self.build_hierarchy()
+        policy = QoSPolicy(
+            name="limits",
+            classes=(
+                ClientClass(name="metered", reservation_ops=100.0,
+                            limit_factor=1.5, burst_factor=0.2),
+                ClientClass(name="open", reservation_ops=100.0),
+            ),
+        )
+        apply_to_hierarchy(
+            bind_in_order(policy, ["A", "B"]), hierarchy, config
+        )
+        assert hierarchy.tenant("A").limit == 150
+        assert hierarchy.tenant("A").burst == 20
+        assert hierarchy.tenant("B").limit is None
+        assert hierarchy.tenant("B").burst == 0
